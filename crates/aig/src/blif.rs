@@ -1,0 +1,424 @@
+//! BLIF reading and writing.
+//!
+//! BLIF (`.model` / `.inputs` / `.outputs` / `.names`) is the interchange
+//! format of SIS/ABC-era logic synthesis. The writer emits one two-input
+//! `.names` table per AND gate (complements folded into the cube), and the
+//! reader accepts general multi-input single-output tables, converting
+//! each sum-of-cubes into AND/OR structure.
+
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+use std::io::{self, BufRead, Write};
+
+use crate::aig::Aig;
+use crate::lit::Lit;
+
+/// Errors produced while parsing a BLIF file.
+#[derive(Debug)]
+pub enum ParseBlifError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// Missing or malformed `.model` / `.inputs` / `.outputs` header.
+    BadHeader(String),
+    /// A `.names` table is malformed.
+    BadTable(String),
+    /// A signal is referenced but never defined.
+    Undefined(String),
+    /// Signal definitions form a combinational cycle.
+    Cycle(String),
+    /// The file contains latches or subcircuits, which are unsupported.
+    Unsupported(String),
+}
+
+impl fmt::Display for ParseBlifError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseBlifError::Io(e) => write!(f, "i/o error: {e}"),
+            ParseBlifError::BadHeader(s) => write!(f, "malformed BLIF header: {s}"),
+            ParseBlifError::BadTable(s) => write!(f, "malformed .names table: {s}"),
+            ParseBlifError::Undefined(s) => write!(f, "undefined signal: {s}"),
+            ParseBlifError::Cycle(s) => write!(f, "combinational cycle through {s}"),
+            ParseBlifError::Unsupported(s) => write!(f, "unsupported construct: {s}"),
+        }
+    }
+}
+
+impl Error for ParseBlifError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ParseBlifError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for ParseBlifError {
+    fn from(e: io::Error) -> Self {
+        ParseBlifError::Io(e)
+    }
+}
+
+/// Writes `aig` in BLIF format (dead nodes compacted away).
+///
+/// # Errors
+/// Returns any error from the underlying writer.
+pub fn write_blif<W: Write>(aig: &Aig, mut w: W) -> io::Result<()> {
+    let (c, _) = aig.compact();
+    let name = |l: Lit| -> String {
+        let node = c.node(l.node());
+        let base = if node.is_const0() {
+            "const0".to_string()
+        } else if let crate::node::NodeKind::Input(pos) = node.kind() {
+            c.input_name(pos as usize).to_string()
+        } else {
+            format!("n{}", l.node().0)
+        };
+        base
+    };
+    writeln!(w, ".model {}", c.name().replace(' ', "_"))?;
+    write!(w, ".inputs")?;
+    for i in 0..c.num_inputs() {
+        write!(w, " {}", c.input_name(i))?;
+    }
+    writeln!(w)?;
+    write!(w, ".outputs")?;
+    for o in c.outputs() {
+        write!(w, " {}", o.name)?;
+    }
+    writeln!(w)?;
+    // constant-zero driver, if referenced
+    let const_used = c.fanout_count(crate::lit::NodeId::CONST0) > 0;
+    if const_used {
+        writeln!(w, ".names const0")?; // empty table = constant 0
+    }
+    for id in c.iter_ands() {
+        let node = c.node(id);
+        let (f0, f1) = (node.fanin0(), node.fanin1());
+        writeln!(w, ".names {} {} n{}", name(f0), name(f1), id.0)?;
+        let bit = |l: Lit| if l.is_complement() { '0' } else { '1' };
+        writeln!(w, "{}{} 1", bit(f0), bit(f1))?;
+    }
+    for o in c.outputs() {
+        // output buffers/inverters decouple names from internal wires
+        if o.lit == Lit::TRUE {
+            writeln!(w, ".names {}", o.name)?;
+            writeln!(w, "1")?;
+        } else if o.lit == Lit::FALSE {
+            writeln!(w, ".names {}", o.name)?;
+        } else {
+            writeln!(w, ".names {} {}", name(o.lit), o.name)?;
+            writeln!(w, "{} 1", if o.lit.is_complement() { '0' } else { '1' })?;
+        }
+    }
+    writeln!(w, ".end")?;
+    Ok(())
+}
+
+struct Table {
+    inputs: Vec<String>,
+    /// cube rows over the inputs ('0' / '1' / '-'), on-set semantics
+    cubes: Vec<String>,
+    /// true when rows define the off-set (`... 0` lines)
+    complemented: bool,
+}
+
+/// Reads a combinational BLIF file into an [`Aig`].
+///
+/// Supports multi-input `.names` tables (sum of cubes, on-set or off-set),
+/// in any definition order. Latches and subcircuits are rejected.
+///
+/// # Errors
+/// Returns a [`ParseBlifError`] on malformed, sequential or cyclic input.
+pub fn read_blif<R: BufRead>(r: R, fallback_name: &str) -> Result<Aig, ParseBlifError> {
+    let mut model = fallback_name.to_string();
+    let mut inputs: Vec<String> = Vec::new();
+    let mut outputs: Vec<String> = Vec::new();
+    let mut tables: HashMap<String, Table> = HashMap::new();
+
+    // Join continuation lines.
+    let mut logical: Vec<String> = Vec::new();
+    for line in r.lines() {
+        let line = line?;
+        let line = line.split('#').next().unwrap_or("").trim_end().to_string();
+        if line.trim().is_empty() {
+            continue;
+        }
+        if let Some(prev) = logical.last_mut() {
+            if prev.ends_with('\\') {
+                prev.pop();
+                prev.push_str(&line);
+                continue;
+            }
+        }
+        logical.push(line);
+    }
+
+    let mut i = 0;
+    while i < logical.len() {
+        let line = logical[i].clone();
+        let mut toks = line.split_whitespace();
+        match toks.next() {
+            Some(".model") => model = toks.next().unwrap_or(fallback_name).to_string(),
+            Some(".inputs") => inputs.extend(toks.map(str::to_string)),
+            Some(".outputs") => outputs.extend(toks.map(str::to_string)),
+            Some(".names") => {
+                let signals: Vec<String> = toks.map(str::to_string).collect();
+                let Some((out, ins)) = signals.split_last() else {
+                    return Err(ParseBlifError::BadTable(line));
+                };
+                let mut cubes = Vec::new();
+                let mut complemented = None;
+                while i + 1 < logical.len() && !logical[i + 1].starts_with('.') {
+                    i += 1;
+                    let row = logical[i].trim().to_string();
+                    let (cube, value) = if ins.is_empty() {
+                        (String::new(), row.as_str())
+                    } else {
+                        let Some((c, v)) = row.rsplit_once(char::is_whitespace) else {
+                            return Err(ParseBlifError::BadTable(row));
+                        };
+                        (c.trim().to_string(), v)
+                    };
+                    if cube.len() != ins.len()
+                        || !cube.chars().all(|ch| matches!(ch, '0' | '1' | '-'))
+                    {
+                        return Err(ParseBlifError::BadTable(row.clone()));
+                    }
+                    let val = match value {
+                        "1" => false,
+                        "0" => true,
+                        _ => return Err(ParseBlifError::BadTable(row.clone())),
+                    };
+                    if *complemented.get_or_insert(val) != val {
+                        return Err(ParseBlifError::BadTable(
+                            "mixed on-set and off-set rows".into(),
+                        ));
+                    }
+                    cubes.push(cube);
+                }
+                tables.insert(
+                    out.clone(),
+                    Table {
+                        inputs: ins.to_vec(),
+                        cubes,
+                        complemented: complemented.unwrap_or(false),
+                    },
+                );
+            }
+            Some(".end") => break,
+            Some(".latch") | Some(".subckt") | Some(".gate") => {
+                return Err(ParseBlifError::Unsupported(line))
+            }
+            Some(other) if other.starts_with('.') => {
+                // ignore unknown dot-commands (.default_input_arrival etc.)
+            }
+            _ => return Err(ParseBlifError::BadTable(line)),
+        }
+        i += 1;
+    }
+    if inputs.is_empty() && outputs.is_empty() {
+        return Err(ParseBlifError::BadHeader("no .inputs/.outputs".into()));
+    }
+
+    let mut aig = Aig::new(model);
+    let mut signal: HashMap<String, Lit> = HashMap::new();
+    for name in &inputs {
+        let lit = aig.add_input(name.clone());
+        signal.insert(name.clone(), lit);
+    }
+
+    // Recursive resolution with cycle detection.
+    fn resolve(
+        name: &str,
+        aig: &mut Aig,
+        tables: &HashMap<String, Table>,
+        signal: &mut HashMap<String, Lit>,
+        visiting: &mut Vec<String>,
+    ) -> Result<Lit, ParseBlifError> {
+        if let Some(&lit) = signal.get(name) {
+            return Ok(lit);
+        }
+        if visiting.iter().any(|v| v == name) {
+            return Err(ParseBlifError::Cycle(name.to_string()));
+        }
+        let table = tables
+            .get(name)
+            .ok_or_else(|| ParseBlifError::Undefined(name.to_string()))?;
+        visiting.push(name.to_string());
+        let mut ins = Vec::with_capacity(table.inputs.len());
+        for input in &table.inputs {
+            ins.push(resolve(input, aig, tables, signal, visiting)?);
+        }
+        visiting.pop();
+        let mut cube_lits = Vec::with_capacity(table.cubes.len());
+        for cube in &table.cubes {
+            let lits: Vec<Lit> = cube
+                .chars()
+                .zip(&ins)
+                .filter_map(|(ch, &lit)| match ch {
+                    '1' => Some(lit),
+                    '0' => Some(!lit),
+                    _ => None,
+                })
+                .collect();
+            cube_lits.push(aig.and_many(&lits));
+        }
+        let mut lit = aig.or_many(&cube_lits);
+        if table.complemented {
+            lit = !lit;
+        }
+        signal.insert(name.to_string(), lit);
+        Ok(lit)
+    }
+
+    for out in &outputs {
+        let mut visiting = Vec::new();
+        let lit = resolve(out, &mut aig, &tables, &mut signal, &mut visiting)?;
+        aig.add_output(lit, out.clone());
+    }
+    crate::edit::sweep_dangling(&mut aig);
+    Ok(aig)
+}
+
+/// Serialises `aig` to a BLIF string.
+pub fn to_blif_string(aig: &Aig) -> String {
+    let mut buf = Vec::new();
+    write_blif(aig, &mut buf).expect("writing to a Vec cannot fail");
+    String::from_utf8(buf).expect("BLIF output is UTF-8")
+}
+
+/// Parses a BLIF string.
+///
+/// # Errors
+/// Returns a [`ParseBlifError`] when the text is not valid BLIF.
+pub fn from_blif_str(s: &str, fallback_name: &str) -> Result<Aig, ParseBlifError> {
+    read_blif(s.as_bytes(), fallback_name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::check::check;
+
+    fn eval(aig: &Aig, bits: &[bool]) -> Vec<bool> {
+        let mut val = vec![false; aig.num_nodes()];
+        for (i, &pi) in aig.inputs().iter().enumerate() {
+            val[pi.index()] = bits[i];
+        }
+        for id in crate::topo::topo_order(aig) {
+            let n = aig.node(id);
+            if n.is_and() {
+                let f = |l: Lit| val[l.node().index()] ^ l.is_complement();
+                val[id.index()] = f(n.fanin0()) && f(n.fanin1());
+            }
+        }
+        aig.outputs()
+            .iter()
+            .map(|o| val[o.lit.node().index()] ^ o.lit.is_complement())
+            .collect()
+    }
+
+    #[test]
+    fn round_trip_preserves_function() {
+        let mut aig = Aig::new("rt");
+        let xs = aig.add_inputs("x", 4);
+        let g1 = aig.xor(xs[0], xs[1]);
+        let g2 = aig.and(!g1, xs[2]);
+        let g3 = aig.or(g2, !xs[3]);
+        aig.add_output(g3, "y0");
+        aig.add_output(!g1, "y1");
+        let text = to_blif_string(&aig);
+        let back = from_blif_str(&text, "rt").unwrap();
+        check(&back).unwrap();
+        for p in 0..16 {
+            let bits: Vec<bool> = (0..4).map(|i| p >> i & 1 == 1).collect();
+            assert_eq!(eval(&aig, &bits), eval(&back, &bits), "pattern {p}");
+        }
+    }
+
+    #[test]
+    fn reads_multi_input_tables() {
+        let text = "\
+.model maj
+.inputs a b c
+.outputs m
+.names a b c m
+11- 1
+1-1 1
+-11 1
+.end
+";
+        let aig = from_blif_str(text, "maj").unwrap();
+        check(&aig).unwrap();
+        for p in 0..8 {
+            let bits: Vec<bool> = (0..3).map(|i| p >> i & 1 == 1).collect();
+            let expect = bits.iter().filter(|&&b| b).count() >= 2;
+            assert_eq!(eval(&aig, &bits)[0], expect, "pattern {p}");
+        }
+    }
+
+    #[test]
+    fn reads_off_set_tables() {
+        let text = "\
+.model nor
+.inputs a b
+.outputs y
+.names a b y
+1- 0
+-1 0
+.end
+";
+        let aig = from_blif_str(text, "nor").unwrap();
+        for p in 0..4 {
+            let bits: Vec<bool> = (0..2).map(|i| p >> i & 1 == 1).collect();
+            assert_eq!(eval(&aig, &bits)[0], !(bits[0] || bits[1]), "pattern {p}");
+        }
+    }
+
+    #[test]
+    fn handles_out_of_order_definitions_and_constants() {
+        let text = "\
+.model k
+.inputs a
+.outputs y z
+.names t a y
+11 1
+.names t
+1
+.names z
+.end
+";
+        let aig = from_blif_str(text, "k").unwrap();
+        for p in 0..2 {
+            let bits = vec![p == 1];
+            let out = eval(&aig, &bits);
+            assert_eq!(out[0], bits[0]); // y = 1 & a
+            assert!(!out[1]); // z = const0
+        }
+    }
+
+    #[test]
+    fn rejects_latches_and_cycles() {
+        assert!(matches!(
+            from_blif_str(".model s\n.inputs a\n.outputs q\n.latch a q 0\n.end", "s"),
+            Err(ParseBlifError::Unsupported(_))
+        ));
+        let cyc = "\
+.model c
+.inputs a
+.outputs y
+.names y a y
+11 1
+.end
+";
+        assert!(matches!(from_blif_str(cyc, "c"), Err(ParseBlifError::Cycle(_))));
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(from_blif_str("hello", "x").is_err());
+        assert!(from_blif_str(".model m\n.inputs a\n.outputs y\n.names a y\n2 1\n.end", "x")
+            .is_err());
+    }
+}

@@ -1,0 +1,211 @@
+//! Gate-level construction helpers on top of [`Aig::and`].
+//!
+//! All helpers fold constants and reuse structure through the strash table,
+//! so generated circuits stay compact. Word-level arithmetic (adders,
+//! multipliers, …) lives in the `als-circuits` crate.
+
+use crate::aig::Aig;
+use crate::lit::Lit;
+
+impl Aig {
+    /// OR of two literals.
+    pub fn or(&mut self, a: Lit, b: Lit) -> Lit {
+        !self.and(!a, !b)
+    }
+
+    /// NAND of two literals.
+    pub fn nand(&mut self, a: Lit, b: Lit) -> Lit {
+        !self.and(a, b)
+    }
+
+    /// NOR of two literals.
+    pub fn nor(&mut self, a: Lit, b: Lit) -> Lit {
+        self.and(!a, !b)
+    }
+
+    /// XOR of two literals (two-AND construction).
+    pub fn xor(&mut self, a: Lit, b: Lit) -> Lit {
+        let n0 = self.and(a, !b);
+        let n1 = self.and(!a, b);
+        self.or(n0, n1)
+    }
+
+    /// XNOR of two literals.
+    pub fn xnor(&mut self, a: Lit, b: Lit) -> Lit {
+        !self.xor(a, b)
+    }
+
+    /// Multiplexer: `if s { t } else { e }`.
+    pub fn mux(&mut self, s: Lit, t: Lit, e: Lit) -> Lit {
+        let a = self.and(s, t);
+        let b = self.and(!s, e);
+        self.or(a, b)
+    }
+
+    /// Three-input majority (the carry function of a full adder).
+    pub fn maj(&mut self, a: Lit, b: Lit, c: Lit) -> Lit {
+        let ab = self.and(a, b);
+        let ac = self.and(a, c);
+        let bc = self.and(b, c);
+        let t = self.or(ab, ac);
+        self.or(t, bc)
+    }
+
+    /// Half adder: returns `(sum, carry)`.
+    pub fn half_adder(&mut self, a: Lit, b: Lit) -> (Lit, Lit) {
+        (self.xor(a, b), self.and(a, b))
+    }
+
+    /// Full adder: returns `(sum, carry)`.
+    pub fn full_adder(&mut self, a: Lit, b: Lit, cin: Lit) -> (Lit, Lit) {
+        let s0 = self.xor(a, b);
+        let sum = self.xor(s0, cin);
+        let carry = self.maj(a, b, cin);
+        (sum, carry)
+    }
+
+    /// AND over a slice of literals (balanced tree; empty slice is true).
+    pub fn and_many(&mut self, lits: &[Lit]) -> Lit {
+        self.reduce_tree(lits, Lit::TRUE, Aig::and)
+    }
+
+    /// OR over a slice of literals (balanced tree; empty slice is false).
+    pub fn or_many(&mut self, lits: &[Lit]) -> Lit {
+        self.reduce_tree(lits, Lit::FALSE, Aig::or)
+    }
+
+    /// XOR over a slice of literals (balanced tree; empty slice is false).
+    pub fn xor_many(&mut self, lits: &[Lit]) -> Lit {
+        self.reduce_tree(lits, Lit::FALSE, Aig::xor)
+    }
+
+    fn reduce_tree(
+        &mut self,
+        lits: &[Lit],
+        empty: Lit,
+        op: fn(&mut Aig, Lit, Lit) -> Lit,
+    ) -> Lit {
+        match lits.len() {
+            0 => empty,
+            1 => lits[0],
+            n => {
+                let (lo, hi) = lits.split_at(n / 2);
+                let a = self.reduce_tree(lo, empty, op);
+                let b = self.reduce_tree(hi, empty, op);
+                op(self, a, b)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Evaluates the single output of `aig` on the given input assignment.
+    fn eval(aig: &Aig, inputs: &[bool]) -> bool {
+        let mut val = vec![false; aig.num_nodes()];
+        for (i, &pi) in aig.inputs().iter().enumerate() {
+            val[pi.index()] = inputs[i];
+        }
+        for id in crate::topo::topo_order(aig) {
+            let n = aig.node(id);
+            if n.is_and() {
+                let f = |l: Lit| val[l.node().index()] ^ l.is_complement();
+                val[id.index()] = f(n.fanin0()) && f(n.fanin1());
+            }
+        }
+        let o = aig.output_lit(0);
+        val[o.node().index()] ^ o.is_complement()
+    }
+
+    fn truth2(f: impl Fn(&mut Aig, Lit, Lit) -> Lit) -> Vec<bool> {
+        let mut out = Vec::new();
+        for a in [false, true] {
+            for b in [false, true] {
+                let mut aig = Aig::new("t");
+                let x = aig.add_input("a");
+                let y = aig.add_input("b");
+                let g = f(&mut aig, x, y);
+                aig.add_output(g, "o");
+                out.push(eval(&aig, &[a, b]));
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn gate_truth_tables() {
+        assert_eq!(truth2(Aig::or), vec![false, true, true, true]);
+        assert_eq!(truth2(Aig::nand), vec![true, true, true, false]);
+        assert_eq!(truth2(Aig::nor), vec![true, false, false, false]);
+        assert_eq!(truth2(Aig::xor), vec![false, true, true, false]);
+        assert_eq!(truth2(Aig::xnor), vec![true, false, false, true]);
+    }
+
+    #[test]
+    fn mux_selects() {
+        for s in [false, true] {
+            for t in [false, true] {
+                for e in [false, true] {
+                    let mut aig = Aig::new("m");
+                    let ls = aig.add_input("s");
+                    let lt = aig.add_input("t");
+                    let le = aig.add_input("e");
+                    let g = aig.mux(ls, lt, le);
+                    aig.add_output(g, "o");
+                    assert_eq!(eval(&aig, &[s, t, e]), if s { t } else { e });
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn full_adder_truth_table() {
+        for a in [false, true] {
+            for b in [false, true] {
+                for c in [false, true] {
+                    let mut aig = Aig::new("fa");
+                    let la = aig.add_input("a");
+                    let lb = aig.add_input("b");
+                    let lc = aig.add_input("c");
+                    let (s, co) = aig.full_adder(la, lb, lc);
+                    aig.add_output(s, "s");
+                    aig.add_output(co, "c");
+                    let total = a as u8 + b as u8 + c as u8;
+                    assert_eq!(eval(&aig, &[a, b, c]), total & 1 == 1);
+                    // check carry via second output
+                    let mut aig2 = Aig::new("fa2");
+                    let la = aig2.add_input("a");
+                    let lb = aig2.add_input("b");
+                    let lc = aig2.add_input("c");
+                    let (_s, co) = aig2.full_adder(la, lb, lc);
+                    aig2.add_output(co, "c");
+                    assert_eq!(eval(&aig2, &[a, b, c]), total >= 2);
+                    let _ = co;
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn reduction_trees() {
+        let mut aig = Aig::new("r");
+        let xs = aig.add_inputs("x", 5);
+        let g = aig.xor_many(&xs);
+        aig.add_output(g, "o");
+        // parity of 5 bits
+        for pattern in 0..32u32 {
+            let bits: Vec<bool> = (0..5).map(|i| pattern >> i & 1 == 1).collect();
+            assert_eq!(eval(&aig, &bits), pattern.count_ones() % 2 == 1);
+        }
+    }
+
+    #[test]
+    fn empty_reductions() {
+        let mut aig = Aig::new("e");
+        assert_eq!(aig.and_many(&[]), Lit::TRUE);
+        assert_eq!(aig.or_many(&[]), Lit::FALSE);
+        assert_eq!(aig.xor_many(&[]), Lit::FALSE);
+    }
+}

@@ -1,0 +1,197 @@
+//! Structural invariant checking.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::aig::Aig;
+use crate::lit::NodeId;
+
+/// A violated structural invariant found by [`check`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CheckError {
+    /// A live node references a dead fanin.
+    DeadFanin { node: NodeId, fanin: NodeId },
+    /// The fanout list of `node` disagrees with actual fanin references.
+    FanoutMismatch { node: NodeId, expected: usize, actual: usize },
+    /// An output literal points at a dead node.
+    DeadOutputDriver { output: usize, node: NodeId },
+    /// The `po_refs` list of `node` disagrees with the outputs.
+    OutputRefMismatch { node: NodeId },
+    /// A live AND gate drives nothing (violates the no-dangling invariant).
+    Dangling { node: NodeId },
+    /// A cycle passes through `node`.
+    Cycle { node: NodeId },
+}
+
+impl fmt::Display for CheckError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CheckError::DeadFanin { node, fanin } => {
+                write!(f, "live node {node} references dead fanin {fanin}")
+            }
+            CheckError::FanoutMismatch { node, expected, actual } => write!(
+                f,
+                "fanout list of {node} has {actual} entries but {expected} fanin references exist"
+            ),
+            CheckError::DeadOutputDriver { output, node } => {
+                write!(f, "output {output} is driven by dead node {node}")
+            }
+            CheckError::OutputRefMismatch { node } => {
+                write!(f, "output-reference list of {node} disagrees with the outputs")
+            }
+            CheckError::Dangling { node } => {
+                write!(f, "live AND gate {node} drives neither a gate nor an output")
+            }
+            CheckError::Cycle { node } => write!(f, "cycle detected through {node}"),
+        }
+    }
+}
+
+impl Error for CheckError {}
+
+/// Verifies the structural invariants of `aig`.
+///
+/// Checked invariants:
+/// 1. live nodes only reference live fanins;
+/// 2. fanout lists match fanin references exactly (with multiplicity);
+/// 3. output literals point at live nodes and `po_refs` mirrors them;
+/// 4. every live AND gate drives at least one gate or output (no dangling);
+/// 5. the graph is acyclic.
+///
+/// # Errors
+///
+/// Returns the first violated invariant.
+pub fn check(aig: &Aig) -> Result<(), CheckError> {
+    let n = aig.num_nodes();
+
+    // 1 + 2: fanin liveness and fanout counts.
+    let mut expected_fanouts = vec![0usize; n];
+    for id in aig.iter_live() {
+        let node = aig.node(id);
+        if node.is_and() {
+            for fin in node.fanins() {
+                let v = fin.node();
+                if !aig.is_live(v) {
+                    return Err(CheckError::DeadFanin { node: id, fanin: v });
+                }
+                expected_fanouts[v.index()] += 1;
+            }
+        }
+    }
+    for id in aig.iter_live() {
+        let actual = aig.fanouts(id).len();
+        let expected = expected_fanouts[id.index()];
+        if actual != expected {
+            return Err(CheckError::FanoutMismatch { node: id, expected, actual });
+        }
+        // fanout entries must actually reference this node
+        for &f in aig.fanouts(id) {
+            let fo = aig.node(f);
+            if !aig.is_live(f) || (fo.fanin0().node() != id && fo.fanin1().node() != id) {
+                return Err(CheckError::FanoutMismatch { node: id, expected, actual });
+            }
+        }
+    }
+
+    // 3: outputs.
+    let mut expected_refs: Vec<Vec<u32>> = vec![Vec::new(); n];
+    for (i, o) in aig.outputs().iter().enumerate() {
+        let d = o.lit.node();
+        if !aig.is_live(d) {
+            return Err(CheckError::DeadOutputDriver { output: i, node: d });
+        }
+        expected_refs[d.index()].push(i as u32);
+    }
+    for id in aig.iter_live() {
+        let mut actual: Vec<u32> = aig.output_refs(id).to_vec();
+        actual.sort_unstable();
+        if actual != expected_refs[id.index()] {
+            return Err(CheckError::OutputRefMismatch { node: id });
+        }
+    }
+
+    // 4: no dangling gates.
+    for id in aig.iter_ands() {
+        if aig.fanout_count(id) == 0 {
+            return Err(CheckError::Dangling { node: id });
+        }
+    }
+
+    // 5: acyclicity — topo_order panics on cycles, so re-implement gently.
+    let mut state = vec![0u8; n];
+    for root in aig.iter_ands() {
+        if state[root.index()] != 0 {
+            continue;
+        }
+        let mut stack = vec![(root, 0u8)];
+        state[root.index()] = 1;
+        while let Some(&mut (u, ref mut phase)) = stack.last_mut() {
+            if *phase < 2 {
+                let fin = if *phase == 0 { aig.node(u).fanin0() } else { aig.node(u).fanin1() };
+                *phase += 1;
+                if aig.node(u).is_and() {
+                    let v = fin.node();
+                    match state[v.index()] {
+                        0 => {
+                            state[v.index()] = 1;
+                            stack.push((v, 0));
+                        }
+                        1 => return Err(CheckError::Cycle { node: v }),
+                        _ => {}
+                    }
+                }
+            } else {
+                state[u.index()] = 2;
+                stack.pop();
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::aig::Aig;
+    use crate::lit::Lit;
+
+    #[test]
+    fn clean_graph_passes() {
+        let mut aig = Aig::new("ok");
+        let a = aig.add_input("a");
+        let b = aig.add_input("b");
+        let g = aig.and(a, b);
+        aig.add_output(g, "o");
+        check(&aig).unwrap();
+    }
+
+    #[test]
+    fn dangling_gate_detected() {
+        let mut aig = Aig::new("bad");
+        let a = aig.add_input("a");
+        let b = aig.add_input("b");
+        let _g = aig.and(a, b);
+        aig.add_output(a, "o");
+        assert!(matches!(check(&aig), Err(CheckError::Dangling { .. })));
+    }
+
+    #[test]
+    fn output_of_constant_is_fine() {
+        let mut aig = Aig::new("c");
+        aig.add_output(Lit::TRUE, "one");
+        check(&aig).unwrap();
+    }
+
+    #[test]
+    fn after_replace_graph_stays_consistent() {
+        let mut aig = Aig::new("r");
+        let a = aig.add_input("a");
+        let b = aig.add_input("b");
+        let c = aig.add_input("c");
+        let g1 = aig.and(a, b);
+        let g2 = aig.and(g1, c);
+        aig.add_output(g2, "o");
+        crate::edit::replace(&mut aig, g1.node(), a);
+        check(&aig).unwrap();
+    }
+}

@@ -1,0 +1,187 @@
+//! Transitive fanin/fanout cones and maximum fanout-free cones.
+
+use std::collections::HashMap;
+
+use crate::aig::Aig;
+use crate::lit::NodeId;
+
+/// Transitive-fanout cone of `n`: `n` itself plus every live gate reachable
+/// from it through fanout edges. Order is a BFS order from `n`.
+pub fn tfo_cone(aig: &Aig, n: NodeId) -> Vec<NodeId> {
+    let mut seen = vec![false; aig.num_nodes()];
+    let mut cone = vec![n];
+    seen[n.index()] = true;
+    let mut head = 0;
+    while head < cone.len() {
+        let u = cone[head];
+        head += 1;
+        for &f in aig.fanouts(u) {
+            if !seen[f.index()] {
+                seen[f.index()] = true;
+                cone.push(f);
+            }
+        }
+    }
+    cone
+}
+
+/// Transitive-fanin cone of `n`: `n` itself plus every node (gates, inputs,
+/// possibly the constant) feeding it. Order is a BFS order from `n`.
+pub fn tfi_cone(aig: &Aig, n: NodeId) -> Vec<NodeId> {
+    tfi_cone_union(aig, std::slice::from_ref(&n))
+}
+
+/// Union of the transitive-fanin cones of all `seeds` (each seed included).
+///
+/// Seeds may be dead nodes: their recorded fanins are still traversed, which
+/// is exactly what the incremental cut update needs when computing `S_v`
+/// from removed nodes. Non-seed dead nodes are never reached because live
+/// nodes cannot have dead fanins.
+pub fn tfi_cone_union(aig: &Aig, seeds: &[NodeId]) -> Vec<NodeId> {
+    let mut seen = vec![false; aig.num_nodes()];
+    let mut cone = Vec::new();
+    for &s in seeds {
+        if !seen[s.index()] {
+            seen[s.index()] = true;
+            cone.push(s);
+        }
+    }
+    let mut head = 0;
+    while head < cone.len() {
+        let u = cone[head];
+        head += 1;
+        let node = aig.node(u);
+        if node.is_and() {
+            for f in node.fanins() {
+                let v = f.node();
+                if !seen[v.index()] {
+                    seen[v.index()] = true;
+                    cone.push(v);
+                }
+            }
+        }
+    }
+    cone
+}
+
+/// Maximum fanout-free cone of `n`: the set of gates (including `n`) that
+/// would become dangling if `n` were removed, i.e. the nodes a LAC on `n`
+/// deletes.
+///
+/// Primary inputs and the constant node are never part of an MFFC.
+pub fn mffc(aig: &Aig, n: NodeId) -> Vec<NodeId> {
+    debug_assert!(aig.node(n).is_and(), "MFFC is defined for gates");
+    let mut remaining: HashMap<NodeId, usize> = HashMap::new();
+    let mut cone = vec![n];
+    let mut stack = vec![n];
+    while let Some(u) = stack.pop() {
+        for f in aig.node(u).fanins() {
+            let v = f.node();
+            if !aig.node(v).is_and() {
+                continue;
+            }
+            let r = remaining.entry(v).or_insert_with(|| aig.fanout_count(v));
+            debug_assert!(*r > 0);
+            *r -= 1;
+            if *r == 0 {
+                cone.push(v);
+                stack.push(v);
+            }
+        }
+    }
+    cone
+}
+
+/// Size of the MFFC of `n` — the number of gates a LAC targeting `n` saves.
+pub fn mffc_size(aig: &Aig, n: NodeId) -> usize {
+    mffc(aig, n).len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::aig::Aig;
+
+    /// Builds the diamond `o = (a&b) & (a&c)`.
+    fn diamond() -> (Aig, NodeId, NodeId, NodeId) {
+        let mut aig = Aig::new("d");
+        let a = aig.add_input("a");
+        let b = aig.add_input("b");
+        let c = aig.add_input("c");
+        let g1 = aig.and(a, b);
+        let g2 = aig.and(a, c);
+        let g3 = aig.and(g1, g2);
+        aig.add_output(g3, "o");
+        (aig, g1.node(), g2.node(), g3.node())
+    }
+
+    #[test]
+    fn tfo_of_inner_node() {
+        let (aig, g1, _, g3) = diamond();
+        let cone = tfo_cone(&aig, g1);
+        assert_eq!(cone, vec![g1, g3]);
+    }
+
+    #[test]
+    fn tfo_of_input_covers_everything() {
+        let (aig, g1, g2, g3) = diamond();
+        let a = aig.inputs()[0];
+        let mut cone = tfo_cone(&aig, a);
+        cone.sort();
+        let mut expect = vec![a, g1, g2, g3];
+        expect.sort();
+        assert_eq!(cone, expect);
+    }
+
+    #[test]
+    fn tfi_of_root_covers_everything() {
+        let (aig, _, _, g3) = diamond();
+        let cone = tfi_cone(&aig, g3);
+        assert_eq!(cone.len(), 6); // g3, g1, g2, a, b, c
+    }
+
+    #[test]
+    fn tfi_union_deduplicates() {
+        let (aig, g1, g2, _) = diamond();
+        let cone = tfi_cone_union(&aig, &[g1, g2]);
+        // g1, g2, a, b, c
+        assert_eq!(cone.len(), 5);
+    }
+
+    #[test]
+    fn mffc_of_root_is_whole_diamond() {
+        let (aig, _, _, g3) = diamond();
+        let mut m = mffc(&aig, g3);
+        m.sort();
+        assert_eq!(m.len(), 3);
+    }
+
+    #[test]
+    fn mffc_stops_at_shared_nodes() {
+        // g3 = g1 & c where g1 also feeds an output: MFFC(g3) = {g3}.
+        let mut aig = Aig::new("s");
+        let a = aig.add_input("a");
+        let b = aig.add_input("b");
+        let c = aig.add_input("c");
+        let g1 = aig.and(a, b);
+        let g3 = aig.and(g1, c);
+        aig.add_output(g3, "o0");
+        aig.add_output(g1, "o1");
+        assert_eq!(mffc(&aig, g3.node()), vec![g3.node()]);
+        assert_eq!(mffc_size(&aig, g3.node()), 1);
+    }
+
+    #[test]
+    fn mffc_counts_double_edges_once_per_slot() {
+        // h uses g on both slots; removing h must free g.
+        let mut aig = Aig::new("dbl");
+        let a = aig.add_input("a");
+        let b = aig.add_input("b");
+        let g = aig.and(a, b);
+        let h = aig.and_raw(g, !g);
+        aig.add_output(h, "o");
+        let mut m = mffc(&aig, h.node());
+        m.sort();
+        assert_eq!(m, vec![g.node(), h.node()]);
+    }
+}

@@ -1,0 +1,75 @@
+//! Graphviz DOT export for visual inspection of small circuits.
+
+use std::io::{self, Write};
+
+use crate::aig::Aig;
+use crate::lit::Lit;
+
+/// Writes `aig` as a Graphviz digraph: inputs as boxes, gates as circles,
+/// outputs as double circles; complemented edges are drawn dashed.
+///
+/// # Errors
+/// Returns any error from the underlying writer.
+pub fn write_dot<W: Write>(aig: &Aig, mut w: W) -> io::Result<()> {
+    writeln!(w, "digraph \"{}\" {{", aig.name().replace('"', "'"))?;
+    writeln!(w, "  rankdir=LR;")?;
+    for (i, &pi) in aig.inputs().iter().enumerate() {
+        writeln!(w, "  n{} [shape=box,label=\"{}\"];", pi.0, aig.input_name(i))?;
+    }
+    for id in aig.iter_ands() {
+        writeln!(w, "  n{} [shape=circle,label=\"∧\"];", id.0)?;
+        let node = aig.node(id);
+        for fin in node.fanins() {
+            let style = if fin.is_complement() { " [style=dashed]" } else { "" };
+            writeln!(w, "  n{} -> n{}{};", fin.node().0, id.0, style)?;
+        }
+    }
+    for (o, out) in aig.outputs().iter().enumerate() {
+        writeln!(w, "  o{o} [shape=doublecircle,label=\"{}\"];", out.name)?;
+        let style = if out.lit.is_complement() { " [style=dashed]" } else { "" };
+        if out.lit.is_const() {
+            writeln!(w, "  c0 [shape=box,label=\"0\"];")?;
+            writeln!(w, "  c0 -> o{o}{style};")?;
+        } else {
+            writeln!(w, "  n{} -> o{o}{style};", out.lit.node().0)?;
+        }
+    }
+    writeln!(w, "}}")
+}
+
+/// Serialises `aig` to a DOT string.
+pub fn to_dot_string(aig: &Aig) -> String {
+    let mut buf = Vec::new();
+    write_dot(aig, &mut buf).expect("writing to a Vec cannot fail");
+    String::from_utf8(buf).expect("DOT output is UTF-8")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dot_contains_every_element() {
+        let mut aig = Aig::new("t");
+        let a = aig.add_input("a");
+        let b = aig.add_input("b");
+        let g = aig.and(a, !b);
+        aig.add_output(!g, "y");
+        let dot = to_dot_string(&aig);
+        assert!(dot.starts_with("digraph"));
+        assert!(dot.contains("shape=box,label=\"a\""));
+        assert!(dot.contains("shape=circle"));
+        assert!(dot.contains("doublecircle"));
+        assert!(dot.contains("style=dashed"));
+        assert!(dot.trim_end().ends_with('}'));
+    }
+
+    #[test]
+    fn constant_output_edge() {
+        let mut aig = Aig::new("k");
+        aig.add_input("a");
+        aig.add_output(Lit::TRUE, "one");
+        let dot = to_dot_string(&aig);
+        assert!(dot.contains("c0 ->"));
+    }
+}

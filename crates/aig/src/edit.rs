@@ -1,0 +1,260 @@
+//! Destructive edits: applying a local approximate change to the graph.
+//!
+//! The only structural edit an iterative ALS flow needs is *replace node `b`
+//! by literal `s`*: every fanout of `b` (including primary outputs) is
+//! rewired to `s` with complement bits merged, after which `b` and its
+//! now-dangling maximum fanout-free cone are deleted.
+//!
+//! [`replace`] returns an [`EditRecord`] describing exactly which nodes were
+//! removed and which live nodes saw their fanout sets change — the set the
+//! paper calls `S_c`, the input to the incremental disjoint-cut update of
+//! phase two.
+
+use crate::aig::Aig;
+use crate::lit::{Lit, NodeId};
+
+/// What a single [`replace`] did to the graph.
+///
+/// `removed ∪ fanout_changed` is the paper's `S_c`: the nodes that "either
+/// change themselves (i.e., are removed or newly created) or change their
+/// fanouts". LAC application never creates nodes, so `removed` covers the
+/// first half.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct EditRecord {
+    /// The node that was replaced (also contained in `removed`).
+    pub target: NodeId,
+    /// The literal the target was replaced by.
+    pub replacement: Lit,
+    /// Nodes deleted by the edit: the target and its MFFC.
+    pub removed: Vec<NodeId>,
+    /// Live nodes whose fanout list changed: the replacement node (which
+    /// gained the target's fanouts) and live fanins of removed nodes (which
+    /// lost fanouts). Sorted and deduplicated.
+    pub fanout_changed: Vec<NodeId>,
+}
+
+impl EditRecord {
+    /// The paper's `S_c`: removed nodes plus fanout-changed nodes.
+    pub fn changed_nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.removed.iter().chain(self.fanout_changed.iter()).copied()
+    }
+}
+
+/// Replaces live AND node `target` by literal `replacement` and sweeps the
+/// dangling cone.
+///
+/// All fanouts and primary-output references of `target` are rewired to
+/// `replacement` (complements merged). `target` then has no references and
+/// is deleted together with every gate that transitively loses its last
+/// reference (its MFFC).
+///
+/// # Panics
+///
+/// Panics if `target` is not a live AND gate, if the replacement node is
+/// dead, or if `replacement` refers to `target` itself. The caller must
+/// ensure `replacement.node()` is not in the transitive fanout of `target`
+/// (checked in debug builds), otherwise the graph would become cyclic.
+pub fn replace(aig: &mut Aig, target: NodeId, replacement: Lit) -> EditRecord {
+    let sub = replacement.node();
+    assert!(aig.node(target).is_and(), "can only replace AND gates");
+    assert!(aig.is_live(target), "target is dead");
+    assert!(aig.is_live(sub), "replacement is dead");
+    assert_ne!(sub, target, "cannot replace a node by itself");
+    debug_assert!(
+        !crate::cone::tfo_cone(aig, target).contains(&sub),
+        "replacement {sub} is in the TFO of target {target}: edit would create a cycle"
+    );
+
+    aig.invalidate_strash();
+
+    let mut fanout_changed: Vec<NodeId> = Vec::new();
+
+    // 1. Rewire gate fanouts of the target.
+    let old_fanouts = aig.take_fanouts(target);
+    let gained = !old_fanouts.is_empty() || !aig.output_refs(target).is_empty();
+    {
+        // Fix fanin slots once per unique fanout; push one fanout entry per
+        // slot to keep multiplicity consistent.
+        let mut uniq = old_fanouts;
+        uniq.sort();
+        uniq.dedup();
+        for f in uniq {
+            for slot in 0..2 {
+                let fin = if slot == 0 { aig.node(f).fanin0() } else { aig.node(f).fanin1() };
+                if fin.node() == target {
+                    aig.set_fanin(f, slot, replacement.xor_complement(fin.is_complement()));
+                    aig.push_fanout(sub, f);
+                }
+            }
+        }
+    }
+
+    // 2. Rewire primary outputs driven by the target.
+    for out_idx in aig.take_po_refs(target) {
+        let old = aig.output_lit(out_idx as usize);
+        debug_assert_eq!(old.node(), target);
+        aig.set_output_lit(out_idx as usize, replacement.xor_complement(old.is_complement()));
+        aig.push_po_ref(sub, out_idx);
+    }
+    if gained {
+        fanout_changed.push(sub);
+    }
+
+    // 3. Sweep the dangling cone rooted at the target.
+    let mut removed = Vec::new();
+    let mut stack = vec![target];
+    while let Some(u) = stack.pop() {
+        debug_assert_eq!(aig.fanout_count(u), 0);
+        let fanins = aig.node(u).fanins();
+        aig.mark_dead(u);
+        removed.push(u);
+        for fin in fanins {
+            let v = fin.node();
+            aig.remove_fanout_once(v, u);
+            if aig.node(v).is_and() && aig.is_live(v) && aig.fanout_count(v) == 0 {
+                stack.push(v);
+            } else if aig.is_live(v) {
+                fanout_changed.push(v);
+            }
+        }
+    }
+
+    fanout_changed.sort();
+    fanout_changed.dedup();
+    // A node that lost a fanout but was then itself removed must not appear.
+    fanout_changed.retain(|&n| aig.is_live(n));
+
+    EditRecord { target, replacement, removed, fanout_changed }
+}
+
+/// Removes gates that drive neither another gate nor a primary output.
+///
+/// Freshly generated circuits can contain such dangling cones (e.g. an
+/// unused carry-out); the analyses in this workspace assume the
+/// *no-dangling* invariant, so generators call this before handing a
+/// circuit over. Returns the number of removed gates.
+pub fn sweep_dangling(aig: &mut Aig) -> usize {
+    let mut stack: Vec<NodeId> = aig
+        .iter_ands()
+        .filter(|&n| aig.fanout_count(n) == 0)
+        .collect();
+    let mut removed = 0;
+    while let Some(u) = stack.pop() {
+        if !aig.is_live(u) || aig.fanout_count(u) != 0 || !aig.node(u).is_and() {
+            continue;
+        }
+        let fanins = aig.node(u).fanins();
+        aig.mark_dead(u);
+        removed += 1;
+        for fin in fanins {
+            let v = fin.node();
+            aig.remove_fanout_once(v, u);
+            if aig.node(v).is_and() && aig.is_live(v) && aig.fanout_count(v) == 0 {
+                stack.push(v);
+            }
+        }
+    }
+    if removed > 0 {
+        aig.invalidate_strash();
+    }
+    removed
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::aig::Aig;
+    use crate::check::check;
+
+    /// `o0 = (a&b)&(c&d)`, `o1 = c&d`.
+    fn sample() -> (Aig, Lit, Lit) {
+        let mut aig = Aig::new("s");
+        let a = aig.add_input("a");
+        let b = aig.add_input("b");
+        let c = aig.add_input("c");
+        let d = aig.add_input("d");
+        let g1 = aig.and(a, b);
+        let g2 = aig.and(c, d);
+        let g3 = aig.and(g1, g2);
+        aig.add_output(g3, "o0");
+        aig.add_output(g2, "o1");
+        (aig, g1, g3)
+    }
+
+    #[test]
+    fn replace_by_constant_removes_mffc() {
+        let (mut aig, g1, _g3) = sample();
+        let rec = replace(&mut aig, g1.node(), Lit::FALSE);
+        assert_eq!(rec.removed, vec![g1.node()]);
+        assert!(!aig.is_live(g1.node()));
+        // g3's fanin now points at the constant, so g3 = 0 & g2.
+        check(&aig).unwrap();
+        assert!(rec.fanout_changed.contains(&NodeId::CONST0));
+    }
+
+    #[test]
+    fn replace_root_sweeps_cone() {
+        let (mut aig, g1, g3) = sample();
+        // Replace g3 by input a: g1 dies (only fed g3), g2 survives (drives o1).
+        let a = aig.inputs()[0].lit();
+        let rec = replace(&mut aig, g3.node(), a);
+        assert!(rec.removed.contains(&g3.node()));
+        assert!(rec.removed.contains(&g1.node()));
+        assert_eq!(rec.removed.len(), 2);
+        assert_eq!(aig.output_lit(0), a);
+        check(&aig).unwrap();
+    }
+
+    #[test]
+    fn replace_merges_complements() {
+        let mut aig = Aig::new("c");
+        let a = aig.add_input("a");
+        let b = aig.add_input("b");
+        let c = aig.add_input("c");
+        let g1 = aig.and(a, b);
+        let g2 = aig.and(!g1, c);
+        aig.add_output(g2, "o");
+        aig.add_output(!g1, "o1");
+        // Replace g1 by !c: fanin of g2 becomes !!c = c; output o1 becomes c.
+        let rec = replace(&mut aig, g1.node(), !c);
+        assert_eq!(aig.node(g2.node()).fanin0(), c);
+        assert_eq!(aig.output_lit(1), c);
+        assert_eq!(rec.replacement, !c);
+        check(&aig).unwrap();
+    }
+
+    #[test]
+    fn fanout_changed_is_live_and_sorted() {
+        let (mut aig, g1, _) = sample();
+        let rec = replace(&mut aig, g1.node(), Lit::TRUE);
+        let mut sorted = rec.fanout_changed.clone();
+        sorted.sort();
+        sorted.dedup();
+        assert_eq!(sorted, rec.fanout_changed);
+        for &n in &rec.fanout_changed {
+            assert!(aig.is_live(n));
+        }
+    }
+
+    #[test]
+    fn sweep_dangling_removes_unused_cone() {
+        let mut aig = Aig::new("d");
+        let a = aig.add_input("a");
+        let b = aig.add_input("b");
+        let g1 = aig.and(a, b);
+        let _unused = aig.and(!a, !b);
+        aig.add_output(g1, "o");
+        assert_eq!(sweep_dangling(&mut aig), 1);
+        assert_eq!(aig.num_ands(), 1);
+        check(&aig).unwrap();
+        assert_eq!(sweep_dangling(&mut aig), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "can only replace AND gates")]
+    fn replacing_input_panics() {
+        let (mut aig, _, _) = sample();
+        let pi = aig.inputs()[0];
+        replace(&mut aig, pi, Lit::FALSE);
+    }
+}

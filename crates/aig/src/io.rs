@@ -1,0 +1,399 @@
+//! AIGER reading and writing (ASCII `aag` and binary `aig` formats).
+//!
+//! The writer renumbers through [`Aig::compact`], so dead node slots never
+//! leak into files. The reader accepts combinational AIGER files (no
+//! latches) whose AND definitions are sorted by left-hand side, which every
+//! standard generator (including this writer) produces.
+
+use std::error::Error;
+use std::fmt;
+use std::io::{self, BufRead, Read, Write};
+
+use crate::aig::Aig;
+use crate::lit::Lit;
+
+/// Errors produced while parsing an AIGER file.
+#[derive(Debug)]
+pub enum ParseAigerError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// The header line is missing or malformed.
+    BadHeader(String),
+    /// The file contains latches, which this combinational reader rejects.
+    HasLatches,
+    /// A literal or count failed to parse.
+    BadLiteral(String),
+    /// AND definitions are not sorted / reference undefined variables.
+    BadAnd(String),
+    /// The file ended before all declared sections were read.
+    UnexpectedEof,
+}
+
+impl fmt::Display for ParseAigerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseAigerError::Io(e) => write!(f, "i/o error: {e}"),
+            ParseAigerError::BadHeader(s) => write!(f, "malformed AIGER header: {s}"),
+            ParseAigerError::HasLatches => write!(f, "sequential AIGER files are not supported"),
+            ParseAigerError::BadLiteral(s) => write!(f, "malformed literal: {s}"),
+            ParseAigerError::BadAnd(s) => write!(f, "malformed AND definition: {s}"),
+            ParseAigerError::UnexpectedEof => write!(f, "unexpected end of file"),
+        }
+    }
+}
+
+impl Error for ParseAigerError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ParseAigerError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for ParseAigerError {
+    fn from(e: io::Error) -> Self {
+        ParseAigerError::Io(e)
+    }
+}
+
+/// Writes `aig` in ASCII AIGER (`aag`) format.
+///
+/// # Errors
+/// Returns any error from the underlying writer.
+pub fn write_ascii<W: Write>(aig: &Aig, mut w: W) -> io::Result<()> {
+    let (c, _) = aig.compact();
+    let i = c.num_inputs();
+    let a = c.num_ands();
+    let m = i + a;
+    writeln!(w, "aag {m} {i} 0 {} {a}", c.num_outputs())?;
+    for &pi in c.inputs() {
+        writeln!(w, "{}", pi.lit().raw())?;
+    }
+    for o in c.outputs() {
+        writeln!(w, "{}", o.lit.raw())?;
+    }
+    for id in c.iter_ands() {
+        let n = c.node(id);
+        writeln!(w, "{} {} {}", id.lit().raw(), n.fanin0().raw(), n.fanin1().raw())?;
+    }
+    write_symbols(&c, &mut w)?;
+    Ok(())
+}
+
+/// Writes `aig` in binary AIGER (`aig`) format.
+///
+/// # Errors
+/// Returns any error from the underlying writer.
+pub fn write_binary<W: Write>(aig: &Aig, mut w: W) -> io::Result<()> {
+    let (c, _) = aig.compact();
+    let i = c.num_inputs();
+    let a = c.num_ands();
+    let m = i + a;
+    writeln!(w, "aig {m} {i} 0 {} {a}", c.num_outputs())?;
+    for o in c.outputs() {
+        writeln!(w, "{}", o.lit.raw())?;
+    }
+    for id in c.iter_ands() {
+        let n = c.node(id);
+        let lhs = id.lit().raw();
+        let (r0, r1) = (n.fanin0().raw(), n.fanin1().raw());
+        let (hi, lo) = if r0 >= r1 { (r0, r1) } else { (r1, r0) };
+        debug_assert!(lhs > hi, "binary AIGER requires topological numbering");
+        write_leb(&mut w, lhs - hi)?;
+        write_leb(&mut w, hi - lo)?;
+    }
+    write_symbols(&c, &mut w)?;
+    Ok(())
+}
+
+fn write_symbols<W: Write>(aig: &Aig, w: &mut W) -> io::Result<()> {
+    for (idx, _) in aig.inputs().iter().enumerate() {
+        let name = aig.input_name(idx);
+        if !name.is_empty() {
+            writeln!(w, "i{idx} {name}")?;
+        }
+    }
+    for (idx, o) in aig.outputs().iter().enumerate() {
+        if !o.name.is_empty() {
+            writeln!(w, "o{idx} {}", o.name)?;
+        }
+    }
+    writeln!(w, "c")?;
+    writeln!(w, "{}", aig.name())?;
+    Ok(())
+}
+
+fn write_leb<W: Write>(w: &mut W, mut x: u32) -> io::Result<()> {
+    loop {
+        let byte = (x & 0x7f) as u8;
+        x >>= 7;
+        if x == 0 {
+            w.write_all(&[byte])?;
+            return Ok(());
+        }
+        w.write_all(&[byte | 0x80])?;
+    }
+}
+
+fn read_leb<R: Read>(r: &mut R) -> Result<u32, ParseAigerError> {
+    let mut x = 0u32;
+    let mut shift = 0;
+    loop {
+        let mut byte = [0u8];
+        if r.read(&mut byte)? != 1 {
+            return Err(ParseAigerError::UnexpectedEof);
+        }
+        x |= ((byte[0] & 0x7f) as u32) << shift;
+        if byte[0] & 0x80 == 0 {
+            return Ok(x);
+        }
+        shift += 7;
+        if shift > 28 {
+            return Err(ParseAigerError::BadAnd("LEB128 literal too large".into()));
+        }
+    }
+}
+
+struct Header {
+    m: u32,
+    i: u32,
+    o: u32,
+    a: u32,
+    binary: bool,
+}
+
+fn parse_header(line: &str) -> Result<Header, ParseAigerError> {
+    let mut it = line.split_whitespace();
+    let magic = it.next().ok_or_else(|| ParseAigerError::BadHeader(line.into()))?;
+    let binary = match magic {
+        "aag" => false,
+        "aig" => true,
+        _ => return Err(ParseAigerError::BadHeader(line.into())),
+    };
+    let nums: Vec<u32> = it
+        .map(|t| t.parse::<u32>().map_err(|_| ParseAigerError::BadHeader(line.into())))
+        .collect::<Result<_, _>>()?;
+    if nums.len() != 5 {
+        return Err(ParseAigerError::BadHeader(line.into()));
+    }
+    if nums[2] != 0 {
+        return Err(ParseAigerError::HasLatches);
+    }
+    Ok(Header { m: nums[0], i: nums[1], o: nums[3], a: nums[4], binary })
+}
+
+/// Reads an AIGER file (ASCII or binary, auto-detected) into an [`Aig`].
+///
+/// # Errors
+/// Returns a [`ParseAigerError`] when the file is malformed, sequential, or
+/// truncated.
+pub fn read<R: BufRead>(mut r: R, name: &str) -> Result<Aig, ParseAigerError> {
+    let mut line = String::new();
+    if r.read_line(&mut line)? == 0 {
+        return Err(ParseAigerError::UnexpectedEof);
+    }
+    let h = parse_header(line.trim_end())?;
+    let mut aig = Aig::new(name);
+    // var -> literal of created node, index by var number
+    let mut var_map: Vec<Option<Lit>> = vec![None; (h.m + 1) as usize];
+    var_map[0] = Some(Lit::FALSE);
+
+    let map_lit = |var_map: &[Option<Lit>], raw: u32| -> Result<Lit, ParseAigerError> {
+        let var = (raw >> 1) as usize;
+        let base = var_map
+            .get(var)
+            .copied()
+            .flatten()
+            .ok_or_else(|| ParseAigerError::BadLiteral(format!("undefined variable {var}")))?;
+        Ok(base.xor_complement(raw & 1 == 1))
+    };
+
+    let read_line = |r: &mut R| -> Result<String, ParseAigerError> {
+        let mut s = String::new();
+        if r.read_line(&mut s)? == 0 {
+            return Err(ParseAigerError::UnexpectedEof);
+        }
+        Ok(s.trim_end().to_string())
+    };
+
+    // Inputs.
+    if h.binary {
+        for k in 0..h.i {
+            let lit = aig.add_input(format!("i{k}"));
+            var_map[(k + 1) as usize] = Some(lit);
+        }
+    } else {
+        for k in 0..h.i {
+            let s = read_line(&mut r)?;
+            let raw: u32 = s.parse().map_err(|_| ParseAigerError::BadLiteral(s.clone()))?;
+            if raw != 2 * (k + 1) {
+                return Err(ParseAigerError::BadLiteral(format!(
+                    "input {k} must be literal {}, got {raw}",
+                    2 * (k + 1)
+                )));
+            }
+            let lit = aig.add_input(format!("i{k}"));
+            var_map[(k + 1) as usize] = Some(lit);
+        }
+    }
+
+    // Outputs (raw literals, resolved after ANDs are built).
+    let mut out_raw = Vec::with_capacity(h.o as usize);
+    for _ in 0..h.o {
+        let s = read_line(&mut r)?;
+        out_raw.push(s.parse::<u32>().map_err(|_| ParseAigerError::BadLiteral(s.clone()))?);
+    }
+
+    // ANDs.
+    if h.binary {
+        for k in 0..h.a {
+            let lhs = 2 * (h.i + 1 + k);
+            let d0 = read_leb(&mut r)?;
+            let d1 = read_leb(&mut r)?;
+            let rhs0 = lhs
+                .checked_sub(d0)
+                .ok_or_else(|| ParseAigerError::BadAnd(format!("delta underflow at {lhs}")))?;
+            let rhs1 = rhs0
+                .checked_sub(d1)
+                .ok_or_else(|| ParseAigerError::BadAnd(format!("delta underflow at {lhs}")))?;
+            let f0 = map_lit(&var_map, rhs0)?;
+            let f1 = map_lit(&var_map, rhs1)?;
+            var_map[(lhs >> 1) as usize] = Some(aig.and_raw(f0, f1));
+        }
+    } else {
+        for _ in 0..h.a {
+            let s = read_line(&mut r)?;
+            let nums: Vec<u32> = s
+                .split_whitespace()
+                .map(|t| t.parse::<u32>().map_err(|_| ParseAigerError::BadAnd(s.clone())))
+                .collect::<Result<_, _>>()?;
+            if nums.len() != 3 || nums[0] & 1 != 0 {
+                return Err(ParseAigerError::BadAnd(s));
+            }
+            let f0 = map_lit(&var_map, nums[1])?;
+            let f1 = map_lit(&var_map, nums[2])?;
+            var_map[(nums[0] >> 1) as usize] = Some(aig.and_raw(f0, f1));
+        }
+    }
+
+    for (idx, raw) in out_raw.into_iter().enumerate() {
+        let lit = map_lit(&var_map, raw)?;
+        aig.add_output(lit, format!("o{idx}"));
+    }
+
+    // Optional symbol table.
+    let mut line = String::new();
+    while r.read_line(&mut line)? > 0 {
+        let t = line.trim_end();
+        if t == "c" {
+            break;
+        }
+        if let Some((tag, name)) = t.split_once(' ') {
+            if let (Some(kind), Ok(idx)) = (tag.chars().next(), tag[1..].parse::<usize>()) {
+                match kind {
+                    'i' if idx < aig.num_inputs() => aig.set_input_name(idx, name),
+                    'o' if idx < aig.num_outputs() => aig.set_output_name(idx, name),
+                    _ => {}
+                }
+            }
+        }
+        line.clear();
+    }
+    Ok(aig)
+}
+
+/// Serializes `aig` to an ASCII AIGER string.
+pub fn to_ascii_string(aig: &Aig) -> String {
+    let mut buf = Vec::new();
+    write_ascii(aig, &mut buf).expect("writing to a Vec cannot fail");
+    String::from_utf8(buf).expect("AIGER ASCII output is UTF-8")
+}
+
+/// Parses an ASCII AIGER string.
+///
+/// # Errors
+/// Returns a [`ParseAigerError`] when the text is not valid AIGER.
+pub fn from_ascii_str(s: &str, name: &str) -> Result<Aig, ParseAigerError> {
+    read(s.as_bytes(), name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::check::check;
+
+    fn sample() -> Aig {
+        let mut aig = Aig::new("sample");
+        let a = aig.add_input("a");
+        let b = aig.add_input("b");
+        let c = aig.add_input("c");
+        let g1 = aig.and(a, b);
+        let g2 = aig.and(!g1, c);
+        aig.add_output(g2, "o0");
+        aig.add_output(!g1, "o1");
+        aig
+    }
+
+    #[test]
+    fn ascii_round_trip() {
+        let aig = sample();
+        let text = to_ascii_string(&aig);
+        let back = from_ascii_str(&text, "sample").unwrap();
+        check(&back).unwrap();
+        assert_eq!(back.num_inputs(), 3);
+        assert_eq!(back.num_outputs(), 2);
+        assert_eq!(back.num_ands(), aig.num_ands());
+        assert_eq!(to_ascii_string(&back), text);
+    }
+
+    #[test]
+    fn binary_round_trip() {
+        let aig = sample();
+        let mut buf = Vec::new();
+        write_binary(&aig, &mut buf).unwrap();
+        let back = read(&buf[..], "sample").unwrap();
+        check(&back).unwrap();
+        assert_eq!(back.num_ands(), aig.num_ands());
+        assert_eq!(back.num_inputs(), aig.num_inputs());
+        // binary storage orders fanins high-to-low, so compare output
+        // literals rather than exact text
+        let outs: Vec<_> = back.outputs().iter().map(|o| o.lit).collect();
+        let expect: Vec<_> = aig.compact().0.outputs().iter().map(|o| o.lit).collect();
+        assert_eq!(outs, expect);
+    }
+
+    #[test]
+    fn rejects_latches() {
+        let err = from_ascii_str("aag 1 0 1 0 0\n2 3\n", "x").unwrap_err();
+        assert!(matches!(err, ParseAigerError::HasLatches));
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(from_ascii_str("hello world", "x").is_err());
+        assert!(from_ascii_str("aag 1 1 0 1\n", "x").is_err());
+        assert!(from_ascii_str("aag 1 1 0 1 0\n7\n", "x").is_err());
+    }
+
+    #[test]
+    fn constant_outputs_survive() {
+        let mut aig = Aig::new("k");
+        aig.add_input("a");
+        aig.add_output(Lit::TRUE, "one");
+        aig.add_output(Lit::FALSE, "zero");
+        let text = to_ascii_string(&aig);
+        let back = from_ascii_str(&text, "k").unwrap();
+        assert_eq!(back.output_lit(0), Lit::TRUE);
+        assert_eq!(back.output_lit(1), Lit::FALSE);
+    }
+
+    #[test]
+    fn leb_round_trip() {
+        for x in [0u32, 1, 127, 128, 300, 16383, 16384, u32::MAX / 2] {
+            let mut buf = Vec::new();
+            write_leb(&mut buf, x).unwrap();
+            assert_eq!(read_leb(&mut &buf[..]).unwrap(), x);
+        }
+    }
+}

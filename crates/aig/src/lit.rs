@@ -1,0 +1,201 @@
+//! Node identifiers and complement-edge literals.
+//!
+//! An AIG edge is a [`Lit`]: a node index plus a complement bit, packed into
+//! a single `u32` exactly as in the AIGER format (`2 * var + complement`).
+
+use std::fmt;
+
+/// Index of a node inside an [`crate::Aig`].
+///
+/// Node `0` is always the constant-zero node. Identifiers are stable across
+/// edits: removing a node marks it dead but never shifts other identifiers
+/// (use [`crate::Aig::compact`] to renumber).
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// The constant-zero node, present in every AIG.
+    pub const CONST0: NodeId = NodeId(0);
+
+    /// Returns the raw index as `usize` for slice indexing.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Positive-polarity literal for this node.
+    #[inline]
+    pub fn lit(self) -> Lit {
+        Lit::new(self, false)
+    }
+}
+
+impl fmt::Debug for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl From<NodeId> for Lit {
+    fn from(n: NodeId) -> Lit {
+        n.lit()
+    }
+}
+
+/// A literal: a reference to a node with an optional complement.
+///
+/// Encoded as `2 * node + complement`, the AIGER convention, so
+/// [`Lit::FALSE`] is `0` and [`Lit::TRUE`] is `1`.
+///
+/// ```
+/// use als_aig::{Lit, NodeId};
+/// let x = NodeId(7).lit();
+/// assert_eq!((!x).node(), NodeId(7));
+/// assert!((!x).is_complement());
+/// assert_eq!(!!x, x);
+/// ```
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Lit(pub u32);
+
+impl Lit {
+    /// Constant false (positive literal of the constant-zero node).
+    pub const FALSE: Lit = Lit(0);
+    /// Constant true (complemented literal of the constant-zero node).
+    pub const TRUE: Lit = Lit(1);
+
+    /// Builds a literal from a node and a complement flag.
+    #[inline]
+    pub fn new(node: NodeId, complement: bool) -> Lit {
+        Lit((node.0 << 1) | complement as u32)
+    }
+
+    /// Builds a literal from its raw AIGER encoding (`2 * var + c`).
+    #[inline]
+    pub fn from_raw(raw: u32) -> Lit {
+        Lit(raw)
+    }
+
+    /// Raw AIGER encoding of this literal.
+    #[inline]
+    pub fn raw(self) -> u32 {
+        self.0
+    }
+
+    /// The node this literal refers to.
+    #[inline]
+    pub fn node(self) -> NodeId {
+        NodeId(self.0 >> 1)
+    }
+
+    /// Whether the literal is complemented.
+    #[inline]
+    pub fn is_complement(self) -> bool {
+        self.0 & 1 != 0
+    }
+
+    /// Whether this is one of the two constant literals.
+    #[inline]
+    pub fn is_const(self) -> bool {
+        self.node() == NodeId::CONST0
+    }
+
+    /// Applies an extra complement when `c` is true.
+    ///
+    /// Useful when rewiring: replacing node `b` by literal `s` inside a
+    /// fanin that referenced `!b` must use `s.xor_complement(true)`.
+    #[inline]
+    pub fn xor_complement(self, c: bool) -> Lit {
+        Lit(self.0 ^ c as u32)
+    }
+
+    /// The same literal with the complement bit cleared.
+    #[inline]
+    pub fn abs(self) -> Lit {
+        Lit(self.0 & !1)
+    }
+}
+
+impl std::ops::Not for Lit {
+    type Output = Lit;
+    #[inline]
+    fn not(self) -> Lit {
+        Lit(self.0 ^ 1)
+    }
+}
+
+impl fmt::Debug for Lit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_complement() {
+            write!(f, "!n{}", self.node().0)
+        } else {
+            write!(f, "n{}", self.node().0)
+        }
+    }
+}
+
+impl fmt::Display for Lit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encoding_round_trip() {
+        for raw in 0..64u32 {
+            let l = Lit::from_raw(raw);
+            assert_eq!(l.raw(), raw);
+            assert_eq!(Lit::new(l.node(), l.is_complement()), l);
+        }
+    }
+
+    #[test]
+    fn constants() {
+        assert_eq!(Lit::FALSE.node(), NodeId::CONST0);
+        assert_eq!(Lit::TRUE.node(), NodeId::CONST0);
+        assert!(!Lit::FALSE.is_complement());
+        assert!(Lit::TRUE.is_complement());
+        assert_eq!(!Lit::FALSE, Lit::TRUE);
+        assert!(Lit::TRUE.is_const() && Lit::FALSE.is_const());
+        assert!(!NodeId(3).lit().is_const());
+    }
+
+    #[test]
+    fn complement_involution() {
+        let l = Lit::new(NodeId(12), true);
+        assert_eq!(!!l, l);
+        assert_ne!(!l, l);
+        assert_eq!((!l).node(), l.node());
+    }
+
+    #[test]
+    fn xor_complement_matches_not() {
+        let l = NodeId(5).lit();
+        assert_eq!(l.xor_complement(true), !l);
+        assert_eq!(l.xor_complement(false), l);
+        assert_eq!((!l).abs(), l);
+    }
+
+    #[test]
+    fn debug_formatting() {
+        assert_eq!(format!("{:?}", NodeId(4)), "n4");
+        assert_eq!(format!("{:?}", NodeId(4).lit()), "n4");
+        assert_eq!(format!("{:?}", !NodeId(4).lit()), "!n4");
+    }
+
+    #[test]
+    fn ordering_follows_raw_encoding() {
+        assert!(Lit::FALSE < Lit::TRUE);
+        assert!(Lit::TRUE < NodeId(1).lit());
+        assert!(NodeId(1).lit() < !NodeId(1).lit());
+    }
+}

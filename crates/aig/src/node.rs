@@ -1,0 +1,121 @@
+//! Node representation.
+
+use crate::lit::Lit;
+
+/// The functional kind of an AIG node.
+#[derive(Copy, Clone, PartialEq, Eq, Debug, Hash)]
+pub enum NodeKind {
+    /// The constant-zero node (always node 0).
+    Const0,
+    /// Primary input; the payload is the input's position in the PI list.
+    Input(u32),
+    /// Two-input AND gate over (possibly complemented) fanins.
+    And,
+}
+
+/// One node of an [`crate::Aig`].
+///
+/// Only [`NodeKind::And`] nodes have meaningful fanins; inputs and the
+/// constant store [`Lit::FALSE`] placeholders.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub struct Node {
+    kind: NodeKind,
+    fanin: [Lit; 2],
+    dead: bool,
+}
+
+impl Node {
+    pub(crate) fn const0() -> Node {
+        Node { kind: NodeKind::Const0, fanin: [Lit::FALSE; 2], dead: false }
+    }
+
+    pub(crate) fn input(pos: u32) -> Node {
+        Node { kind: NodeKind::Input(pos), fanin: [Lit::FALSE; 2], dead: false }
+    }
+
+    pub(crate) fn and(f0: Lit, f1: Lit) -> Node {
+        Node { kind: NodeKind::And, fanin: [f0, f1], dead: false }
+    }
+
+    /// Functional kind of the node.
+    #[inline]
+    pub fn kind(&self) -> NodeKind {
+        self.kind
+    }
+
+    /// Whether this node is a two-input AND gate.
+    #[inline]
+    pub fn is_and(&self) -> bool {
+        matches!(self.kind, NodeKind::And)
+    }
+
+    /// Whether this node is a primary input.
+    #[inline]
+    pub fn is_input(&self) -> bool {
+        matches!(self.kind, NodeKind::Input(_))
+    }
+
+    /// Whether this node is the constant-zero node.
+    #[inline]
+    pub fn is_const0(&self) -> bool {
+        matches!(self.kind, NodeKind::Const0)
+    }
+
+    /// Whether the node has been removed from the network.
+    #[inline]
+    pub fn is_dead(&self) -> bool {
+        self.dead
+    }
+
+    pub(crate) fn set_dead(&mut self, dead: bool) {
+        self.dead = dead;
+    }
+
+    /// First fanin literal (AND nodes only; `Lit::FALSE` otherwise).
+    #[inline]
+    pub fn fanin0(&self) -> Lit {
+        self.fanin[0]
+    }
+
+    /// Second fanin literal (AND nodes only; `Lit::FALSE` otherwise).
+    #[inline]
+    pub fn fanin1(&self) -> Lit {
+        self.fanin[1]
+    }
+
+    /// Both fanin literals.
+    #[inline]
+    pub fn fanins(&self) -> [Lit; 2] {
+        self.fanin
+    }
+
+    pub(crate) fn set_fanin(&mut self, which: usize, lit: Lit) {
+        self.fanin[which] = lit;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lit::NodeId;
+
+    #[test]
+    fn kinds() {
+        assert!(Node::const0().is_const0());
+        assert!(Node::input(3).is_input());
+        let n = Node::and(NodeId(1).lit(), !NodeId(2).lit());
+        assert!(n.is_and());
+        assert_eq!(n.fanin0(), NodeId(1).lit());
+        assert_eq!(n.fanin1(), !NodeId(2).lit());
+        assert!(!n.is_dead());
+    }
+
+    #[test]
+    fn death_flag() {
+        let mut n = Node::and(Lit::FALSE, Lit::TRUE);
+        n.set_dead(true);
+        assert!(n.is_dead());
+        n.set_dead(false);
+        assert!(!n.is_dead());
+    }
+}

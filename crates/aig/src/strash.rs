@@ -1,0 +1,68 @@
+//! Structural hashing table used during graph construction.
+
+use std::collections::HashMap;
+
+use crate::lit::{Lit, NodeId};
+
+/// Maps ordered fanin pairs to existing AND nodes.
+///
+/// The table is only valid while the graph is append-only; the first
+/// destructive edit clears it (stale entries could resurrect dead nodes).
+#[derive(Clone, Debug, Default)]
+pub struct StrashTable {
+    map: HashMap<(u32, u32), NodeId>,
+}
+
+impl StrashTable {
+    /// Creates an empty table.
+    pub fn new() -> StrashTable {
+        StrashTable::default()
+    }
+
+    /// Looks up an AND of `(a, b)`; fanins must already be ordered.
+    pub fn lookup(&self, a: Lit, b: Lit) -> Option<NodeId> {
+        debug_assert!(a.raw() <= b.raw());
+        self.map.get(&(a.raw(), b.raw())).copied()
+    }
+
+    /// Records that `id` computes the AND of `(a, b)`.
+    pub fn insert(&mut self, a: Lit, b: Lit, id: NodeId) {
+        debug_assert!(a.raw() <= b.raw());
+        self.map.insert((a.raw(), b.raw()), id);
+    }
+
+    /// Drops all entries.
+    pub fn clear(&mut self) {
+        if !self.map.is_empty() {
+            self.map.clear();
+        }
+    }
+
+    /// Number of hashed AND shapes.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_lookup_clear() {
+        let mut t = StrashTable::new();
+        let a = NodeId(1).lit();
+        let b = NodeId(2).lit();
+        assert!(t.lookup(a, b).is_none());
+        t.insert(a, b, NodeId(3));
+        assert_eq!(t.lookup(a, b), Some(NodeId(3)));
+        assert_eq!(t.len(), 1);
+        t.clear();
+        assert!(t.is_empty());
+    }
+}

@@ -1,0 +1,153 @@
+//! Topological orders and logic levels.
+
+use crate::aig::Aig;
+use crate::lit::NodeId;
+
+/// Returns all live nodes in a topological order: the constant node first,
+/// then the primary inputs, then AND gates with every fanin preceding its
+/// fanouts.
+///
+/// The order is valid even after destructive edits have broken the
+/// id-order-equals-topo-order property of freshly built graphs.
+///
+/// # Panics
+/// Panics if the graph contains a cycle (which would indicate a broken
+/// edit upstream).
+pub fn topo_order(aig: &Aig) -> Vec<NodeId> {
+    let n = aig.num_nodes();
+    let mut order = Vec::with_capacity(n - aig.num_dead());
+    order.push(NodeId::CONST0);
+    order.extend_from_slice(aig.inputs());
+
+    // 0 = unvisited, 1 = on stack, 2 = done.
+    let mut state = vec![0u8; n];
+    state[NodeId::CONST0.index()] = 2;
+    for &pi in aig.inputs() {
+        state[pi.index()] = 2;
+    }
+
+    let mut stack: Vec<(NodeId, u8)> = Vec::new();
+    for root in aig.iter_ands() {
+        if state[root.index()] != 0 {
+            continue;
+        }
+        stack.push((root, 0));
+        state[root.index()] = 1;
+        while let Some(&mut (u, ref mut phase)) = stack.last_mut() {
+            if *phase < 2 {
+                let fanin = if *phase == 0 {
+                    aig.node(u).fanin0()
+                } else {
+                    aig.node(u).fanin1()
+                };
+                *phase += 1;
+                let v = fanin.node();
+                match state[v.index()] {
+                    0 => {
+                        state[v.index()] = 1;
+                        stack.push((v, 0));
+                    }
+                    1 => panic!("cycle detected through {v}"),
+                    _ => {}
+                }
+            } else {
+                state[u.index()] = 2;
+                order.push(u);
+                stack.pop();
+            }
+        }
+    }
+    order
+}
+
+/// Logic level of every node, indexed by node id.
+///
+/// The constant node and primary inputs are level 0; an AND gate is one more
+/// than the maximum of its fanin levels. Dead nodes keep level 0.
+pub fn levels(aig: &Aig) -> Vec<u32> {
+    let mut level = vec![0u32; aig.num_nodes()];
+    for &id in topo_order(aig).iter() {
+        let node = aig.node(id);
+        if node.is_and() {
+            let l0 = level[node.fanin0().node().index()];
+            let l1 = level[node.fanin1().node().index()];
+            level[id.index()] = l0.max(l1) + 1;
+        }
+    }
+    level
+}
+
+/// Maximum logic level over all primary-output drivers.
+pub fn depth(aig: &Aig) -> u32 {
+    let level = levels(aig);
+    aig.outputs()
+        .iter()
+        .map(|o| level[o.lit.node().index()])
+        .max()
+        .unwrap_or(0)
+}
+
+/// Position of every live node in the topological order (dead nodes get
+/// `u32::MAX`). Useful as a priority key for cut computations.
+pub fn topo_ranks(aig: &Aig) -> Vec<u32> {
+    let mut rank = vec![u32::MAX; aig.num_nodes()];
+    for (i, &id) in topo_order(aig).iter().enumerate() {
+        rank[id.index()] = i as u32;
+    }
+    rank
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::aig::Aig;
+
+    fn chain(n: usize) -> Aig {
+        let mut aig = Aig::new("chain");
+        let mut cur = aig.add_input("a");
+        let b = aig.add_input("b");
+        for _ in 0..n {
+            cur = aig.and(cur, b);
+            // prevent strash collapsing: alternate polarity
+            cur = !cur;
+        }
+        aig.add_output(cur, "o");
+        aig
+    }
+
+    #[test]
+    fn order_contains_all_live_nodes() {
+        let aig = chain(5);
+        let order = topo_order(&aig);
+        assert_eq!(order.len(), aig.num_nodes() - aig.num_dead());
+        // fanins precede fanouts
+        let rank = topo_ranks(&aig);
+        for id in aig.iter_ands() {
+            let n = aig.node(id);
+            assert!(rank[n.fanin0().node().index()] < rank[id.index()]);
+            assert!(rank[n.fanin1().node().index()] < rank[id.index()]);
+        }
+    }
+
+    #[test]
+    fn levels_of_chain() {
+        let aig = chain(4);
+        let lv = levels(&aig);
+        assert_eq!(depth(&aig), 4);
+        for &pi in aig.inputs() {
+            assert_eq!(lv[pi.index()], 0);
+        }
+    }
+
+    #[test]
+    fn depth_of_balanced_tree() {
+        let mut aig = Aig::new("tree");
+        let xs = aig.add_inputs("x", 8);
+        let mut layer: Vec<_> = xs;
+        while layer.len() > 1 {
+            layer = layer.chunks(2).map(|c| aig.and(c[0], c[1])).collect();
+        }
+        aig.add_output(layer[0], "o");
+        assert_eq!(depth(&aig), 3);
+    }
+}

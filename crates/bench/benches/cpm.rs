@@ -1,0 +1,39 @@
+//! Micro-benchmark: full CPM versus the partial CPM over `N(S_cand)` —
+//! the paper's phase-two step 2 saving — plus the depth-one VECBEE CPM.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use als_aig::NodeId;
+use als_circuits::{benchmark, BenchmarkScale};
+use als_cuts::CutState;
+use als_sim::{PatternSet, Simulator};
+
+fn bench_cpm(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cpm");
+    group.sample_size(10);
+    for name in ["sm9x8", "mult16"] {
+        let aig = benchmark(name, BenchmarkScale::Reduced);
+        let patterns = PatternSet::random(aig.num_inputs(), 32, 7);
+        let sim = Simulator::new(&aig, &patterns);
+        let cuts = CutState::compute(&aig);
+
+        group.bench_function(format!("full/{name}"), |b| {
+            b.iter(|| black_box(als_cpm::compute_full(&aig, &sim, &cuts)));
+        });
+
+        // S_cand = 60 mid-circuit nodes, as in phase two.
+        let s_cand: Vec<NodeId> = aig.iter_ands().skip(aig.num_ands() / 3).take(60).collect();
+        group.bench_function(format!("partial60/{name}"), |b| {
+            b.iter(|| black_box(als_cpm::compute_partial(&aig, &sim, &cuts, &s_cand)));
+        });
+
+        group.bench_function(format!("depth_one/{name}"), |b| {
+            b.iter(|| black_box(als_cpm::compute_depth_one(&aig, &sim)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_cpm);
+criterion_main!(benches);

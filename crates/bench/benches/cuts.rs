@@ -1,0 +1,42 @@
+//! Micro-benchmark: full disjoint-cut computation versus the incremental
+//! CPC-based update — the paper's phase-two step 1 saving.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use als_circuits::{benchmark, BenchmarkScale};
+use als_cuts::CutState;
+use als_lac::Lac;
+
+fn bench_cuts(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cuts");
+    group.sample_size(10);
+    for name in ["sm9x8", "mult16", "adder"] {
+        let aig = benchmark(name, BenchmarkScale::Reduced);
+        group.bench_function(format!("full/{name}"), |b| {
+            b.iter(|| black_box(CutState::compute(&aig)));
+        });
+
+        // Incremental: apply one constant LAC and refresh.
+        group.bench_function(format!("incremental/{name}"), |b| {
+            b.iter_batched(
+                || {
+                    let mut a = aig.clone();
+                    let state = CutState::compute(&a);
+                    let target = a.iter_ands().nth(a.num_ands() / 2).unwrap();
+                    let rec = Lac::const0(target).apply(&mut a);
+                    (a, state, rec)
+                },
+                |(a, mut state, rec)| {
+                    state.update_after(&a, &rec);
+                    black_box(state.last_update_size())
+                },
+                criterion::BatchSize::SmallInput,
+            );
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_cuts);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! End-to-end flow benchmark: wall-clock per complete synthesis run for
+//! the conventional baseline versus the dual-phase flows on a small
+//! circuit — the headline comparison of Table II in miniature.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use als_circuits::{benchmark, BenchmarkScale};
+use als_engine::{ConventionalFlow, DualPhaseFlow, Flow, FlowConfig, VecbeeDepthOneFlow};
+use als_error::{paper_thresholds, MetricKind};
+
+fn bench_flows(c: &mut Criterion) {
+    let mut group = c.benchmark_group("flows");
+    group.sample_size(10);
+    let aig = benchmark("sm9x8", BenchmarkScale::Reduced);
+    let bound = paper_thresholds(MetricKind::Mse, aig.num_outputs())[1];
+    let cfg = FlowConfig::new(MetricKind::Mse, bound).with_patterns(1024);
+
+    group.bench_function("conventional/sm9x8", |b| {
+        let flow = ConventionalFlow::new(cfg.clone());
+        b.iter(|| black_box(flow.run(&aig)).lacs_applied());
+    });
+    group.bench_function("vecbee_l1/sm9x8", |b| {
+        let flow = VecbeeDepthOneFlow::new(cfg.clone());
+        b.iter(|| black_box(flow.run(&aig)).lacs_applied());
+    });
+    group.bench_function("dp/sm9x8", |b| {
+        let flow = DualPhaseFlow::new(cfg.clone());
+        b.iter(|| black_box(flow.run(&aig)).lacs_applied());
+    });
+    group.bench_function("dp_sa/sm9x8", |b| {
+        let flow = DualPhaseFlow::with_self_adaption(cfg.clone());
+        b.iter(|| black_box(flow.run(&aig)).lacs_applied());
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_flows);
+criterion_main!(benches);

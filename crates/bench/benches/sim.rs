@@ -1,0 +1,42 @@
+//! Micro-benchmark: full bit-parallel simulation versus incremental
+//! fanout-cone resimulation after a LAC.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use als_circuits::{benchmark, BenchmarkScale};
+use als_lac::Lac;
+use als_sim::{PatternSet, Simulator};
+
+fn bench_sim(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sim");
+    group.sample_size(20);
+    for (name, words) in [("mult16", 32usize), ("square", 16)] {
+        let aig = benchmark(name, BenchmarkScale::Reduced);
+        let patterns = PatternSet::random(aig.num_inputs(), words, 5);
+
+        group.bench_function(format!("full/{name}/{}pat", words * 64), |b| {
+            b.iter(|| black_box(Simulator::new(&aig, &patterns)));
+        });
+
+        group.bench_function(format!("resim_cone/{name}/{}pat", words * 64), |b| {
+            b.iter_batched(
+                || {
+                    let mut a = aig.clone();
+                    let sim = Simulator::new(&a, &patterns);
+                    let target = a.iter_ands().nth(a.num_ands() / 2).unwrap();
+                    let rec = Lac::const1(target).apply(&mut a);
+                    (a, sim, rec)
+                },
+                |(a, mut sim, rec)| {
+                    black_box(sim.resimulate_fanout_cone(&a, &[rec.replacement.node()]))
+                },
+                criterion::BatchSize::SmallInput,
+            );
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sim);
+criterion_main!(benches);

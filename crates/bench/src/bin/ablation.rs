@@ -1,0 +1,73 @@
+//! Experiment E6 — ablation of the design choices in §III-D.
+//!
+//! Reports, for DP and DP-SA, the per-step time breakdown (step 1 cuts /
+//! step 2 CPM / step 3 evaluation), the number of comprehensive analyses
+//! per applied LAC, and the phase-two share of applied LACs — the
+//! quantities behind the paper's runtime model (Eq. 2).
+
+use als_bench::{adp_ratio_of, pct, ExpArgs};
+use als_engine::{DualPhaseFlow, Flow, Phase, RuntimeModel};
+use als_error::MetricKind;
+
+fn main() {
+    let args = ExpArgs::parse();
+    let names = args.circuit_names(vec!["sm9x8", "mult16", "adder", "sin"]);
+    println!(
+        "Self-adaption ablation (MSE, {} patterns, {} scale)",
+        args.patterns,
+        if args.full { "paper" } else { "reduced" }
+    );
+    println!(
+        "{:<10} {:<6} | {:>8} {:>8} {:>8} | {:>6} {:>7} {:>8} {:>7} | {:>6} {:>5} {:>7}",
+        "Circuit",
+        "Flow",
+        "t1:cuts",
+        "t2:cpm",
+        "t3:eval",
+        "LACs",
+        "ph2%",
+        "analyses",
+        "ADP",
+        "f(M)",
+        "N_r",
+        "pred.x"
+    );
+
+    for name in &names {
+        let aig = args.build(name);
+        let bound = args.threshold(MetricKind::Mse, aig.num_outputs());
+        let cfg = args.config_for(name, MetricKind::Mse, bound);
+        for (flow, label) in [
+            (DualPhaseFlow::new(cfg.clone()), "DP"),
+            (DualPhaseFlow::with_self_adaption(cfg.clone()), "DP-SA"),
+        ] {
+            let res = flow.run(&aig);
+            let incremental =
+                res.iterations.iter().filter(|r| r.phase == Phase::Incremental).count();
+            let ph2 = if res.lacs_applied() > 0 {
+                incremental as f64 / res.lacs_applied() as f64
+            } else {
+                0.0
+            };
+            let model = RuntimeModel::fit(&res);
+            let (fm, nr, pred) = model
+                .map(|m| (m.f_m(), m.n_r, m.predicted_speedup()))
+                .unwrap_or((0.0, 0.0, 1.0));
+            println!(
+                "{:<10} {:<6} | {:>8.3} {:>8.3} {:>8.3} | {:>6} {:>7} {:>8} {:>7} | {:>6.3} {:>5.1} {:>6.1}x",
+                name,
+                label,
+                res.step_times.cuts.as_secs_f64(),
+                res.step_times.cpm.as_secs_f64(),
+                res.step_times.eval.as_secs_f64(),
+                res.lacs_applied(),
+                pct(ph2),
+                res.comprehensive_analyses,
+                pct(adp_ratio_of(&res, &aig)),
+                fm,
+                nr,
+                pred
+            );
+        }
+    }
+}

@@ -1,0 +1,47 @@
+//! Experiment E2 — Fig. 4: candidate node set hit rate.
+//!
+//! Reproduces the paper's motivating experiment: run the conventional flow,
+//! take the 60 nodes with the smallest error increase after the *first*
+//! comprehensive analysis as the candidate set `S`, and measure what
+//! fraction `T_k / k` of the optimal choices of the next `k` iterations
+//! fall inside `S`, for `k = 10, 20, …, 60`.
+
+use std::collections::HashSet;
+
+use als_bench::ExpArgs;
+use als_engine::{ConventionalFlow, Flow};
+use als_error::MetricKind;
+
+fn main() {
+    let args = ExpArgs::parse();
+    let names =
+        args.circuit_names(vec!["c880", "c1908", "sm9x8", "mult16", "adder", "sin"]);
+    let set_size = 60;
+    println!("candidate-set hit rate T_k/k (set size {set_size}, MSE constraint)");
+    print!("{:<10}", "Circuit");
+    for k in (10..=60).step_by(10) {
+        print!(" {:>6}", format!("k={k}"));
+    }
+    println!();
+
+    for name in names {
+        let aig = args.build(&name);
+        let bound = args.threshold(MetricKind::Mse, aig.num_outputs());
+        let cfg = args.config_for(&name, MetricKind::Mse, bound);
+        let res = ConventionalFlow::new(cfg).run(&aig);
+        let s: HashSet<_> = res.first_ranking.iter().take(set_size).copied().collect();
+        print!("{:<10}", name);
+        for k in (10..=60).step_by(10) {
+            // choices of iterations 2..k+1 (the set was formed after
+            // iteration 1)
+            let choices: Vec<_> = res.iterations.iter().skip(1).take(k).collect();
+            if choices.is_empty() {
+                print!(" {:>6}", "-");
+                continue;
+            }
+            let hits = choices.iter().filter(|r| s.contains(&r.lac.target)).count();
+            print!(" {:>5.0}%", 100.0 * hits as f64 / choices.len() as f64);
+        }
+        println!("   ({} LACs applied)", res.lacs_applied());
+    }
+}

@@ -1,0 +1,26 @@
+//! Experiment E1 — Table I: benchmark circuit information.
+//!
+//! Prints, per benchmark, the PI/PO counts, AIG node count, mapped area
+//! and critical-path delay. Run with `--full` for the paper-scale suite.
+
+use als_bench::{describe, ExpArgs};
+use als_circuits::benchmark_names;
+
+fn main() {
+    let args = ExpArgs::parse();
+    let names = args.circuit_names(benchmark_names());
+    println!(
+        "{:<10} {:>4}/{:<4} {:>7} {:>10} {:>8}   ({} scale)",
+        "Circuit",
+        "#I",
+        "#O",
+        "#Nd",
+        "Area(um2)",
+        "Delay",
+        if args.full { "paper" } else { "reduced" }
+    );
+    for name in names {
+        let aig = args.build(&name);
+        println!("{}", describe(&aig));
+    }
+}

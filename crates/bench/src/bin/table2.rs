@@ -1,0 +1,99 @@
+//! Experiments E3/E4 — Table II: VECBEE(l=∞), VECBEE(l=1), DP and DP-SA
+//! under the MSE constraint.
+//!
+//! Reports the ADP ratio and runtime of each flow per circuit, plus the
+//! speedup of DP over the conventional baseline. Use `--group small` /
+//! `--group large` to select the paper's circuit groups; default runs the
+//! small group at reduced scale.
+
+use als_bench::{adp_ratio_of, pct, ExpArgs};
+use als_engine::{ConventionalFlow, DualPhaseFlow, Flow, VecbeeDepthOneFlow};
+use als_error::MetricKind;
+
+fn main() {
+    let args = ExpArgs::parse();
+    let default = als_circuits::suite::small_circuit_names();
+    let names = args.circuit_names(default);
+
+    println!(
+        "Table II reproduction (MSE, threshold index {}, {} patterns, {} scale)",
+        args.threshold_index,
+        args.patterns,
+        if args.full { "paper" } else { "reduced" }
+    );
+    println!(
+        "{:<10} | {:>9} {:>9} {:>9} {:>9} | {:>8} {:>8} {:>8} {:>8} | {:>7}",
+        "Circuit",
+        "ADP(inf)",
+        "ADP(l=1)",
+        "ADP(DP)",
+        "ADP(DPSA)",
+        "t(inf)",
+        "t(l=1)",
+        "t(DP)",
+        "t(DPSA)",
+        "speedup"
+    );
+
+    let mut sums = [0.0f64; 8];
+    let mut count = 0usize;
+    for name in &names {
+        let aig = args.build(name);
+        let bound = args.threshold(MetricKind::Mse, aig.num_outputs());
+        let cfg = args.config_for(name, MetricKind::Mse, bound);
+
+        let flows: [Box<dyn Flow>; 4] = [
+            Box::new(ConventionalFlow::new(cfg.clone())),
+            Box::new(VecbeeDepthOneFlow::new(cfg.clone())),
+            Box::new(DualPhaseFlow::new(cfg.clone())),
+            Box::new(DualPhaseFlow::with_self_adaption(cfg)),
+        ];
+        let mut ratios = [0.0f64; 4];
+        let mut times = [0.0f64; 4];
+        for (i, flow) in flows.iter().enumerate() {
+            let res = flow.run(&aig);
+            assert!(
+                res.final_error <= bound * (1.0 + 1e-9),
+                "{name}/{}: bound violated",
+                flow.name()
+            );
+            ratios[i] = adp_ratio_of(&res, &aig);
+            times[i] = res.runtime.as_secs_f64();
+        }
+        let speedup = if times[2] > 0.0 { times[0] / times[2] } else { f64::NAN };
+        println!(
+            "{:<10} | {:>9} {:>9} {:>9} {:>9} | {:>8.2} {:>8.2} {:>8.2} {:>8.2} | {:>6.1}x",
+            name,
+            pct(ratios[0]),
+            pct(ratios[1]),
+            pct(ratios[2]),
+            pct(ratios[3]),
+            times[0],
+            times[1],
+            times[2],
+            times[3],
+            speedup
+        );
+        for i in 0..4 {
+            sums[i] += ratios[i];
+            sums[4 + i] += times[i];
+        }
+        count += 1;
+    }
+    if count > 0 {
+        let n = count as f64;
+        println!(
+            "{:<10} | {:>9} {:>9} {:>9} {:>9} | {:>8.2} {:>8.2} {:>8.2} {:>8.2} | {:>6.1}x",
+            "Avg",
+            pct(sums[0] / n),
+            pct(sums[1] / n),
+            pct(sums[2] / n),
+            pct(sums[3] / n),
+            sums[4] / n,
+            sums[5] / n,
+            sums[6] / n,
+            sums[7] / n,
+            sums[4] / sums[6].max(1e-12)
+        );
+    }
+}

@@ -1,0 +1,98 @@
+//! Experiment E5 — Table III: AccALS versus DP-SA under the ER and MED
+//! constraints.
+
+use als_bench::{adp_ratio_of, pct, ExpArgs};
+use als_engine::{AccAlsFlow, DualPhaseFlow, Flow};
+use als_error::MetricKind;
+
+fn main() {
+    let args = ExpArgs::parse();
+    let default = als_circuits::benchmark_names();
+    let names = args.circuit_names(default);
+
+    println!(
+        "Table III reproduction (threshold index {}, {} patterns, {} scale)",
+        args.threshold_index,
+        args.patterns,
+        if args.full { "paper" } else { "reduced" }
+    );
+    println!(
+        "{:<10} | {:>9} {:>9} {:>8} {:>8} | {:>9} {:>9} {:>8} {:>8}",
+        "",
+        "ER",
+        "",
+        "",
+        "",
+        "MED",
+        "",
+        "",
+        ""
+    );
+    println!(
+        "{:<10} | {:>9} {:>9} {:>8} {:>8} | {:>9} {:>9} {:>8} {:>8}",
+        "Circuit",
+        "AccALS",
+        "DP-SA",
+        "t(Acc)",
+        "t(DPSA)",
+        "AccALS",
+        "DP-SA",
+        "t(Acc)",
+        "t(DPSA)"
+    );
+
+    let mut sums = [0.0f64; 8];
+    let mut count = 0usize;
+    for name in &names {
+        let aig = args.build(name);
+        let mut cells = [0.0f64; 8];
+        for (mi, metric) in [MetricKind::Er, MetricKind::Med].into_iter().enumerate() {
+            let bound = args.threshold(metric, aig.num_outputs());
+            let cfg = args.config_for(name, metric, bound);
+            let acc = AccAlsFlow::new(cfg.clone()).run(&aig);
+            let dpsa = DualPhaseFlow::with_self_adaption(cfg).run(&aig);
+            for (res, label) in [(&acc, "AccALS"), (&dpsa, "DP-SA")] {
+                assert!(
+                    res.final_error <= bound * (1.0 + 1e-9),
+                    "{name}/{label}/{metric}: bound violated ({} > {bound})",
+                    res.final_error
+                );
+            }
+            cells[4 * mi] = adp_ratio_of(&acc, &aig);
+            cells[4 * mi + 1] = adp_ratio_of(&dpsa, &aig);
+            cells[4 * mi + 2] = acc.runtime.as_secs_f64();
+            cells[4 * mi + 3] = dpsa.runtime.as_secs_f64();
+        }
+        println!(
+            "{:<10} | {:>9} {:>9} {:>8.2} {:>8.2} | {:>9} {:>9} {:>8.2} {:>8.2}",
+            name,
+            pct(cells[0]),
+            pct(cells[1]),
+            cells[2],
+            cells[3],
+            pct(cells[4]),
+            pct(cells[5]),
+            cells[6],
+            cells[7]
+        );
+        for i in 0..8 {
+            sums[i] += cells[i];
+        }
+        count += 1;
+    }
+    if count > 0 {
+        let n = count as f64;
+        println!(
+            "{:<10} | {:>9} {:>9} {:>8.2} {:>8.2} | {:>9} {:>9} {:>8.2} {:>8.2}",
+            "Avg",
+            pct(sums[0] / n),
+            pct(sums[1] / n),
+            sums[2] / n,
+            sums[3] / n,
+            pct(sums[4] / n),
+            pct(sums[5] / n),
+            sums[6] / n,
+            sums[7] / n
+        );
+    }
+}

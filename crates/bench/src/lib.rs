@@ -1,0 +1,234 @@
+//! Shared helpers for the experiment binaries that regenerate the paper's
+//! tables and figures.
+//!
+//! Each binary accepts a small common set of flags (parsed by
+//! [`ExpArgs::parse`]):
+//!
+//! * `--full` — paper-scale circuits (slow!) instead of reduced ones,
+//! * `--patterns N` — Monte-Carlo patterns (default 2048 reduced / 8192
+//!   full),
+//! * `--circuits a,b,c` — restrict to a subset of benchmarks,
+//! * `--seed S` — RNG seed,
+//! * `--threshold-index 0|1|2` — which of the paper's three thresholds.
+
+use als_aig::Aig;
+use als_circuits::{benchmark, BenchmarkScale};
+use als_engine::{Flow, FlowConfig, FlowResult};
+use als_error::{paper_thresholds, MetricKind};
+use als_map::{map_circuit, CellLibrary};
+
+pub use als_error::metric::paper_thresholds as thresholds;
+
+/// Common experiment arguments.
+#[derive(Clone, Debug)]
+pub struct ExpArgs {
+    /// Paper-scale circuits.
+    pub full: bool,
+    /// Monte-Carlo pattern count.
+    pub patterns: usize,
+    /// Benchmarks to run (empty = binary default).
+    pub circuits: Vec<String>,
+    /// RNG seed.
+    pub seed: u64,
+    /// Which paper threshold to use (0 = tight, 1 = median, 2 = loose).
+    pub threshold_index: usize,
+    /// Optional group filter (`small` / `large`).
+    pub group: Option<String>,
+}
+
+impl Default for ExpArgs {
+    fn default() -> ExpArgs {
+        ExpArgs {
+            full: false,
+            patterns: 0, // resolved by scale
+            circuits: Vec::new(),
+            seed: 0xA15,
+            threshold_index: 1,
+            group: None,
+        }
+    }
+}
+
+impl ExpArgs {
+    /// Parses `std::env::args`, exiting with a usage message on error.
+    pub fn parse() -> ExpArgs {
+        let mut out = ExpArgs::default();
+        let mut args = std::env::args().skip(1);
+        while let Some(a) = args.next() {
+            let mut value = |name: &str| {
+                args.next().unwrap_or_else(|| {
+                    eprintln!("missing value for {name}");
+                    std::process::exit(2);
+                })
+            };
+            match a.as_str() {
+                "--full" => out.full = true,
+                "--patterns" => {
+                    out.patterns = value("--patterns").parse().unwrap_or_else(|_| {
+                        eprintln!("--patterns expects a number");
+                        std::process::exit(2);
+                    })
+                }
+                "--circuits" => {
+                    out.circuits =
+                        value("--circuits").split(',').map(|s| s.trim().to_string()).collect()
+                }
+                "--seed" => {
+                    out.seed = value("--seed").parse().unwrap_or_else(|_| {
+                        eprintln!("--seed expects a number");
+                        std::process::exit(2);
+                    })
+                }
+                "--threshold-index" => {
+                    out.threshold_index =
+                        value("--threshold-index").parse().unwrap_or_else(|_| {
+                            eprintln!("--threshold-index expects 0, 1 or 2");
+                            std::process::exit(2);
+                        })
+                }
+                "--group" => out.group = Some(value("--group")),
+                "--help" | "-h" => {
+                    eprintln!(
+                        "flags: --full --patterns N --circuits a,b,c --seed S \
+                         --threshold-index 0|1|2 --group small|large"
+                    );
+                    std::process::exit(0);
+                }
+                other => {
+                    eprintln!("unknown flag {other}; try --help");
+                    std::process::exit(2);
+                }
+            }
+        }
+        if out.patterns == 0 {
+            out.patterns = if out.full { 8192 } else { 2048 };
+        }
+        out
+    }
+
+    /// The benchmark scale implied by `--full`.
+    pub fn scale(&self) -> BenchmarkScale {
+        if self.full {
+            BenchmarkScale::Paper
+        } else {
+            BenchmarkScale::Reduced
+        }
+    }
+
+    /// Resolves the circuit list: explicit `--circuits`, else the group,
+    /// else `default_names`.
+    pub fn circuit_names(&self, default_names: Vec<&'static str>) -> Vec<String> {
+        if !self.circuits.is_empty() {
+            return self.circuits.clone();
+        }
+        match self.group.as_deref() {
+            Some("small") => {
+                als_circuits::suite::small_circuit_names().iter().map(|s| s.to_string()).collect()
+            }
+            Some("large") => {
+                als_circuits::suite::large_circuit_names().iter().map(|s| s.to_string()).collect()
+            }
+            _ => default_names.into_iter().map(|s| s.to_string()).collect(),
+        }
+    }
+
+    /// Builds a benchmark at the selected scale.
+    pub fn build(&self, name: &str) -> Aig {
+        benchmark(name, self.scale())
+    }
+
+    /// The paper threshold for `metric` on a circuit with `k` outputs.
+    pub fn threshold(&self, metric: MetricKind, k: usize) -> f64 {
+        paper_thresholds(metric, k)[self.threshold_index.min(2)]
+    }
+
+    /// A flow configuration for the given circuit under `metric`.
+    ///
+    /// Mirrors the paper's setup: SASIMI LACs and `M = 60` for small
+    /// circuits, constant LACs and `M = 150` for large ones.
+    pub fn config_for(&self, name: &str, metric: MetricKind, bound: f64) -> FlowConfig {
+        let base = FlowConfig::new(metric, bound)
+            .with_patterns(self.patterns)
+            .with_seed(self.seed);
+        if als_circuits::suite::large_circuit_names().contains(&name) {
+            base.for_large_circuit()
+        } else {
+            base
+        }
+    }
+}
+
+/// ADP ratio of a flow result against the original circuit.
+pub fn adp_ratio_of(result: &FlowResult, original: &Aig) -> f64 {
+    als_map::adp_ratio(&result.circuit, original, &CellLibrary::new())
+}
+
+/// Runs a flow and prints a one-line summary row; returns
+/// `(adp_ratio, runtime_seconds)`.
+pub fn run_and_report(flow: &dyn Flow, original: &Aig) -> (FlowResult, f64, f64) {
+    let res = flow.run(original);
+    let ratio = adp_ratio_of(&res, original);
+    let secs = res.runtime.as_secs_f64();
+    (res, ratio, secs)
+}
+
+/// Formats a mapping line for Table I.
+pub fn describe(aig: &Aig) -> String {
+    let m = map_circuit(aig, &CellLibrary::new());
+    format!(
+        "{:<10} {:>4}/{:<4} {:>7} {:>10.2} {:>8.3}",
+        aig.name(),
+        aig.num_inputs(),
+        aig.num_outputs(),
+        aig.num_ands(),
+        m.area,
+        m.delay
+    )
+}
+
+/// Percentage formatter.
+pub fn pct(x: f64) -> String {
+    format!("{:.1}%", 100.0 * x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_args_resolve_patterns() {
+        let a = ExpArgs::default();
+        assert_eq!(a.patterns, 0);
+        // parse() resolves, but we can't call it here (reads process args);
+        // emulate the resolution rule:
+        let patterns = if a.full { 8192 } else { 2048 };
+        assert_eq!(patterns, 2048);
+    }
+
+    #[test]
+    fn circuit_names_resolution() {
+        let mut a = ExpArgs::default();
+        assert_eq!(a.circuit_names(vec!["adder"]), vec!["adder"]);
+        a.group = Some("small".into());
+        assert!(a.circuit_names(vec![]).contains(&"c880".to_string()));
+        a.circuits = vec!["mult16".into()];
+        assert_eq!(a.circuit_names(vec![]), vec!["mult16"]);
+    }
+
+    #[test]
+    fn config_for_selects_group_defaults() {
+        let a = ExpArgs { patterns: 512, ..ExpArgs::default() };
+        let small = a.config_for("adder", MetricKind::Mse, 1.0);
+        assert!(small.lac.substitutions);
+        assert_eq!(small.m, 60);
+        let large = a.config_for("log2", MetricKind::Mse, 1.0);
+        assert!(!large.lac.substitutions);
+        assert_eq!(large.m, 150);
+    }
+
+    #[test]
+    fn describe_contains_name() {
+        let aig = benchmark("c880", BenchmarkScale::Reduced);
+        assert!(describe(&aig).contains("c880"));
+    }
+}

@@ -1,0 +1,382 @@
+//! ISCAS-substitute ALUs.
+//!
+//! `c880` and `c3540` are 8-bit ALUs in the ISCAS-85 suite; their exact
+//! netlists are not reproduced here. Instead, [`alu_c880`] and
+//! [`alu_c3540`] generate functionally documented ALUs with the same I/O
+//! profile (60/26 and 50/22) and comparable AIG size, which is what the
+//! ALS experiments need.
+
+use als_aig::{Aig, Lit};
+
+use crate::mult::unsigned_product;
+use crate::words;
+
+fn replicate(l: Lit, n: usize) -> Vec<Lit> {
+    vec![l; n]
+}
+
+/// 8-way one-hot select over 8-bit words by a 3-bit selector.
+fn select8(aig: &mut Aig, sel: &[Lit], options: &[Vec<Lit>]) -> Vec<Lit> {
+    assert_eq!(sel.len(), 3);
+    assert_eq!(options.len(), 8);
+    let width = options[0].len();
+    let mut out = vec![Lit::FALSE; width];
+    for (k, opt) in options.iter().enumerate() {
+        let b0 = sel[0].xor_complement(k & 1 == 0);
+        let b1 = sel[1].xor_complement(k & 2 == 0);
+        let b2 = sel[2].xor_complement(k & 4 == 0);
+        let hit0 = aig.and(b0, b1);
+        let hit = aig.and(hit0, b2);
+        let gated = words::gate_word(aig, opt, hit);
+        for (i, &g) in gated.iter().enumerate() {
+            out[i] = aig.or(out[i], g);
+        }
+    }
+    out
+}
+
+/// The c880 substitute: an 8-bit ALU with 60 inputs and 26 outputs.
+///
+/// Inputs, in order: `a[8] b[8] c[8] d[8] f[3] cin use_c inv m[8] g[8]
+/// ctl[6]`. The functional spec is [`alu_c880_spec`].
+pub fn alu_c880() -> Aig {
+    let mut aig = Aig::new("c880");
+    let a = aig.add_inputs("a", 8);
+    let b = aig.add_inputs("b", 8);
+    let c = aig.add_inputs("c", 8);
+    let d = aig.add_inputs("d", 8);
+    let f = aig.add_inputs("f", 3);
+    let cin = aig.add_input("cin");
+    let use_c = aig.add_input("use_c");
+    let inv = aig.add_input("inv");
+    let m = aig.add_inputs("m", 8);
+    let g = aig.add_inputs("g", 8);
+    let ctl = aig.add_inputs("ctl", 6);
+
+    let x = words::mux_word(&mut aig, use_c, &c, &b);
+
+    // Core operations.
+    let sum = words::add(&mut aig, &a, &x, cin); // 9 bits
+    let (diff, geq) = words::sub(&mut aig, &a, &x);
+    let andw: Vec<Lit> = a.iter().zip(&x).map(|(&p, &q)| aig.and(p, q)).collect();
+    let orw: Vec<Lit> = a.iter().zip(&x).map(|(&p, &q)| aig.or(p, q)).collect();
+    let xorw = words::xor_word(&mut aig, &a, &x);
+    let norw: Vec<Lit> = a.iter().zip(&x).map(|(&p, &q)| aig.nor(p, q)).collect();
+    let mut shl = words::shift_left(&a, 1, 8);
+    shl[0] = cin;
+    let options = [
+        sum[..8].to_vec(),
+        diff.clone(),
+        andw,
+        orw,
+        xorw.clone(),
+        norw,
+        shl,
+        x.clone(),
+    ];
+    let r_core = select8(&mut aig, &f, &options);
+    let inv_word = replicate(inv, 8);
+    let r = words::xor_word(&mut aig, &r_core, &inv_word);
+
+    // Secondary result: bitwise mux of r/d by m, spiced with gated g.
+    let ctl_par = aig.xor_many(&ctl);
+    let r2_base = {
+        let mut v = Vec::with_capacity(8);
+        for i in 0..8 {
+            v.push(aig.mux(m[i], r[i], d[i]));
+        }
+        v
+    };
+    let g_gate = words::gate_word(&mut aig, &g, ctl_par);
+    let r2 = words::xor_word(&mut aig, &r2_base, &g_gate);
+
+    // Flags.
+    let carry = sum[8];
+    let nr: Vec<Lit> = r.iter().map(|&l| !l).collect();
+    let zero = aig.and_many(&nr);
+    let parity = aig.xor_many(&r);
+    let sign = r[7];
+    let eq = {
+        let nx = xorw.iter().map(|&l| !l).collect::<Vec<_>>();
+        aig.and_many(&nx)
+    };
+    let lt = !geq;
+    let any_g = aig.or_many(&g);
+    let ov = aig.xor(carry, sign);
+    let err = aig.and(any_g, ctl_par);
+
+    words::output_word(&mut aig, &r, "r");
+    words::output_word(&mut aig, &r2, "r2");
+    for (lit, name) in [
+        (carry, "carry"),
+        (zero, "zero"),
+        (parity, "parity"),
+        (sign, "sign"),
+        (eq, "eq"),
+        (lt, "lt"),
+        (any_g, "any_g"),
+        (ctl_par, "ctl_par"),
+        (ov, "ov"),
+        (err, "err"),
+    ] {
+        aig.add_output(lit, name);
+    }
+    als_aig::edit::sweep_dangling(&mut aig);
+    aig
+}
+
+/// Functional specification of [`alu_c880`].
+///
+/// `inputs` is the 60-bit little-endian input assignment; returns the
+/// 26-bit output word.
+pub fn alu_c880_spec(inputs: &[bool]) -> u128 {
+    let take = |lo: usize, n: usize| -> u64 {
+        (0..n).fold(0u64, |acc, i| acc | (inputs[lo + i] as u64) << i)
+    };
+    let a = take(0, 8);
+    let b = take(8, 8);
+    let c = take(16, 8);
+    let d = take(24, 8);
+    let f = take(32, 3);
+    let cin = take(35, 1);
+    let use_c = take(36, 1) == 1;
+    let inv = take(37, 1);
+    let m = take(38, 8);
+    let g = take(46, 8);
+    let ctl = take(54, 6);
+
+    let x = if use_c { c } else { b };
+    let sum = a + x + cin;
+    let (carry, sum8) = (sum >> 8 & 1, sum & 0xff);
+    let geq = a >= x;
+    let diff = a.wrapping_sub(x) & 0xff;
+    let shl = (a << 1 | cin) & 0xff;
+    let core = match f {
+        0 => sum8,
+        1 => diff,
+        2 => a & x,
+        3 => a | x,
+        4 => a ^ x,
+        5 => !(a | x) & 0xff,
+        6 => shl,
+        _ => x,
+    };
+    let r = core ^ if inv == 1 { 0xff } else { 0 };
+    let ctl_par = (ctl.count_ones() & 1) as u64;
+    let r2 = ((r & m) | (d & !m) & 0xff) ^ if ctl_par == 1 { g } else { 0 };
+    let zero = (r == 0) as u64;
+    let parity = (r.count_ones() & 1) as u64;
+    let sign = r >> 7 & 1;
+    let eq = (a == x) as u64;
+    let lt = (!geq) as u64;
+    let any_g = (g != 0) as u64;
+    let ov = carry ^ sign;
+    let err = any_g & ctl_par;
+
+    let mut out = r as u128 | (r2 as u128) << 8;
+    for (k, bit) in
+        [carry, zero, parity, sign, eq, lt, any_g, ctl_par, ov, err].into_iter().enumerate()
+    {
+        out |= (bit as u128) << (16 + k);
+    }
+    out
+}
+
+/// The c3540 substitute: an 8-bit ALU with a 4×4 multiplier and rotator —
+/// 50 inputs, 22 outputs. Spec: [`alu_c3540_spec`].
+///
+/// Inputs, in order: `a[8] b[8] k[8] f[4] cin m[8] sel[2] q[8] ctl[3]`.
+pub fn alu_c3540() -> Aig {
+    let mut aig = Aig::new("c3540");
+    let a = aig.add_inputs("a", 8);
+    let b = aig.add_inputs("b", 8);
+    let k = aig.add_inputs("k", 8);
+    let f = aig.add_inputs("f", 4);
+    let cin = aig.add_input("cin");
+    let m = aig.add_inputs("m", 8);
+    let sel = aig.add_inputs("sel", 2);
+    let q = aig.add_inputs("q", 8);
+    let ctl = aig.add_inputs("ctl", 3);
+
+    let sum = words::add(&mut aig, &a, &b, cin);
+    let (diff, geq) = words::sub(&mut aig, &a, &b);
+    let andw: Vec<Lit> = a.iter().zip(&b).map(|(&p, &r)| aig.and(p, r)).collect();
+    let orw: Vec<Lit> = a.iter().zip(&b).map(|(&p, &r)| aig.or(p, r)).collect();
+    let xorw = words::xor_word(&mut aig, &a, &b);
+    let prod = unsigned_product(&mut aig, &a[..4], &b[..4]); // 8 bits
+
+    // Rotate-left of a by sel (0..3).
+    let rot1 = {
+        let mut v = words::shift_left(&a, 1, 8);
+        v[0] = a[7];
+        v
+    };
+    let rot2 = {
+        let mut v = words::shift_left(&a, 2, 8);
+        v[0] = a[6];
+        v[1] = a[7];
+        v
+    };
+    let r01 = words::mux_word(&mut aig, sel[0], &rot1, &a);
+    let r23 = words::mux_word(&mut aig, sel[0], &rot2, &rot1);
+    let rot = {
+        // sel=2 -> rot2, sel=3 -> rot3 = rot2 of rot1
+        let rot3 = {
+            let mut v = words::shift_left(&rot1, 2, 8);
+            v[0] = rot1[6];
+            v[1] = rot1[7];
+            v
+        };
+        let hi = words::mux_word(&mut aig, sel[0], &rot3, &rot2);
+        let _ = r23;
+        words::mux_word(&mut aig, sel[1], &hi, &r01)
+    };
+
+    let options = [
+        sum[..8].to_vec(),
+        diff,
+        andw,
+        orw,
+        xorw.clone(),
+        prod.clone(),
+        rot,
+        k.to_vec(),
+    ];
+    let r_core = select8(&mut aig, &f[..3], &options);
+    let inv_word = replicate(f[3], 8);
+    let r = words::xor_word(&mut aig, &r_core, &inv_word);
+    let r_final: Vec<Lit> = (0..8).map(|i| aig.mux(m[i], r[i], q[i])).collect();
+
+    let carry = sum[8];
+    let nr: Vec<Lit> = r_final.iter().map(|&l| !l).collect();
+    let zero = aig.and_many(&nr);
+    let parity = aig.xor_many(&r_final);
+    let sign = r_final[7];
+    let eqx: Vec<Lit> = xorw.iter().map(|&l| !l).collect();
+    let eq = aig.and_many(&eqx);
+    let gt = {
+        let neq = !eq;
+        aig.and(geq, neq)
+    };
+    let xor_k = aig.xor_many(&k);
+    let and_all = aig.and_many(&r_final);
+    let ctl_par = aig.xor_many(&ctl);
+    let flag = aig.mux(ctl_par, carry, zero);
+
+    words::output_word(&mut aig, &r_final, "r");
+    for (lit, name) in [
+        (carry, "carry"),
+        (zero, "zero"),
+        (parity, "parity"),
+        (sign, "sign"),
+        (eq, "eq"),
+        (gt, "gt"),
+        (xor_k, "xor_k"),
+        (and_all, "and_all"),
+        (ctl_par, "ctl_par"),
+        (flag, "flag"),
+    ] {
+        aig.add_output(lit, name);
+    }
+    // high nibble of the product rounds out the 22 outputs
+    words::output_word(&mut aig, &prod[4..], "ph");
+    als_aig::edit::sweep_dangling(&mut aig);
+    aig
+}
+
+/// Functional specification of [`alu_c3540`].
+pub fn alu_c3540_spec(inputs: &[bool]) -> u128 {
+    let take = |lo: usize, n: usize| -> u64 {
+        (0..n).fold(0u64, |acc, i| acc | (inputs[lo + i] as u64) << i)
+    };
+    let a = take(0, 8);
+    let b = take(8, 8);
+    let k = take(16, 8);
+    let f = take(24, 4);
+    let cin = take(28, 1);
+    let m = take(29, 8);
+    let sel = take(37, 2);
+    let q = take(39, 8);
+    let ctl = take(47, 3);
+
+    let sum = a + b + cin;
+    let (carry, sum8) = (sum >> 8 & 1, sum & 0xff);
+    let _geq = a >= b;
+    let diff = a.wrapping_sub(b) & 0xff;
+    let prod = (a & 0xf) * (b & 0xf);
+    let rot = (a << (sel as u32) | a >> (8 - sel as u32) % 8) & 0xff;
+    let rot = if sel == 0 { a } else { rot };
+    let core = match f & 7 {
+        0 => sum8,
+        1 => diff,
+        2 => a & b,
+        3 => a | b,
+        4 => a ^ b,
+        5 => prod & 0xff,
+        6 => rot,
+        _ => k,
+    };
+    let r = core ^ if f >> 3 == 1 { 0xff } else { 0 };
+    let r_final = (r & m) | (q & !m) & 0xff;
+    let zero = (r_final == 0) as u64;
+    let parity = (r_final.count_ones() & 1) as u64;
+    let sign = r_final >> 7 & 1;
+    let eq = (a == b) as u64;
+    let gt = (a > b) as u64;
+    let xor_k = (k.count_ones() & 1) as u64;
+    let and_all = (r_final == 0xff) as u64;
+    let ctl_par = (ctl.count_ones() & 1) as u64;
+    let flag = if ctl_par == 1 { carry } else { zero };
+
+    let mut out = r_final as u128;
+    for (i, bit) in [carry, zero, parity, sign, eq, gt, xor_k, and_all, ctl_par, flag]
+        .into_iter()
+        .enumerate()
+    {
+        out |= (bit as u128) << (8 + i);
+    }
+    out | ((prod >> 4 & 0xf) as u128) << 18
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use als_sim::{PatternSet, Simulator};
+
+    fn check_against_spec(aig: &Aig, spec: fn(&[bool]) -> u128, words: usize, seed: u64) {
+        let patterns = PatternSet::random(aig.num_inputs(), words, seed);
+        let sim = Simulator::new(aig, &patterns);
+        for p in 0..patterns.num_patterns() {
+            let bits = patterns.pattern(p);
+            assert_eq!(sim.output_word(aig, p), spec(&bits), "pattern {p}");
+        }
+    }
+
+    #[test]
+    fn c880_profile() {
+        let aig = alu_c880();
+        assert_eq!(aig.num_inputs(), 60);
+        assert_eq!(aig.num_outputs(), 26);
+        als_aig::check::check(&aig).unwrap();
+        assert!(aig.num_ands() > 150 && aig.num_ands() < 800, "{}", aig.num_ands());
+    }
+
+    #[test]
+    fn c880_matches_spec() {
+        check_against_spec(&alu_c880(), alu_c880_spec, 8, 1);
+    }
+
+    #[test]
+    fn c3540_profile() {
+        let aig = alu_c3540();
+        assert_eq!(aig.num_inputs(), 50);
+        assert_eq!(aig.num_outputs(), 22);
+        als_aig::check::check(&aig).unwrap();
+        assert!(aig.num_ands() > 300 && aig.num_ands() < 1600, "{}", aig.num_ands());
+    }
+
+    #[test]
+    fn c3540_matches_spec() {
+        check_against_spec(&alu_c3540(), alu_c3540_spec, 8, 2);
+    }
+}

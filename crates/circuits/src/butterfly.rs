@@ -1,0 +1,180 @@
+//! Radix-2 FFT butterfly — substitute for the paper's `butterfly`.
+//!
+//! Computes `X = A + W·B` and `Y = A − W·B` on complex fixed-point values:
+//! `A` has `w+1`-bit components, `B` has `w+1`-bit components, and the
+//! twiddle `W` has `w`-bit components interpreted in `Q1.(w−1)` (so the
+//! product is scaled back by `w−1`). With `w = 16` this matches the
+//! paper's 100-input / 72-output profile.
+
+use als_aig::{Aig, Lit};
+
+use crate::mult::signed_product;
+use crate::words;
+
+fn sign_extend(word: &[Lit], width: usize) -> Vec<Lit> {
+    let mut out: Vec<Lit> = word.to_vec();
+    let sign = *word.last().expect("non-empty word");
+    while out.len() < width {
+        out.push(sign);
+    }
+    out.truncate(width);
+    out
+}
+
+fn signed_add(aig: &mut Aig, a: &[Lit], b: &[Lit], width: usize) -> Vec<Lit> {
+    let ax = sign_extend(a, width);
+    let bx = sign_extend(b, width);
+    let mut s = words::add(aig, &ax, &bx, Lit::FALSE);
+    s.truncate(width);
+    s
+}
+
+fn signed_sub(aig: &mut Aig, a: &[Lit], b: &[Lit], width: usize) -> Vec<Lit> {
+    let nb = words::negate(aig, &sign_extend(b, width));
+    signed_add(aig, a, &nb, width)
+}
+
+/// Arithmetic right shift by `s`, keeping `width` bits.
+fn asr(word: &[Lit], s: usize, width: usize) -> Vec<Lit> {
+    sign_extend(&word[s.min(word.len() - 1)..], width)
+}
+
+/// Builds the butterfly for `w`-bit twiddle components (`w ≥ 3`).
+///
+/// Inputs: `ar, ai, br, bi` (`w+1` bits each), `wr, wi` (`w` bits each).
+/// Outputs: `xr, xi, yr, yi` (`w+2` bits each).
+pub fn butterfly(w: usize) -> Aig {
+    assert!(w >= 3);
+    let aw = w + 1;
+    let ow = w + 2;
+    let s = w - 1; // twiddle scale Q1.(w-1)
+    let mut aig = Aig::new(format!("butterfly{w}"));
+    let ar = aig.add_inputs("ar", aw);
+    let ai = aig.add_inputs("ai", aw);
+    let br = aig.add_inputs("br", aw);
+    let bi = aig.add_inputs("bi", aw);
+    let wr = aig.add_inputs("wr", w);
+    let wi = aig.add_inputs("wi", w);
+
+    // t = W · B (complex), products scaled by 2^(w-1).
+    let brwr = signed_product(&mut aig, &br, &wr);
+    let biwi = signed_product(&mut aig, &bi, &wi);
+    let brwi = signed_product(&mut aig, &br, &wi);
+    let biwr = signed_product(&mut aig, &bi, &wr);
+    let pw = aw + w; // full product width
+    let tr_full = signed_sub(&mut aig, &brwr, &biwi, pw + 1);
+    let ti_full = signed_add(&mut aig, &brwi, &biwr, pw + 1);
+    let tr = asr(&tr_full, s, ow);
+    let ti = asr(&ti_full, s, ow);
+
+    let xr = signed_add(&mut aig, &ar, &tr, ow);
+    let xi = signed_add(&mut aig, &ai, &ti, ow);
+    let yr = signed_sub(&mut aig, &ar, &tr, ow);
+    let yi = signed_sub(&mut aig, &ai, &ti, ow);
+    words::output_word(&mut aig, &xr, "xr");
+    words::output_word(&mut aig, &xi, "xi");
+    words::output_word(&mut aig, &yr, "yr");
+    words::output_word(&mut aig, &yi, "yi");
+    als_aig::edit::sweep_dangling(&mut aig);
+    aig
+}
+
+/// Bit-exact spec of [`butterfly`] on plain integers. Inputs and outputs
+/// are two's-complement words packed little-endian in declaration order.
+pub fn butterfly_spec(
+    ar: i64,
+    ai: i64,
+    br: i64,
+    bi: i64,
+    wr: i64,
+    wi: i64,
+    w: usize,
+) -> (i64, i64, i64, i64) {
+    let s = w - 1;
+    let shr = |v: i64| v >> s;
+    let tr = shr(br * wr - bi * wi);
+    let ti = shr(br * wi + bi * wr);
+    let ow = w + 2;
+    let wrap = |v: i64| {
+        let m = 1i64 << ow;
+        let r = v.rem_euclid(m);
+        if r >= m / 2 {
+            r - m
+        } else {
+            r
+        }
+    };
+    (wrap(ar + tr), wrap(ai + ti), wrap(ar - tr), wrap(ai - ti))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::{decode, random_io_words};
+
+    fn as_signed(v: u128, bits: usize) -> i64 {
+        let v = v as i64;
+        if v >> (bits - 1) & 1 == 1 {
+            v - (1 << bits)
+        } else {
+            v
+        }
+    }
+
+    #[test]
+    fn paper_profile_w16() {
+        let aig = butterfly(16);
+        assert_eq!(aig.num_inputs(), 100);
+        assert_eq!(aig.num_outputs(), 72);
+        assert!(aig.num_ands() > 4000 && aig.num_ands() < 16_000, "{}", aig.num_ands());
+    }
+
+    #[test]
+    fn small_butterfly_matches_spec() {
+        let w = 4;
+        let aig = butterfly(w);
+        als_aig::check::check(&aig).unwrap();
+        let aw = w + 1;
+        let ow = w + 2;
+        for (inputs, out) in random_io_words(&aig, 4, 5) {
+            let mut pos = 0;
+            let mut take = |n: usize, inputs: &[bool]| {
+                let v = decode(&inputs[pos..pos + n]);
+                pos += n;
+                v
+            };
+            let ar = as_signed(take(aw, &inputs), aw);
+            let ai = as_signed(take(aw, &inputs), aw);
+            let br = as_signed(take(aw, &inputs), aw);
+            let bi = as_signed(take(aw, &inputs), aw);
+            let wr = as_signed(take(w, &inputs), w);
+            let wi = as_signed(take(w, &inputs), w);
+            let (xr, xi, yr, yi) = butterfly_spec(ar, ai, br, bi, wr, wi, w);
+            let got_xr = as_signed(out & ((1 << ow) - 1), ow);
+            let got_xi = as_signed(out >> ow & ((1 << ow) - 1), ow);
+            let got_yr = as_signed(out >> (2 * ow) & ((1 << ow) - 1), ow);
+            let got_yi = as_signed(out >> (3 * ow) & ((1 << ow) - 1), ow);
+            assert_eq!((got_xr, got_xi, got_yr, got_yi), (xr, xi, yr, yi));
+        }
+    }
+
+    #[test]
+    fn zero_twiddle_passes_a_through() {
+        let (xr, xi, yr, yi) = butterfly_spec(5, -3, 7, 2, 0, 0, 8);
+        assert_eq!((xr, xi, yr, yi), (5, -3, 5, -3));
+    }
+
+    #[test]
+    fn unit_twiddle_adds_b() {
+        let w = 8;
+        let unit = 1i64 << (w - 1); // careful: this is -128 in w bits? use w-1 scale
+        // W = (unit, 0) represents 1.0 in Q1.(w-1)... but unit = 2^(w-1) is
+        // out of range for signed w bits; use the largest positive value and
+        // accept the tiny scale error: W ≈ 0.992.
+        let wmax = unit - 1;
+        let (xr, _, yr, _) = butterfly_spec(10, 0, 64, 0, wmax, 0, w);
+        // t ≈ 64 * 0.992 = 63
+        assert_eq!(xr, 10 + 63);
+        assert_eq!(yr, 10 - 63);
+    }
+}

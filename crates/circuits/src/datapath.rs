@@ -1,0 +1,142 @@
+//! Composite datapath generators: multiply-accumulate, FIR filter and
+//! population count.
+//!
+//! These are the error-tolerant kernels approximate computing actually
+//! targets (DSP inner loops, ML feature counting); they complement the
+//! Table-I suite for the examples and for exploratory experiments.
+
+use als_aig::{Aig, Lit};
+
+use crate::mult::unsigned_product;
+use crate::words;
+
+/// Multiply-accumulate: `acc + a × b`, with an `acc_width`-bit accumulator
+/// input and a full-width (non-saturating) sum output of
+/// `max(acc_width, n+m) + 1` bits.
+pub fn mac(n: usize, m: usize, acc_width: usize) -> Aig {
+    let mut aig = Aig::new(format!("mac{n}x{m}p{acc_width}"));
+    let a = aig.add_inputs("a", n);
+    let b = aig.add_inputs("b", m);
+    let acc = aig.add_inputs("acc", acc_width);
+    let p = unsigned_product(&mut aig, &a, &b);
+    let w = acc_width.max(n + m);
+    let px = words::resize(&p, w);
+    let ax = words::resize(&acc, w);
+    let sum = words::add(&mut aig, &px, &ax, Lit::FALSE);
+    words::output_word(&mut aig, &sum, "s");
+    als_aig::edit::sweep_dangling(&mut aig);
+    aig
+}
+
+/// Three-tap FIR filter with fixed coefficient words: computes
+/// `c0·x0 + c1·x1 + c2·x2` over three `w`-bit unsigned samples. Constant
+/// coefficients fold into shifted-add structures through the builder.
+pub fn fir3(w: usize, coeffs: [u64; 3]) -> Aig {
+    let mut aig = Aig::new(format!("fir3x{w}"));
+    let xs: Vec<Vec<Lit>> = (0..3).map(|i| aig.add_inputs(&format!("x{i}_"), w)).collect();
+    let cw = 64 - coeffs.iter().map(|c| c.leading_zeros()).min().unwrap_or(63) as usize;
+    let cw = cw.max(1);
+    let mut terms: Vec<Vec<Lit>> = Vec::new();
+    for (x, &c) in xs.iter().zip(&coeffs) {
+        let cword = words::constant(c as u128, cw);
+        terms.push(unsigned_product(&mut aig, x, &cword));
+    }
+    let width = w + cw + 2;
+    let t0 = words::resize(&terms[0], width - 1);
+    let t1 = words::resize(&terms[1], width - 1);
+    let mut sum01 = words::add(&mut aig, &t0, &t1, Lit::FALSE);
+    sum01.truncate(width);
+    let t2 = words::resize(&terms[2], width);
+    let mut sum = words::add(&mut aig, &sum01, &t2, Lit::FALSE);
+    sum.truncate(width + 1);
+    words::output_word(&mut aig, &sum, "y");
+    als_aig::edit::sweep_dangling(&mut aig);
+    aig
+}
+
+/// Population count of `n` input bits (adder-tree construction).
+pub fn popcount(n: usize) -> Aig {
+    assert!(n >= 1);
+    let mut aig = Aig::new(format!("popcount{n}"));
+    let xs = aig.add_inputs("x", n);
+    let mut words_list: Vec<Vec<Lit>> = xs.iter().map(|&x| vec![x]).collect();
+    while words_list.len() > 1 {
+        let mut next = Vec::with_capacity(words_list.len().div_ceil(2));
+        let mut it = words_list.into_iter();
+        while let Some(w0) = it.next() {
+            match it.next() {
+                Some(w1) => {
+                    let width = w0.len().max(w1.len());
+                    let a = words::resize(&w0, width);
+                    let b = words::resize(&w1, width);
+                    next.push(words::add(&mut aig, &a, &b, Lit::FALSE));
+                }
+                None => next.push(w0),
+            }
+        }
+        words_list = next;
+    }
+    let sum = words_list.pop().expect("n >= 1");
+    words::output_word(&mut aig, &sum, "c");
+    als_aig::edit::sweep_dangling(&mut aig);
+    aig
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::{decode, exhaustive_output_words, random_io_words};
+
+    #[test]
+    fn mac_matches_arithmetic() {
+        let aig = mac(2, 2, 2); // 6 inputs
+        als_aig::check::check(&aig).unwrap();
+        for (p, got) in exhaustive_output_words(&aig).iter().enumerate() {
+            let a = (p & 3) as u128;
+            let b = (p >> 2 & 3) as u128;
+            let acc = (p >> 4 & 3) as u128;
+            assert_eq!(*got, acc + a * b, "pattern {p}");
+        }
+    }
+
+    #[test]
+    fn wide_mac_on_random_patterns() {
+        let aig = mac(8, 8, 16);
+        for (inputs, out) in random_io_words(&aig, 2, 47) {
+            let a = decode(&inputs[..8]);
+            let b = decode(&inputs[8..16]);
+            let acc = decode(&inputs[16..]);
+            assert_eq!(out, acc + a * b);
+        }
+    }
+
+    #[test]
+    fn fir_matches_arithmetic() {
+        let coeffs = [3u64, 5, 2];
+        let aig = fir3(4, coeffs);
+        als_aig::check::check(&aig).unwrap();
+        for (inputs, out) in random_io_words(&aig, 2, 53) {
+            let x0 = decode(&inputs[..4]) as u64;
+            let x1 = decode(&inputs[4..8]) as u64;
+            let x2 = decode(&inputs[8..12]) as u64;
+            let expect = (3 * x0 + 5 * x1 + 2 * x2) as u128;
+            assert_eq!(out, expect);
+        }
+    }
+
+    #[test]
+    fn popcount_matches_count_ones() {
+        let aig = popcount(7);
+        als_aig::check::check(&aig).unwrap();
+        for (p, got) in exhaustive_output_words(&aig).iter().enumerate() {
+            assert_eq!(*got, (p as u32).count_ones() as u128, "pattern {p}");
+        }
+    }
+
+    #[test]
+    fn popcount_single_bit() {
+        let aig = popcount(1);
+        assert_eq!(aig.num_ands(), 0);
+        assert_eq!(aig.num_outputs(), 1);
+    }
+}

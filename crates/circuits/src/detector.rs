@@ -1,0 +1,170 @@
+//! ISCAS-substitute error detector (c1908 profile: 33 inputs, 25 outputs).
+//!
+//! A single-error-correcting, double-error-detecting (SEC-DED) Hamming
+//! checker over a 16-bit data word: the syndrome locates a flipped bit,
+//! the overall parity distinguishes single from double errors, and the
+//! corrected word is produced combinationally — the same
+//! "16-bit detector" role c1908 plays in the ISCAS suite.
+
+use als_aig::{Aig, Lit};
+
+use crate::words;
+
+/// Builds the detector.
+///
+/// Inputs, in order: `data[16] chk[6] en mask[7] clr[3]`. Outputs:
+/// `corrected[16] s[5] err derr po band`. Spec: [`detector_spec`].
+pub fn detector() -> Aig {
+    let mut aig = Aig::new("c1908");
+    let data = aig.add_inputs("d", 16);
+    let chk = aig.add_inputs("chk", 6);
+    let en = aig.add_input("en");
+    let mask = aig.add_inputs("mask", 7);
+    let clr = aig.add_inputs("clr", 3);
+
+    // Syndrome: s_j = XOR of data[i] with bit j of (i+1) set, XOR chk[j].
+    let mut s = Vec::with_capacity(5);
+    for j in 0..5 {
+        let terms: Vec<Lit> = (0..16)
+            .filter(|i| (i + 1) >> j & 1 == 1)
+            .map(|i| data[i])
+            .collect();
+        let parity = aig.xor_many(&terms);
+        s.push(aig.xor(parity, chk[j]));
+    }
+    // Overall parity: all data and check bits.
+    let all: Vec<Lit> = data.iter().chain(chk.iter()).copied().collect();
+    let po = aig.xor_many(&all);
+
+    // Correction: flip data[i] when the syndrome equals i+1 (and enabled,
+    // not cleared).
+    let clr_any = aig.or_many(&clr);
+    let fix_en = aig.and(en, !clr_any);
+    let mut corrected = Vec::with_capacity(16);
+    for (i, &d) in data.iter().enumerate() {
+        let code = i + 1;
+        let match_bits: Vec<Lit> = (0..5)
+            .map(|j| s[j].xor_complement(code >> j & 1 == 0))
+            .collect();
+        let hit = aig.and_many(&match_bits);
+        let flip = aig.and(hit, fix_en);
+        corrected.push(aig.xor(d, flip));
+    }
+
+    let s_any = aig.or_many(&s);
+    let err = aig.or(s_any, po);
+    let derr = aig.and(s_any, !po);
+    let band = {
+        let mp = aig.xor_many(&mask);
+        aig.and(mp, en)
+    };
+
+    words::output_word(&mut aig, &corrected, "c");
+    words::output_word(&mut aig, &s, "s");
+    for (lit, name) in [(err, "err"), (derr, "derr"), (po, "po"), (band, "band")] {
+        aig.add_output(lit, name);
+    }
+    als_aig::edit::sweep_dangling(&mut aig);
+    aig
+}
+
+/// Functional specification of [`detector`].
+pub fn detector_spec(inputs: &[bool]) -> u128 {
+    let take = |lo: usize, n: usize| -> u64 {
+        (0..n).fold(0u64, |acc, i| acc | (inputs[lo + i] as u64) << i)
+    };
+    let data = take(0, 16);
+    let chk = take(16, 6);
+    let en = take(22, 1) == 1;
+    let mask = take(23, 7);
+    let clr = take(30, 3);
+
+    let mut s = 0u64;
+    for j in 0..5 {
+        let mut p = 0u64;
+        for i in 0..16 {
+            if (i + 1) >> j & 1 == 1 {
+                p ^= data >> i & 1;
+            }
+        }
+        s |= (p ^ (chk >> j & 1)) << j;
+    }
+    let po = ((data.count_ones() + chk.count_ones()) & 1) as u64;
+    let fix_en = en && clr == 0;
+    let mut corrected = data;
+    if fix_en && s >= 1 && s <= 16 {
+        corrected ^= 1 << (s - 1);
+    }
+    let s_any = (s != 0) as u64;
+    let err = s_any | po;
+    let derr = s_any & (po ^ 1);
+    let band = ((mask.count_ones() & 1) as u64) & en as u64;
+
+    corrected as u128
+        | (s as u128) << 16
+        | (err as u128) << 21
+        | (derr as u128) << 22
+        | (po as u128) << 23
+        | (band as u128) << 24
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use als_sim::{PatternSet, Simulator};
+
+    #[test]
+    fn profile() {
+        let aig = detector();
+        assert_eq!(aig.num_inputs(), 33);
+        assert_eq!(aig.num_outputs(), 25);
+        als_aig::check::check(&aig).unwrap();
+        assert!(aig.num_ands() > 150 && aig.num_ands() < 700, "{}", aig.num_ands());
+    }
+
+    #[test]
+    fn matches_spec_on_random_patterns() {
+        let aig = detector();
+        let patterns = PatternSet::random(aig.num_inputs(), 8, 3);
+        let sim = Simulator::new(&aig, &patterns);
+        for p in 0..patterns.num_patterns() {
+            let bits = patterns.pattern(p);
+            assert_eq!(sim.output_word(&aig, p), detector_spec(&bits), "pattern {p}");
+        }
+    }
+
+    #[test]
+    fn corrects_single_bit_errors() {
+        // Build a codeword: data with matching check bits, flip one data
+        // bit, expect correction.
+        let data: u64 = 0b1011_0010_1100_0101;
+        let mut chk = 0u64;
+        for j in 0..5 {
+            let mut p = 0u64;
+            for i in 0..16 {
+                if (i + 1) >> j & 1 == 1 {
+                    p ^= data >> i & 1;
+                }
+            }
+            chk |= p << j;
+        }
+        // overall parity bit chk[5] chosen so po = 0
+        let par = (data.count_ones() + chk.count_ones()) & 1;
+        chk |= (par as u64) << 5;
+        for flip in 0..16 {
+            let bad = data ^ (1 << flip);
+            let mut inputs = vec![false; 33];
+            for i in 0..16 {
+                inputs[i] = bad >> i & 1 == 1;
+            }
+            for j in 0..6 {
+                inputs[16 + j] = chk >> j & 1 == 1;
+            }
+            inputs[22] = true; // en
+            let out = detector_spec(&inputs);
+            let corrected = (out & 0xffff) as u64;
+            assert_eq!(corrected, data, "flip {flip}");
+            assert_eq!(out >> 21 & 1, 1, "err raised");
+        }
+    }
+}

@@ -1,0 +1,159 @@
+//! Fixed-point base-2 logarithm — substitute for the paper's 32-bit `log2`.
+//!
+//! The classic logarithmic-shifter construction: a priority encoder finds
+//! the MSB (the integer part `e`), a one-hot barrel shifter normalises the
+//! mantissa, and the fraction is the normalised mantissa with a quadratic
+//! Mitchell correction `u + K·u(1−u)` evaluated by a real multiplier.
+
+use als_aig::{Aig, Lit};
+
+use crate::mult::unsigned_product;
+use crate::words;
+
+/// Mitchell-correction constant: `round(0.343 · 2^f) / 2^f ≈ 0.343`
+/// maximises the accuracy of `log2(1+u) ≈ u + K·u(1−u)`.
+fn correction_constant(f: usize) -> u128 {
+    // 0.343 in binary ≈ 0.0101011111…
+    (0.343f64 * (f as f64).exp2()).round() as u128
+}
+
+/// Builds the log2 unit for an `n`-bit input (`8 ≤ n ≤ 64`).
+///
+/// Output (`n` bits): `e · 2^f | frac`, where `e` is the 5-bit (for
+/// `n ≤ 32`; 6-bit above) MSB index, `f = n − e_bits`, and `frac` the
+/// corrected mantissa. Input 0 produces output 0. Bit-exact spec:
+/// [`log2_spec`].
+pub fn log2_unit(n: usize) -> Aig {
+    assert!((8..=64).contains(&n));
+    let e_bits = if n <= 32 { 5 } else { 6 };
+    let f = n - e_bits;
+    let mut aig = Aig::new(format!("log2_{n}"));
+    let x = aig.add_inputs("x", n);
+
+    // Priority encoder: is_msb[i] = x[i] & !x[i+1] & ... & !x[n-1].
+    let mut is_msb = vec![Lit::FALSE; n];
+    let mut none_higher = Lit::TRUE;
+    for i in (0..n).rev() {
+        is_msb[i] = aig.and(x[i], none_higher);
+        none_higher = aig.and(none_higher, !x[i]);
+    }
+
+    // e[j] = OR of is_msb[i] with bit j of i set.
+    let mut e = Vec::with_capacity(e_bits);
+    for j in 0..e_bits {
+        let terms: Vec<Lit> =
+            (0..n).filter(|i| i >> j & 1 == 1).map(|i| is_msb[i]).collect();
+        e.push(aig.or_many(&terms));
+    }
+
+    // One-hot barrel shifter: y = Σ is_msb[i] · (x << (n−1−i)).
+    let mut y = vec![Lit::FALSE; n];
+    for i in 0..n {
+        let shifted = words::shift_left(&x, n - 1 - i, n);
+        let gated = words::gate_word(&mut aig, &shifted, is_msb[i]);
+        for (k, &g) in gated.iter().enumerate() {
+            y[k] = aig.or(y[k], g);
+        }
+    }
+
+    // Mantissa fraction u: top f bits below the (implicit) MSB.
+    let u: Vec<Lit> = y[n - 1 - f..n - 1].to_vec();
+    debug_assert_eq!(u.len(), f);
+
+    // v = u · (1 − u) with f fraction bits (top half of the product of u
+    // and its bitwise complement — the spec mirrors this exactly).
+    let u_not: Vec<Lit> = u.iter().map(|&l| !l).collect();
+    let vv = unsigned_product(&mut aig, &u, &u_not);
+    let v = &vv[f..];
+
+    // c = K · v >> f (constant multiplier folds to shifted adds).
+    let k_word = words::constant(correction_constant(f), f);
+    let cv = unsigned_product(&mut aig, v, &k_word);
+    let c = words::resize(&cv[f..], f);
+
+    // frac = u + c, saturated to f bits.
+    let sum = words::add(&mut aig, &u, &c, Lit::FALSE);
+    let carry = sum[f];
+    let ones = words::constant(u128::MAX, f);
+    let frac = words::mux_word(&mut aig, carry, &ones, &sum[..f]);
+
+    // Assemble: low f bits = frac, top e_bits = e.
+    let mut out = frac;
+    out.extend_from_slice(&e);
+    words::output_word(&mut aig, &out, "y");
+    als_aig::edit::sweep_dangling(&mut aig);
+    aig
+}
+
+/// Bit-exact functional specification of [`log2_unit`].
+pub fn log2_spec(x: u128, n: usize) -> u128 {
+    let e_bits = if n <= 32 { 5 } else { 6 };
+    let f = n - e_bits;
+    if x == 0 {
+        return 0;
+    }
+    let e = 127 - (x as u128).leading_zeros() as usize;
+    let y = (x << (n - 1 - e)) & ((1u128 << n) - 1); // normalised, MSB set
+    let fmask = (1u128 << f) - 1;
+    let u = (y >> (n - 1 - f)) & fmask;
+    let v = (u * (!u & fmask)) >> f;
+    let c = (v * correction_constant(f)) >> f;
+    let sum = u + (c & fmask);
+    let frac = if sum >> f != 0 { fmask } else { sum };
+    (e as u128) << f | frac
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::{decode, exhaustive_output_words, random_io_words};
+
+    #[test]
+    fn small_log2_matches_spec() {
+        let aig = log2_unit(8);
+        als_aig::check::check(&aig).unwrap();
+        for (p, got) in exhaustive_output_words(&aig).iter().enumerate() {
+            assert_eq!(*got, log2_spec(p as u128, 8), "x={p}");
+        }
+    }
+
+    #[test]
+    fn spec_integer_part_is_floor_log2() {
+        let n = 16;
+        let f = n - 5;
+        for x in [1u128, 2, 3, 7, 8, 255, 256, 65535] {
+            let e = log2_spec(x, n) >> f;
+            assert_eq!(e, (127 - x.leading_zeros()) as u128, "x={x}");
+        }
+    }
+
+    #[test]
+    fn spec_fraction_is_accurate() {
+        // compare to floating-point log2 within ~0.5% of full scale
+        let n = 24;
+        let f = n - 5;
+        for x in [3u128, 5, 100, 12345, 1 << 20, (1 << 22) + 12345] {
+            let out = log2_spec(x, n);
+            let approx = out as f64 / (f as f64).exp2();
+            let exact = (x as f64).log2();
+            assert!((approx - exact).abs() < 0.01, "x={x}: {approx} vs {exact}");
+        }
+    }
+
+    #[test]
+    fn paper_profile_32bit() {
+        let aig = log2_unit(32);
+        assert_eq!(aig.num_inputs(), 32);
+        assert_eq!(aig.num_outputs(), 32);
+        assert!(aig.num_ands() > 3000, "{}", aig.num_ands());
+    }
+
+    #[test]
+    fn random_patterns_match_spec() {
+        let aig = log2_unit(16);
+        for (inputs, out) in random_io_words(&aig, 2, 3) {
+            let x = decode(&inputs);
+            assert_eq!(out, log2_spec(x, 16), "x={x}");
+        }
+    }
+}

@@ -1,0 +1,124 @@
+//! Fixed-point sine unit — substitute for the paper's 24-bit `sin`.
+//!
+//! The input is an `n`-bit phase covering one full period; the output is a
+//! signed fixed-point sine value of `n + 1` bits. The unit exploits
+//! quarter-wave symmetry and evaluates the quadratic approximation
+//! `sin(π/2·u) ≈ 2u − u²` on the quadrant-local phase — one real squarer
+//! plus negation/mux logic, which is the same multiplier-dominated
+//! structure as the original benchmark.
+
+use als_aig::Aig;
+
+use crate::mult::unsigned_product;
+use crate::words;
+
+/// Builds the sine unit for an `n`-bit phase input (`n ≥ 6`).
+///
+/// Output: `n + 1` bits, two's complement, value `sine(x) · 2^(n-2)`.
+/// The bit-exact functional specification is [`sine_spec`].
+pub fn sine(n: usize) -> Aig {
+    assert!(n >= 6, "phase width must be at least 6");
+    let f = n - 2; // quadrant-local fraction bits
+    let mut aig = Aig::new(format!("sin{n}"));
+    let x = aig.add_inputs("x", n);
+    let t = &x[..f]; // phase within quadrant
+    let q0 = x[n - 2]; // odd quadrant -> reflect
+    let sign = x[n - 1]; // second half-period -> negate
+
+    // u = t or reflected ~t.
+    let t_not: Vec<_> = t.iter().map(|&l| !l).collect();
+    let u = words::mux_word(&mut aig, q0, &t_not, t);
+
+    // u² with f fraction bits: top f bits of the 2f-bit product.
+    let uu = unsigned_product(&mut aig, &u, &u);
+    let u2 = &uu[f..];
+    debug_assert_eq!(u2.len(), f);
+
+    // m = 2u − u² at f+1 bits (2u has f+1 bits, u² < 2^f, m ≤ 2^f).
+    let two_u = words::shift_left(&u, 1, f + 1);
+    let u2w = words::resize(u2, f + 1);
+    let (m, _no_borrow) = words::sub(&mut aig, &two_u, &u2w);
+
+    // signed output: ±m at n+1 bits.
+    let m_ext = words::resize(&m, n + 1);
+    let m_neg = words::negate(&mut aig, &m_ext);
+    let out = words::mux_word(&mut aig, sign, &m_neg, &m_ext);
+    words::output_word(&mut aig, &out, "s");
+    als_aig::edit::sweep_dangling(&mut aig);
+    aig
+}
+
+/// Bit-exact functional specification of [`sine`], on plain integers.
+///
+/// Returns the output word (n+1 bits, two's complement encoding).
+pub fn sine_spec(x: u128, n: usize) -> u128 {
+    let f = n - 2;
+    let fmask = (1u128 << f) - 1;
+    let t = x & fmask;
+    let q0 = x >> (n - 2) & 1 == 1;
+    let sign = x >> (n - 1) & 1 == 1;
+    let u = if q0 { !t & fmask } else { t };
+    let u2 = (u * u) >> f;
+    let m = (u << 1) - u2; // ≤ 2^f, fits f+1 bits
+    let width_mask = (1u128 << (n + 1)) - 1;
+    if sign {
+        m.wrapping_neg() & width_mask
+    } else {
+        m & width_mask
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::{decode, exhaustive_output_words, random_io_words};
+
+    #[test]
+    fn small_sine_matches_spec() {
+        let aig = sine(7);
+        als_aig::check::check(&aig).unwrap();
+        assert_eq!(aig.num_outputs(), 8);
+        for (p, got) in exhaustive_output_words(&aig).iter().enumerate() {
+            assert_eq!(*got, sine_spec(p as u128, 7), "x={p}");
+        }
+    }
+
+    #[test]
+    fn sine_is_odd_symmetric() {
+        // sine(x + half period) == -sine(x) in the spec
+        let n = 10;
+        let half = 1u128 << (n - 1);
+        let mask = (1u128 << (n + 1)) - 1;
+        for x in 0..half {
+            let a = sine_spec(x, n);
+            let b = sine_spec(x + half, n);
+            assert_eq!(b, a.wrapping_neg() & mask, "x={x}");
+        }
+    }
+
+    #[test]
+    fn peak_at_quarter_period() {
+        let n = 12;
+        // at u = max the quadratic reaches ~1.0 · 2^(n-2)
+        let quarter = (1u128 << (n - 2)) - 1;
+        let v = sine_spec(quarter, n);
+        assert!(v >= (1 << (n - 2)) - 4, "peak {v}");
+    }
+
+    #[test]
+    fn paper_profile_24bit() {
+        let aig = sine(24);
+        assert_eq!(aig.num_inputs(), 24);
+        assert_eq!(aig.num_outputs(), 25);
+        assert!(aig.num_ands() > 2000 && aig.num_ands() < 12_000, "{}", aig.num_ands());
+    }
+
+    #[test]
+    fn wide_sine_random_patterns_match_spec() {
+        let aig = sine(16);
+        for (inputs, out) in random_io_words(&aig, 2, 77) {
+            let x = decode(&inputs);
+            assert_eq!(out, sine_spec(x, 16));
+        }
+    }
+}

@@ -1,0 +1,100 @@
+//! Restoring integer square root — the EPFL-style `sqrt` benchmark.
+
+use als_aig::{Aig, Lit};
+
+use crate::words;
+
+/// Restoring square root: `2·k` input bits, `k` output bits computing
+/// `⌊√x⌋`. The digit recurrence is fully unrolled:
+///
+/// ```text
+/// rem = 0; root = 0
+/// for i = k-1 .. 0:
+///     rem   = rem · 4 + x[2i+1..2i]
+///     trial = root · 4 + 1
+///     root  = root · 2
+///     if rem ≥ trial { rem -= trial; root += 1 }
+/// ```
+///
+/// `isqrt(128)` reproduces the EPFL `sqrt` profile (128 inputs,
+/// 64 outputs).
+pub fn isqrt(input_bits: usize) -> Aig {
+    assert!(input_bits >= 2 && input_bits % 2 == 0, "input width must be even");
+    let k = input_bits / 2;
+    let mut aig = Aig::new(format!("sqrt{input_bits}"));
+    let x = aig.add_inputs("x", input_bits);
+
+    // Remainder needs k+2 bits: rem < 2·root + 1 ≤ 2^{k+1}.
+    let w = k + 2;
+    let mut rem: Vec<Lit> = vec![Lit::FALSE; w];
+    let mut root: Vec<Lit> = Vec::new(); // little-endian, grows by one per step
+    for step in 0..k {
+        let i = k - 1 - step;
+        // rem = rem << 2 | x[2i+1 : 2i]
+        let mut shifted = vec![x[2 * i], x[2 * i + 1]];
+        shifted.extend_from_slice(&rem[..w - 2]);
+        debug_assert_eq!(shifted.len(), w);
+        // trial = root << 2 | 1  (same width as rem)
+        let mut trial = vec![Lit::TRUE, Lit::FALSE];
+        trial.extend_from_slice(&root);
+        let trial = words::resize(&trial, w);
+        let (diff, no_borrow) = words::sub(&mut aig, &shifted, &trial);
+        rem = words::mux_word(&mut aig, no_borrow, &diff, &shifted);
+        // root = root << 1 | no_borrow (little-endian: push at LSB end)
+        root.insert(0, no_borrow);
+    }
+    words::output_word(&mut aig, &root, "r");
+    als_aig::edit::sweep_dangling(&mut aig);
+    aig
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::{decode, exhaustive_output_words, random_io_words};
+
+    fn isqrt_ref(x: u128) -> u128 {
+        let mut r = (x as f64).sqrt() as u128;
+        while r * r > x {
+            r -= 1;
+        }
+        while (r + 1) * (r + 1) <= x {
+            r += 1;
+        }
+        r
+    }
+
+    #[test]
+    fn small_sqrt_is_exact() {
+        let aig = isqrt(8);
+        als_aig::check::check(&aig).unwrap();
+        for (p, got) in exhaustive_output_words(&aig).iter().enumerate() {
+            assert_eq!(*got, isqrt_ref(p as u128), "sqrt({p})");
+        }
+    }
+
+    #[test]
+    fn tiny_sqrt_cases() {
+        let aig = isqrt(6);
+        for (p, got) in exhaustive_output_words(&aig).iter().enumerate() {
+            assert_eq!(*got, isqrt_ref(p as u128), "sqrt({p})");
+        }
+    }
+
+    #[test]
+    fn wide_sqrt_on_random_patterns() {
+        let aig = isqrt(32);
+        for (inputs, out) in random_io_words(&aig, 2, 31) {
+            let x = decode(&inputs);
+            assert_eq!(out, isqrt_ref(x), "sqrt({x})");
+        }
+    }
+
+    #[test]
+    fn epfl_sqrt_profile() {
+        let aig = isqrt(128);
+        assert_eq!(aig.num_inputs(), 128);
+        assert_eq!(aig.num_outputs(), 64);
+        assert!(aig.num_ands() > 10_000 && aig.num_ands() < 45_000, "{}", aig.num_ands());
+    }
+}

@@ -1,0 +1,65 @@
+//! Squarer — the EPFL-style `square` benchmark.
+
+use als_aig::Aig;
+
+use crate::mult::unsigned_product;
+use crate::words;
+
+/// Unsigned squarer: `width` input bits, `2·width` output bits computing
+/// `a²`. Structural hashing shares the symmetric partial products, so the
+/// squarer is noticeably smaller than a general multiplier of the same
+/// width. `squarer(64)` reproduces the EPFL `square` profile (64 inputs,
+/// 128 outputs).
+pub fn squarer(width: usize) -> Aig {
+    let mut aig = Aig::new(format!("square{width}"));
+    let a = aig.add_inputs("a", width);
+    let p = unsigned_product(&mut aig, &a, &a);
+    words::output_word(&mut aig, &p, "p");
+    als_aig::edit::sweep_dangling(&mut aig);
+    aig
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::{decode, exhaustive_output_words, random_io_words};
+
+    #[test]
+    fn small_squarer_is_exact() {
+        let aig = squarer(4);
+        als_aig::check::check(&aig).unwrap();
+        for (p, got) in exhaustive_output_words(&aig).iter().enumerate() {
+            let x = (p & 15) as u128;
+            assert_eq!(*got, x * x, "pattern {p}");
+        }
+    }
+
+    #[test]
+    fn squarer_shares_partial_products() {
+        let sq = squarer(8);
+        let mu = crate::mult::mult(8, 8);
+        assert!(
+            sq.num_ands() < mu.num_ands(),
+            "squarer {} vs multiplier {}",
+            sq.num_ands(),
+            mu.num_ands()
+        );
+    }
+
+    #[test]
+    fn wide_squarer_on_random_patterns() {
+        let aig = squarer(32);
+        for (inputs, out) in random_io_words(&aig, 2, 23) {
+            let x = decode(&inputs);
+            assert_eq!(out, x * x);
+        }
+    }
+
+    #[test]
+    fn epfl_square_profile() {
+        let aig = squarer(64);
+        assert_eq!(aig.num_inputs(), 64);
+        assert_eq!(aig.num_outputs(), 128);
+        assert!(aig.num_ands() > 10_000 && aig.num_ands() < 60_000, "{}", aig.num_ands());
+    }
+}

@@ -1,0 +1,109 @@
+//! The named benchmark suite (Table I of the paper).
+
+use als_aig::Aig;
+
+/// Scale at which to generate a benchmark.
+#[derive(Copy, Clone, PartialEq, Eq, Debug, Default)]
+pub enum BenchmarkScale {
+    /// The paper's widths (e.g. 128-bit adder, 16×16 multiplier).
+    Paper,
+    /// Reduced widths for quick experiments and CI: same structure, a few
+    /// hundred to a few thousand nodes.
+    #[default]
+    Reduced,
+}
+
+/// All benchmark names of Table I, paper order.
+pub fn benchmark_names() -> Vec<&'static str> {
+    vec![
+        "c880", "c1908", "c3540", "sm9x8", "sm18x14", "butterfly", "vecmul8", "mult16",
+        "adder", "sqrt", "sin", "square", "log2",
+    ]
+}
+
+/// Names of the paper's *small* group (fewer than 4000 AIG nodes).
+pub fn small_circuit_names() -> Vec<&'static str> {
+    vec!["c880", "c1908", "c3540", "sm9x8", "sm18x14", "mult16", "adder"]
+}
+
+/// Names of the paper's *large* group (at least 4000 AIG nodes).
+pub fn large_circuit_names() -> Vec<&'static str> {
+    vec!["butterfly", "vecmul8", "sqrt", "sin", "square", "log2"]
+}
+
+/// Generates a benchmark by name.
+///
+/// # Panics
+/// Panics on an unknown name; use [`benchmark_names`] for the valid set.
+pub fn benchmark(name: &str, scale: BenchmarkScale) -> Aig {
+    let paper = scale == BenchmarkScale::Paper;
+    match name {
+        "c880" => crate::alu::alu_c880(),
+        "c1908" => crate::detector::detector(),
+        "c3540" => crate::alu::alu_c3540(),
+        "sm9x8" => crate::mult::signed_mult(9, 8),
+        "sm18x14" => {
+            if paper {
+                crate::mult::signed_mult(18, 14)
+            } else {
+                crate::mult::signed_mult(10, 8)
+            }
+        }
+        "butterfly" => crate::butterfly::butterfly(if paper { 16 } else { 6 }),
+        "vecmul8" => crate::vecmul::vecmul(8, if paper { 16 } else { 6 }),
+        "mult16" => {
+            if paper {
+                crate::mult::mult(16, 16)
+            } else {
+                crate::mult::mult(8, 8)
+            }
+        }
+        "adder" => crate::arith::ripple_adder(if paper { 128 } else { 32 }),
+        "sqrt" => crate::sqrt::isqrt(if paper { 128 } else { 24 }),
+        "sin" => crate::sin::sine(if paper { 24 } else { 12 }),
+        "square" => crate::square::squarer(if paper { 64 } else { 16 }),
+        "log2" => crate::log2::log2_unit(if paper { 32 } else { 16 }),
+        other => panic!("unknown benchmark {other:?}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_names_generate_clean_reduced_circuits() {
+        for name in benchmark_names() {
+            let aig = benchmark(name, BenchmarkScale::Reduced);
+            als_aig::check::check(&aig).unwrap_or_else(|e| panic!("{name}: {e}"));
+            assert!(aig.num_ands() > 0, "{name} is empty");
+        }
+    }
+
+    #[test]
+    fn groups_partition_the_suite() {
+        let mut all: Vec<_> = small_circuit_names();
+        all.extend(large_circuit_names());
+        all.sort();
+        let mut names = benchmark_names();
+        names.sort();
+        assert_eq!(all, names);
+    }
+
+    #[test]
+    fn paper_scale_io_profiles() {
+        // spot-check the headline profiles without building the giants
+        let c880 = benchmark("c880", BenchmarkScale::Paper);
+        assert_eq!((c880.num_inputs(), c880.num_outputs()), (60, 26));
+        let sm = benchmark("sm9x8", BenchmarkScale::Paper);
+        assert_eq!((sm.num_inputs(), sm.num_outputs()), (17, 17));
+        let sin = benchmark("sin", BenchmarkScale::Paper);
+        assert_eq!((sin.num_inputs(), sin.num_outputs()), (24, 25));
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown benchmark")]
+    fn unknown_name_panics() {
+        benchmark("nonexistent", BenchmarkScale::Reduced);
+    }
+}

@@ -1,0 +1,30 @@
+//! Shared helpers for the generator tests.
+
+use als_aig::Aig;
+use als_sim::{PatternSet, Simulator};
+
+/// Simulates the circuit exhaustively (inputs padded to at least 6) and
+/// decodes the weighted output word for every input assignment, indexed by
+/// the input-bit encoding of the pattern.
+pub(crate) fn exhaustive_output_words(aig: &Aig) -> Vec<u128> {
+    let n = aig.num_inputs().max(6);
+    assert!(n <= 20, "exhaustive check limited to 20 inputs");
+    let patterns = PatternSet::exhaustive(n);
+    let sim = Simulator::new(aig, &patterns);
+    (0..1usize << aig.num_inputs()).map(|p| sim.output_word(aig, p)).collect()
+}
+
+/// Simulates the circuit on `words * 64` random patterns and returns, per
+/// pattern, the tuple of (input assignment bits, output word).
+pub(crate) fn random_io_words(aig: &Aig, words: usize, seed: u64) -> Vec<(Vec<bool>, u128)> {
+    let patterns = PatternSet::random(aig.num_inputs(), words, seed);
+    let sim = Simulator::new(aig, &patterns);
+    (0..patterns.num_patterns())
+        .map(|p| (patterns.pattern(p), sim.output_word(aig, p)))
+        .collect()
+}
+
+/// Decodes a little-endian slice of bools into a u128.
+pub(crate) fn decode(bits: &[bool]) -> u128 {
+    bits.iter().enumerate().fold(0u128, |acc, (i, &b)| acc | (b as u128) << i)
+}

@@ -1,0 +1,101 @@
+//! Vector dot product — substitute for the paper's `vecmul8`.
+
+use als_aig::{Aig, Lit};
+
+use crate::mult::unsigned_product;
+use crate::words;
+
+/// Unsigned dot product of two `dim`-dimensional vectors with `w`-bit
+/// entries: `2·dim·w` inputs, `2w + ⌈log2 dim⌉` outputs.
+///
+/// `vecmul(8, 16)` reproduces the paper's `vecmul8` profile (256 inputs,
+/// 35 outputs).
+pub fn vecmul(dim: usize, w: usize) -> Aig {
+    assert!(dim >= 1 && w >= 1);
+    let mut aig = Aig::new(format!("vecmul{dim}x{w}"));
+    let a: Vec<Vec<Lit>> =
+        (0..dim).map(|i| aig.add_inputs(&format!("a{i}_"), w)).collect();
+    let b: Vec<Vec<Lit>> =
+        (0..dim).map(|i| aig.add_inputs(&format!("b{i}_"), w)).collect();
+    let mut terms: Vec<Vec<Lit>> = a
+        .iter()
+        .zip(&b)
+        .map(|(x, y)| unsigned_product(&mut aig, x, y))
+        .collect();
+    // Balanced adder tree with width growth.
+    while terms.len() > 1 {
+        let mut next = Vec::with_capacity(terms.len().div_ceil(2));
+        let mut it = terms.into_iter();
+        while let Some(t0) = it.next() {
+            match it.next() {
+                Some(t1) => {
+                    let width = t0.len().max(t1.len()) + 1;
+                    let x = words::resize(&t0, width - 1);
+                    let y = words::resize(&t1, width - 1);
+                    next.push(words::add(&mut aig, &x, &y, Lit::FALSE));
+                }
+                None => next.push(t0),
+            }
+        }
+        terms = next;
+    }
+    let sum = terms.pop().expect("dim >= 1");
+    words::output_word(&mut aig, &sum, "s");
+    als_aig::edit::sweep_dangling(&mut aig);
+    aig
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::{decode, exhaustive_output_words, random_io_words};
+
+    #[test]
+    fn tiny_dot_product_is_exact() {
+        let aig = vecmul(2, 2); // 8 inputs
+        als_aig::check::check(&aig).unwrap();
+        for (p, got) in exhaustive_output_words(&aig).iter().enumerate() {
+            let a0 = (p & 3) as u128;
+            let a1 = (p >> 2 & 3) as u128;
+            let b0 = (p >> 4 & 3) as u128;
+            let b1 = (p >> 6 & 3) as u128;
+            assert_eq!(*got, a0 * b0 + a1 * b1, "pattern {p}");
+        }
+    }
+
+    #[test]
+    fn odd_dimension_handled() {
+        let aig = vecmul(3, 2); // 12 inputs
+        for (inputs, out) in random_io_words(&aig, 2, 9) {
+            let mut expect = 0u128;
+            for i in 0..3 {
+                let a = decode(&inputs[2 * i..2 * i + 2]);
+                let b = decode(&inputs[6 + 2 * i..6 + 2 * i + 2]);
+                expect += a * b;
+            }
+            assert_eq!(out, expect);
+        }
+    }
+
+    #[test]
+    fn paper_profile_vecmul8() {
+        let aig = vecmul(8, 16);
+        assert_eq!(aig.num_inputs(), 256);
+        assert_eq!(aig.num_outputs(), 35);
+        assert!(aig.num_ands() > 8000 && aig.num_ands() < 25_000, "{}", aig.num_ands());
+    }
+
+    #[test]
+    fn medium_dot_product_random() {
+        let aig = vecmul(4, 8);
+        for (inputs, out) in random_io_words(&aig, 2, 41) {
+            let mut expect = 0u128;
+            for i in 0..4 {
+                let a = decode(&inputs[8 * i..8 * i + 8]);
+                let b = decode(&inputs[32 + 8 * i..32 + 8 * i + 8]);
+                expect += a * b;
+            }
+            assert_eq!(out, expect);
+        }
+    }
+}

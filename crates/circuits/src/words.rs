@@ -1,0 +1,161 @@
+//! Word-level construction helpers.
+//!
+//! Words are little-endian literal slices (`words[0]` is the LSB). All
+//! helpers fold constants through [`Aig::and`]'s simplification, so feeding
+//! constant literals generates no dead logic.
+
+use als_aig::{Aig, Lit};
+
+/// A constant word of `width` bits with value `value`.
+pub fn constant(value: u128, width: usize) -> Vec<Lit> {
+    (0..width)
+        .map(|i| if value >> i & 1 == 1 { Lit::TRUE } else { Lit::FALSE })
+        .collect()
+}
+
+/// Ripple-carry addition: returns `width+1` bits (`a + b + cin`, carry out
+/// as MSB). Operands must have equal width.
+pub fn add(aig: &mut Aig, a: &[Lit], b: &[Lit], cin: Lit) -> Vec<Lit> {
+    assert_eq!(a.len(), b.len(), "operand widths differ");
+    let mut out = Vec::with_capacity(a.len() + 1);
+    let mut carry = cin;
+    for (&x, &y) in a.iter().zip(b) {
+        let (s, c) = aig.full_adder(x, y, carry);
+        out.push(s);
+        carry = c;
+    }
+    out.push(carry);
+    out
+}
+
+/// Two's-complement subtraction `a - b`: returns `width` result bits plus a
+/// final `borrow-free` flag (1 = no borrow, i.e. `a >= b`).
+pub fn sub(aig: &mut Aig, a: &[Lit], b: &[Lit]) -> (Vec<Lit>, Lit) {
+    let nb: Vec<Lit> = b.iter().map(|&l| !l).collect();
+    let mut s = add(aig, a, &nb, Lit::TRUE);
+    let no_borrow = s.pop().expect("carry bit");
+    (s, no_borrow)
+}
+
+/// Bitwise mux: `if sel { t } else { e }`, elementwise.
+pub fn mux_word(aig: &mut Aig, sel: Lit, t: &[Lit], e: &[Lit]) -> Vec<Lit> {
+    assert_eq!(t.len(), e.len());
+    t.iter().zip(e).map(|(&x, &y)| aig.mux(sel, x, y)).collect()
+}
+
+/// Zero-extends (or truncates) a word to `width` bits.
+pub fn resize(word: &[Lit], width: usize) -> Vec<Lit> {
+    let mut out: Vec<Lit> = word.iter().copied().take(width).collect();
+    while out.len() < width {
+        out.push(Lit::FALSE);
+    }
+    out
+}
+
+/// Logical left shift by a fixed amount, keeping `width` bits.
+pub fn shift_left(word: &[Lit], by: usize, width: usize) -> Vec<Lit> {
+    let mut out = vec![Lit::FALSE; width];
+    for (i, &l) in word.iter().enumerate() {
+        if i + by < width {
+            out[i + by] = l;
+        }
+    }
+    out
+}
+
+/// Bitwise AND of a word with a single gating literal.
+pub fn gate_word(aig: &mut Aig, word: &[Lit], gate: Lit) -> Vec<Lit> {
+    word.iter().map(|&l| aig.and(l, gate)).collect()
+}
+
+/// Bitwise XOR of two equal-width words.
+pub fn xor_word(aig: &mut Aig, a: &[Lit], b: &[Lit]) -> Vec<Lit> {
+    assert_eq!(a.len(), b.len());
+    a.iter().zip(b).map(|(&x, &y)| aig.xor(x, y)).collect()
+}
+
+/// Two's-complement negation of a word (width preserved).
+pub fn negate(aig: &mut Aig, a: &[Lit]) -> Vec<Lit> {
+    let inverted: Vec<Lit> = a.iter().map(|&l| !l).collect();
+    let one = constant(1, a.len());
+    let mut s = add(aig, &inverted, &one, Lit::FALSE);
+    s.pop();
+    s
+}
+
+/// Registers a word as primary outputs named `prefix{i}`.
+pub fn output_word(aig: &mut Aig, word: &[Lit], prefix: &str) {
+    for (i, &l) in word.iter().enumerate() {
+        aig.add_output(l, format!("{prefix}{i}"));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::exhaustive_output_words;
+
+    #[test]
+    fn add_matches_arithmetic() {
+        let mut aig = Aig::new("add3");
+        let a = aig.add_inputs("a", 3);
+        let b = aig.add_inputs("b", 3);
+        let s = add(&mut aig, &a, &b, Lit::FALSE);
+        output_word(&mut aig, &s, "s");
+        als_aig::edit::sweep_dangling(&mut aig);
+        for (p, got) in exhaustive_output_words(&aig).iter().enumerate() {
+            let (x, y) = ((p & 7) as u128, ((p >> 3) & 7) as u128);
+            assert_eq!(*got, x + y, "pattern {p}");
+        }
+    }
+
+    #[test]
+    fn sub_matches_arithmetic() {
+        let mut aig = Aig::new("sub3");
+        let a = aig.add_inputs("a", 3);
+        let b = aig.add_inputs("b", 3);
+        let (d, no_borrow) = sub(&mut aig, &a, &b);
+        output_word(&mut aig, &d, "d");
+        aig.add_output(no_borrow, "geq");
+        als_aig::edit::sweep_dangling(&mut aig);
+        for (p, got) in exhaustive_output_words(&aig).iter().enumerate() {
+            let (x, y) = ((p & 7) as i64, ((p >> 3) & 7) as i64);
+            let expect = ((x - y) & 7) as u128 | (((x >= y) as u128) << 3);
+            assert_eq!(*got, expect, "pattern {p}");
+        }
+    }
+
+    #[test]
+    fn negate_matches_arithmetic() {
+        let mut aig = Aig::new("neg");
+        let a = aig.add_inputs("a", 4);
+        let padding = aig.add_inputs("pad", 2);
+        let n = negate(&mut aig, &a);
+        output_word(&mut aig, &n, "n");
+        als_aig::edit::sweep_dangling(&mut aig);
+        let _ = padding;
+        for (p, got) in exhaustive_output_words(&aig).iter().enumerate() {
+            let x = (p & 15) as u128;
+            assert_eq!(*got, x.wrapping_neg() & 15, "pattern {p}");
+        }
+    }
+
+    #[test]
+    fn shifts_and_resize() {
+        let w = constant(0b1011, 4);
+        assert_eq!(shift_left(&w, 1, 4), constant(0b0110, 4));
+        assert_eq!(resize(&w, 6), constant(0b1011, 6));
+        assert_eq!(resize(&w, 2), constant(0b11, 2));
+    }
+
+    #[test]
+    fn constants_fold_through_gates() {
+        let mut aig = Aig::new("k");
+        let a = aig.add_inputs("a", 2);
+        let zero = constant(0, 2);
+        let s = add(&mut aig, &a, &zero, Lit::FALSE);
+        // a + 0 must not materialise a full adder chain
+        assert_eq!(&s[..2], a.as_slice());
+        assert_eq!(aig.num_ands(), 0);
+    }
+}

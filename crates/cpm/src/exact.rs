@@ -1,0 +1,91 @@
+//! Exact single-node CPM row via full fanout-cone resimulation.
+//!
+//! Every node has a trivial disjoint cut: the set of primary-output sinks
+//! it reaches. Using it with [`crate::FlipSim`] simulates the node's whole
+//! TFO cone — more expensive than the closest cut, but requiring no
+//! precomputed cut state. The flows use this to *validate* a LAC chosen
+//! from approximate estimates (VECBEE `l = 1`, AccALS multi-selection)
+//! before committing it.
+
+use als_aig::{Aig, NodeId};
+use als_cuts::{CutMember, DisjointCut};
+use als_sim::Simulator;
+
+use crate::flipsim::FlipSim;
+use crate::storage::CpmRow;
+
+/// Builds the trivial output-sink disjoint cut of `n` by walking its TFO
+/// cone.
+pub fn trivial_cut(aig: &Aig, n: NodeId) -> DisjointCut {
+    let cone = als_aig::cone::tfo_cone(aig, n);
+    let mut outputs: Vec<u32> = cone
+        .iter()
+        .flat_map(|&u| aig.output_refs(u).iter().copied())
+        .collect();
+    outputs.sort_unstable();
+    outputs.dedup();
+    DisjointCut::from_members(outputs.into_iter().map(CutMember::Output).collect())
+}
+
+/// Computes the exact CPM row of `n` with one full cone simulation, with
+/// no dependence on cut or CPM state.
+pub fn exact_row(
+    aig: &Aig,
+    sim: &Simulator,
+    ranks: &[u32],
+    flipsim: &mut FlipSim,
+    n: NodeId,
+) -> CpmRow {
+    let cut = trivial_cut(aig, n);
+    let mut row: CpmRow = flipsim
+        .boolean_differences(aig, sim, ranks, n, &cut)
+        .into_iter()
+        .map(|(m, b)| {
+            let CutMember::Output(o) = m else { unreachable!("trivial cut has only sinks") };
+            (o, b)
+        })
+        .collect();
+    row.sort_by_key(|(o, _)| *o);
+    row
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reference::{brute_force_row, rows_equivalent};
+    use als_sim::PatternSet;
+
+    #[test]
+    fn exact_row_matches_brute_force() {
+        let mut aig = Aig::new("r");
+        let x = aig.add_inputs("x", 6);
+        let a = aig.and(x[0], x[1]);
+        let b = aig.and(a, x[2]);
+        let c = aig.and(a, !x[2]);
+        let e = aig.and(b, c);
+        aig.add_output(e, "O1");
+        aig.add_output(!c, "O2");
+        let patterns = PatternSet::exhaustive(6);
+        let sim = Simulator::new(&aig, &patterns);
+        let ranks = als_aig::topo::topo_ranks(&aig);
+        let mut fs = FlipSim::new(aig.num_nodes(), sim.num_words());
+        for n in aig.iter_live() {
+            let row = exact_row(&aig, &sim, &ranks, &mut fs, n);
+            let reference = brute_force_row(&aig, &patterns, n);
+            assert!(rows_equivalent(&row, &reference, 2), "node {n}");
+        }
+    }
+
+    #[test]
+    fn trivial_cut_lists_reachable_outputs() {
+        let mut aig = Aig::new("t");
+        let x = aig.add_inputs("x", 2);
+        let g = aig.and(x[0], x[1]);
+        aig.add_output(g, "o0");
+        aig.add_output(x[1].xor_complement(true), "o1");
+        let cut = trivial_cut(&aig, g.node());
+        assert_eq!(cut.members(), &[CutMember::Output(0)]);
+        let cut_x1 = trivial_cut(&aig, x[1].node());
+        assert_eq!(cut_x1.members(), &[CutMember::Output(0), CutMember::Output(1)]);
+    }
+}

@@ -1,0 +1,234 @@
+//! Single-flip cone simulation.
+//!
+//! To fill a CPM row via Eq. (1), we need the Boolean differences
+//! `B[n][t] = value(t | n flipped) ⊕ value(t)` for every member `t` of
+//! `n`'s disjoint cut. Because the cut members' TFO cones are disjoint, one
+//! simulation of the *inner cone* — the region between `n` and the cut —
+//! yields all of them at once.
+
+use als_aig::{Aig, NodeId};
+use als_cuts::{CutMember, DisjointCut};
+use als_sim::{PackedBits, Simulator};
+
+/// Reusable scratch buffers for flip simulations.
+///
+/// A flip simulation touches only the inner cone of one node, so the
+/// scratch vectors are stamped per call rather than cleared.
+#[derive(Debug)]
+pub struct FlipSim {
+    num_words: usize,
+    flipped: Vec<PackedBits>,
+    stamp: Vec<u32>,
+    epoch: u32,
+    /// Scratch: cone membership stamps.
+    cone_stamp: Vec<u32>,
+    cone_epoch: u32,
+}
+
+impl FlipSim {
+    /// Allocates scratch for a graph with `num_nodes` slots and pattern
+    /// vectors of `num_words` words.
+    pub fn new(num_nodes: usize, num_words: usize) -> FlipSim {
+        FlipSim {
+            num_words,
+            flipped: vec![PackedBits::zeros(num_words); num_nodes],
+            stamp: vec![0; num_nodes],
+            epoch: 0,
+            cone_stamp: vec![0; num_nodes],
+            cone_epoch: 0,
+        }
+    }
+
+    #[inline]
+    fn flipped_or_orig<'a>(&'a self, sim: &'a Simulator, id: NodeId) -> &'a PackedBits {
+        if self.stamp[id.index()] == self.epoch {
+            &self.flipped[id.index()]
+        } else {
+            sim.value(id)
+        }
+    }
+
+    /// Simulates the inner cone of `n` with `n`'s value complemented and
+    /// returns, for each cut member `t`, the Boolean-difference vector
+    /// `B[n][t]`.
+    ///
+    /// `ranks` must be current topological ranks
+    /// ([`als_aig::topo::topo_ranks`]). For an [`CutMember::Output`] member
+    /// the difference is that of the output's driver (output complements
+    /// cancel under XOR).
+    pub fn boolean_differences(
+        &mut self,
+        aig: &Aig,
+        sim: &Simulator,
+        ranks: &[u32],
+        n: NodeId,
+        cut: &DisjointCut,
+    ) -> Vec<(CutMember, PackedBits)> {
+        debug_assert_eq!(sim.num_words(), self.num_words);
+        self.epoch = self.epoch.wrapping_add(1);
+        self.cone_epoch = self.cone_epoch.wrapping_add(1);
+
+        // Collect the inner cone: BFS from n through fanouts, not expanding
+        // beyond cut member nodes (output sinks terminate naturally).
+        let mut cone: Vec<NodeId> = Vec::new();
+        let is_cut_node = |id: NodeId| cut.members().contains(&CutMember::Node(id));
+        self.cone_stamp[n.index()] = self.cone_epoch;
+        let mut queue = vec![n];
+        let mut head = 0;
+        while head < queue.len() {
+            let u = queue[head];
+            head += 1;
+            if u != n && is_cut_node(u) {
+                cone.push(u);
+                continue; // member: include but do not expand
+            }
+            cone.push(u);
+            for &f in aig.fanouts(u) {
+                if self.cone_stamp[f.index()] != self.cone_epoch {
+                    self.cone_stamp[f.index()] = self.cone_epoch;
+                    queue.push(f);
+                }
+            }
+        }
+        cone.sort_by_key(|id| ranks[id.index()]);
+
+        // Seed: n flipped.
+        self.flipped[n.index()].words_mut().copy_from_slice(sim.value(n).words());
+        self.flipped[n.index()].not_assign();
+        self.stamp[n.index()] = self.epoch;
+
+        // Evaluate the cone in topological order.
+        for &id in &cone {
+            if id == n || !aig.node(id).is_and() {
+                continue;
+            }
+            let node = aig.node(id);
+            let (f0, f1) = (node.fanin0(), node.fanin1());
+            let (i0, i1, ii) = (f0.node().index(), f1.node().index(), id.index());
+            let use0 = self.stamp[i0] == self.epoch;
+            let use1 = self.stamp[i1] == self.epoch;
+            let (m0, m1) = (
+                if f0.is_complement() { !0u64 } else { 0 },
+                if f1.is_complement() { !0u64 } else { 0 },
+            );
+            for w in 0..self.num_words {
+                let a = if use0 { self.flipped[i0].words()[w] } else { sim.value(f0.node()).words()[w] };
+                let b = if use1 { self.flipped[i1].words()[w] } else { sim.value(f1.node()).words()[w] };
+                let r = (a ^ m0) & (b ^ m1);
+                self.flipped[ii].words_mut()[w] = r;
+            }
+            self.stamp[ii] = self.epoch;
+        }
+
+        // Extract differences at the cut.
+        cut.members()
+            .iter()
+            .map(|&m| {
+                let node = match m {
+                    CutMember::Node(t) => t,
+                    CutMember::Output(o) => aig.output_lit(o as usize).node(),
+                };
+                let diff = self.flipped_or_orig(sim, node).xor(sim.value(node));
+                (m, diff)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use als_aig::Aig;
+    use als_cuts::{closest_disjoint_cut, ReachMap};
+    use als_sim::PatternSet;
+
+    /// Brute-force Boolean difference of any node pair by full resimulation.
+    fn brute_diff(aig: &Aig, patterns: &PatternSet, n: NodeId, t: NodeId) -> PackedBits {
+        let sim = Simulator::new(aig, patterns);
+        // full flipped simulation
+        let mut vals: Vec<PackedBits> =
+            (0..aig.num_nodes()).map(|i| sim.value(NodeId(i as u32)).clone()).collect();
+        vals[n.index()].not_assign();
+        for id in als_aig::topo::topo_order(aig) {
+            if id == n || !aig.node(id).is_and() {
+                continue;
+            }
+            let node = aig.node(id);
+            let a = {
+                let v = &vals[node.fanin0().node().index()];
+                if node.fanin0().is_complement() {
+                    v.not()
+                } else {
+                    v.clone()
+                }
+            };
+            let b = {
+                let v = &vals[node.fanin1().node().index()];
+                if node.fanin1().is_complement() {
+                    v.not()
+                } else {
+                    v.clone()
+                }
+            };
+            vals[id.index()] = a.and(&b);
+        }
+        vals[t.index()].xor(sim.value(t))
+    }
+
+    #[test]
+    fn differences_match_brute_force() {
+        // Reconvergent circuit stressing the inner-cone logic.
+        let mut aig = Aig::new("r");
+        let x = aig.add_inputs("x", 6);
+        let a = aig.and(x[0], x[1]);
+        let b = aig.and(a, x[2]);
+        let c = aig.and(a, !x[2]);
+        let d = aig.and(b, x[3]);
+        let e = aig.and(b, c);
+        aig.add_output(d, "O1");
+        aig.add_output(e, "O2");
+        aig.add_output(!c, "O3");
+        let patterns = PatternSet::exhaustive(6);
+        let sim = Simulator::new(&aig, &patterns);
+        let reach = ReachMap::compute(&aig);
+        let ranks = als_aig::topo::topo_ranks(&aig);
+        let mut fs = FlipSim::new(aig.num_nodes(), sim.num_words());
+
+        for id in aig.iter_live() {
+            if reach.mask(id).is_zero() {
+                continue;
+            }
+            let cut = closest_disjoint_cut(&aig, &reach, &ranks, id);
+            let diffs = fs.boolean_differences(&aig, &sim, &ranks, id, &cut);
+            for (m, diff) in diffs {
+                let t = match m {
+                    CutMember::Node(t) => t,
+                    CutMember::Output(o) => aig.output_lit(o as usize).node(),
+                };
+                assert_eq!(diff, brute_diff(&aig, &patterns, id, t), "node {id} member {m:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn scratch_reuse_is_clean_across_calls() {
+        let mut aig = Aig::new("two");
+        let x = aig.add_inputs("x", 6);
+        let g1 = aig.and(x[0], x[1]);
+        let g2 = aig.and(x[2], x[3]);
+        let h = aig.and(g1, g2);
+        aig.add_output(h, "o");
+        let patterns = PatternSet::exhaustive(6);
+        let sim = Simulator::new(&aig, &patterns);
+        let reach = ReachMap::compute(&aig);
+        let ranks = als_aig::topo::topo_ranks(&aig);
+        let mut fs = FlipSim::new(aig.num_nodes(), sim.num_words());
+        let cut1 = closest_disjoint_cut(&aig, &reach, &ranks, g1.node());
+        let first = fs.boolean_differences(&aig, &sim, &ranks, g1.node(), &cut1);
+        // second call on a different node must not see stale flipped values
+        let cut2 = closest_disjoint_cut(&aig, &reach, &ranks, g2.node());
+        let _ = fs.boolean_differences(&aig, &sim, &ranks, g2.node(), &cut2);
+        let again = fs.boolean_differences(&aig, &sim, &ranks, g1.node(), &cut1);
+        assert_eq!(first, again);
+    }
+}

@@ -1,0 +1,39 @@
+//! Change propagation matrix (CPM) computation.
+//!
+//! The CPM `P[i, n, o]` answers, for every simulation pattern `i`, node `n`
+//! and primary output `o`: *would toggling `n` under pattern `i` toggle
+//! `o`?* With it, the error increase of every candidate LAC follows directly
+//! from the LAC's node-level change vector `D` — the per-output flip vector
+//! is just `D ∧ P[n][o]` (see `als-error`).
+//!
+//! Three computation strategies are provided:
+//!
+//! * [`full`] — exact CPM for all nodes via closest disjoint cuts and
+//!   Eq. (1) of the paper, `P[n][o] = B[n][t] ∧ P[t][o]`, in reverse
+//!   topological order (the "enhanced VECBEE" baseline and the paper's
+//!   phase-one step 2),
+//! * [`partial`] — exact CPM restricted to `N(S_cand)`, the transitive
+//!   closure of the candidate set through disjoint cuts (phase-two step 2),
+//! * [`vecbee`] — the original VECBEE approximation with depth limit
+//!   `l = 1`, which substitutes direct fanouts for cuts: fast but inexact
+//!   under reconvergence.
+//!
+//! [`flipsim`] implements the single-flip cone simulation that yields the
+//! Boolean differences `B[n][t]` to *all* cut members of `n` at once — the
+//! disjoint-cut advantage over per-output one-cut simulation.
+//! [`reference`] holds a brute-force oracle used by tests.
+
+pub mod exact;
+pub mod flipsim;
+pub mod full;
+pub mod partial;
+pub mod reference;
+pub mod storage;
+pub mod vecbee;
+
+pub use exact::{exact_row, trivial_cut};
+pub use flipsim::FlipSim;
+pub use full::compute_full;
+pub use partial::{candidate_closure, compute_partial};
+pub use storage::{Cpm, CpmRow};
+pub use vecbee::compute_depth_one;

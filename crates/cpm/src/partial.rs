@@ -1,0 +1,118 @@
+//! Partial CPM restricted to `N(S_cand)` — the phase-two step 2.
+//!
+//! When phase two only considers LACs targeting the candidate set
+//! `S_cand`, the only CPM rows needed are those of `S_cand` itself plus,
+//! recursively, the rows of every node member of their disjoint cuts
+//! (Eq. (1) consumes them). The paper computes this closure with a work
+//! queue; [`candidate_closure`] reproduces it exactly (Example 2).
+
+use als_aig::{Aig, NodeId};
+use als_cuts::{CutMember, CutState};
+use als_sim::Simulator;
+
+use crate::full::compute_for_set;
+use crate::storage::Cpm;
+
+/// Computes `N(S_cand)`: the transitive closure of the candidate nodes
+/// through their disjoint cuts' node members (output sinks terminate).
+pub fn candidate_closure(aig: &Aig, cuts: &CutState, s_cand: &[NodeId]) -> Vec<NodeId> {
+    let mut in_set = vec![false; aig.num_nodes()];
+    let mut queue: Vec<NodeId> = Vec::new();
+    for &s in s_cand {
+        if !in_set[s.index()] {
+            in_set[s.index()] = true;
+            queue.push(s);
+        }
+    }
+    let mut head = 0;
+    while head < queue.len() {
+        let s = queue[head];
+        head += 1;
+        for m in cuts.cut(s).members() {
+            if let CutMember::Node(t) = m {
+                if !in_set[t.index()] {
+                    in_set[t.index()] = true;
+                    queue.push(*t);
+                }
+            }
+        }
+    }
+    queue
+}
+
+/// Computes exact CPM rows for `N(S_cand)` only.
+///
+/// Entries for the candidate nodes are identical to the full CPM's; all
+/// other rows are left empty, which is what makes phase two cheap.
+pub fn compute_partial(
+    aig: &Aig,
+    sim: &Simulator,
+    cuts: &CutState,
+    s_cand: &[NodeId],
+) -> (Cpm, usize) {
+    let closure = candidate_closure(aig, cuts, s_cand);
+    let mut include = vec![false; aig.num_nodes()];
+    for &n in &closure {
+        include[n.index()] = true;
+    }
+    let cpm = compute_for_set(aig, sim, cuts, Some(&include));
+    (cpm, closure.len())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::full::compute_full;
+    use als_sim::PatternSet;
+
+    /// The paper's Example 2 shape: a and b both cut at d; d cuts at O1.
+    fn example2() -> (Aig, Vec<NodeId>) {
+        let mut aig = Aig::new("ex2");
+        let x = aig.add_inputs("x", 6);
+        let a = aig.and(x[0], x[1]);
+        let b = aig.and(x[2], x[3]);
+        let c = aig.and(x[4], x[5]);
+        let d = aig.and(a, b);
+        let e = aig.and(d, c);
+        aig.add_output(e, "O1");
+        (aig, vec![a.node(), b.node(), c.node(), d.node(), e.node()])
+    }
+
+    #[test]
+    fn closure_follows_cut_chain() {
+        let (aig, n) = example2();
+        let cuts = CutState::compute(&aig);
+        let (a, b, d) = (n[0], n[1], n[3]);
+        let mut closure = candidate_closure(&aig, &cuts, &[a, b]);
+        closure.sort();
+        let mut expect = vec![a, b, d, n[4]];
+        expect.sort();
+        // a and b cut at d; d's cut is e (single fanout), e's cut is O1.
+        assert_eq!(closure, expect);
+    }
+
+    #[test]
+    fn partial_rows_match_full_cpm() {
+        let (aig, n) = example2();
+        let patterns = PatternSet::exhaustive(6);
+        let sim = Simulator::new(&aig, &patterns);
+        let cuts = CutState::compute(&aig);
+        let full = compute_full(&aig, &sim, &cuts);
+        let (partial, closure_size) = compute_partial(&aig, &sim, &cuts, &[n[0], n[1]]);
+        assert!(closure_size < aig.iter_live().count());
+        for &cand in &[n[0], n[1]] {
+            assert_eq!(partial.row(cand), full.row(cand));
+        }
+        // non-closure nodes have no rows
+        let c = n[2];
+        assert!(partial.row(c).is_none());
+        assert!(partial.num_rows() == closure_size);
+    }
+
+    #[test]
+    fn closure_of_empty_set_is_empty() {
+        let (aig, _) = example2();
+        let cuts = CutState::compute(&aig);
+        assert!(candidate_closure(&aig, &cuts, &[]).is_empty());
+    }
+}

@@ -1,0 +1,90 @@
+//! Brute-force CPM oracle for tests.
+//!
+//! Computes `P[·, n, o]` by literally flipping node `n` and resimulating
+//! the entire circuit — quadratic and only suitable for small test
+//! circuits, but definitionally correct.
+
+use als_aig::{Aig, NodeId};
+use als_sim::{PackedBits, PatternSet, Simulator};
+
+use crate::storage::CpmRow;
+
+/// The exact CPM row of `n`, over *all* outputs (zero vectors included).
+pub fn brute_force_row(aig: &Aig, patterns: &PatternSet, n: NodeId) -> CpmRow {
+    let sim = Simulator::new(aig, patterns);
+    let mut vals: Vec<PackedBits> =
+        (0..aig.num_nodes()).map(|i| sim.value(NodeId(i as u32)).clone()).collect();
+    vals[n.index()].not_assign();
+    for id in als_aig::topo::topo_order(aig) {
+        if id == n || !aig.node(id).is_and() {
+            continue;
+        }
+        let node = aig.node(id);
+        let read = |lit: als_aig::Lit, vals: &[PackedBits]| {
+            let v = &vals[lit.node().index()];
+            if lit.is_complement() {
+                v.not()
+            } else {
+                v.clone()
+            }
+        };
+        let a = read(node.fanin0(), &vals);
+        let b = read(node.fanin1(), &vals);
+        vals[id.index()] = a.and(&b);
+    }
+    aig.outputs()
+        .iter()
+        .enumerate()
+        .map(|(o, out)| {
+            let d = out.lit.node();
+            (o as u32, vals[d.index()].xor(sim.value(d)))
+        })
+        .collect()
+}
+
+/// Whether a sparse CPM row equals a dense reference row: entries present
+/// in one and absent in the other must be zero vectors.
+pub fn rows_equivalent(sparse: &CpmRow, dense: &CpmRow, num_outputs: usize) -> bool {
+    for o in 0..num_outputs as u32 {
+        let s = sparse.iter().find(|(oo, _)| *oo == o).map(|(_, v)| v);
+        let d = dense.iter().find(|(oo, _)| *oo == o).map(|(_, v)| v);
+        let equal = match (s, d) {
+            (Some(a), Some(b)) => a == b,
+            (Some(a), None) => a.is_zero(),
+            (None, Some(b)) => b.is_zero(),
+            (None, None) => true,
+        };
+        if !equal {
+            return false;
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use als_aig::Aig;
+
+    #[test]
+    fn brute_force_on_buffer() {
+        let mut aig = Aig::new("buf");
+        let xs = aig.add_inputs("x", 6);
+        aig.add_output(xs[0], "o0");
+        aig.add_output(!xs[1], "o1");
+        let patterns = PatternSet::exhaustive(6);
+        let row = brute_force_row(&aig, &patterns, aig.inputs()[0]);
+        // flipping x0 always flips o0, never o1
+        assert_eq!(row[0].1.count_ones(), 64);
+        assert!(row[1].1.is_zero());
+    }
+
+    #[test]
+    fn rows_equivalent_handles_sparsity() {
+        let dense = vec![(0, PackedBits::zeros(1)), (1, PackedBits::ones(1))];
+        let sparse = vec![(1, PackedBits::ones(1))];
+        assert!(rows_equivalent(&sparse, &dense, 2));
+        let wrong = vec![(1, PackedBits::zeros(1))];
+        assert!(!rows_equivalent(&wrong, &dense, 2));
+    }
+}

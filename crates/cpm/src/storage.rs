@@ -1,0 +1,76 @@
+//! CPM storage: sparse per-node rows over reachable outputs.
+
+use als_aig::NodeId;
+use als_sim::PackedBits;
+
+/// One node's CPM row: for each output reachable from the node, the packed
+/// Boolean-difference vector `P[·, n, o]` over all patterns.
+///
+/// Entries are sorted by output index.
+pub type CpmRow = Vec<(u32, PackedBits)>;
+
+/// The change propagation matrix of a circuit, stored sparsely: only
+/// computed nodes carry a row (the partial phase-two computation leaves
+/// non-candidate rows empty), and each row covers only the outputs
+/// reachable from its node.
+#[derive(Clone, Debug, Default)]
+pub struct Cpm {
+    rows: Vec<Option<CpmRow>>,
+}
+
+impl Cpm {
+    /// An empty CPM sized for `num_nodes` node slots.
+    pub fn new(num_nodes: usize) -> Cpm {
+        Cpm { rows: vec![None; num_nodes] }
+    }
+
+    /// Stores the row of node `n`.
+    pub fn set_row(&mut self, n: NodeId, row: CpmRow) {
+        debug_assert!(row.windows(2).all(|w| w[0].0 < w[1].0), "row must be sorted");
+        self.rows[n.index()] = Some(row);
+    }
+
+    /// The row of node `n`, if computed.
+    pub fn row(&self, n: NodeId) -> Option<&CpmRow> {
+        self.rows.get(n.index()).and_then(|r| r.as_ref())
+    }
+
+    /// The entry `P[·, n, o]`, if the row is computed and `o` reachable.
+    pub fn entry(&self, n: NodeId, o: u32) -> Option<&PackedBits> {
+        self.row(n)?.iter().find(|(oo, _)| *oo == o).map(|(_, v)| v)
+    }
+
+    /// Whether a row exists for `n`.
+    pub fn has_row(&self, n: NodeId) -> bool {
+        self.row(n).is_some()
+    }
+
+    /// Number of computed rows.
+    pub fn num_rows(&self) -> usize {
+        self.rows.iter().filter(|r| r.is_some()).count()
+    }
+
+    /// Total number of stored (node, output) entries.
+    pub fn num_entries(&self) -> usize {
+        self.rows.iter().flatten().map(|r| r.len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rows_and_entries() {
+        let mut cpm = Cpm::new(4);
+        assert!(!cpm.has_row(NodeId(2)));
+        cpm.set_row(NodeId(2), vec![(0, PackedBits::ones(1)), (3, PackedBits::zeros(1))]);
+        assert!(cpm.has_row(NodeId(2)));
+        assert_eq!(cpm.num_rows(), 1);
+        assert_eq!(cpm.num_entries(), 2);
+        assert!(cpm.entry(NodeId(2), 0).unwrap().get(5));
+        assert!(cpm.entry(NodeId(2), 3).unwrap().is_zero());
+        assert!(cpm.entry(NodeId(2), 1).is_none());
+        assert!(cpm.entry(NodeId(1), 0).is_none());
+    }
+}

@@ -1,0 +1,155 @@
+//! The original VECBEE approximation with depth limit `l = 1`.
+//!
+//! VECBEE's accuracy knob replaces the cut in Eq. (1) by nodes at bounded
+//! depth; at `l = 1` the "cut" of node `n` is simply its direct fanouts:
+//!
+//! ```text
+//! P[n][o] ≈ ⋁_f ( B[n][f] ∧ P[f][o] )
+//! ```
+//!
+//! The OR over fanouts ignores reconvergent cancellation, so the result is
+//! not exact in general — the paper's Table II shows the quality cost on
+//! large circuits. The Boolean difference to a direct fanout needs no cone
+//! simulation at all: it is evaluated locally from the fanout's other
+//! fanin.
+
+use als_aig::{Aig, Lit, NodeId};
+use als_sim::{PackedBits, Simulator};
+
+use crate::storage::{Cpm, CpmRow};
+
+/// Boolean difference of a direct fanout `f` of `n`: how `f`'s value reacts
+/// to toggling `n`, evaluated locally.
+fn local_diff(aig: &Aig, sim: &Simulator, n: NodeId, f: NodeId) -> PackedBits {
+    let node = aig.node(f);
+    let (f0, f1) = (node.fanin0(), node.fanin1());
+    let read = |lit: Lit, flip: bool| {
+        let mut v = sim.lit_value(lit);
+        if flip {
+            v.not_assign();
+        }
+        v
+    };
+    let a = read(f0, f0.node() == n);
+    let b = read(f1, f1.node() == n);
+    a.and(&b).xor(sim.value(f))
+}
+
+/// Computes the depth-one VECBEE CPM for every live node.
+///
+/// Exact on fanout-tree regions, approximate under reconvergence.
+pub fn compute_depth_one(aig: &Aig, sim: &Simulator) -> Cpm {
+    let words = sim.num_words();
+    let mut cpm = Cpm::new(aig.num_nodes());
+    let order = als_aig::topo::topo_order(aig);
+    for &n in order.iter().rev() {
+        let mut acc: Vec<Option<PackedBits>> = vec![None; aig.num_outputs()];
+        for &o in aig.output_refs(n) {
+            acc[o as usize] = Some(PackedBits::ones(words));
+        }
+        // Deduplicate fanouts (a double edge still yields one local diff).
+        let mut fanouts: Vec<NodeId> = aig.fanouts(n).to_vec();
+        fanouts.sort();
+        fanouts.dedup();
+        for f in fanouts {
+            let b = local_diff(aig, sim, n, f);
+            let frow = cpm.row(f).expect("fanout row precedes in reverse topo order");
+            for (o, p) in frow {
+                let masked = b.and(p);
+                match &mut acc[*o as usize] {
+                    Some(existing) => existing.or_assign(&masked),
+                    slot @ None => *slot = Some(masked),
+                }
+            }
+        }
+        let row: CpmRow = acc
+            .into_iter()
+            .enumerate()
+            .filter_map(|(o, v)| v.map(|v| (o as u32, v)))
+            .collect();
+        cpm.set_row(n, row);
+    }
+    cpm
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::full::compute_full;
+    use crate::reference::{brute_force_row, rows_equivalent};
+    use als_cuts::CutState;
+    use als_sim::PatternSet;
+
+    #[test]
+    fn exact_on_trees() {
+        // A fanout-free tree: depth-one must equal brute force.
+        let mut aig = Aig::new("tree");
+        let x = aig.add_inputs("x", 8);
+        let g0 = aig.and(x[0], x[1]);
+        let g1 = aig.and(x[2], !x[3]);
+        let g2 = aig.and(!x[4], x[5]);
+        let g3 = aig.and(x[6], x[7]);
+        let h0 = aig.and(g0, g1);
+        let h1 = aig.and(g2, g3);
+        let r = aig.and(h0, !h1);
+        aig.add_output(r, "o");
+        let patterns = PatternSet::exhaustive(8);
+        let sim = Simulator::new(&aig, &patterns);
+        let cpm = compute_depth_one(&aig, &sim);
+        for n in aig.iter_live() {
+            let reference = brute_force_row(&aig, &patterns, n);
+            assert!(rows_equivalent(cpm.row(n).unwrap(), &reference, 1), "node {n}");
+        }
+    }
+
+    #[test]
+    fn inexact_under_reconvergent_cancellation() {
+        // o = (a & x) & !(a & x) collapses structurally, so build the classic
+        // XOR-style cancellation: o = (a&b) xor (a&!b) reacts to a, but
+        // depth-one over-propagates through both branches.
+        let mut aig = Aig::new("recon");
+        let x = aig.add_inputs("x", 6);
+        let a = aig.and(x[0], x[1]);
+        // two branches that reconverge with cancellation: e = b0 & b1 where
+        // b0 = a & c, b1 = !(a & c) -> constant 0 function of a's cone.
+        let c = x[2];
+        let b0 = aig.and(a, c);
+        let b1 = aig.and_raw(!b0, x[3]);
+        let e = aig.and_raw(b0, b1); // e = b0 & !b0 & x3 = 0
+        aig.add_output(e, "o");
+        let patterns = PatternSet::exhaustive(6);
+        let sim = Simulator::new(&aig, &patterns);
+        let d1 = compute_depth_one(&aig, &sim);
+        let cuts = CutState::compute(&aig);
+        let exact = compute_full(&aig, &sim, &cuts);
+        // e is constantly 0; flipping b0 cannot change it... actually
+        // flipping b0 CAN change e (e = b0 & !b0&x3 toggles parts). The real
+        // check: the exact CPM matches brute force, depth-one does not
+        // everywhere.
+        let mut depth_one_all_exact = true;
+        for n in aig.iter_live() {
+            let reference = brute_force_row(&aig, &patterns, n);
+            assert!(rows_equivalent(exact.row(n).unwrap(), &reference, 1), "exact wrong at {n}");
+            if !rows_equivalent(d1.row(n).unwrap(), &reference, 1) {
+                depth_one_all_exact = false;
+            }
+        }
+        assert!(!depth_one_all_exact, "expected depth-one to be approximate here");
+    }
+
+    #[test]
+    fn double_edge_fanout_handled() {
+        let mut aig = Aig::new("dbl");
+        let x = aig.add_inputs("x", 6);
+        let g = aig.and(x[0], x[1]);
+        let h = aig.and_raw(g, !g); // constant-0 gate using g twice
+        let r = aig.and_raw(h, x[2]);
+        aig.add_output(r, "o");
+        aig.add_output(g, "o1");
+        let patterns = PatternSet::exhaustive(6);
+        let sim = Simulator::new(&aig, &patterns);
+        let cpm = compute_depth_one(&aig, &sim);
+        // must not panic and g's row must exist with both outputs possible
+        assert!(cpm.row(g.node()).is_some());
+    }
+}

@@ -1,0 +1,183 @@
+//! Incremental disjoint-cut maintenance across LAC edits.
+//!
+//! The *cut preservation condition* (CPC) of a node `n` holds when the
+//! applied LAC neither adds/removes nodes in `n`'s TFO cone nor edits edges
+//! between nodes of that cone — then `n`'s previous disjoint cut is still a
+//! disjoint cut and is reused. The set of nodes whose CPC may be violated is
+//!
+//! ```text
+//! S_c = removed nodes ∪ nodes with changed fanout lists
+//! S_v = (∪_{c ∈ S_c} TFI-cone(c)) \ removed
+//! ```
+//!
+//! which [`violated_set`] computes from the [`EditRecord`] produced by
+//! [`als_aig::edit::replace`]. [`CutState::update_after`] then refreshes
+//! reachability masks and disjoint cuts for `S_v` only — the paper's
+//! phase-two step 1.
+
+use als_aig::{Aig, EditRecord, NodeId};
+
+use crate::disjoint::{closest_disjoint_cut, DisjointCut};
+use crate::reach::ReachMap;
+
+/// Computes `S_v`: the live nodes whose cut preservation condition may be
+/// violated by `edit`.
+pub fn violated_set(aig: &Aig, edit: &EditRecord) -> Vec<NodeId> {
+    let seeds: Vec<NodeId> = edit.changed_nodes().collect();
+    let mut sv = als_aig::cone::tfi_cone_union(aig, &seeds);
+    sv.retain(|&n| aig.is_live(n));
+    sv
+}
+
+/// Reachability masks, topological ranks and disjoint cuts for every live
+/// node — the complete "step 1" state of an analysis iteration, refreshable
+/// either from scratch ([`CutState::compute`], phase one) or incrementally
+/// ([`CutState::update_after`], phase two).
+#[derive(Clone, Debug)]
+pub struct CutState {
+    reach: ReachMap,
+    ranks: Vec<u32>,
+    cuts: Vec<Option<DisjointCut>>,
+    /// Number of cut recomputations performed by the last update.
+    last_update_size: usize,
+}
+
+impl CutState {
+    /// Full computation for all live nodes (comprehensive analysis).
+    pub fn compute(aig: &Aig) -> CutState {
+        let reach = ReachMap::compute(aig);
+        let ranks = als_aig::topo::topo_ranks(aig);
+        let mut cuts = vec![None; aig.num_nodes()];
+        for id in aig.iter_live() {
+            cuts[id.index()] = Some(closest_disjoint_cut(aig, &reach, &ranks, id));
+        }
+        let last_update_size = aig.num_nodes() - aig.num_dead();
+        CutState { reach, ranks, cuts, last_update_size }
+    }
+
+    /// Incremental refresh after a LAC: recomputes reachability and cuts
+    /// only for the nodes in `S_v`, reusing everything else.
+    pub fn update_after(&mut self, aig: &Aig, edit: &EditRecord) {
+        let sv = violated_set(aig, edit);
+        // Ranks are cheap to refresh and keep the expansion heuristic exact.
+        self.ranks = als_aig::topo::topo_ranks(aig);
+        self.reach.recompute_for(aig, &sv);
+        for &dead in &edit.removed {
+            self.cuts[dead.index()] = None;
+        }
+        for &n in &sv {
+            self.cuts[n.index()] = Some(closest_disjoint_cut(aig, &self.reach, &self.ranks, n));
+        }
+        self.last_update_size = sv.len();
+    }
+
+    /// The reachability map.
+    pub fn reach(&self) -> &ReachMap {
+        &self.reach
+    }
+
+    /// Topological ranks of the current graph.
+    pub fn ranks(&self) -> &[u32] {
+        &self.ranks
+    }
+
+    /// The disjoint cut of a live node.
+    ///
+    /// # Panics
+    /// Panics if `n` has no stored cut (dead or never computed).
+    pub fn cut(&self, n: NodeId) -> &DisjointCut {
+        self.cuts[n.index()].as_ref().expect("cut of a live node")
+    }
+
+    /// The disjoint cut of `n`, if stored.
+    pub fn get_cut(&self, n: NodeId) -> Option<&DisjointCut> {
+        self.cuts[n.index()].as_ref()
+    }
+
+    /// Number of nodes the last (full or incremental) update touched —
+    /// `|S_v|` for incremental updates, the live-node count after a full
+    /// compute. Feeds the self-adaption runtime model.
+    pub fn last_update_size(&self) -> usize {
+        self.last_update_size
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::disjoint::verify_cut;
+    use als_aig::edit::replace;
+    use als_aig::{Aig, Lit};
+
+    /// Builds the paper's Fig. 5-style situation: replacing c with d must
+    /// invalidate cuts of exactly the TFIs of the changed nodes.
+    fn sample() -> (Aig, Vec<Lit>) {
+        let mut aig = Aig::new("fig5");
+        let x = aig.add_inputs("x", 4);
+        let a = aig.and(x[0], x[1]);
+        let b = aig.and(a, x[2]);
+        let c = aig.and(a, !x[2]);
+        let d = aig.and(x[2], x[3]);
+        let f = aig.and(c, x[3]);
+        let g = aig.and(b, d);
+        let h = aig.and(f, !d);
+        aig.add_output(g, "o0");
+        aig.add_output(h, "o1");
+        (aig, vec![a, b, c, d, f, g, h])
+    }
+
+    #[test]
+    fn sv_contains_tfi_of_changed() {
+        let (mut aig, n) = sample();
+        let (a, c, d) = (n[0], n[2], n[3]);
+        let rec = replace(&mut aig, c.node(), d);
+        let sv = violated_set(&aig, &rec);
+        // c removed; d gained fanout f; a lost fanout c; x2 lost a fanout.
+        assert!(!sv.contains(&c.node()), "removed node excluded");
+        assert!(sv.contains(&d.node()), "replacement in S_v");
+        assert!(sv.contains(&a.node()), "TFI of removed node in S_v");
+        // Inputs feeding a and d are in S_v as well.
+        assert!(sv.contains(&aig.inputs()[0]));
+        assert!(sv.contains(&aig.inputs()[3]));
+    }
+
+    #[test]
+    fn incremental_update_matches_fresh_compute() {
+        let (mut aig, n) = sample();
+        let mut state = CutState::compute(&aig);
+        let rec = replace(&mut aig, n[2].node(), n[3]);
+        state.update_after(&aig, &rec);
+        let fresh = CutState::compute(&aig);
+        for id in aig.iter_live() {
+            assert_eq!(state.reach().mask(id), fresh.reach().mask(id), "reach of {id}");
+            assert_eq!(state.cut(id), fresh.cut(id), "cut of {id}");
+            verify_cut(&aig, state.reach(), id, state.cut(id)).unwrap();
+        }
+        assert!(state.last_update_size() < aig.iter_live().count());
+    }
+
+    #[test]
+    fn repeated_edits_stay_consistent() {
+        let (mut aig, n) = sample();
+        let mut state = CutState::compute(&aig);
+        // First replace c by d, then replace g by constant 1.
+        let rec1 = replace(&mut aig, n[2].node(), n[3]);
+        state.update_after(&aig, &rec1);
+        let rec2 = replace(&mut aig, n[5].node(), Lit::TRUE);
+        state.update_after(&aig, &rec2);
+        let fresh = CutState::compute(&aig);
+        for id in aig.iter_live() {
+            assert_eq!(state.cut(id), fresh.cut(id), "cut of {id}");
+        }
+    }
+
+    #[test]
+    fn constant_replacement_updates_constant_node_cut() {
+        let (mut aig, n) = sample();
+        let mut state = CutState::compute(&aig);
+        let rec = replace(&mut aig, n[4].node(), Lit::FALSE); // f := 0
+        state.update_after(&aig, &rec);
+        let fresh = CutState::compute(&aig);
+        assert_eq!(state.cut(NodeId::CONST0), fresh.cut(NodeId::CONST0));
+    }
+}

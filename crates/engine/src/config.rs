@@ -1,0 +1,193 @@
+//! Flow configuration.
+
+use als_error::MetricKind;
+use als_lac::CandidateConfig;
+
+/// How Monte-Carlo input patterns are drawn.
+#[derive(Copy, Clone, PartialEq, Debug, Default)]
+pub enum PatternSource {
+    /// Independent uniform bits (the paper's experimental setup).
+    #[default]
+    Uniform,
+    /// Independent biased bits: each input is 1 with the given
+    /// probability — exercises the "any input distribution" claim.
+    Biased(f64),
+}
+
+/// How the best candidate LAC of an iteration is chosen.
+#[derive(Copy, Clone, PartialEq, Eq, Debug, Default)]
+pub enum SelectionStrategy {
+    /// Smallest error increase, ties broken by larger area saving — the
+    /// paper's criterion ("selects one target node with the smallest
+    /// error increase").
+    #[default]
+    MinError,
+    /// Largest area saving per unit of error increase (SASIMI-style
+    /// gain/cost greedy). Tends to remove big cones earlier at the price
+    /// of burning error budget faster.
+    MaxGainPerError,
+}
+
+/// Configuration shared by every flow.
+///
+/// The dual-phase parameters follow the paper's experimental setup:
+/// `M = 60` candidates (150 for large circuits), `N = M/3`, and the
+/// self-adaption constants `R_inc = 0.25`, `b_r = 0.025`, `b_s = 0.25`,
+/// `e_t = 0.5`.
+#[derive(Clone, Debug)]
+pub struct FlowConfig {
+    /// Error metric the bound applies to.
+    pub metric: MetricKind,
+    /// Error upper bound `E_b`.
+    pub error_bound: f64,
+    /// Number of Monte-Carlo patterns (rounded up to a multiple of 64).
+    pub num_patterns: usize,
+    /// RNG seed for pattern generation.
+    pub seed: u64,
+    /// Input distribution for pattern generation.
+    pub patterns_from: PatternSource,
+    /// Candidate selection criterion.
+    pub selection: SelectionStrategy,
+    /// Explicit output weights; `None` selects `2^o` (unsigned word).
+    pub weights: Option<Vec<f64>>,
+    /// Candidate LAC enumeration settings.
+    pub lac: CandidateConfig,
+    /// Candidate-set size `M` for the dual-phase flows.
+    pub m: usize,
+    /// Phase-two iteration limit `N` (must stay below `M`).
+    pub n: usize,
+    /// Self-adaption growth/shrink factor `R_inc`.
+    pub r_inc: f64,
+    /// Relaxed bound ratio `b_r`.
+    pub b_r: f64,
+    /// Strict bound ratio `b_s`.
+    pub b_s: f64,
+    /// Relative-error-increase threshold `e_t`.
+    pub e_t: f64,
+    /// AccALS: maximum LACs applied per comprehensive analysis.
+    pub multi_k: usize,
+    /// Safety cap on applied LACs.
+    pub max_lacs: usize,
+    /// Worker threads for batch error estimation (the paper uses 16 for
+    /// its Table II runs; 1 = serial).
+    pub threads: usize,
+    /// Fold trivially-constant gates after each applied LAC (an exact
+    /// transformation ABC would perform before mapping; keeps reported
+    /// areas honest for constant LACs).
+    pub fold_constants: bool,
+}
+
+impl FlowConfig {
+    /// A configuration with the paper's small-circuit defaults.
+    pub fn new(metric: MetricKind, error_bound: f64) -> FlowConfig {
+        FlowConfig {
+            metric,
+            error_bound,
+            num_patterns: 8192,
+            seed: 0xA15,
+            patterns_from: PatternSource::Uniform,
+            selection: SelectionStrategy::MinError,
+            weights: None,
+            lac: CandidateConfig::sasimi(8),
+            m: 60,
+            n: 20,
+            r_inc: 0.25,
+            b_r: 0.025,
+            b_s: 0.25,
+            e_t: 0.5,
+            multi_k: 8,
+            max_lacs: 100_000,
+            threads: 1,
+            fold_constants: true,
+        }
+    }
+
+    /// Switches to the paper's large-circuit setup: `M = 150`, `N = 50`,
+    /// constant LACs only.
+    pub fn for_large_circuit(mut self) -> FlowConfig {
+        self.m = 150;
+        self.n = 50;
+        self.lac = CandidateConfig::constants_only();
+        self
+    }
+
+    /// Sets the Monte-Carlo pattern count (rounded up to a multiple of 64).
+    pub fn with_patterns(mut self, num_patterns: usize) -> FlowConfig {
+        self.num_patterns = num_patterns.max(64);
+        self
+    }
+
+    /// Sets the RNG seed.
+    pub fn with_seed(mut self, seed: u64) -> FlowConfig {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the candidate-set size `M` and derives `N = M/3`.
+    pub fn with_candidates(mut self, m: usize) -> FlowConfig {
+        self.m = m.max(3);
+        self.n = (self.m / 3).max(1);
+        self
+    }
+
+    /// Sets the number of worker threads for batch error estimation.
+    pub fn with_threads(mut self, threads: usize) -> FlowConfig {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// Selects the input distribution.
+    pub fn with_input_distribution(mut self, source: PatternSource) -> FlowConfig {
+        self.patterns_from = source;
+        self
+    }
+
+    /// Selects the candidate selection criterion.
+    pub fn with_selection(mut self, strategy: SelectionStrategy) -> FlowConfig {
+        self.selection = strategy;
+        self
+    }
+
+    /// Number of 64-bit pattern words.
+    pub fn pattern_words(&self) -> usize {
+        self.num_patterns.div_ceil(64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper() {
+        let c = FlowConfig::new(MetricKind::Mse, 100.0);
+        assert_eq!(c.m, 60);
+        assert_eq!(c.n, 20);
+        assert_eq!(c.r_inc, 0.25);
+        assert_eq!(c.b_r, 0.025);
+        assert_eq!(c.b_s, 0.25);
+        assert_eq!(c.e_t, 0.5);
+        assert!(c.n < c.m);
+    }
+
+    #[test]
+    fn large_circuit_setup() {
+        let c = FlowConfig::new(MetricKind::Er, 0.01).for_large_circuit();
+        assert_eq!(c.m, 150);
+        assert_eq!(c.n, 50);
+        assert!(!c.lac.substitutions);
+    }
+
+    #[test]
+    fn pattern_rounding() {
+        let c = FlowConfig::new(MetricKind::Er, 0.01).with_patterns(100);
+        assert_eq!(c.pattern_words(), 2);
+        assert_eq!(FlowConfig::new(MetricKind::Er, 0.1).with_patterns(1).pattern_words(), 1);
+    }
+
+    #[test]
+    fn candidate_derivation() {
+        let c = FlowConfig::new(MetricKind::Er, 0.01).with_candidates(90);
+        assert_eq!((c.m, c.n), (90, 30));
+    }
+}

@@ -1,0 +1,425 @@
+//! Shared per-run state and the evaluation/selection/application kernel
+//! used by every flow.
+
+use std::time::{Duration, Instant};
+
+use als_aig::{Aig, EditRecord, NodeId};
+use als_cpm::{Cpm, FlipSim};
+use als_error::{unsigned_weights, ErrorState, FlipVec};
+use als_lac::Lac;
+use als_sim::{PackedBits, PatternSet, Simulator};
+
+use crate::config::FlowConfig;
+use crate::report::StepTimes;
+
+/// A candidate LAC with its evaluated error and area gain.
+#[derive(Clone, Debug)]
+pub struct Evaluated {
+    /// The candidate change.
+    pub lac: Lac,
+    /// Estimated total error after applying it.
+    pub error_after: f64,
+    /// Gates its application removes.
+    pub saving: usize,
+}
+
+/// Mutable state of one flow run: the working circuit, its simulation,
+/// the cached error state and timing accumulators.
+pub struct Ctx {
+    /// Working approximate circuit.
+    pub aig: Aig,
+    /// Monte-Carlo stimuli (fixed for the whole run).
+    pub patterns: PatternSet,
+    /// Node values of the working circuit.
+    pub sim: Simulator,
+    /// Cached error state against the golden outputs.
+    pub state: ErrorState,
+    /// Current topological ranks of the working circuit.
+    pub ranks: Vec<u32>,
+    /// Reusable flip-simulation scratch.
+    pub flipsim: FlipSim,
+    /// Per-step timing accumulators.
+    pub times: StepTimes,
+    /// Worker threads for batch evaluation.
+    threads: usize,
+    /// Fold constants after each applied LAC.
+    fold_constants: bool,
+    started: Instant,
+}
+
+/// Evaluates one LAC against the CPM and error state (no mutation).
+fn eval_one(
+    aig: &Aig,
+    sim: &Simulator,
+    state: &ErrorState,
+    cpm: &Cpm,
+    lac: &Lac,
+) -> Option<Evaluated> {
+    let row = cpm.row(lac.target)?;
+    let d = lac.change_vector(sim);
+    let flips: Vec<FlipVec> = if d.is_zero() {
+        Vec::new()
+    } else {
+        row.iter()
+            .filter_map(|(o, p)| {
+                let bits = d.and(p);
+                (!bits.is_zero()).then_some(FlipVec { output: *o as usize, bits })
+            })
+            .collect()
+    };
+    let error_after = state.eval_flips(&flips);
+    let saving = als_lac::area_saving(aig, lac.target);
+    Some(Evaluated { lac: *lac, error_after, saving })
+}
+
+impl Ctx {
+    /// Initialises a run on a copy of `original`.
+    pub fn new(original: &Aig, cfg: &FlowConfig) -> Ctx {
+        let aig = original.clone();
+        let patterns = match cfg.patterns_from {
+            crate::config::PatternSource::Uniform => {
+                PatternSet::random(aig.num_inputs(), cfg.pattern_words(), cfg.seed)
+            }
+            crate::config::PatternSource::Biased(density) => {
+                PatternSet::biased(aig.num_inputs(), cfg.pattern_words(), cfg.seed, density)
+            }
+        };
+        let sim = Simulator::new(&aig, &patterns);
+        let golden: Vec<PackedBits> =
+            (0..aig.num_outputs()).map(|o| sim.output_value(&aig, o)).collect();
+        let weights = cfg
+            .weights
+            .clone()
+            .unwrap_or_else(|| unsigned_weights(aig.num_outputs()));
+        let state = ErrorState::new(cfg.metric, weights, golden.clone(), &golden);
+        let ranks = als_aig::topo::topo_ranks(&aig);
+        let flipsim = FlipSim::new(aig.num_nodes(), patterns.num_words());
+        Ctx {
+            aig,
+            patterns,
+            sim,
+            state,
+            ranks,
+            flipsim,
+            times: StepTimes::default(),
+            threads: cfg.threads,
+            fold_constants: cfg.fold_constants,
+            started: Instant::now(),
+        }
+    }
+
+    /// Current measured error of the working circuit.
+    pub fn error(&self) -> f64 {
+        self.state.error()
+    }
+
+    /// Full statistical error report of the working circuit.
+    pub fn report(&self) -> als_error::ErrorReport {
+        als_error::ErrorReport::from_state(&self.state)
+    }
+
+    /// Elapsed wall-clock time since the run started.
+    pub fn elapsed(&self) -> Duration {
+        self.started.elapsed()
+    }
+
+    /// Current output values of the working circuit.
+    pub fn output_values(&self) -> Vec<PackedBits> {
+        (0..self.aig.num_outputs()).map(|o| self.sim.output_value(&self.aig, o)).collect()
+    }
+
+    /// Converts a LAC's change vector plus a CPM row into per-output flip
+    /// vectors.
+    pub fn flips_for(&self, lac: &Lac, cpm: &Cpm) -> Option<Vec<FlipVec>> {
+        let row = cpm.row(lac.target)?;
+        let d = lac.change_vector(&self.sim);
+        if d.is_zero() {
+            return Some(Vec::new());
+        }
+        Some(
+            row.iter()
+                .filter_map(|(o, p)| {
+                    let bits = d.and(p);
+                    (!bits.is_zero()).then_some(FlipVec { output: *o as usize, bits })
+                })
+                .collect(),
+        )
+    }
+
+    /// Evaluates candidate LACs against the CPM, in parallel when the
+    /// configuration asked for worker threads (the paper's multi-threaded
+    /// error estimation). Candidates without a CPM row (unreachable
+    /// targets) are skipped. Result order is deterministic regardless of
+    /// the thread count.
+    pub fn evaluate_lacs(&mut self, cpm: &Cpm, lacs: &[Lac]) -> Vec<Evaluated> {
+        let t0 = Instant::now();
+        let out = if self.threads <= 1 || lacs.len() < 4 * self.threads {
+            lacs.iter()
+                .filter_map(|lac| eval_one(&self.aig, &self.sim, &self.state, cpm, lac))
+                .collect()
+        } else {
+            let chunk = lacs.len().div_ceil(self.threads);
+            let (aig, sim, state) = (&self.aig, &self.sim, &self.state);
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = lacs
+                    .chunks(chunk)
+                    .map(|part| {
+                        scope.spawn(move || {
+                            part.iter()
+                                .filter_map(|lac| eval_one(aig, sim, state, cpm, lac))
+                                .collect::<Vec<_>>()
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .flat_map(|h| h.join().expect("evaluation worker panicked"))
+                    .collect()
+            })
+        };
+        self.times.eval += t0.elapsed();
+        out
+    }
+
+    /// Exact error a LAC would cause, via full fanout-cone resimulation —
+    /// used to validate candidates chosen from approximate estimates.
+    pub fn exact_error_of(&mut self, lac: &Lac) -> f64 {
+        let row = als_cpm::exact_row(
+            &self.aig,
+            &self.sim,
+            &self.ranks,
+            &mut self.flipsim,
+            lac.target,
+        );
+        let d = lac.change_vector(&self.sim);
+        if d.is_zero() {
+            return self.state.error();
+        }
+        let flips: Vec<FlipVec> = row
+            .into_iter()
+            .filter_map(|(o, p)| {
+                let bits = d.and(&p);
+                (!bits.is_zero()).then_some(FlipVec { output: o as usize, bits })
+            })
+            .collect();
+        self.state.eval_flips(&flips)
+    }
+
+    /// Picks the best applicable candidate: smallest error, ties broken by
+    /// larger area saving, then deterministic LAC identity.
+    pub fn select_best(evals: &[Evaluated], bound: f64) -> Option<Evaluated> {
+        evals
+            .iter()
+            .filter(|e| e.error_after <= bound)
+            .min_by(|a, b| {
+                a.error_after
+                    .total_cmp(&b.error_after)
+                    .then(b.saving.cmp(&a.saving))
+                    .then(a.lac.target.cmp(&b.lac.target))
+                    .then(a.lac.replacement().raw().cmp(&b.lac.replacement().raw()))
+            })
+            .cloned()
+    }
+
+    /// Picks the best applicable candidate under the configured
+    /// [`SelectionStrategy`]. `current_error` is the circuit error before
+    /// the candidate would be applied (used by the gain/cost criterion).
+    pub fn select(
+        evals: &[Evaluated],
+        bound: f64,
+        strategy: crate::config::SelectionStrategy,
+        current_error: f64,
+    ) -> Option<Evaluated> {
+        use crate::config::SelectionStrategy;
+        match strategy {
+            SelectionStrategy::MinError => Ctx::select_best(evals, bound),
+            SelectionStrategy::MaxGainPerError => evals
+                .iter()
+                .filter(|e| e.error_after <= bound)
+                .max_by(|a, b| {
+                    let score = |e: &Evaluated| {
+                        let inc = (e.error_after - current_error).max(1e-12);
+                        e.saving as f64 / inc
+                    };
+                    score(a)
+                        .total_cmp(&score(b))
+                        .then(b.error_after.total_cmp(&a.error_after))
+                        .then(b.lac.target.cmp(&a.lac.target))
+                        .then(
+                            b.lac
+                                .replacement()
+                                .raw()
+                                .cmp(&a.lac.replacement().raw()),
+                        )
+                })
+                .cloned(),
+        }
+    }
+
+    /// Applies a LAC and refreshes simulation values, the error state and
+    /// topological ranks. When constant folding is enabled, trivially
+    /// foldable gates left behind by the change are removed as well (an
+    /// exact transformation — simulated values are untouched). Returns all
+    /// edit records, LAC first, for incremental consumers.
+    pub fn apply(&mut self, lac: &Lac) -> Vec<EditRecord> {
+        let t0 = Instant::now();
+        let rec = lac.apply(&mut self.aig);
+        self.sim.resimulate_fanout_cone(&self.aig, &[rec.replacement.node()]);
+        let seed = rec.replacement.node();
+        let mut records = vec![rec];
+        if self.fold_constants {
+            records.extend(als_aig::simplify::propagate_constants_from(
+                &mut self.aig,
+                &[seed],
+            ));
+        }
+        let outs = self.output_values();
+        self.state.refresh(&outs);
+        self.ranks = als_aig::topo::topo_ranks(&self.aig);
+        self.times.apply += t0.elapsed();
+        records
+    }
+
+    /// Ranks target nodes by their best (smallest) evaluated error — the
+    /// paper's `E(n)` ordering used to build `S_cand` and Fig. 4.
+    pub fn rank_targets(evals: &[Evaluated]) -> Vec<NodeId> {
+        use std::collections::HashMap;
+        let mut best: HashMap<NodeId, f64> = HashMap::new();
+        for e in evals {
+            best.entry(e.lac.target)
+                .and_modify(|v| *v = v.min(e.error_after))
+                .or_insert(e.error_after);
+        }
+        let mut nodes: Vec<(NodeId, f64)> = best.into_iter().collect();
+        nodes.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
+        nodes.into_iter().map(|(n, _)| n).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use als_cuts::CutState;
+    use als_error::MetricKind;
+
+    fn small() -> Aig {
+        als_circuits_test_stub()
+    }
+
+    // a tiny local circuit builder to avoid a dev-dependency cycle
+    fn als_circuits_test_stub() -> Aig {
+        let mut aig = Aig::new("t");
+        let x = aig.add_inputs("x", 6);
+        let g1 = aig.and(x[0], x[1]);
+        let g2 = aig.and(g1, x[2]);
+        let g3 = aig.and(g2, !x[3]);
+        let g4 = aig.and(x[4], x[5]);
+        let g5 = aig.and(g3, g4);
+        aig.add_output(g5, "o0");
+        aig.add_output(g2, "o1");
+        aig
+    }
+
+    fn cfg() -> FlowConfig {
+        FlowConfig::new(MetricKind::Med, 1.0).with_patterns(512)
+    }
+
+    #[test]
+    fn fresh_context_has_zero_error() {
+        let aig = small();
+        let ctx = Ctx::new(&aig, &cfg());
+        assert_eq!(ctx.error(), 0.0);
+    }
+
+    #[test]
+    fn exact_cpm_estimate_matches_measured_error() {
+        let aig = small();
+        let mut ctx = Ctx::new(&aig, &cfg());
+        let cuts = CutState::compute(&ctx.aig);
+        let cpm = als_cpm::compute_full(&ctx.aig, &ctx.sim, &cuts);
+        let lacs = als_lac::constant_lacs(&ctx.aig, None);
+        let evals = ctx.evaluate_lacs(&cpm, &lacs);
+        assert_eq!(evals.len(), lacs.len());
+        for e in &evals {
+            // exact-row evaluation must agree with the cut-based CPM
+            let exact = ctx.exact_error_of(&e.lac);
+            assert!(
+                (e.error_after - exact).abs() < 1e-9,
+                "{:?}: cpm {} vs exact {}",
+                e.lac,
+                e.error_after,
+                exact
+            );
+        }
+        // and applying the best must reproduce its estimate
+        let best = Ctx::select_best(&evals, f64::INFINITY).unwrap();
+        ctx.apply(&best.lac);
+        assert!(
+            (ctx.error() - best.error_after).abs() < 1e-9,
+            "measured {} vs estimated {}",
+            ctx.error(),
+            best.error_after
+        );
+    }
+
+    #[test]
+    fn parallel_evaluation_matches_serial() {
+        let aig = small();
+        let mut serial_ctx = Ctx::new(&aig, &cfg());
+        let mut par_cfg = cfg();
+        par_cfg.threads = 4;
+        let mut par_ctx = Ctx::new(&aig, &par_cfg);
+        let cuts = CutState::compute(&serial_ctx.aig);
+        let cpm = als_cpm::compute_full(&serial_ctx.aig, &serial_ctx.sim, &cuts);
+        let lacs = als_lac::constant_lacs(&serial_ctx.aig, None);
+        let a = serial_ctx.evaluate_lacs(&cpm, &lacs);
+        let b = par_ctx.evaluate_lacs(&cpm, &lacs);
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.lac, y.lac);
+            assert_eq!(x.error_after, y.error_after);
+            assert_eq!(x.saving, y.saving);
+        }
+    }
+
+    #[test]
+    fn select_best_prefers_small_error_then_saving() {
+        let l1 = Lac::const0(NodeId(7));
+        let l2 = Lac::const0(NodeId(8));
+        let l3 = Lac::const1(NodeId(9));
+        let evals = vec![
+            Evaluated { lac: l1, error_after: 0.5, saving: 1 },
+            Evaluated { lac: l2, error_after: 0.25, saving: 1 },
+            Evaluated { lac: l3, error_after: 0.25, saving: 5 },
+        ];
+        let best = Ctx::select_best(&evals, 1.0).unwrap();
+        assert_eq!(best.lac, l3);
+        assert!(Ctx::select_best(&evals, 0.1).is_none());
+    }
+
+    #[test]
+    fn gain_per_error_strategy_prefers_big_savings() {
+        use crate::config::SelectionStrategy;
+        let cheap = Evaluated { lac: Lac::const0(NodeId(1)), error_after: 0.1, saving: 1 };
+        let bulky = Evaluated { lac: Lac::const0(NodeId(2)), error_after: 0.2, saving: 10 };
+        let evals = vec![cheap.clone(), bulky.clone()];
+        // MinError picks the cheap one…
+        let a = Ctx::select(&evals, 1.0, SelectionStrategy::MinError, 0.0).unwrap();
+        assert_eq!(a.lac, cheap.lac);
+        // …gain/cost picks the bulky one (10/0.2 = 50 > 1/0.1 = 10)
+        let b = Ctx::select(&evals, 1.0, SelectionStrategy::MaxGainPerError, 0.0).unwrap();
+        assert_eq!(b.lac, bulky.lac);
+        // both respect the bound
+        assert!(Ctx::select(&evals, 0.05, SelectionStrategy::MaxGainPerError, 0.0).is_none());
+    }
+
+    #[test]
+    fn rank_targets_orders_by_best_error() {
+        let evals = vec![
+            Evaluated { lac: Lac::const0(NodeId(1)), error_after: 0.9, saving: 1 },
+            Evaluated { lac: Lac::const1(NodeId(1)), error_after: 0.2, saving: 1 },
+            Evaluated { lac: Lac::const0(NodeId(2)), error_after: 0.5, saving: 1 },
+        ];
+        assert_eq!(Ctx::rank_targets(&evals), vec![NodeId(1), NodeId(2)]);
+    }
+}

@@ -1,0 +1,169 @@
+//! The conventional single-LAC-per-iteration flow (enhanced VECBEE,
+//! `l = ∞`).
+
+use std::time::Instant;
+
+use als_aig::Aig;
+use als_cuts::CutState;
+
+use crate::config::FlowConfig;
+use crate::context::Ctx;
+use crate::flow::Flow;
+use crate::report::{FlowResult, IterationRecord, Phase};
+
+/// One comprehensive analysis per applied LAC: full disjoint cuts, full
+/// CPM, all candidate LACs evaluated, the best applied. Exact error
+/// estimation throughout — the quality reference every acceleration is
+/// measured against.
+#[derive(Clone, Debug)]
+pub struct ConventionalFlow {
+    cfg: FlowConfig,
+}
+
+impl ConventionalFlow {
+    /// Creates the flow.
+    pub fn new(cfg: FlowConfig) -> ConventionalFlow {
+        ConventionalFlow { cfg }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &FlowConfig {
+        &self.cfg
+    }
+}
+
+impl Flow for ConventionalFlow {
+    fn name(&self) -> &str {
+        "Conventional(l=inf)"
+    }
+
+    fn run(&self, original: &Aig) -> FlowResult {
+        let cfg = &self.cfg;
+        let mut ctx = Ctx::new(original, cfg);
+        let mut iterations = Vec::new();
+        let mut first_ranking = Vec::new();
+        let mut analyses = 0usize;
+
+        while iterations.len() < cfg.max_lacs {
+            // Step 1: disjoint cuts (full recomputation — this is the
+            // "conventional" cost the dual-phase flow removes).
+            let t0 = Instant::now();
+            let cuts = CutState::compute(&ctx.aig);
+            ctx.times.cuts += t0.elapsed();
+
+            // Step 2: full CPM.
+            let t1 = Instant::now();
+            let cpm = als_cpm::compute_full(&ctx.aig, &ctx.sim, &cuts);
+            ctx.times.cpm += t1.elapsed();
+
+            // Step 3: all candidate LACs.
+            let t2 = Instant::now();
+            let lacs = als_lac::generate(&ctx.aig, &ctx.sim, &cfg.lac, None);
+            ctx.times.eval += t2.elapsed();
+            let evals = ctx.evaluate_lacs(&cpm, &lacs);
+            analyses += 1;
+            if first_ranking.is_empty() {
+                first_ranking = Ctx::rank_targets(&evals);
+            }
+
+            let Some(best) = Ctx::select(&evals, cfg.error_bound, cfg.selection, ctx.error())
+            else {
+                break;
+            };
+            ctx.apply(&best.lac);
+            iterations.push(IterationRecord {
+                lac: best.lac,
+                error_after: best.error_after,
+                saving: best.saving,
+                nodes_after: ctx.aig.num_ands(),
+                phase: Phase::Comprehensive,
+            });
+        }
+
+        FlowResult {
+            flow: self.name().to_string(),
+            final_error: ctx.error(),
+            error_bound: cfg.error_bound,
+            iterations,
+            runtime: ctx.elapsed(),
+            step_times: ctx.times,
+            comprehensive_analyses: analyses,
+            first_ranking,
+            error_report: ctx.report(),
+            comprehensive_time: ctx.elapsed(),
+            incremental_time: std::time::Duration::ZERO,
+            circuit: ctx.aig,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use als_error::MetricKind;
+
+    fn adder() -> Aig {
+        // small hand-rolled 3-bit adder to avoid a circular dev-dependency
+        let mut aig = Aig::new("add3");
+        let a = aig.add_inputs("a", 3);
+        let b = aig.add_inputs("b", 3);
+        let mut carry = als_aig::Lit::FALSE;
+        let mut outs = Vec::new();
+        for i in 0..3 {
+            let (s, c) = aig.full_adder(a[i], b[i], carry);
+            outs.push(s);
+            carry = c;
+        }
+        outs.push(carry);
+        for (i, &o) in outs.iter().enumerate() {
+            aig.add_output(o, format!("s{i}"));
+        }
+        aig
+    }
+
+    #[test]
+    fn zero_bound_applies_only_free_lacs() {
+        let aig = adder();
+        let cfg = FlowConfig::new(MetricKind::Er, 0.0).with_patterns(512);
+        let res = ConventionalFlow::new(cfg).run(&aig);
+        assert_eq!(res.final_error, 0.0);
+        // any applied LAC must have been error-free
+        for it in &res.iterations {
+            assert_eq!(it.error_after, 0.0);
+        }
+    }
+
+    #[test]
+    fn bounded_run_respects_bound_and_saves_area() {
+        let aig = adder();
+        let cfg = FlowConfig::new(MetricKind::Med, 2.0).with_patterns(512);
+        let res = ConventionalFlow::new(cfg).run(&aig);
+        assert!(res.final_error <= 2.0 + 1e-9, "error {}", res.final_error);
+        assert!(res.final_nodes() < aig.num_ands(), "no area saved");
+        assert!(!res.iterations.is_empty());
+        assert!(res.comprehensive_analyses >= res.lacs_applied());
+        als_aig::check::check(&res.circuit).unwrap();
+    }
+
+    #[test]
+    fn monotone_bounds_monotone_quality() {
+        let aig = adder();
+        let loose = ConventionalFlow::new(
+            FlowConfig::new(MetricKind::Med, 4.0).with_patterns(512),
+        )
+        .run(&aig);
+        let tight = ConventionalFlow::new(
+            FlowConfig::new(MetricKind::Med, 0.5).with_patterns(512),
+        )
+        .run(&aig);
+        assert!(loose.final_nodes() <= tight.final_nodes());
+    }
+
+    #[test]
+    fn first_ranking_is_populated() {
+        let aig = adder();
+        let cfg = FlowConfig::new(MetricKind::Med, 1.0).with_patterns(512);
+        let res = ConventionalFlow::new(cfg).run(&aig);
+        assert!(!res.first_ranking.is_empty());
+    }
+}

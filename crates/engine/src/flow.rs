@@ -1,0 +1,19 @@
+//! The flow trait.
+
+use als_aig::Aig;
+
+use crate::report::FlowResult;
+
+/// A complete ALS flow: takes the original circuit, returns the final
+/// approximate circuit plus run statistics.
+///
+/// Implementations are stateless configuration holders; [`Flow::run`]
+/// borrows them immutably so one configured flow can synthesise many
+/// circuits.
+pub trait Flow {
+    /// Human-readable flow name used in reports (e.g. `"DP-SA"`).
+    fn name(&self) -> &str;
+
+    /// Runs the flow on `original` and returns the result.
+    fn run(&self, original: &Aig) -> FlowResult;
+}

@@ -1,0 +1,45 @@
+//! The ALS flows: the paper's dual-phase framework and the baselines it is
+//! compared against.
+//!
+//! All flows share the same substrate (AIG editing, bit-parallel
+//! simulation, CPM-based batch error estimation) and differ only in *how
+//! much analysis they redo per applied LAC*:
+//!
+//! * [`ConventionalFlow`] — one comprehensive analysis (disjoint cuts +
+//!   full CPM + all-LAC evaluation) per applied LAC. This is the enhanced
+//!   VECBEE `l = ∞` baseline of the paper.
+//! * [`VecbeeDepthOneFlow`] — VECBEE with depth limit `l = 1`: no cuts,
+//!   approximate depth-one CPM, exact validation of the chosen LAC before
+//!   committing.
+//! * [`AccAlsFlow`] — AccALS-style multi-LAC selection: one comprehensive
+//!   analysis selects several compatible LACs, each validated exactly
+//!   before application; a large estimate-versus-exact deviation stops the
+//!   batch (the behaviour the paper observes under MED).
+//! * [`DualPhaseFlow`] — the paper's contribution: phase one runs one
+//!   comprehensive analysis and selects the candidate set `S_cand`; phase
+//!   two applies up to `N` LACs with incremental cut update, partial CPM
+//!   and restricted evaluation. With self-adaption enabled it becomes
+//!   **DP-SA** (parameter tuning + adaptive phase-two stop).
+//!
+//! Every flow returns a [`FlowResult`] with the final circuit, error,
+//! per-iteration records and a per-step timing breakdown — the data behind
+//! the paper's tables.
+
+pub mod accals;
+pub mod config;
+pub mod context;
+pub mod conventional;
+pub mod dual_phase;
+pub mod flow;
+pub mod model;
+pub mod report;
+pub mod vecbee_flow;
+
+pub use accals::AccAlsFlow;
+pub use config::{FlowConfig, PatternSource, SelectionStrategy};
+pub use conventional::ConventionalFlow;
+pub use dual_phase::DualPhaseFlow;
+pub use flow::Flow;
+pub use model::RuntimeModel;
+pub use report::{FlowResult, IterationRecord, Phase, StepTimes};
+pub use vecbee_flow::VecbeeDepthOneFlow;

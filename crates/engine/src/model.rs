@@ -1,0 +1,125 @@
+//! The paper's runtime model (Eq. 2) fitted from a measured run.
+//!
+//! With `T_com` the cost of one comprehensive analysis, `T_inc = f(M) ·
+//! T_com` the cost of one incremental round and `N_r` actual phase-two
+//! rounds per dual phase, the average cost of applying one LAC is
+//!
+//! ```text
+//! T_avg = (T_com + N_r · T_inc) / (N_r + 1) ≈ (1/(N_r+1) + f(M)) · T_com
+//! ```
+//!
+//! Fitting the model from a [`FlowResult`] lets the self-adaption
+//! reasoning of §III-D be inspected quantitatively: how expensive
+//! incremental rounds are relative to comprehensive analyses (`f(M)`), and
+//! what speedup over the conventional flow the model predicts.
+
+use crate::report::{FlowResult, Phase};
+
+/// Eq. (2) parameters extracted from a dual-phase run.
+#[derive(Copy, Clone, Debug, PartialEq)]
+pub struct RuntimeModel {
+    /// Average wall-clock cost of one comprehensive analysis (seconds).
+    pub t_com: f64,
+    /// Average wall-clock cost of one incremental round (seconds).
+    pub t_inc: f64,
+    /// Average number of incremental LACs per dual phase.
+    pub n_r: f64,
+}
+
+impl RuntimeModel {
+    /// Fits the model from a finished run. Returns `None` when the run
+    /// performed no comprehensive analysis (nothing to fit).
+    pub fn fit(result: &FlowResult) -> Option<RuntimeModel> {
+        if result.comprehensive_analyses == 0 {
+            return None;
+        }
+        let incremental =
+            result.iterations.iter().filter(|r| r.phase == Phase::Incremental).count();
+        let t_com =
+            result.comprehensive_time.as_secs_f64() / result.comprehensive_analyses as f64;
+        let t_inc = if incremental > 0 {
+            result.incremental_time.as_secs_f64() / incremental as f64
+        } else {
+            0.0
+        };
+        Some(RuntimeModel {
+            t_com,
+            t_inc,
+            n_r: incremental as f64 / result.comprehensive_analyses as f64,
+        })
+    }
+
+    /// The ratio `f(M) = T_inc / T_com` of Eq. (2).
+    pub fn f_m(&self) -> f64 {
+        if self.t_com > 0.0 {
+            self.t_inc / self.t_com
+        } else {
+            0.0
+        }
+    }
+
+    /// Average time to apply one LAC under the model.
+    pub fn t_avg(&self) -> f64 {
+        (self.t_com + self.n_r * self.t_inc) / (self.n_r + 1.0)
+    }
+
+    /// Predicted speedup over a conventional flow that pays `T_com` per
+    /// LAC.
+    pub fn predicted_speedup(&self) -> f64 {
+        let avg = self.t_avg();
+        if avg > 0.0 {
+            self.t_com / avg
+        } else {
+            1.0
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::FlowConfig;
+    use crate::dual_phase::DualPhaseFlow;
+    use crate::flow::Flow;
+    use als_error::MetricKind;
+
+    #[test]
+    fn algebra_of_the_model() {
+        let m = RuntimeModel { t_com: 1.0, t_inc: 0.1, n_r: 9.0 };
+        assert!((m.f_m() - 0.1).abs() < 1e-12);
+        // T_avg = (1 + 0.9) / 10 = 0.19
+        assert!((m.t_avg() - 0.19).abs() < 1e-12);
+        assert!((m.predicted_speedup() - 1.0 / 0.19).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fit_from_real_run() {
+        let mut aig = als_aig::Aig::new("add");
+        let a = aig.add_inputs("a", 6);
+        let b = aig.add_inputs("b", 6);
+        let mut carry = als_aig::Lit::FALSE;
+        for i in 0..6 {
+            let (s, c) = aig.full_adder(a[i], b[i], carry);
+            aig.add_output(s, format!("s{i}"));
+            carry = c;
+        }
+        aig.add_output(carry, "cout");
+        let cfg = FlowConfig::new(MetricKind::Med, 16.0).with_patterns(1024);
+        let res = DualPhaseFlow::new(cfg).run(&aig);
+        let model = RuntimeModel::fit(&res).expect("at least one analysis ran");
+        assert!(model.t_com > 0.0);
+        assert!(model.n_r >= 0.0);
+        // on a toy circuit the incremental advantage is small (fixed
+        // overheads dominate), but the model must stay finite and sane
+        assert!(model.f_m().is_finite());
+        assert!(model.t_avg() > 0.0);
+        assert!(model.predicted_speedup() > 0.0);
+    }
+
+    #[test]
+    fn degenerate_runs_are_handled() {
+        let m = RuntimeModel { t_com: 0.0, t_inc: 0.0, n_r: 0.0 };
+        assert_eq!(m.f_m(), 0.0);
+        assert_eq!(m.predicted_speedup(), 1.0);
+    }
+}

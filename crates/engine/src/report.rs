@@ -1,0 +1,183 @@
+//! Flow results and per-step timing.
+
+use std::time::Duration;
+
+use als_aig::{Aig, NodeId};
+use als_lac::Lac;
+
+/// Which phase of a dual-phase iteration applied a LAC (single-phase flows
+/// always report [`Phase::Comprehensive`]).
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum Phase {
+    /// Applied after a comprehensive (full) analysis.
+    Comprehensive,
+    /// Applied by an incremental phase-two round.
+    Incremental,
+}
+
+/// Accumulated runtime of the three analysis steps (plus application and
+/// bookkeeping).
+#[derive(Copy, Clone, Debug, Default, PartialEq)]
+pub struct StepTimes {
+    /// Step 1: obtaining/updating disjoint cuts.
+    pub cuts: Duration,
+    /// Step 2: computing the CPM.
+    pub cpm: Duration,
+    /// Step 3: candidate generation and error evaluation.
+    pub eval: Duration,
+    /// LAC application, resimulation and cache refresh.
+    pub apply: Duration,
+}
+
+impl StepTimes {
+    /// Total of all tracked steps.
+    pub fn total(&self) -> Duration {
+        self.cuts + self.cpm + self.eval + self.apply
+    }
+
+    /// Adds another accumulator's times into this one.
+    pub fn add(&mut self, other: &StepTimes) {
+        self.cuts += other.cuts;
+        self.cpm += other.cpm;
+        self.eval += other.eval;
+        self.apply += other.apply;
+    }
+
+    /// The time accumulated since an earlier snapshot of the same
+    /// accumulator.
+    pub fn delta_since(&self, snapshot: &StepTimes) -> StepTimes {
+        StepTimes {
+            cuts: self.cuts.saturating_sub(snapshot.cuts),
+            cpm: self.cpm.saturating_sub(snapshot.cpm),
+            eval: self.eval.saturating_sub(snapshot.eval),
+            apply: self.apply.saturating_sub(snapshot.apply),
+        }
+    }
+
+    /// Index (1..=3) of the analysis step that took more than half of the
+    /// analysis time, if any — the paper's "dominating step".
+    pub fn dominating_step(&self) -> Option<usize> {
+        let analysis = self.cuts + self.cpm + self.eval;
+        if analysis.is_zero() {
+            return None;
+        }
+        let half = analysis / 2;
+        if self.cuts > half {
+            Some(1)
+        } else if self.cpm > half {
+            Some(2)
+        } else if self.eval > half {
+            Some(3)
+        } else {
+            None
+        }
+    }
+}
+
+/// One applied LAC.
+#[derive(Clone, Debug)]
+pub struct IterationRecord {
+    /// The applied change.
+    pub lac: Lac,
+    /// Estimated error after applying (equals the measured error for exact
+    /// analyses).
+    pub error_after: f64,
+    /// Gates removed by the LAC.
+    pub saving: usize,
+    /// Live AND gates remaining after the application.
+    pub nodes_after: usize,
+    /// Phase that selected the LAC.
+    pub phase: Phase,
+}
+
+/// Everything a flow run produces.
+#[derive(Clone, Debug)]
+pub struct FlowResult {
+    /// Flow name (for reports).
+    pub flow: String,
+    /// The final approximate circuit.
+    pub circuit: Aig,
+    /// Final error under the configured metric (measured, not estimated).
+    pub final_error: f64,
+    /// Error bound the run was given.
+    pub error_bound: f64,
+    /// One record per applied LAC, in order.
+    pub iterations: Vec<IterationRecord>,
+    /// Wall-clock runtime of the whole run.
+    pub runtime: Duration,
+    /// Per-step timing accumulated over the run.
+    pub step_times: StepTimes,
+    /// Number of comprehensive analyses performed.
+    pub comprehensive_analyses: usize,
+    /// Node ranking (by smallest error increase) after the first
+    /// comprehensive analysis — the Fig. 4 experiment consumes this.
+    pub first_ranking: Vec<NodeId>,
+    /// Full statistical error report of the final circuit (ER, MED, MSE,
+    /// max ED, NMED, MRED and an error-distance histogram).
+    pub error_report: als_error::ErrorReport,
+    /// Wall-clock time spent in comprehensive (phase-one) work.
+    pub comprehensive_time: Duration,
+    /// Wall-clock time spent in incremental (phase-two) work.
+    pub incremental_time: Duration,
+}
+
+impl FlowResult {
+    /// Number of applied LACs.
+    pub fn lacs_applied(&self) -> usize {
+        self.iterations.len()
+    }
+
+    /// AND-gate count of the final circuit.
+    pub fn final_nodes(&self) -> usize {
+        self.circuit.num_ands()
+    }
+
+    /// Average wall-clock time per applied LAC.
+    pub fn time_per_lac(&self) -> Duration {
+        if self.iterations.is_empty() {
+            self.runtime
+        } else {
+            self.runtime / self.iterations.len() as u32
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dominating_step_detection() {
+        let mut t = StepTimes::default();
+        assert_eq!(t.dominating_step(), None);
+        t.cuts = Duration::from_millis(90);
+        t.cpm = Duration::from_millis(5);
+        t.eval = Duration::from_millis(5);
+        assert_eq!(t.dominating_step(), Some(1));
+        t.cpm = Duration::from_millis(200);
+        assert_eq!(t.dominating_step(), Some(2));
+        t.eval = Duration::from_millis(400);
+        assert_eq!(t.dominating_step(), Some(3));
+        // balanced: none dominates
+        let b = StepTimes {
+            cuts: Duration::from_millis(10),
+            cpm: Duration::from_millis(10),
+            eval: Duration::from_millis(10),
+            apply: Duration::ZERO,
+        };
+        assert_eq!(b.dominating_step(), None);
+    }
+
+    #[test]
+    fn step_times_accumulate() {
+        let mut a = StepTimes {
+            cuts: Duration::from_secs(1),
+            cpm: Duration::from_secs(2),
+            eval: Duration::from_secs(3),
+            apply: Duration::from_secs(4),
+        };
+        let b = a;
+        a.add(&b);
+        assert_eq!(a.total(), Duration::from_secs(20));
+    }
+}

@@ -1,0 +1,163 @@
+//! VECBEE with depth limit `l = 1`.
+
+use std::time::Instant;
+
+use als_aig::Aig;
+
+use crate::config::FlowConfig;
+use crate::context::Ctx;
+use crate::flow::Flow;
+use crate::report::{FlowResult, IterationRecord, Phase};
+
+/// The fastest, least accurate VECBEE configuration: the CPM is built from
+/// direct fanouts only (no cut computation at all), so step 1 vanishes and
+/// step 2 is cheap — but estimates are wrong under reconvergence.
+///
+/// Candidates are *ranked* by the approximate estimate; before committing,
+/// each candidate is validated exactly (one fanout-cone resimulation), in
+/// rank order, and the first one that truly fits the bound is applied.
+/// This keeps the bound sound while reproducing the quality loss the paper
+/// reports for `l = 1` (mis-ranked candidates).
+#[derive(Clone, Debug)]
+pub struct VecbeeDepthOneFlow {
+    cfg: FlowConfig,
+    /// How many top-ranked candidates to validate before giving up.
+    validate_limit: usize,
+}
+
+impl VecbeeDepthOneFlow {
+    /// Creates the flow with the default validation budget.
+    pub fn new(cfg: FlowConfig) -> VecbeeDepthOneFlow {
+        VecbeeDepthOneFlow { cfg, validate_limit: 32 }
+    }
+
+    /// Overrides how many top-ranked candidates may be exactly validated
+    /// per iteration before the flow declares itself stuck.
+    pub fn with_validation_limit(mut self, limit: usize) -> VecbeeDepthOneFlow {
+        self.validate_limit = limit.max(1);
+        self
+    }
+}
+
+impl Flow for VecbeeDepthOneFlow {
+    fn name(&self) -> &str {
+        "VECBEE(l=1)"
+    }
+
+    fn run(&self, original: &Aig) -> FlowResult {
+        let cfg = &self.cfg;
+        let mut ctx = Ctx::new(original, cfg);
+        let mut iterations = Vec::new();
+        let mut first_ranking = Vec::new();
+        let mut analyses = 0usize;
+
+        'outer: while iterations.len() < cfg.max_lacs {
+            // Step 2 (no step 1): depth-one CPM.
+            let t1 = Instant::now();
+            let cpm = als_cpm::compute_depth_one(&ctx.aig, &ctx.sim);
+            ctx.times.cpm += t1.elapsed();
+
+            // Step 3: evaluate everything approximately.
+            let t2 = Instant::now();
+            let lacs = als_lac::generate(&ctx.aig, &ctx.sim, &cfg.lac, None);
+            ctx.times.eval += t2.elapsed();
+            let mut evals = ctx.evaluate_lacs(&cpm, &lacs);
+            analyses += 1;
+            if first_ranking.is_empty() {
+                first_ranking = Ctx::rank_targets(&evals);
+            }
+            evals.sort_by(|a, b| {
+                a.error_after
+                    .total_cmp(&b.error_after)
+                    .then(b.saving.cmp(&a.saving))
+                    .then(a.lac.target.cmp(&b.lac.target))
+            });
+
+            // Validate candidates in rank order with exact cone
+            // resimulation; apply the first sound one.
+            let t3 = Instant::now();
+            let mut applied = false;
+            for cand in evals.iter().take(self.validate_limit) {
+                let exact = ctx.exact_error_of(&cand.lac);
+                if exact <= cfg.error_bound {
+                    ctx.times.eval += t3.elapsed();
+                    let saving = cand.saving;
+                    let lac = cand.lac;
+                    ctx.apply(&lac);
+                    iterations.push(IterationRecord {
+                        lac,
+                        error_after: exact,
+                        saving,
+                        nodes_after: ctx.aig.num_ands(),
+                        phase: Phase::Comprehensive,
+                    });
+                    applied = true;
+                    break;
+                }
+            }
+            if !applied {
+                ctx.times.eval += t3.elapsed();
+                break 'outer;
+            }
+        }
+
+        FlowResult {
+            flow: self.name().to_string(),
+            final_error: ctx.error(),
+            error_bound: cfg.error_bound,
+            iterations,
+            runtime: ctx.elapsed(),
+            step_times: ctx.times,
+            comprehensive_analyses: analyses,
+            first_ranking,
+            error_report: ctx.report(),
+            comprehensive_time: ctx.elapsed(),
+            incremental_time: std::time::Duration::ZERO,
+            circuit: ctx.aig,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use als_error::MetricKind;
+
+    fn parity_tree() -> Aig {
+        let mut aig = Aig::new("par");
+        let xs = aig.add_inputs("x", 6);
+        let mut acc = xs[0];
+        for &x in &xs[1..] {
+            acc = aig.xor(acc, x);
+        }
+        aig.add_output(acc, "p");
+        let g = aig.and(xs[0], xs[1]);
+        aig.add_output(g, "q");
+        aig
+    }
+
+    #[test]
+    fn bound_is_respected_despite_approximation() {
+        let aig = parity_tree();
+        let cfg = FlowConfig::new(MetricKind::Er, 0.3).with_patterns(512);
+        let res = VecbeeDepthOneFlow::new(cfg).run(&aig);
+        assert!(res.final_error <= 0.3 + 1e-9, "error {}", res.final_error);
+        als_aig::check::check(&res.circuit).unwrap();
+    }
+
+    #[test]
+    fn no_cut_time_is_spent() {
+        let aig = parity_tree();
+        let cfg = FlowConfig::new(MetricKind::Er, 0.2).with_patterns(512);
+        let res = VecbeeDepthOneFlow::new(cfg).run(&aig);
+        assert!(res.step_times.cuts.is_zero());
+    }
+
+    #[test]
+    fn validation_limit_is_honoured() {
+        let aig = parity_tree();
+        let cfg = FlowConfig::new(MetricKind::Er, 0.5).with_patterns(512);
+        let res = VecbeeDepthOneFlow::new(cfg).with_validation_limit(1).run(&aig);
+        assert!(res.final_error <= 0.5 + 1e-9);
+    }
+}

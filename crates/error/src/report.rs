@@ -1,0 +1,123 @@
+//! Aggregate error reporting beyond the three bounded metrics.
+//!
+//! Approximate-computing papers conventionally also report normalised and
+//! relative error figures; this module derives them all from one
+//! [`ErrorState`] without re-simulation.
+
+use crate::state::ErrorState;
+
+/// A full statistical error report for the current approximate circuit.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ErrorReport {
+    /// Error rate: fraction of patterns with any wrong output.
+    pub er: f64,
+    /// Mean error distance.
+    pub med: f64,
+    /// Mean squared error.
+    pub mse: f64,
+    /// Worst observed error distance.
+    pub max_ed: f64,
+    /// MED normalised to the output range (`med / (2^K - 1)` for a
+    /// `K`-output unsigned word).
+    pub nmed: f64,
+    /// Mean relative error distance: `mean(|approx - exact| /
+    /// max(exact, 1))`.
+    pub mred: f64,
+    /// Log2-bucketed error-distance histogram: `histogram[k]` counts
+    /// patterns with `2^(k-1) < ED <= 2^k` (`histogram[0]` counts
+    /// `0 < ED <= 1`); exact patterns are not counted.
+    pub histogram: Vec<usize>,
+}
+
+impl ErrorReport {
+    /// Builds a report from an error state.
+    pub fn from_state(state: &ErrorState) -> ErrorReport {
+        let n = state.num_patterns();
+        let range: f64 = state.weights().iter().sum();
+        let exact = state.exact_values();
+        let mut histogram = vec![0usize; 130];
+        let mut mred_sum = 0.0;
+        let mut top = 0usize;
+        for p in 0..n {
+            let ed = state.signed_error(p).abs();
+            if ed > 0.0 {
+                let bucket = ed.log2().ceil().max(0.0) as usize;
+                let bucket = bucket.min(histogram.len() - 1);
+                histogram[bucket] += 1;
+                top = top.max(bucket + 1);
+            }
+            mred_sum += ed / exact[p].max(1.0);
+        }
+        histogram.truncate(top);
+        ErrorReport {
+            er: state.er(),
+            med: state.med(),
+            mse: state.mse(),
+            max_ed: state.max_ed(),
+            nmed: if range > 0.0 { state.med() / range } else { 0.0 },
+            mred: mred_sum / n as f64,
+            histogram,
+        }
+    }
+}
+
+impl std::fmt::Display for ErrorReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "ER     {:.6}", self.er)?;
+        writeln!(f, "MED    {:.4}", self.med)?;
+        writeln!(f, "MSE    {:.4}", self.mse)?;
+        writeln!(f, "maxED  {:.1}", self.max_ed)?;
+        writeln!(f, "NMED   {:.3e}", self.nmed)?;
+        write!(f, "MRED   {:.3e}", self.mred)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metric::{unsigned_weights, MetricKind};
+    use als_sim::PackedBits;
+
+    fn bits(w: u64) -> PackedBits {
+        PackedBits::from_words(vec![w])
+    }
+
+    #[test]
+    fn exact_circuit_reports_all_zeros() {
+        let golden = vec![bits(0b1010), bits(0b0110)];
+        let s = ErrorState::new(MetricKind::Med, unsigned_weights(2), golden.clone(), &golden);
+        let r = ErrorReport::from_state(&s);
+        assert_eq!(r.er, 0.0);
+        assert_eq!(r.med, 0.0);
+        assert_eq!(r.max_ed, 0.0);
+        assert_eq!(r.nmed, 0.0);
+        assert_eq!(r.mred, 0.0);
+        assert!(r.histogram.is_empty());
+    }
+
+    #[test]
+    fn single_flip_report() {
+        // one pattern wrong on the weight-2 output
+        let golden = vec![bits(0), bits(0)];
+        let approx = vec![bits(0), bits(0b1)];
+        let s = ErrorState::new(MetricKind::Med, unsigned_weights(2), golden, &approx);
+        let r = ErrorReport::from_state(&s);
+        assert!((r.er - 1.0 / 64.0).abs() < 1e-12);
+        assert_eq!(r.max_ed, 2.0);
+        assert!((r.nmed - (2.0 / 64.0) / 3.0).abs() < 1e-12);
+        // ED = 2 lands in bucket ceil(log2 2) = 1
+        assert_eq!(r.histogram, vec![0, 1]);
+        // exact value is 0 -> relative error uses max(exact,1)
+        assert!((r.mred - 2.0 / 64.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_contains_all_fields() {
+        let golden = vec![bits(0b1)];
+        let s = ErrorState::new(MetricKind::Er, unsigned_weights(1), golden.clone(), &golden);
+        let text = ErrorReport::from_state(&s).to_string();
+        for key in ["ER", "MED", "MSE", "maxED", "NMED", "MRED"] {
+            assert!(text.contains(key), "missing {key}");
+        }
+    }
+}

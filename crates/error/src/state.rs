@@ -1,0 +1,387 @@
+//! Cached per-pattern error state and batch flip evaluation.
+
+use als_sim::PackedBits;
+
+use crate::metric::MetricKind;
+
+/// The flip vector of one primary output: which patterns would see this
+/// output toggle if a candidate LAC were applied. Produced by the CPM as
+/// `D ∧ P[n][o]`.
+#[derive(Clone, Debug)]
+pub struct FlipVec {
+    /// Output index.
+    pub output: usize,
+    /// One bit per pattern: 1 = this output toggles.
+    pub bits: PackedBits,
+}
+
+/// Everything needed to (a) report the current circuit error and (b)
+/// evaluate the error a candidate LAC would cause, given only the LAC's
+/// output flip vectors.
+///
+/// The state caches, per pattern, the number of wrong outputs (for ER) and
+/// the signed weighted error (for MED/MSE), so a candidate evaluation only
+/// touches the patterns its flips actually change. After a LAC is applied
+/// and the circuit resimulated, [`ErrorState::refresh`] re-derives the
+/// caches from the new output values.
+#[derive(Clone, Debug)]
+pub struct ErrorState {
+    kind: MetricKind,
+    weights: Vec<f64>,
+    num_words: usize,
+    /// Exact (golden) output bits, per output.
+    exact: Vec<PackedBits>,
+    /// approx XOR exact, per output.
+    diff: Vec<PackedBits>,
+    /// Per pattern: number of differing outputs.
+    wrong_count: Vec<u32>,
+    /// Per pattern: weighted (approx − exact).
+    err: Vec<f64>,
+    /// Sum over patterns of the metric contribution.
+    sum: f64,
+}
+
+impl ErrorState {
+    /// Builds the state from golden and current output values.
+    ///
+    /// `exact[o]` and `approx[o]` are the bit vectors of output `o` with
+    /// output complements already applied. `weights[o]` is the numeric
+    /// weight of output `o` (ignored for ER; see
+    /// [`crate::metric::unsigned_weights`]).
+    ///
+    /// # Panics
+    /// Panics if the vector counts or widths disagree, or if `weights` is
+    /// shorter than the output count for a weighted metric.
+    pub fn new(
+        kind: MetricKind,
+        weights: Vec<f64>,
+        exact: Vec<PackedBits>,
+        approx: &[PackedBits],
+    ) -> ErrorState {
+        assert_eq!(exact.len(), approx.len(), "output count mismatch");
+        let num_words = exact.first().map_or(0, PackedBits::num_words);
+        assert!(exact.iter().chain(approx).all(|v| v.num_words() == num_words));
+        if kind.is_weighted() {
+            assert!(weights.len() >= exact.len(), "missing output weights");
+        }
+        let num_patterns = num_words * 64;
+        let mut state = ErrorState {
+            kind,
+            weights,
+            num_words,
+            diff: vec![PackedBits::zeros(num_words); exact.len()],
+            exact,
+            wrong_count: vec![0; num_patterns],
+            err: vec![0.0; num_patterns],
+            sum: 0.0,
+        };
+        state.refresh(approx);
+        state
+    }
+
+    /// Recomputes all caches from the current output values (after a LAC
+    /// has been applied and the circuit resimulated).
+    pub fn refresh(&mut self, approx: &[PackedBits]) {
+        assert_eq!(approx.len(), self.exact.len());
+        self.wrong_count.iter_mut().for_each(|c| *c = 0);
+        self.err.iter_mut().for_each(|e| *e = 0.0);
+        for (o, a) in approx.iter().enumerate() {
+            let d = a.xor(&self.exact[o]);
+            let w = self.weights.get(o).copied().unwrap_or(0.0);
+            for wi in 0..self.num_words {
+                let mut word = d.words()[wi];
+                let ewd = self.exact[o].words()[wi];
+                while word != 0 {
+                    let b = word.trailing_zeros() as usize;
+                    word &= word - 1;
+                    let p = wi * 64 + b;
+                    self.wrong_count[p] += 1;
+                    // approx bit differs from exact: signed error moves by
+                    // +w when exact bit is 0 (approx=1), −w when exact is 1.
+                    if ewd >> b & 1 == 1 {
+                        self.err[p] -= w;
+                    } else {
+                        self.err[p] += w;
+                    }
+                }
+            }
+            self.diff[o] = d;
+        }
+        self.sum = match self.kind {
+            MetricKind::Er => self.wrong_count.iter().filter(|&&c| c > 0).count() as f64,
+            MetricKind::Med => self.err.iter().map(|e| e.abs()).sum(),
+            MetricKind::Mse => self.err.iter().map(|e| e * e).sum(),
+        };
+    }
+
+    /// The metric this state tracks.
+    pub fn kind(&self) -> MetricKind {
+        self.kind
+    }
+
+    /// Number of simulated patterns.
+    pub fn num_patterns(&self) -> usize {
+        self.num_words * 64
+    }
+
+    /// Number of outputs.
+    pub fn num_outputs(&self) -> usize {
+        self.exact.len()
+    }
+
+    /// Current circuit error under the tracked metric.
+    pub fn error(&self) -> f64 {
+        self.sum / self.num_patterns() as f64
+    }
+
+    /// Current error rate, regardless of the tracked metric.
+    pub fn er(&self) -> f64 {
+        self.wrong_count.iter().filter(|&&c| c > 0).count() as f64 / self.num_patterns() as f64
+    }
+
+    /// Current mean error distance, regardless of the tracked metric.
+    pub fn med(&self) -> f64 {
+        self.err.iter().map(|e| e.abs()).sum::<f64>() / self.num_patterns() as f64
+    }
+
+    /// Current mean squared error, regardless of the tracked metric.
+    pub fn mse(&self) -> f64 {
+        self.err.iter().map(|e| e * e).sum::<f64>() / self.num_patterns() as f64
+    }
+
+    /// Worst-case error distance observed over the pattern set (a report
+    /// quantity; the paper's flows bound mean metrics, not this one).
+    pub fn max_ed(&self) -> f64 {
+        self.err.iter().fold(0.0f64, |m, e| m.max(e.abs()))
+    }
+
+    /// The per-output weights.
+    pub fn weights(&self) -> &[f64] {
+        &self.weights
+    }
+
+    /// Signed weighted error `approx − exact` of pattern `p`.
+    pub fn signed_error(&self, p: usize) -> f64 {
+        self.err[p]
+    }
+
+    /// Standard error of the Monte-Carlo estimate of the tracked metric —
+    /// the sample standard deviation of the per-pattern contribution
+    /// divided by `sqrt(patterns)`.
+    ///
+    /// Useful to size the pattern count: the paper uses 100 000 patterns
+    /// precisely so that threshold comparisons are well inside the noise
+    /// floor; this makes the noise floor visible.
+    pub fn standard_error(&self) -> f64 {
+        let n = self.num_patterns() as f64;
+        let mean = self.sum / n;
+        let sum_sq: f64 = match self.kind {
+            MetricKind::Er => self.wrong_count.iter().filter(|&&c| c > 0).count() as f64,
+            MetricKind::Med => self.err.iter().map(|e| e * e).sum(),
+            MetricKind::Mse => self.err.iter().map(|e| e.powi(4)).sum(),
+        };
+        let variance = (sum_sq / n - mean * mean).max(0.0);
+        (variance / n).sqrt()
+    }
+
+    /// A symmetric ~95 % confidence interval around the metric estimate.
+    pub fn confidence_interval(&self) -> (f64, f64) {
+        let e = self.error();
+        let half = 1.96 * self.standard_error();
+        ((e - half).max(0.0), e + half)
+    }
+
+    /// The weighted golden output value of every pattern.
+    pub fn exact_values(&self) -> Vec<f64> {
+        let mut vals = vec![0.0f64; self.num_patterns()];
+        for (o, bitsv) in self.exact.iter().enumerate() {
+            let w = self.weights.get(o).copied().unwrap_or(0.0);
+            for p in bitsv.iter_ones() {
+                vals[p] += w;
+            }
+        }
+        vals
+    }
+
+    /// Evaluates the error the circuit would have if the given output flips
+    /// were applied, without mutating any state.
+    ///
+    /// Cost is proportional to the number of flipped pattern bits, not to
+    /// the pattern count: only patterns actually touched by `flips` are
+    /// reconsidered.
+    pub fn eval_flips(&self, flips: &[FlipVec]) -> f64 {
+        let n = self.num_patterns() as f64;
+        if flips.is_empty() {
+            return self.sum / n;
+        }
+        let mut delta_sum = 0.0;
+        for wi in 0..self.num_words {
+            let mut changed = 0u64;
+            for f in flips {
+                changed |= f.bits.words()[wi];
+            }
+            while changed != 0 {
+                let b = changed.trailing_zeros() as usize;
+                changed &= changed - 1;
+                let p = wi * 64 + b;
+                let (mut cnt, mut e) = (self.wrong_count[p] as i64, self.err[p]);
+                for f in flips {
+                    if f.bits.words()[wi] >> b & 1 == 1 {
+                        let o = f.output;
+                        let was_diff = self.diff[o].words()[wi] >> b & 1 == 1;
+                        cnt += if was_diff { -1 } else { 1 };
+                        if self.kind.is_weighted() {
+                            let w = self.weights[o];
+                            // current approx bit = exact ^ diff; toggling it
+                            // moves the signed error by ∓w.
+                            let approx_bit =
+                                (self.exact[o].words()[wi] >> b & 1 == 1) ^ was_diff;
+                            e += if approx_bit { -w } else { w };
+                        }
+                    }
+                }
+                delta_sum += match self.kind {
+                    MetricKind::Er => {
+                        (cnt > 0) as i64 as f64 - (self.wrong_count[p] > 0) as i64 as f64
+                    }
+                    MetricKind::Med => e.abs() - self.err[p].abs(),
+                    MetricKind::Mse => e * e - self.err[p] * self.err[p],
+                };
+            }
+        }
+        (self.sum + delta_sum) / n
+    }
+
+    /// Error increase (possibly negative) the flips would cause.
+    pub fn error_increase(&self, flips: &[FlipVec]) -> f64 {
+        self.eval_flips(flips) - self.error()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metric::unsigned_weights;
+
+    fn bits(words: Vec<u64>) -> PackedBits {
+        PackedBits::from_words(words)
+    }
+
+    /// Golden: o0 = 0b1100, o1 = 0b1010 on 64 patterns (only 4 used).
+    fn two_output_state(kind: MetricKind, approx0: u64, approx1: u64) -> ErrorState {
+        ErrorState::new(
+            kind,
+            unsigned_weights(2),
+            vec![bits(vec![0b1100]), bits(vec![0b1010])],
+            &[bits(vec![approx0]), bits(vec![approx1])],
+        )
+    }
+
+    #[test]
+    fn exact_circuit_has_zero_error() {
+        for kind in MetricKind::ALL {
+            let s = two_output_state(kind, 0b1100, 0b1010);
+            assert_eq!(s.error(), 0.0);
+            assert_eq!(s.er(), 0.0);
+            assert_eq!(s.med(), 0.0);
+            assert_eq!(s.mse(), 0.0);
+        }
+    }
+
+    #[test]
+    fn er_counts_wrong_patterns() {
+        // o0 wrong on patterns 0 and 1, o1 wrong on pattern 1.
+        let s = two_output_state(MetricKind::Er, 0b1100 ^ 0b0011, 0b1010 ^ 0b0010);
+        assert!((s.error() - 2.0 / 64.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn med_weights_outputs() {
+        // pattern 0: o0 flips (exact 0 -> approx 1): err +1
+        // pattern 1: o1 flips (exact 1 -> approx 0): err -2
+        let s = two_output_state(MetricKind::Med, 0b1101, 0b1000);
+        assert!((s.error() - (1.0 + 2.0) / 64.0).abs() < 1e-12);
+        let mse = two_output_state(MetricKind::Mse, 0b1101, 0b1000);
+        assert!((mse.error() - (1.0 + 4.0) / 64.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn eval_flips_matches_refresh() {
+        for kind in MetricKind::ALL {
+            let s = two_output_state(kind, 0b1101, 0b1000);
+            // candidate flips: o0 on patterns {0,2}, o1 on pattern {3}
+            let flips = vec![
+                FlipVec { output: 0, bits: bits(vec![0b0101]) },
+                FlipVec { output: 1, bits: bits(vec![0b1000]) },
+            ];
+            let predicted = s.eval_flips(&flips);
+            // apply flips manually and rebuild
+            let a0 = 0b1101u64 ^ 0b0101;
+            let a1 = 0b1000u64 ^ 0b1000;
+            let fresh = two_output_state(kind, a0, a1);
+            assert!(
+                (predicted - fresh.error()).abs() < 1e-12,
+                "{kind}: predicted {predicted} vs {e}",
+                e = fresh.error()
+            );
+        }
+    }
+
+    #[test]
+    fn flips_can_reduce_error() {
+        let s = two_output_state(MetricKind::Med, 0b1101, 0b1010);
+        // flip o0 pattern 0 back to exact
+        let flips = vec![FlipVec { output: 0, bits: bits(vec![0b0001]) }];
+        assert!(s.error_increase(&flips) < 0.0);
+        assert_eq!(s.eval_flips(&flips), 0.0);
+    }
+
+    #[test]
+    fn empty_flips_are_identity() {
+        let s = two_output_state(MetricKind::Mse, 0b1101, 0b1000);
+        assert_eq!(s.eval_flips(&[]), s.error());
+        assert_eq!(s.error_increase(&[]), 0.0);
+    }
+
+    #[test]
+    fn standard_error_behaves_like_bernoulli_for_er() {
+        // 1 wrong pattern out of 64: p = 1/64, se = sqrt(p(1-p)/64)
+        let s = two_output_state(MetricKind::Er, 0b1101, 0b1010);
+        let p: f64 = 1.0 / 64.0;
+        let expect = (p * (1.0 - p) / 64.0).sqrt();
+        assert!((s.standard_error() - expect).abs() < 1e-12);
+        let (lo, hi) = s.confidence_interval();
+        assert!(lo <= s.error() && s.error() <= hi);
+        // exact circuit: zero-width interval
+        let exact = two_output_state(MetricKind::Er, 0b1100, 0b1010);
+        assert_eq!(exact.standard_error(), 0.0);
+        assert_eq!(exact.confidence_interval(), (0.0, 0.0));
+    }
+
+    #[test]
+    fn max_ed_tracks_worst_pattern() {
+        let s = two_output_state(MetricKind::Med, 0b1101, 0b1000);
+        // pattern 0: +1; pattern 1: -2 -> worst |e| = 2
+        assert_eq!(s.max_ed(), 2.0);
+        let clean = two_output_state(MetricKind::Med, 0b1100, 0b1010);
+        assert_eq!(clean.max_ed(), 0.0);
+    }
+
+    #[test]
+    fn refresh_updates_after_change() {
+        let mut s = two_output_state(MetricKind::Er, 0b1100, 0b1010);
+        assert_eq!(s.error(), 0.0);
+        s.refresh(&[bits(vec![0b0100]), bits(vec![0b1010])]);
+        assert!((s.error() - 1.0 / 64.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn multi_word_patterns() {
+        let exact = vec![bits(vec![0, 0])];
+        let approx = vec![bits(vec![1, 1 << 63])];
+        let s = ErrorState::new(MetricKind::Er, unsigned_weights(1), exact, &approx);
+        assert!((s.error() - 2.0 / 128.0).abs() < 1e-12);
+        let flips = vec![FlipVec { output: 0, bits: bits(vec![1, 1 << 63]) }];
+        assert_eq!(s.eval_flips(&flips), 0.0);
+    }
+}

@@ -1,0 +1,224 @@
+//! Candidate LAC enumeration.
+//!
+//! Constant LACs exist for every gate. SASIMI substitution candidates pair
+//! each target with the existing signals (in either polarity) that agree
+//! with it on the largest fraction of simulated patterns, excluding
+//! substitutions that would create a cycle (source inside the target's
+//! TFO cone).
+
+use als_aig::{Aig, NodeId};
+use als_sim::Simulator;
+
+use crate::lac::Lac;
+
+/// Controls candidate enumeration.
+#[derive(Clone, Debug)]
+pub struct CandidateConfig {
+    /// Enumerate constant-0/1 LACs.
+    pub constants: bool,
+    /// Enumerate SASIMI substitution LACs.
+    pub substitutions: bool,
+    /// Maximum substitution candidates kept per target node.
+    pub max_subs_per_target: usize,
+    /// Substitutions whose disagreement fraction exceeds this are dropped
+    /// (they could never be good LACs).
+    pub max_distance_frac: f64,
+}
+
+impl Default for CandidateConfig {
+    fn default() -> CandidateConfig {
+        CandidateConfig {
+            constants: true,
+            substitutions: true,
+            max_subs_per_target: 8,
+            max_distance_frac: 0.25,
+        }
+    }
+}
+
+impl CandidateConfig {
+    /// Constant LACs only — the paper's configuration for large circuits.
+    pub fn constants_only() -> CandidateConfig {
+        CandidateConfig { substitutions: false, ..CandidateConfig::default() }
+    }
+
+    /// SASIMI configuration (constants and substitutions) with a per-target
+    /// candidate budget.
+    pub fn sasimi(max_subs_per_target: usize) -> CandidateConfig {
+        CandidateConfig { max_subs_per_target, ..CandidateConfig::default() }
+    }
+}
+
+/// Constant LACs for the given targets (or all live gates).
+pub fn constant_lacs(aig: &Aig, targets: Option<&[NodeId]>) -> Vec<Lac> {
+    let mut out = Vec::new();
+    let mut push = |n: NodeId| {
+        if aig.is_live(n) && aig.node(n).is_and() {
+            out.push(Lac::const0(n));
+            out.push(Lac::const1(n));
+        }
+    };
+    match targets {
+        Some(ts) => ts.iter().copied().for_each(&mut push),
+        None => aig.iter_ands().for_each(&mut push),
+    }
+    out
+}
+
+/// SASIMI substitution LACs: for each target, the `max_subs_per_target`
+/// most similar other signals (inputs or gates, either polarity), skipping
+/// sources in the target's TFO cone.
+pub fn sasimi_lacs(
+    aig: &Aig,
+    sim: &Simulator,
+    cfg: &CandidateConfig,
+    targets: Option<&[NodeId]>,
+) -> Vec<Lac> {
+    let target_list: Vec<NodeId> = match targets {
+        Some(ts) => ts
+            .iter()
+            .copied()
+            .filter(|&n| aig.is_live(n) && aig.node(n).is_and())
+            .collect(),
+        None => aig.iter_ands().collect(),
+    };
+    // Substitution sources: all live inputs and gates.
+    let sources: Vec<NodeId> = aig
+        .iter_live()
+        .filter(|&n| !aig.node(n).is_const0())
+        .collect();
+    let num_bits = sim.num_patterns();
+    let max_dist = (cfg.max_distance_frac * num_bits as f64) as usize;
+
+    let mut out = Vec::new();
+    for &t in &target_list {
+        // TFO marks for cycle avoidance.
+        let mut in_tfo = vec![false; aig.num_nodes()];
+        for id in als_aig::cone::tfo_cone(aig, t) {
+            in_tfo[id.index()] = true;
+        }
+        let tv = sim.value(t);
+        // (distance, lac) best-k selection
+        let mut best: Vec<(usize, Lac)> = Vec::new();
+        for &s in &sources {
+            if s == t || in_tfo[s.index()] {
+                continue;
+            }
+            let d = tv.hamming_distance(sim.value(s));
+            let (dist, lit) =
+                if d <= num_bits - d { (d, s.lit()) } else { (num_bits - d, !s.lit()) };
+            if dist > max_dist {
+                continue;
+            }
+            best.push((dist, Lac::substitute(t, lit)));
+        }
+        best.sort_by_key(|(d, lac)| (*d, lac.replacement().raw()));
+        best.truncate(cfg.max_subs_per_target);
+        out.extend(best.into_iter().map(|(_, lac)| lac));
+    }
+    out
+}
+
+/// All candidate LACs according to `cfg`, optionally restricted to
+/// `targets` (the phase-two `S_cand` restriction).
+pub fn generate(
+    aig: &Aig,
+    sim: &Simulator,
+    cfg: &CandidateConfig,
+    targets: Option<&[NodeId]>,
+) -> Vec<Lac> {
+    let mut out = Vec::new();
+    if cfg.constants {
+        out.extend(constant_lacs(aig, targets));
+    }
+    if cfg.substitutions {
+        out.extend(sasimi_lacs(aig, sim, cfg, targets));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lac::LacKind;
+    use als_sim::PatternSet;
+
+    fn setup() -> (Aig, Simulator) {
+        let mut aig = Aig::new("c");
+        let x = aig.add_inputs("x", 6);
+        let g1 = aig.and(x[0], x[1]);
+        let g2 = aig.and(g1, x[2]); // very similar to g1 when x2 dense
+        let g3 = aig.and(g2, x[3]);
+        aig.add_output(g3, "o");
+        let sim = Simulator::new(&aig, &PatternSet::exhaustive(6));
+        (aig, sim)
+    }
+
+    #[test]
+    fn constant_lacs_cover_all_gates() {
+        let (aig, _) = setup();
+        let lacs = constant_lacs(&aig, None);
+        assert_eq!(lacs.len(), 2 * aig.num_ands());
+        assert!(lacs.iter().any(|l| l.kind == LacKind::Const0));
+        assert!(lacs.iter().any(|l| l.kind == LacKind::Const1));
+    }
+
+    #[test]
+    fn constant_lacs_respect_target_restriction() {
+        let (aig, _) = setup();
+        let first = aig.iter_ands().next().unwrap();
+        let lacs = constant_lacs(&aig, Some(&[first]));
+        assert_eq!(lacs.len(), 2);
+        assert!(lacs.iter().all(|l| l.target == first));
+    }
+
+    #[test]
+    fn sasimi_candidates_avoid_tfo() {
+        let (aig, sim) = setup();
+        let cfg = CandidateConfig::sasimi(100);
+        let lacs = sasimi_lacs(&aig, &sim, &cfg, None);
+        for lac in &lacs {
+            let LacKind::Substitute { sub } = lac.kind else { panic!() };
+            let tfo = als_aig::cone::tfo_cone(&aig, lac.target);
+            assert!(!tfo.contains(&sub.node()), "{lac:?} would create a cycle");
+        }
+    }
+
+    #[test]
+    fn sasimi_prefers_similar_signals() {
+        let (aig, sim) = setup();
+        let cfg = CandidateConfig { max_subs_per_target: 1, ..CandidateConfig::default() };
+        let lacs = sasimi_lacs(&aig, &sim, &cfg, None);
+        // the best substitute for g3 = x0&x1&x2&x3 is g2 = x0&x1&x2
+        // (disagrees on 1/16 of patterns)
+        let g3 = aig
+            .iter_ands()
+            .last()
+            .unwrap();
+        let best_for_g3 = lacs.iter().find(|l| l.target == g3).unwrap();
+        let LacKind::Substitute { sub } = best_for_g3.kind else { panic!() };
+        let d = Lac::substitute(g3, sub).change_count(&sim);
+        assert!(d <= 4, "best candidate disagrees on {d}/64 patterns");
+    }
+
+    #[test]
+    fn per_target_budget_is_respected() {
+        let (aig, sim) = setup();
+        let cfg = CandidateConfig { max_subs_per_target: 2, ..CandidateConfig::default() };
+        let lacs = sasimi_lacs(&aig, &sim, &cfg, None);
+        for t in aig.iter_ands() {
+            assert!(lacs.iter().filter(|l| l.target == t).count() <= 2);
+        }
+    }
+
+    #[test]
+    fn generate_combines_kinds() {
+        let (aig, sim) = setup();
+        let all = generate(&aig, &sim, &CandidateConfig::default(), None);
+        let consts = all.iter().filter(|l| !matches!(l.kind, LacKind::Substitute { .. })).count();
+        assert_eq!(consts, 2 * aig.num_ands());
+        assert!(all.len() > consts);
+        let only_const = generate(&aig, &sim, &CandidateConfig::constants_only(), None);
+        assert_eq!(only_const.len(), consts);
+    }
+}

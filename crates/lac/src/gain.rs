@@ -1,0 +1,38 @@
+//! Area gain of a LAC.
+
+use als_aig::{Aig, NodeId};
+
+/// Number of gates deleted by replacing `target`: the size of its maximum
+/// fanout-free cone. This is the area saving used to break ties between
+/// LACs with equal error increase.
+pub fn area_saving(aig: &Aig, target: NodeId) -> usize {
+    als_aig::cone::mffc_size(aig, target)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn saving_is_mffc_size() {
+        let mut aig = Aig::new("t");
+        let x = aig.add_inputs("x", 3);
+        let g1 = aig.and(x[0], x[1]);
+        let g2 = aig.and(g1, x[2]);
+        aig.add_output(g2, "o");
+        // g2's MFFC is {g2, g1}
+        assert_eq!(area_saving(&aig, g2.node()), 2);
+        assert_eq!(area_saving(&aig, g1.node()), 1);
+    }
+
+    #[test]
+    fn shared_logic_reduces_saving() {
+        let mut aig = Aig::new("s");
+        let x = aig.add_inputs("x", 3);
+        let g1 = aig.and(x[0], x[1]);
+        let g2 = aig.and(g1, x[2]);
+        aig.add_output(g2, "o");
+        aig.add_output(g1, "keep");
+        assert_eq!(area_saving(&aig, g2.node()), 1);
+    }
+}

@@ -1,0 +1,154 @@
+//! The LAC type.
+
+use als_aig::{Aig, EditRecord, Lit, NodeId};
+use als_sim::{PackedBits, Simulator};
+
+/// What a LAC replaces its target with.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
+pub enum LacKind {
+    /// Replace the target by constant 0.
+    Const0,
+    /// Replace the target by constant 1.
+    Const1,
+    /// Substitute the target by an existing signal (SASIMI).
+    Substitute {
+        /// The substituting literal (node with optional complement).
+        sub: Lit,
+    },
+}
+
+/// A local approximate change: replace `target`'s function according to
+/// `kind`.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
+pub struct Lac {
+    /// The node whose function is replaced.
+    pub target: NodeId,
+    /// The replacement.
+    pub kind: LacKind,
+}
+
+impl Lac {
+    /// Constant-0 LAC on `target`.
+    pub fn const0(target: NodeId) -> Lac {
+        Lac { target, kind: LacKind::Const0 }
+    }
+
+    /// Constant-1 LAC on `target`.
+    pub fn const1(target: NodeId) -> Lac {
+        Lac { target, kind: LacKind::Const1 }
+    }
+
+    /// Substitution LAC on `target`.
+    pub fn substitute(target: NodeId, sub: Lit) -> Lac {
+        Lac { target, kind: LacKind::Substitute { sub } }
+    }
+
+    /// The literal the target is rewired to.
+    pub fn replacement(&self) -> Lit {
+        match self.kind {
+            LacKind::Const0 => Lit::FALSE,
+            LacKind::Const1 => Lit::TRUE,
+            LacKind::Substitute { sub } => sub,
+        }
+    }
+
+    /// The change vector `D`: one bit per pattern, set where the target's
+    /// value would differ after the LAC. This is what the CPM converts into
+    /// output flips (`D ∧ P[n][o]`).
+    pub fn change_vector(&self, sim: &Simulator) -> PackedBits {
+        let old = sim.value(self.target);
+        match self.kind {
+            LacKind::Const0 => old.clone(),
+            LacKind::Const1 => old.not(),
+            LacKind::Substitute { sub } => {
+                let mut v = sim.lit_value(sub);
+                v.xor_assign(old);
+                v
+            }
+        }
+    }
+
+    /// Number of patterns on which the LAC changes the target's value.
+    pub fn change_count(&self, sim: &Simulator) -> usize {
+        self.change_vector(sim).count_ones()
+    }
+
+    /// Applies the LAC to the graph.
+    ///
+    /// # Panics
+    /// Panics under the same conditions as [`als_aig::edit::replace`]
+    /// (target must be a live AND, substitution source must not be in the
+    /// target's TFO).
+    pub fn apply(&self, aig: &mut Aig) -> EditRecord {
+        als_aig::edit::replace(aig, self.target, self.replacement())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use als_sim::PatternSet;
+
+    fn setup() -> (Aig, Lit, Lit, Simulator, PatternSet) {
+        let mut aig = Aig::new("t");
+        let x = aig.add_inputs("x", 6);
+        let g = aig.and(x[0], x[1]);
+        let h = aig.and(g, x[2]);
+        aig.add_output(h, "o");
+        let patterns = PatternSet::exhaustive(6);
+        let sim = Simulator::new(&aig, &patterns);
+        (aig, g, h, sim, patterns)
+    }
+
+    #[test]
+    fn const_change_vectors() {
+        let (_aig, g, _h, sim, _) = setup();
+        let d0 = Lac::const0(g.node()).change_vector(&sim);
+        assert_eq!(&d0, sim.value(g.node()));
+        let d1 = Lac::const1(g.node()).change_vector(&sim);
+        assert_eq!(d1, sim.value(g.node()).not());
+        // exhaustive: g = x0 & x1 is 1 on 1/4 of patterns
+        assert_eq!(d0.count_ones(), 16);
+        assert_eq!(d1.count_ones(), 48);
+    }
+
+    #[test]
+    fn substitute_change_vector_counts_disagreements() {
+        let (aig, g, _h, sim, _) = setup();
+        let x0 = aig.inputs()[0].lit();
+        let lac = Lac::substitute(g.node(), x0);
+        // g = x0&x1 vs x0: differ when x0=1, x1=0 -> 1/4 of patterns
+        assert_eq!(lac.change_count(&sim), 16);
+        let lac_inv = Lac::substitute(g.node(), !x0);
+        // g vs !x0: equal when (x0=1,x1=1)? g=1,!x0=0 -> differ... count:
+        // differ when g != !x0: g=1,x0=1 => !x0=0 differ(16); g=0,x0=0 =>
+        // !x0=1 differ (32 patterns x0=0); g=0,x0=1,x1=0: !x0=0 equal.
+        assert_eq!(lac_inv.change_count(&sim), 48);
+    }
+
+    #[test]
+    fn apply_rewires_and_reports() {
+        let (mut aig, g, h, _sim, patterns) = setup();
+        let x0 = aig.inputs()[0].lit();
+        let rec = Lac::substitute(g.node(), x0).apply(&mut aig);
+        assert_eq!(rec.target, g.node());
+        assert!(!aig.is_live(g.node()));
+        als_aig::check::check(&aig).unwrap();
+        // circuit now computes h = x0 & x2
+        let sim = Simulator::new(&aig, &patterns);
+        let expect = {
+            let a = sim.lit_value(x0);
+            let c = sim.lit_value(aig.inputs()[2].lit());
+            a.and(&c)
+        };
+        assert_eq!(sim.lit_value(h), expect);
+    }
+
+    #[test]
+    fn replacement_literals() {
+        assert_eq!(Lac::const0(NodeId(3)).replacement(), Lit::FALSE);
+        assert_eq!(Lac::const1(NodeId(3)).replacement(), Lit::TRUE);
+        let s = !NodeId(5).lit();
+        assert_eq!(Lac::substitute(NodeId(3), s).replacement(), s);
+    }
+}

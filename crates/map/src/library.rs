@@ -1,0 +1,141 @@
+//! The standard-cell library.
+
+use std::fmt;
+
+/// Functional kind of a library cell.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub enum CellKind {
+    /// Inverter.
+    Inv,
+    /// Two-input AND.
+    And2,
+    /// Two-input NAND.
+    Nand2,
+    /// Two-input NOR.
+    Nor2,
+    /// Two-input OR.
+    Or2,
+    /// Two-input XOR.
+    Xor2,
+    /// Two-input XNOR.
+    Xnor2,
+}
+
+impl fmt::Display for CellKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            CellKind::Inv => "INV",
+            CellKind::And2 => "AND2",
+            CellKind::Nand2 => "NAND2",
+            CellKind::Nor2 => "NOR2",
+            CellKind::Or2 => "OR2",
+            CellKind::Xor2 => "XOR2",
+            CellKind::Xnor2 => "XNOR2",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One library cell: area in µm² and pin-to-pin delay in ns.
+#[derive(Copy, Clone, PartialEq, Debug)]
+pub struct Cell {
+    /// Functional kind.
+    pub kind: CellKind,
+    /// Cell area (µm²).
+    pub area: f64,
+    /// Worst-case propagation delay (ns).
+    pub delay: f64,
+}
+
+/// A tiny standard-cell library.
+///
+/// The default numbers are loosely modelled on a generic 45 nm educational
+/// library; what matters for the experiments is only that the numbers are
+/// consistent between the original and approximate circuits.
+#[derive(Clone, Debug)]
+pub struct CellLibrary {
+    cells: Vec<Cell>,
+}
+
+impl Default for CellLibrary {
+    fn default() -> CellLibrary {
+        CellLibrary {
+            cells: vec![
+                Cell { kind: CellKind::Inv, area: 0.53, delay: 0.016 },
+                Cell { kind: CellKind::And2, area: 1.06, delay: 0.041 },
+                Cell { kind: CellKind::Nand2, area: 0.80, delay: 0.026 },
+                Cell { kind: CellKind::Nor2, area: 0.80, delay: 0.031 },
+                Cell { kind: CellKind::Or2, area: 1.06, delay: 0.046 },
+                Cell { kind: CellKind::Xor2, area: 1.60, delay: 0.058 },
+                Cell { kind: CellKind::Xnor2, area: 1.60, delay: 0.058 },
+            ],
+        }
+    }
+}
+
+impl CellLibrary {
+    /// The default library.
+    pub fn new() -> CellLibrary {
+        CellLibrary::default()
+    }
+
+    /// The cell of the given kind.
+    ///
+    /// # Panics
+    /// Panics if the library lacks the kind (the default never does).
+    pub fn cell(&self, kind: CellKind) -> Cell {
+        self.cells
+            .iter()
+            .copied()
+            .find(|c| c.kind == kind)
+            .unwrap_or_else(|| panic!("library has no {kind} cell"))
+    }
+
+    /// All cells.
+    pub fn cells(&self) -> &[Cell] {
+        &self.cells
+    }
+
+    /// Replaces a cell's parameters (for library-sensitivity experiments).
+    pub fn set_cell(&mut self, cell: Cell) {
+        match self.cells.iter_mut().find(|c| c.kind == cell.kind) {
+            Some(slot) => *slot = cell,
+            None => self.cells.push(cell),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_library_is_complete() {
+        let lib = CellLibrary::new();
+        for kind in [
+            CellKind::Inv,
+            CellKind::And2,
+            CellKind::Nand2,
+            CellKind::Nor2,
+            CellKind::Or2,
+            CellKind::Xor2,
+            CellKind::Xnor2,
+        ] {
+            let c = lib.cell(kind);
+            assert!(c.area > 0.0 && c.delay > 0.0);
+        }
+    }
+
+    #[test]
+    fn set_cell_overrides() {
+        let mut lib = CellLibrary::new();
+        lib.set_cell(Cell { kind: CellKind::Inv, area: 9.0, delay: 1.0 });
+        assert_eq!(lib.cell(CellKind::Inv).area, 9.0);
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(CellKind::Nand2.to_string(), "NAND2");
+        assert_eq!(CellKind::Xnor2.to_string(), "XNOR2");
+    }
+}

@@ -1,0 +1,20 @@
+//! Bit-parallel Monte-Carlo simulation of AND-inverter graphs.
+//!
+//! Error estimation for approximate logic synthesis is Monte-Carlo based:
+//! the circuit is simulated on a large set of random input patterns packed
+//! 64 per machine word, so one `u64` AND evaluates a gate on 64 patterns at
+//! once.
+//!
+//! * [`PackedBits`] — a fixed-width packed bit vector with the word-level
+//!   operations the analyses need,
+//! * [`PatternSet`] — input stimuli (uniform random or exhaustive),
+//! * [`Simulator`] — node values for a whole AIG with full and incremental
+//!   (cone-restricted) resimulation.
+
+pub mod bitvec;
+pub mod patterns;
+pub mod simulator;
+
+pub use bitvec::PackedBits;
+pub use patterns::PatternSet;
+pub use simulator::Simulator;

@@ -1,0 +1,211 @@
+//! Input stimuli for Monte-Carlo simulation.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::bitvec::PackedBits;
+
+/// A set of input patterns: one packed bit vector per primary input.
+///
+/// The paper assumes uniformly distributed inputs; [`PatternSet::random`]
+/// reproduces that, while any other distribution can be injected through
+/// [`PatternSet::from_vectors`]. For small circuits,
+/// [`PatternSet::exhaustive`] enumerates the complete truth table, which the
+/// test-suite uses to validate the Monte-Carlo machinery against exact
+/// results.
+#[derive(Clone, Debug)]
+pub struct PatternSet {
+    inputs: Vec<PackedBits>,
+    num_words: usize,
+}
+
+impl PatternSet {
+    /// Uniform random patterns: `num_words * 64` patterns for `num_inputs`
+    /// inputs, deterministic in `seed`.
+    pub fn random(num_inputs: usize, num_words: usize, seed: u64) -> PatternSet {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let inputs = (0..num_inputs)
+            .map(|_| PackedBits::from_words((0..num_words).map(|_| rng.next_u64()).collect()))
+            .collect();
+        PatternSet { inputs, num_words }
+    }
+
+    /// Independent biased random patterns: every input bit is 1 with
+    /// probability `density` (0.5 reproduces [`PatternSet::random`]'s
+    /// distribution). Models non-uniform input distributions, which the
+    /// dual-phase framework supports unchanged.
+    ///
+    /// # Panics
+    /// Panics unless `0.0 <= density <= 1.0`.
+    pub fn biased(num_inputs: usize, num_words: usize, seed: u64, density: f64) -> PatternSet {
+        assert!((0.0..=1.0).contains(&density), "density must be in [0, 1]");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let threshold = (density * u64::MAX as f64) as u64;
+        let inputs = (0..num_inputs)
+            .map(|_| {
+                let mut v = PackedBits::zeros(num_words);
+                for p in 0..num_words * 64 {
+                    if rng.next_u64() <= threshold {
+                        v.set(p, true);
+                    }
+                }
+                v
+            })
+            .collect();
+        PatternSet { inputs, num_words }
+    }
+
+    /// All `2^num_inputs` patterns.
+    ///
+    /// Requires `num_inputs >= 6` so the pattern count is a multiple of 64
+    /// (the packing granularity); use 6..=20 in practice.
+    ///
+    /// # Panics
+    /// Panics if `num_inputs < 6` or `num_inputs > 24`.
+    pub fn exhaustive(num_inputs: usize) -> PatternSet {
+        assert!(
+            (6..=24).contains(&num_inputs),
+            "exhaustive patterns need 6..=24 inputs, got {num_inputs}"
+        );
+        let num_words = 1usize << (num_inputs - 6);
+        let inputs = (0..num_inputs)
+            .map(|i| {
+                let mut v = PackedBits::zeros(num_words);
+                if i < 6 {
+                    // bit b of every word is (b >> i) & 1
+                    let mut pat = 0u64;
+                    for b in 0..64u64 {
+                        if (b >> i) & 1 == 1 {
+                            pat |= 1 << b;
+                        }
+                    }
+                    for w in v.words_mut() {
+                        *w = pat;
+                    }
+                } else {
+                    for (wi, w) in v.words_mut().iter_mut().enumerate() {
+                        if (wi >> (i - 6)) & 1 == 1 {
+                            *w = !0;
+                        }
+                    }
+                }
+                v
+            })
+            .collect();
+        PatternSet { inputs, num_words }
+    }
+
+    /// Builds a pattern set from explicit per-input bit vectors.
+    ///
+    /// # Panics
+    /// Panics if the vectors have differing word counts.
+    pub fn from_vectors(inputs: Vec<PackedBits>) -> PatternSet {
+        let num_words = inputs.first().map_or(0, PackedBits::num_words);
+        assert!(inputs.iter().all(|v| v.num_words() == num_words));
+        PatternSet { inputs, num_words }
+    }
+
+    /// Number of primary inputs covered.
+    pub fn num_inputs(&self) -> usize {
+        self.inputs.len()
+    }
+
+    /// Number of 64-bit words per input vector.
+    pub fn num_words(&self) -> usize {
+        self.num_words
+    }
+
+    /// Number of patterns.
+    pub fn num_patterns(&self) -> usize {
+        self.num_words * 64
+    }
+
+    /// The stimulus vector for input `i`.
+    pub fn input(&self, i: usize) -> &PackedBits {
+        &self.inputs[i]
+    }
+
+    /// The value assignment of pattern `p` as a vector of bools.
+    pub fn pattern(&self, p: usize) -> Vec<bool> {
+        self.inputs.iter().map(|v| v.get(p)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn random_is_deterministic() {
+        let a = PatternSet::random(4, 2, 42);
+        let b = PatternSet::random(4, 2, 42);
+        for i in 0..4 {
+            assert_eq!(a.input(i), b.input(i));
+        }
+        let c = PatternSet::random(4, 2, 43);
+        assert!((0..4).any(|i| a.input(i) != c.input(i)));
+    }
+
+    #[test]
+    fn random_density_is_roughly_half() {
+        let p = PatternSet::random(1, 256, 7);
+        let d = p.input(0).density();
+        assert!((0.45..0.55).contains(&d), "density {d} suspicious");
+    }
+
+    #[test]
+    fn biased_density_is_respected() {
+        for density in [0.1, 0.5, 0.9] {
+            let p = PatternSet::biased(2, 64, 3, density);
+            for i in 0..2 {
+                let d = p.input(i).density();
+                assert!((d - density).abs() < 0.05, "want {density}, got {d}");
+            }
+        }
+        let zero = PatternSet::biased(1, 8, 1, 0.0);
+        assert!(zero.input(0).is_zero());
+        let one = PatternSet::biased(1, 8, 1, 1.0);
+        assert_eq!(one.input(0).count_ones(), one.input(0).num_bits());
+    }
+
+    #[test]
+    fn exhaustive_covers_all_patterns() {
+        let p = PatternSet::exhaustive(8);
+        assert_eq!(p.num_patterns(), 256);
+        let mut seen = vec![false; 256];
+        for i in 0..256 {
+            let bits = p.pattern(i);
+            let mut v = 0usize;
+            for (k, &b) in bits.iter().enumerate() {
+                if b {
+                    v |= 1 << k;
+                }
+            }
+            seen[v] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn exhaustive_input_density_is_exactly_half() {
+        let p = PatternSet::exhaustive(7);
+        for i in 0..7 {
+            assert_eq!(p.input(i).count_ones(), 64);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "exhaustive patterns need")]
+    fn exhaustive_too_small_panics() {
+        PatternSet::exhaustive(3);
+    }
+
+    #[test]
+    fn from_vectors() {
+        let v = vec![PackedBits::zeros(3), PackedBits::ones(3)];
+        let p = PatternSet::from_vectors(v);
+        assert_eq!(p.num_inputs(), 2);
+        assert_eq!(p.num_patterns(), 192);
+        assert_eq!(p.pattern(100), vec![false, true]);
+    }
+}

@@ -1,0 +1,57 @@
+//! Compare every flow on one benchmark circuit: the conventional
+//! baseline, VECBEE(l=1), AccALS, DP and DP-SA.
+//!
+//! ```text
+//! cargo run --release --example compare_flows [circuit] [er|med|mse]
+//! ```
+
+use dualphase_als::circuits::{benchmark, BenchmarkScale};
+use dualphase_als::engine::{
+    AccAlsFlow, ConventionalFlow, DualPhaseFlow, Flow, FlowConfig, VecbeeDepthOneFlow,
+};
+use dualphase_als::error::{paper_thresholds, MetricKind};
+use dualphase_als::map::{adp_ratio, CellLibrary};
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let name = args.next().unwrap_or_else(|| "sm9x8".to_string());
+    let metric = match args.next().as_deref() {
+        Some("er") => MetricKind::Er,
+        Some("mse") => MetricKind::Mse,
+        _ => MetricKind::Med,
+    };
+
+    let original = benchmark(&name, BenchmarkScale::Reduced);
+    let bound = paper_thresholds(metric, original.num_outputs())[1];
+    println!(
+        "{name}: {} gates, metric {metric}, bound {bound:.3}",
+        original.num_ands()
+    );
+
+    let cfg = FlowConfig::new(metric, bound).with_patterns(2048);
+    let flows: Vec<Box<dyn Flow>> = vec![
+        Box::new(ConventionalFlow::new(cfg.clone())),
+        Box::new(VecbeeDepthOneFlow::new(cfg.clone())),
+        Box::new(AccAlsFlow::new(cfg.clone())),
+        Box::new(DualPhaseFlow::new(cfg.clone())),
+        Box::new(DualPhaseFlow::with_self_adaption(cfg)),
+    ];
+
+    let lib = CellLibrary::new();
+    println!(
+        "{:<20} {:>7} {:>9} {:>10} {:>7} {:>9}",
+        "flow", "gates", "ADP", "error", "LACs", "runtime"
+    );
+    for flow in &flows {
+        let res = flow.run(&original);
+        println!(
+            "{:<20} {:>7} {:>8.1}% {:>10.3} {:>7} {:>8.2?}",
+            res.flow,
+            res.final_nodes(),
+            100.0 * adp_ratio(&res.circuit, &original, &lib),
+            res.final_error,
+            res.lacs_applied(),
+            res.runtime
+        );
+    }
+}

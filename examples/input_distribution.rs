@@ -1,0 +1,57 @@
+//! Input-distribution sensitivity: the same circuit approximated under
+//! uniform and biased input statistics yields different approximate
+//! circuits — the framework optimises for the distribution it is given
+//! (the paper's "any input distribution" claim in action).
+//!
+//! ```text
+//! cargo run --release --example input_distribution
+//! ```
+
+use dualphase_als::aig::Aig;
+use dualphase_als::circuits::mult::mult;
+use dualphase_als::engine::{DualPhaseFlow, Flow, FlowConfig, PatternSource};
+use dualphase_als::error::{unsigned_weights, ErrorState, MetricKind};
+use dualphase_als::sim::{PatternSet, Simulator};
+
+/// Measures MED of `approx` against `original` under the given stimuli.
+fn med_under(original: &Aig, approx: &Aig, patterns: &PatternSet) -> f64 {
+    let gold = Simulator::new(original, patterns);
+    let got = Simulator::new(approx, patterns);
+    let golden: Vec<_> =
+        (0..original.num_outputs()).map(|o| gold.output_value(original, o)).collect();
+    let outs: Vec<_> = (0..approx.num_outputs()).map(|o| got.output_value(approx, o)).collect();
+    ErrorState::new(MetricKind::Med, unsigned_weights(original.num_outputs()), golden, &outs)
+        .error()
+}
+
+fn main() {
+    let original = mult(8, 8);
+    let bound = 64.0;
+    println!("8x8 multiplier, MED bound {bound} under the training distribution\n");
+    println!(
+        "{:<22} {:>7} {:>14} {:>14}",
+        "trained on", "gates", "MED(uniform)", "MED(dense)"
+    );
+
+    let uniform_eval = PatternSet::random(16, 128, 999);
+    let dense_eval = PatternSet::biased(16, 128, 999, 0.85);
+
+    for (label, source) in [
+        ("uniform inputs", PatternSource::Uniform),
+        ("dense inputs (p=0.85)", PatternSource::Biased(0.85)),
+    ] {
+        let cfg = FlowConfig::new(MetricKind::Med, bound)
+            .with_patterns(4096)
+            .with_input_distribution(source);
+        let res = DualPhaseFlow::with_self_adaption(cfg).run(&original);
+        println!(
+            "{:<22} {:>7} {:>14.1} {:>14.1}",
+            label,
+            res.final_nodes(),
+            med_under(&original, &res.circuit, &uniform_eval),
+            med_under(&original, &res.circuit, &dense_eval),
+        );
+    }
+    println!("\neach circuit honours its bound on the distribution it was trained for;");
+    println!("off-distribution error can be much larger — distribution matters.");
+}

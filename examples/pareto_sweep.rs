@@ -1,0 +1,56 @@
+//! Sweep the error budget and print the quality/cost trade-off curve —
+//! the design-space exploration an approximate-computing user actually
+//! performs. Also writes the best circuit at each point to an AIGER file
+//! under `target/pareto/`.
+//!
+//! ```text
+//! cargo run --release --example pareto_sweep [circuit]
+//! ```
+
+use std::fs::File;
+use std::io::BufWriter;
+
+use dualphase_als::aig::io::write_ascii;
+use dualphase_als::circuits::{benchmark, BenchmarkScale};
+use dualphase_als::engine::{DualPhaseFlow, Flow, FlowConfig};
+use dualphase_als::error::{reference_error, MetricKind};
+use dualphase_als::map::{map_circuit, CellLibrary};
+
+fn main() {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "mult16".to_string());
+    let original = benchmark(&name, BenchmarkScale::Reduced);
+    let lib = CellLibrary::new();
+    let base = map_circuit(&original, &lib);
+    let r = reference_error(original.num_outputs());
+    println!(
+        "{name}: {} gates, area {:.1}, delay {:.3}, reference error R = {r:.1}",
+        original.num_ands(),
+        base.area,
+        base.delay
+    );
+    println!(
+        "{:>10} {:>9} {:>10} {:>9} {:>8} {:>7}",
+        "MED bound", "gates", "area", "delay", "ADP%", "LACs"
+    );
+
+    std::fs::create_dir_all("target/pareto").expect("create output directory");
+    for factor in [0.25, 0.5, 1.0, 2.0, 4.0, 8.0] {
+        let bound = factor * r;
+        let cfg = FlowConfig::new(MetricKind::Med, bound).with_patterns(2048);
+        let res = DualPhaseFlow::with_self_adaption(cfg).run(&original);
+        let m = map_circuit(&res.circuit, &lib);
+        println!(
+            "{:>10.1} {:>9} {:>10.1} {:>9.3} {:>7.1}% {:>7}",
+            bound,
+            res.final_nodes(),
+            m.area,
+            m.delay,
+            100.0 * m.adp() / base.adp(),
+            res.lacs_applied()
+        );
+        let path = format!("target/pareto/{name}_med{factor}.aag");
+        let file = BufWriter::new(File::create(&path).expect("create AIGER file"));
+        write_ascii(&res.circuit, file).expect("write AIGER");
+    }
+    println!("approximate netlists written to target/pareto/*.aag");
+}

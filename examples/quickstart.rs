@@ -1,0 +1,42 @@
+//! Quickstart: approximate an 8×8 multiplier under a mean-error-distance
+//! bound with the paper's DP-SA flow.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use dualphase_als::circuits::mult::mult;
+use dualphase_als::engine::{DualPhaseFlow, Flow, FlowConfig};
+use dualphase_als::error::{reference_error, MetricKind};
+use dualphase_als::map::{adp_ratio, CellLibrary};
+
+fn main() {
+    // 1. A circuit to approximate: an exact 8×8 array multiplier.
+    let original = mult(8, 8);
+    println!(
+        "original: {} inputs, {} outputs, {} AND gates",
+        original.num_inputs(),
+        original.num_outputs(),
+        original.num_ands()
+    );
+
+    // 2. An error budget: the paper's reference error R = 2^(K/3).
+    let bound = reference_error(original.num_outputs());
+    println!("MED bound: {bound:.1}");
+
+    // 3. Run the dual-phase flow with self-adaption (DP-SA).
+    let config = FlowConfig::new(MetricKind::Med, bound).with_patterns(4096);
+    let result = DualPhaseFlow::with_self_adaption(config).run(&original);
+
+    // 4. Inspect the outcome.
+    let lib = CellLibrary::new();
+    println!(
+        "approximate: {} AND gates ({} LACs applied, {} comprehensive analyses)",
+        result.final_nodes(),
+        result.lacs_applied(),
+        result.comprehensive_analyses
+    );
+    println!("measured MED: {:.2} (bound {bound:.1})", result.final_error);
+    println!("ADP ratio: {:.1}%", 100.0 * adp_ratio(&result.circuit, &original, &lib));
+    println!("runtime: {:.2?}", result.runtime);
+}

@@ -1,0 +1,229 @@
+//! `als` — command-line front end for the dual-phase ALS library.
+//!
+//! ```text
+//! als list                                  # available generated benchmarks
+//! als stats  <circuit>                      # PI/PO/gates/depth/area/delay
+//! als synth  <circuit> [options] -o out.aag # run a flow, write the result
+//! als convert <in.aag> -o out.(aag|aig|v)   # format conversion
+//! ```
+//!
+//! `<circuit>` is either a benchmark name (see `als list`) or a path to an
+//! AIGER file. Synthesis options:
+//!
+//! ```text
+//! --flow conventional|l1|accals|dp|dpsa   (default dpsa)
+//! --metric er|med|mse                     (default med)
+//! --bound X                               (default: paper reference R)
+//! --patterns N   --seed S   --threads T   --full
+//! ```
+
+use std::fs::File;
+use std::io::{BufReader, BufWriter};
+use std::process::ExitCode;
+
+use dualphase_als::aig::Aig;
+use dualphase_als::circuits::{benchmark, benchmark_names, BenchmarkScale};
+use dualphase_als::engine::{
+    AccAlsFlow, ConventionalFlow, DualPhaseFlow, Flow, FlowConfig, VecbeeDepthOneFlow,
+};
+use dualphase_als::error::{reference_error, MetricKind};
+use dualphase_als::map::{map_circuit, CellLibrary};
+
+fn load(name_or_path: &str, full: bool) -> Result<Aig, String> {
+    if benchmark_names().contains(&name_or_path) {
+        let scale = if full { BenchmarkScale::Paper } else { BenchmarkScale::Reduced };
+        return Ok(benchmark(name_or_path, scale));
+    }
+    let file = File::open(name_or_path).map_err(|e| format!("{name_or_path}: {e}"))?;
+    let stem = std::path::Path::new(name_or_path)
+        .file_stem()
+        .and_then(|s| s.to_str())
+        .unwrap_or("circuit");
+    if name_or_path.ends_with(".blif") {
+        dualphase_als::aig::blif::read_blif(BufReader::new(file), stem)
+            .map_err(|e| e.to_string())
+    } else {
+        dualphase_als::aig::io::read(BufReader::new(file), stem).map_err(|e| e.to_string())
+    }
+}
+
+fn save(aig: &Aig, path: &str) -> Result<(), String> {
+    let file = BufWriter::new(File::create(path).map_err(|e| format!("{path}: {e}"))?);
+    let result = if path.ends_with(".v") {
+        dualphase_als::aig::verilog::write_verilog(aig, file)
+    } else if path.ends_with(".blif") {
+        dualphase_als::aig::blif::write_blif(aig, file)
+    } else if path.ends_with(".aig") {
+        dualphase_als::aig::io::write_binary(aig, file)
+    } else {
+        dualphase_als::aig::io::write_ascii(aig, file)
+    };
+    result.map_err(|e| e.to_string())
+}
+
+fn stats(aig: &Aig) {
+    let m = map_circuit(aig, &CellLibrary::new());
+    println!("name:    {}", aig.name());
+    println!("inputs:  {}", aig.num_inputs());
+    println!("outputs: {}", aig.num_outputs());
+    println!("gates:   {}", aig.num_ands());
+    println!("depth:   {}", dualphase_als::aig::topo::depth(aig));
+    println!("area:    {:.2} um2 ({} cells, {} inverters)", m.area, m.num_cells, m.num_inverters);
+    println!("delay:   {:.3} ns", m.delay);
+    println!("adp:     {:.2}", m.adp());
+}
+
+struct SynthOpts {
+    flow: String,
+    metric: MetricKind,
+    bound: Option<f64>,
+    patterns: usize,
+    seed: u64,
+    threads: usize,
+    full: bool,
+    output: Option<String>,
+}
+
+fn run() -> Result<(), String> {
+    let mut args = std::env::args().skip(1);
+    let cmd = args.next().unwrap_or_else(|| "help".to_string());
+    match cmd.as_str() {
+        "list" => {
+            for name in benchmark_names() {
+                println!("{name}");
+            }
+            Ok(())
+        }
+        "stats" => {
+            let target = args.next().ok_or("usage: als stats <circuit> [--full]")?;
+            let full = args.any(|a| a == "--full");
+            stats(&load(&target, full)?);
+            Ok(())
+        }
+        "convert" => {
+            let input = args.next().ok_or("usage: als convert <in> -o <out>")?;
+            let mut output = None;
+            while let Some(a) = args.next() {
+                if a == "-o" {
+                    output = args.next();
+                }
+            }
+            let output = output.ok_or("missing -o <out>")?;
+            let aig = load(&input, false)?;
+            save(&aig, &output)?;
+            println!("wrote {output}");
+            Ok(())
+        }
+        "synth" => {
+            let target = args.next().ok_or("usage: als synth <circuit> [options]")?;
+            let mut o = SynthOpts {
+                flow: "dpsa".into(),
+                metric: MetricKind::Med,
+                bound: None,
+                patterns: 8192,
+                seed: 0xA15,
+                threads: 1,
+                full: false,
+                output: None,
+            };
+            while let Some(a) = args.next() {
+                let mut value = |name: &str| {
+                    args.next().ok_or_else(|| format!("missing value for {name}"))
+                };
+                match a.as_str() {
+                    "--flow" => o.flow = value("--flow")?.to_string(),
+                    "--metric" => {
+                        o.metric = match value("--metric")?.as_str() {
+                            "er" => MetricKind::Er,
+                            "mse" => MetricKind::Mse,
+                            "med" => MetricKind::Med,
+                            other => return Err(format!("unknown metric {other}")),
+                        }
+                    }
+                    "--bound" => {
+                        o.bound =
+                            Some(value("--bound")?.parse().map_err(|_| "bad --bound")?)
+                    }
+                    "--patterns" => {
+                        o.patterns =
+                            value("--patterns")?.parse().map_err(|_| "bad --patterns")?
+                    }
+                    "--seed" => o.seed = value("--seed")?.parse().map_err(|_| "bad --seed")?,
+                    "--threads" => {
+                        o.threads = value("--threads")?.parse().map_err(|_| "bad --threads")?
+                    }
+                    "--full" => o.full = true,
+                    "-o" => o.output = Some(value("-o")?.to_string()),
+                    other => return Err(format!("unknown option {other}")),
+                }
+            }
+            let original = load(&target, o.full)?;
+            let bound =
+                o.bound.unwrap_or_else(|| match o.metric {
+                    MetricKind::Er => 0.01,
+                    MetricKind::Med => reference_error(original.num_outputs()),
+                    MetricKind::Mse => {
+                        let r = reference_error(original.num_outputs());
+                        r * r
+                    }
+                });
+            let cfg = FlowConfig::new(o.metric, bound)
+                .with_patterns(o.patterns)
+                .with_seed(o.seed)
+                .with_threads(o.threads);
+            let flow: Box<dyn Flow> = match o.flow.as_str() {
+                "conventional" => Box::new(ConventionalFlow::new(cfg)),
+                "l1" => Box::new(VecbeeDepthOneFlow::new(cfg)),
+                "accals" => Box::new(AccAlsFlow::new(cfg)),
+                "dp" => Box::new(DualPhaseFlow::new(cfg)),
+                "dpsa" => Box::new(DualPhaseFlow::with_self_adaption(cfg)),
+                other => return Err(format!("unknown flow {other}")),
+            };
+            eprintln!(
+                "running {} on {} ({} gates), {} bound {bound:.4}",
+                flow.name(),
+                original.name(),
+                original.num_ands(),
+                o.metric
+            );
+            let res = flow.run(&original);
+            let lib = CellLibrary::new();
+            println!(
+                "gates {} -> {} | {} = {:.4} (bound {bound:.4}) | ADP ratio {:.1}% | {} LACs in {:.2?}",
+                original.num_ands(),
+                res.final_nodes(),
+                o.metric,
+                res.final_error,
+                100.0 * dualphase_als::map::adp_ratio(&res.circuit, &original, &lib),
+                res.lacs_applied(),
+                res.runtime
+            );
+            if let Some(path) = o.output {
+                save(&res.circuit, &path)?;
+                println!("wrote {path}");
+            }
+            Ok(())
+        }
+        _ => {
+            eprintln!(
+                "usage: als <list|stats|synth|convert> …\n  \
+                 als list\n  \
+                 als stats <circuit> [--full]\n  \
+                 als synth <circuit> [--flow dpsa] [--metric med] [--bound X] \
+                 [--patterns N] [--seed S] [--threads T] [--full] [-o out.aag]\n  \
+                 als convert <in.aag> -o <out.aag|out.aig|out.v>"
+            );
+            Ok(())
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

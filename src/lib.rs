@@ -1,0 +1,40 @@
+//! Facade crate for the dual-phase iterative approximate logic synthesis
+//! (ALS) workspace — a from-scratch Rust reproduction of the DATE 2025 paper
+//! *"Efficient Approximate Logic Synthesis with Dual-Phase Iterative
+//! Framework"*.
+//!
+//! Re-exports every workspace crate under a stable module path:
+//!
+//! * [`aig`] — AND-inverter graph substrate,
+//! * [`sim`] — bit-parallel Monte-Carlo simulation,
+//! * [`error`] — ER / MSE / MED statistical error metrics,
+//! * [`cuts`] — one-cuts and closest disjoint cuts with incremental update,
+//! * [`cpm`] — change propagation matrix computation,
+//! * [`lac`] — local approximate change candidates,
+//! * [`map`] — structural technology mapping (area / delay / ADP),
+//! * [`circuits`] — benchmark circuit generators,
+//! * [`engine`] — the ALS flows: conventional, VECBEE(`l`), AccALS, DP and
+//!   DP-SA.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use dualphase_als::circuits::arith::ripple_adder;
+//! use dualphase_als::engine::{Flow, FlowConfig, DualPhaseFlow};
+//! use dualphase_als::error::MetricKind;
+//!
+//! let aig = ripple_adder(8);
+//! let config = FlowConfig::new(MetricKind::Med, 100.0).with_patterns(1024);
+//! let result = DualPhaseFlow::new(config).run(&aig);
+//! assert!(result.final_error <= 100.0);
+//! ```
+
+pub use als_aig as aig;
+pub use als_circuits as circuits;
+pub use als_cpm as cpm;
+pub use als_cuts as cuts;
+pub use als_engine as engine;
+pub use als_error as error;
+pub use als_lac as lac;
+pub use als_map as map;
+pub use als_sim as sim;

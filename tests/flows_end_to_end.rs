@@ -1,0 +1,179 @@
+//! End-to-end integration tests: every flow, on real generated benchmarks,
+//! under every metric — verifying bound compliance, structural soundness,
+//! independently re-measured error, and actual area savings.
+
+use dualphase_als::aig::Aig;
+use dualphase_als::circuits::{benchmark, BenchmarkScale};
+use dualphase_als::engine::{
+    AccAlsFlow, ConventionalFlow, DualPhaseFlow, Flow, FlowConfig, FlowResult,
+    VecbeeDepthOneFlow,
+};
+use dualphase_als::error::{paper_thresholds, unsigned_weights, ErrorState, MetricKind};
+use dualphase_als::map::{adp_ratio, CellLibrary};
+use dualphase_als::sim::{PatternSet, Simulator};
+
+/// Re-measures the error of `approx` against `original` from scratch, on
+/// the same pattern configuration the flow used.
+fn remeasure(original: &Aig, approx: &Aig, cfg: &FlowConfig) -> f64 {
+    let patterns =
+        PatternSet::random(original.num_inputs(), cfg.pattern_words(), cfg.seed);
+    let gold_sim = Simulator::new(original, &patterns);
+    let approx_sim = Simulator::new(approx, &patterns);
+    let golden: Vec<_> =
+        (0..original.num_outputs()).map(|o| gold_sim.output_value(original, o)).collect();
+    let approx_outs: Vec<_> =
+        (0..approx.num_outputs()).map(|o| approx_sim.output_value(approx, o)).collect();
+    let state = ErrorState::new(
+        cfg.metric,
+        unsigned_weights(original.num_outputs()),
+        golden,
+        &approx_outs,
+    );
+    state.error()
+}
+
+fn check_result(name: &str, flow_name: &str, original: &Aig, cfg: &FlowConfig, res: &FlowResult) {
+    dualphase_als::aig::check::check(&res.circuit)
+        .unwrap_or_else(|e| panic!("{name}/{flow_name}: broken circuit: {e}"));
+    assert!(
+        res.final_error <= cfg.error_bound * (1.0 + 1e-9),
+        "{name}/{flow_name}: bound violated: {} > {}",
+        res.final_error,
+        cfg.error_bound
+    );
+    let independent = remeasure(original, &res.circuit, cfg);
+    assert!(
+        (independent - res.final_error).abs() <= 1e-9 * (1.0 + independent.abs()),
+        "{name}/{flow_name}: reported error {} disagrees with remeasured {}",
+        res.final_error,
+        independent
+    );
+    let ratio = adp_ratio(&res.circuit, original, &CellLibrary::new());
+    assert!(
+        ratio <= 1.0 + 1e-9,
+        "{name}/{flow_name}: ADP ratio {ratio} exceeds 1.0"
+    );
+}
+
+fn all_flows(cfg: &FlowConfig) -> Vec<Box<dyn Flow>> {
+    vec![
+        Box::new(ConventionalFlow::new(cfg.clone())),
+        Box::new(VecbeeDepthOneFlow::new(cfg.clone())),
+        Box::new(AccAlsFlow::new(cfg.clone())),
+        Box::new(DualPhaseFlow::new(cfg.clone())),
+        Box::new(DualPhaseFlow::with_self_adaption(cfg.clone())),
+    ]
+}
+
+#[test]
+fn every_flow_is_sound_on_sm9x8_under_every_metric() {
+    let original = benchmark("sm9x8", BenchmarkScale::Reduced);
+    for metric in MetricKind::ALL {
+        let bound = paper_thresholds(metric, original.num_outputs())[1];
+        let cfg = FlowConfig::new(metric, bound).with_patterns(1024);
+        for flow in all_flows(&cfg) {
+            let res = flow.run(&original);
+            check_result("sm9x8", flow.name(), &original, &cfg, &res);
+        }
+    }
+}
+
+#[test]
+fn every_flow_saves_area_on_adder_under_med() {
+    let original = benchmark("adder", BenchmarkScale::Reduced);
+    let bound = paper_thresholds(MetricKind::Med, original.num_outputs())[1];
+    let cfg = FlowConfig::new(MetricKind::Med, bound).with_patterns(1024);
+    for flow in all_flows(&cfg) {
+        let res = flow.run(&original);
+        check_result("adder", flow.name(), &original, &cfg, &res);
+        assert!(
+            res.final_nodes() < original.num_ands(),
+            "{}: no area saved",
+            flow.name()
+        );
+    }
+}
+
+#[test]
+fn dual_phase_matches_conventional_quality_on_suite() {
+    // The paper's central quality claim: DP gives the conventional flow's
+    // ADP at a fraction of the analyses.
+    for name in ["c1908", "sm9x8", "adder"] {
+        let original = benchmark(name, BenchmarkScale::Reduced);
+        let bound = paper_thresholds(MetricKind::Mse, original.num_outputs())[1];
+        let cfg = FlowConfig::new(MetricKind::Mse, bound).with_patterns(1024);
+        let conv = ConventionalFlow::new(cfg.clone()).run(&original);
+        let dp = DualPhaseFlow::new(cfg.clone()).run(&original);
+        let lib = CellLibrary::new();
+        let conv_adp = adp_ratio(&conv.circuit, &original, &lib);
+        let dp_adp = adp_ratio(&dp.circuit, &original, &lib);
+        assert!(
+            dp_adp <= conv_adp + 0.05,
+            "{name}: DP quality regressed: {dp_adp:.3} vs conventional {conv_adp:.3}"
+        );
+        assert!(
+            dp.comprehensive_analyses <= conv.comprehensive_analyses,
+            "{name}: DP ran more comprehensive analyses than the baseline"
+        );
+    }
+}
+
+#[test]
+fn dual_phase_applies_most_lacs_incrementally() {
+    use dualphase_als::engine::Phase;
+    let original = benchmark("mult16", BenchmarkScale::Reduced);
+    let bound = paper_thresholds(MetricKind::Med, original.num_outputs())[1];
+    let cfg = FlowConfig::new(MetricKind::Med, bound).with_patterns(1024);
+    let res = DualPhaseFlow::new(cfg).run(&original);
+    let incremental =
+        res.iterations.iter().filter(|r| r.phase == Phase::Incremental).count();
+    assert!(res.lacs_applied() >= 10, "too few LACs to be meaningful");
+    assert!(
+        incremental * 2 > res.lacs_applied(),
+        "only {incremental}/{} LACs were incremental",
+        res.lacs_applied()
+    );
+}
+
+#[test]
+fn zero_budget_returns_exact_circuit() {
+    let original = benchmark("c1908", BenchmarkScale::Reduced);
+    let cfg = FlowConfig::new(MetricKind::Er, 0.0).with_patterns(512);
+    for flow in all_flows(&cfg) {
+        let res = flow.run(&original);
+        assert_eq!(res.final_error, 0.0, "{}", flow.name());
+        // only strictly error-free LACs may have been applied
+        let remeasured = remeasure(&original, &res.circuit, &cfg);
+        assert_eq!(remeasured, 0.0, "{}", flow.name());
+    }
+}
+
+#[test]
+fn gain_per_error_selection_is_sound() {
+    use dualphase_als::engine::SelectionStrategy;
+    let original = benchmark("mult16", BenchmarkScale::Reduced);
+    let bound = paper_thresholds(MetricKind::Med, original.num_outputs())[1];
+    let cfg = FlowConfig::new(MetricKind::Med, bound)
+        .with_patterns(1024)
+        .with_selection(SelectionStrategy::MaxGainPerError);
+    let res = DualPhaseFlow::with_self_adaption(cfg.clone()).run(&original);
+    check_result("mult16", "DP-SA/gain", &original, &cfg, &res);
+    assert!(res.final_nodes() < original.num_ands());
+}
+
+#[test]
+fn tighter_bounds_never_give_worse_error() {
+    let original = benchmark("sm9x8", BenchmarkScale::Reduced);
+    let r = paper_thresholds(MetricKind::Med, original.num_outputs());
+    let mut last_nodes = 0usize;
+    for bound in [r[0], r[1], r[2]] {
+        let cfg = FlowConfig::new(MetricKind::Med, bound).with_patterns(1024);
+        let res = DualPhaseFlow::with_self_adaption(cfg.clone()).run(&original);
+        check_result("sm9x8", "DP-SA", &original, &cfg, &res);
+        // looser bound -> at most as many remaining gates
+        if last_nodes > 0 {
+            assert!(res.final_nodes() <= last_nodes + 2, "non-monotone area");
+        }
+        last_nodes = res.final_nodes();
+    }
+}

@@ -1,0 +1,74 @@
+//! Cross-format integration tests: BLIF and Verilog emission for the
+//! benchmark suite, and BLIF round-trips preserving function.
+
+use dualphase_als::aig::blif::{from_blif_str, to_blif_string};
+use dualphase_als::aig::verilog::to_verilog_string;
+use dualphase_als::aig::Aig;
+use dualphase_als::circuits::{benchmark, BenchmarkScale};
+use dualphase_als::sim::{PatternSet, Simulator};
+
+fn outputs_equal(a: &Aig, b: &Aig, words: usize, seed: u64) -> bool {
+    let patterns = PatternSet::random(a.num_inputs(), words, seed);
+    let sa = Simulator::new(a, &patterns);
+    let sb = Simulator::new(b, &patterns);
+    (0..a.num_outputs()).all(|o| sa.output_value(a, o) == sb.output_value(b, o))
+}
+
+#[test]
+fn blif_round_trip_preserves_function_on_benchmarks() {
+    for name in ["c880", "c1908", "sm9x8", "adder", "log2"] {
+        let aig = benchmark(name, BenchmarkScale::Reduced);
+        let text = to_blif_string(&aig);
+        let back = from_blif_str(&text, name).unwrap();
+        dualphase_als::aig::check::check(&back).unwrap();
+        assert_eq!(back.num_inputs(), aig.num_inputs(), "{name}");
+        assert_eq!(back.num_outputs(), aig.num_outputs(), "{name}");
+        assert!(outputs_equal(&aig, &back, 4, 21), "{name}: function changed");
+    }
+}
+
+#[test]
+fn verilog_emission_covers_the_suite() {
+    for name in ["c3540", "mult16", "sin"] {
+        let aig = benchmark(name, BenchmarkScale::Reduced);
+        let v = to_verilog_string(&aig);
+        assert!(v.starts_with("// generated"), "{name}");
+        assert_eq!(v.matches("assign n").count(), aig.num_ands(), "{name}");
+        assert!(v.contains("endmodule"), "{name}");
+    }
+}
+
+#[test]
+fn biased_distribution_flow_is_sound() {
+    use dualphase_als::engine::{DualPhaseFlow, Flow, FlowConfig, PatternSource};
+    use dualphase_als::error::{unsigned_weights, ErrorState, MetricKind};
+
+    let original = benchmark("sm9x8", BenchmarkScale::Reduced);
+    let bound = 200.0;
+    let cfg = FlowConfig::new(MetricKind::Med, bound)
+        .with_patterns(1024)
+        .with_input_distribution(PatternSource::Biased(0.8));
+    let res = DualPhaseFlow::with_self_adaption(cfg.clone()).run(&original);
+    assert!(res.final_error <= bound * (1.0 + 1e-9));
+    // re-measure under the same biased distribution
+    let patterns = PatternSet::biased(
+        original.num_inputs(),
+        cfg.pattern_words(),
+        cfg.seed,
+        0.8,
+    );
+    let gold = Simulator::new(&original, &patterns);
+    let got = Simulator::new(&res.circuit, &patterns);
+    let golden: Vec<_> =
+        (0..original.num_outputs()).map(|o| gold.output_value(&original, o)).collect();
+    let outs: Vec<_> =
+        (0..res.circuit.num_outputs()).map(|o| got.output_value(&res.circuit, o)).collect();
+    let med = ErrorState::new(
+        MetricKind::Med,
+        unsigned_weights(original.num_outputs()),
+        golden,
+        &outs,
+    )
+    .error();
+    assert!((med - res.final_error).abs() < 1e-9, "{med} vs {}", res.final_error);
+}

@@ -1,0 +1,52 @@
+//! Technology-mapping integration tests: every benchmark maps to a
+//! functionally verified netlist, before and after approximation.
+
+use dualphase_als::circuits::{benchmark, benchmark_names, BenchmarkScale};
+use dualphase_als::map::{map_netlist, verify_mapping, CellLibrary};
+
+#[test]
+fn whole_suite_maps_to_verified_netlists() {
+    let lib = CellLibrary::new();
+    for name in benchmark_names() {
+        let aig = benchmark(name, BenchmarkScale::Reduced);
+        let (compacted, mapping) = map_netlist(&aig, &lib);
+        verify_mapping(&compacted, &mapping, 16).unwrap_or_else(|e| panic!("{name}: {e}"));
+        assert!(mapping.area > 0.0 && mapping.delay > 0.0, "{name}: degenerate mapping");
+        // every gate is covered by exactly one cell or absorbed into an XOR
+        assert!(
+            mapping.num_cells <= compacted.num_ands(),
+            "{name}: more cells than gates"
+        );
+        // XOR-heavy arithmetic must actually use XOR cells
+        if ["adder", "sm9x8", "mult16", "square"].contains(&name) {
+            let xors = mapping
+                .cell_counts
+                .iter()
+                .filter(|(k, _)| {
+                    matches!(
+                        k,
+                        dualphase_als::map::CellKind::Xor2 | dualphase_als::map::CellKind::Xnor2
+                    )
+                })
+                .map(|(_, c)| c)
+                .sum::<usize>();
+            assert!(xors > 0, "{name}: no XOR cells detected");
+        }
+    }
+}
+
+#[test]
+fn approximate_circuits_map_and_verify() {
+    use dualphase_als::engine::{DualPhaseFlow, Flow, FlowConfig};
+    use dualphase_als::error::{paper_thresholds, MetricKind};
+    let lib = CellLibrary::new();
+    let original = benchmark("sm9x8", BenchmarkScale::Reduced);
+    let bound = paper_thresholds(MetricKind::Mse, original.num_outputs())[2];
+    let cfg = FlowConfig::new(MetricKind::Mse, bound).with_patterns(1024);
+    let res = DualPhaseFlow::with_self_adaption(cfg).run(&original);
+    let (compacted, mapping) = map_netlist(&res.circuit, &lib);
+    verify_mapping(&compacted, &mapping, 32).unwrap();
+    let (oc, om) = map_netlist(&original, &lib);
+    let _ = oc;
+    assert!(mapping.adp() < om.adp(), "approximation did not reduce ADP");
+}
