@@ -5,6 +5,7 @@ use std::fmt;
 use crate::lit::{Lit, NodeId};
 use crate::node::Node;
 use crate::strash::StrashTable;
+use crate::txn::{Savepoint, TxnLog, TxnOp};
 
 /// A primary output: a literal plus a name.
 ///
@@ -42,6 +43,8 @@ pub struct Aig {
     po_refs: Vec<Vec<u32>>,
     num_dead: usize,
     strash: StrashTable,
+    /// Undo journal for open transactions; empty otherwise.
+    txn: TxnLog,
 }
 
 impl Aig {
@@ -57,6 +60,7 @@ impl Aig {
             po_refs: vec![Vec::new()],
             num_dead: 0,
             strash: StrashTable::new(),
+            txn: TxnLog::default(),
         }
     }
 
@@ -75,7 +79,11 @@ impl Aig {
     // ------------------------------------------------------------------
 
     /// Appends a primary input and returns its positive literal.
+    ///
+    /// # Panics
+    /// Panics inside a transaction (see [`Aig::begin_txn`]).
     pub fn add_input(&mut self, name: impl Into<String>) -> Lit {
+        self.assert_no_txn();
         let id = NodeId(self.nodes.len() as u32);
         self.nodes.push(Node::input(self.pis.len() as u32));
         self.fanouts.push(Vec::new());
@@ -124,6 +132,7 @@ impl Aig {
     }
 
     fn new_and_node(&mut self, a: Lit, b: Lit) -> NodeId {
+        self.assert_no_txn();
         debug_assert!(a.node().index() < self.nodes.len(), "fanin out of range");
         debug_assert!(b.node().index() < self.nodes.len(), "fanin out of range");
         debug_assert!(!self.nodes[a.node().index()].is_dead(), "fanin is dead");
@@ -138,7 +147,11 @@ impl Aig {
     }
 
     /// Registers `lit` as a primary output and returns the output index.
+    ///
+    /// # Panics
+    /// Panics inside a transaction (see [`Aig::begin_txn`]).
     pub fn add_output(&mut self, lit: Lit, name: impl Into<String>) -> usize {
+        self.assert_no_txn();
         debug_assert!(lit.node().index() < self.nodes.len());
         let idx = self.outputs.len();
         self.outputs.push(Output { lit, name: name.into() });
@@ -206,6 +219,9 @@ impl Aig {
     }
 
     pub(crate) fn set_output_lit(&mut self, idx: usize, lit: Lit) {
+        if self.txn.active() {
+            self.txn.record(TxnOp::SetOutputLit { idx: idx as u32, old: self.outputs[idx].lit });
+        }
         self.outputs[idx].lit = lit;
     }
 
@@ -239,11 +255,7 @@ impl Aig {
 
     /// Iterates over all live node ids (constant, inputs, gates).
     pub fn iter_live(&self) -> impl Iterator<Item = NodeId> + '_ {
-        self.nodes
-            .iter()
-            .enumerate()
-            .filter(|(_, n)| !n.is_dead())
-            .map(|(i, _)| NodeId(i as u32))
+        self.nodes.iter().enumerate().filter(|(_, n)| !n.is_dead()).map(|(i, _)| NodeId(i as u32))
     }
 
     /// Iterates over live AND-gate node ids.
@@ -260,22 +272,41 @@ impl Aig {
     // ------------------------------------------------------------------
 
     pub(crate) fn set_fanin(&mut self, id: NodeId, slot: usize, lit: Lit) {
+        if self.txn.active() {
+            let node = &self.nodes[id.index()];
+            let old = if slot == 0 { node.fanin0() } else { node.fanin1() };
+            self.txn.record(TxnOp::SetFanin { node: id, slot: slot as u8, old });
+        }
         self.nodes[id.index()].set_fanin(slot, lit);
     }
 
     pub(crate) fn push_fanout(&mut self, of: NodeId, fanout: NodeId) {
+        if self.txn.active() {
+            self.txn.record(TxnOp::PushFanout { of });
+        }
         self.fanouts[of.index()].push(fanout);
     }
 
     pub(crate) fn take_fanouts(&mut self, of: NodeId) -> Vec<NodeId> {
-        std::mem::take(&mut self.fanouts[of.index()])
+        let old = std::mem::take(&mut self.fanouts[of.index()]);
+        if self.txn.active() {
+            self.txn.record(TxnOp::TakeFanouts { of, old: old.clone() });
+        }
+        old
     }
 
     pub(crate) fn take_po_refs(&mut self, of: NodeId) -> Vec<u32> {
-        std::mem::take(&mut self.po_refs[of.index()])
+        let old = std::mem::take(&mut self.po_refs[of.index()]);
+        if self.txn.active() {
+            self.txn.record(TxnOp::TakePoRefs { of, old: old.clone() });
+        }
+        old
     }
 
     pub(crate) fn push_po_ref(&mut self, of: NodeId, out_idx: u32) {
+        if self.txn.active() {
+            self.txn.record(TxnOp::PushPoRef { of });
+        }
         self.po_refs[of.index()].push(out_idx);
     }
 
@@ -284,6 +315,9 @@ impl Aig {
         let list = &mut self.fanouts[of.index()];
         if let Some(pos) = list.iter().position(|&f| f == fanout) {
             list.swap_remove(pos);
+            if self.txn.active() {
+                self.txn.record(TxnOp::RemoveFanout { of, value: fanout, pos });
+            }
         } else {
             debug_assert!(false, "fanout {fanout} missing from {of}");
         }
@@ -291,6 +325,9 @@ impl Aig {
 
     pub(crate) fn mark_dead(&mut self, id: NodeId) {
         debug_assert!(!self.nodes[id.index()].is_dead());
+        if self.txn.active() {
+            self.txn.record(TxnOp::MarkDead { node: id });
+        }
         self.nodes[id.index()].set_dead(true);
         self.num_dead += 1;
     }
@@ -298,6 +335,104 @@ impl Aig {
     /// Discards the structural-hashing table (called on the first edit).
     pub(crate) fn invalidate_strash(&mut self) {
         self.strash.clear();
+    }
+
+    // ------------------------------------------------------------------
+    // Transactions
+    // ------------------------------------------------------------------
+
+    /// Opens a transaction: every destructive edit from here on is
+    /// journaled so [`Aig::rollback_txn`] can restore the graph exactly,
+    /// without cloning it. Close with [`Aig::commit_txn`] or
+    /// [`Aig::rollback_txn`].
+    ///
+    /// Transactions nest; an inner commit keeps its edits undoable by the
+    /// enclosing transaction. Node creation is rejected while any
+    /// transaction is open (LAC application only removes nodes), and the
+    /// structural-hashing table is **not** restored by rollback — it is
+    /// discarded on the first destructive edit regardless.
+    pub fn begin_txn(&mut self) {
+        let sp = Savepoint { journal_len: self.txn.ops.len(), num_nodes: self.nodes.len() };
+        self.txn.savepoints.push(sp);
+    }
+
+    /// Closes the innermost transaction, keeping its edits.
+    ///
+    /// # Panics
+    /// Panics if no transaction is open.
+    pub fn commit_txn(&mut self) {
+        self.txn.savepoints.pop().expect("commit_txn: no open transaction");
+        if self.txn.savepoints.is_empty() {
+            self.txn.ops.clear();
+        }
+    }
+
+    /// Closes the innermost transaction, undoing every edit made since its
+    /// [`Aig::begin_txn`] — in reverse order, restoring fanin literals,
+    /// fanout lists (order included), output drivers and dead marks.
+    ///
+    /// # Panics
+    /// Panics if no transaction is open.
+    pub fn rollback_txn(&mut self) {
+        let sp = self.txn.savepoints.pop().expect("rollback_txn: no open transaction");
+        debug_assert_eq!(sp.num_nodes, self.nodes.len(), "nodes created inside a transaction");
+        while self.txn.ops.len() > sp.journal_len {
+            let op = self.txn.ops.pop().expect("journal shorter than savepoint");
+            self.undo(op);
+        }
+    }
+
+    /// Whether a transaction is currently open.
+    pub fn in_txn(&self) -> bool {
+        self.txn.active()
+    }
+
+    /// Applies the exact inverse of one journaled mutation.
+    fn undo(&mut self, op: TxnOp) {
+        match op {
+            TxnOp::SetFanin { node, slot, old } => {
+                self.nodes[node.index()].set_fanin(slot as usize, old);
+            }
+            TxnOp::PushFanout { of } => {
+                self.fanouts[of.index()].pop();
+            }
+            TxnOp::RemoveFanout { of, value, pos } => {
+                // Exact inverse of `swap_remove(pos)`: the removed value
+                // came from `pos`; whatever sits there now was the tail.
+                let list = &mut self.fanouts[of.index()];
+                if pos == list.len() {
+                    list.push(value);
+                } else {
+                    let displaced = list[pos];
+                    list.push(displaced);
+                    list[pos] = value;
+                }
+            }
+            TxnOp::TakeFanouts { of, old } => {
+                self.fanouts[of.index()] = old;
+            }
+            TxnOp::TakePoRefs { of, old } => {
+                self.po_refs[of.index()] = old;
+            }
+            TxnOp::PushPoRef { of } => {
+                self.po_refs[of.index()].pop();
+            }
+            TxnOp::SetOutputLit { idx, old } => {
+                self.outputs[idx as usize].lit = old;
+            }
+            TxnOp::MarkDead { node } => {
+                self.nodes[node.index()].set_dead(false);
+                self.num_dead -= 1;
+            }
+        }
+    }
+
+    fn assert_no_txn(&self) {
+        assert!(
+            !self.txn.active(),
+            "node creation inside a transaction is not supported: \
+             commit or roll back first"
+        );
     }
 
     // ------------------------------------------------------------------

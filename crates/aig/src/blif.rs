@@ -242,9 +242,15 @@ pub fn read_blif<R: BufRead>(r: R, fallback_name: &str) -> Result<Aig, ParseBlif
         if visiting.iter().any(|v| v == name) {
             return Err(ParseBlifError::Cycle(name.to_string()));
         }
-        let table = tables
-            .get(name)
-            .ok_or_else(|| ParseBlifError::Undefined(name.to_string()))?;
+        // Resolution recurses once per signal on a definition chain; bound
+        // the depth so a pathological chain errors instead of overflowing
+        // the stack.
+        if visiting.len() >= 10_000 {
+            return Err(ParseBlifError::Unsupported(format!(
+                "definition chain deeper than 10000 signals at {name}"
+            )));
+        }
+        let table = tables.get(name).ok_or_else(|| ParseBlifError::Undefined(name.to_string()))?;
         visiting.push(name.to_string());
         let mut ins = Vec::with_capacity(table.inputs.len());
         for input in &table.inputs {
@@ -313,10 +319,7 @@ mod tests {
                 val[id.index()] = f(n.fanin0()) && f(n.fanin1());
             }
         }
-        aig.outputs()
-            .iter()
-            .map(|o| val[o.lit.node().index()] ^ o.lit.is_complement())
-            .collect()
+        aig.outputs().iter().map(|o| val[o.lit.node().index()] ^ o.lit.is_complement()).collect()
     }
 
     #[test]
@@ -418,7 +421,8 @@ mod tests {
     #[test]
     fn rejects_garbage() {
         assert!(from_blif_str("hello", "x").is_err());
-        assert!(from_blif_str(".model m\n.inputs a\n.outputs y\n.names a y\n2 1\n.end", "x")
-            .is_err());
+        assert!(
+            from_blif_str(".model m\n.inputs a\n.outputs y\n.names a y\n2 1\n.end", "x").is_err()
+        );
     }
 }

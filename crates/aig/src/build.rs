@@ -79,12 +79,7 @@ impl Aig {
         self.reduce_tree(lits, Lit::FALSE, Aig::xor)
     }
 
-    fn reduce_tree(
-        &mut self,
-        lits: &[Lit],
-        empty: Lit,
-        op: fn(&mut Aig, Lit, Lit) -> Lit,
-    ) -> Lit {
+    fn reduce_tree(&mut self, lits: &[Lit], empty: Lit, op: fn(&mut Aig, Lit, Lit) -> Lit) -> Lit {
         match lits.len() {
             0 => empty,
             1 => lits[0],

@@ -3,7 +3,6 @@
 use std::io::{self, Write};
 
 use crate::aig::Aig;
-use crate::lit::Lit;
 
 /// Writes `aig` as a Graphviz digraph: inputs as boxes, gates as circles,
 /// outputs as double circles; complemented edges are drawn dashed.
@@ -68,7 +67,7 @@ mod tests {
     fn constant_output_edge() {
         let mut aig = Aig::new("k");
         aig.add_input("a");
-        aig.add_output(Lit::TRUE, "one");
+        aig.add_output(crate::lit::Lit::TRUE, "one");
         let dot = to_dot_string(&aig);
         assert!(dot.contains("c0 ->"));
     }

@@ -134,10 +134,7 @@ pub fn replace(aig: &mut Aig, target: NodeId, replacement: Lit) -> EditRecord {
 /// *no-dangling* invariant, so generators call this before handing a
 /// circuit over. Returns the number of removed gates.
 pub fn sweep_dangling(aig: &mut Aig) -> usize {
-    let mut stack: Vec<NodeId> = aig
-        .iter_ands()
-        .filter(|&n| aig.fanout_count(n) == 0)
-        .collect();
+    let mut stack: Vec<NodeId> = aig.iter_ands().filter(|&n| aig.fanout_count(n) == 0).collect();
     let mut removed = 0;
     while let Some(u) = stack.pop() {
         if !aig.is_live(u) || aig.fanout_count(u) != 0 || !aig.node(u).is_and() {

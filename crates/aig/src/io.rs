@@ -180,7 +180,15 @@ fn parse_header(line: &str) -> Result<Header, ParseAigerError> {
     if nums[2] != 0 {
         return Err(ParseAigerError::HasLatches);
     }
-    Ok(Header { m: nums[0], i: nums[1], o: nums[3], a: nums[4], binary })
+    let (m, i, a) = (nums[0], nums[1], nums[4]);
+    // Every input and AND gets a distinct variable <= M; a header that
+    // promises otherwise would send later sections out of bounds.
+    if i.checked_add(a).is_none_or(|vars| vars > m) {
+        return Err(ParseAigerError::BadHeader(format!(
+            "{line} (M = {m} cannot hold {i} inputs + {a} ANDs)"
+        )));
+    }
+    Ok(Header { m, i, o: nums[3], a, binary })
 }
 
 /// Reads an AIGER file (ASCII or binary, auto-detected) into an [`Aig`].
@@ -196,7 +204,7 @@ pub fn read<R: BufRead>(mut r: R, name: &str) -> Result<Aig, ParseAigerError> {
     let h = parse_header(line.trim_end())?;
     let mut aig = Aig::new(name);
     // var -> literal of created node, index by var number
-    let mut var_map: Vec<Option<Lit>> = vec![None; (h.m + 1) as usize];
+    let mut var_map: Vec<Option<Lit>> = vec![None; h.m as usize + 1];
     var_map[0] = Some(Lit::FALSE);
 
     let map_lit = |var_map: &[Option<Lit>], raw: u32| -> Result<Lit, ParseAigerError> {
@@ -271,9 +279,13 @@ pub fn read<R: BufRead>(mut r: R, name: &str) -> Result<Aig, ParseAigerError> {
             if nums.len() != 3 || nums[0] & 1 != 0 {
                 return Err(ParseAigerError::BadAnd(s));
             }
+            let var = (nums[0] >> 1) as usize;
+            if var > h.m as usize || var_map[var].is_some() {
+                return Err(ParseAigerError::BadAnd(s));
+            }
             let f0 = map_lit(&var_map, nums[1])?;
             let f1 = map_lit(&var_map, nums[2])?;
-            var_map[(nums[0] >> 1) as usize] = Some(aig.and_raw(f0, f1));
+            var_map[var] = Some(aig.and_raw(f0, f1));
         }
     }
 
@@ -290,7 +302,8 @@ pub fn read<R: BufRead>(mut r: R, name: &str) -> Result<Aig, ParseAigerError> {
             break;
         }
         if let Some((tag, name)) = t.split_once(' ') {
-            if let (Some(kind), Ok(idx)) = (tag.chars().next(), tag[1..].parse::<usize>()) {
+            let idx = tag.get(1..).and_then(|rest| rest.parse::<usize>().ok());
+            if let (Some(kind), Some(idx)) = (tag.chars().next(), idx) {
                 match kind {
                     'i' if idx < aig.num_inputs() => aig.set_input_name(idx, name),
                     'o' if idx < aig.num_outputs() => aig.set_output_name(idx, name),
@@ -374,6 +387,35 @@ mod tests {
         assert!(from_ascii_str("hello world", "x").is_err());
         assert!(from_ascii_str("aag 1 1 0 1\n", "x").is_err());
         assert!(from_ascii_str("aag 1 1 0 1 0\n7\n", "x").is_err());
+    }
+
+    #[test]
+    fn rejects_inconsistent_header_counts() {
+        // M = 1 cannot hold 5 inputs: every line below would index past
+        // the variable map.
+        let err = from_ascii_str("aag 1 5 0 0 0\n2\n4\n6\n8\n10\n", "x").unwrap_err();
+        assert!(matches!(err, ParseAigerError::BadHeader(_)));
+        // i + a overflows u32.
+        let big = format!("aag {0} {0} 0 0 {0}\n", u32::MAX);
+        assert!(matches!(from_ascii_str(&big, "x"), Err(ParseAigerError::BadHeader(_))));
+    }
+
+    #[test]
+    fn rejects_and_redefinition_and_out_of_range_lhs() {
+        // variable 3 > M = 2
+        let err = from_ascii_str("aag 2 1 0 1 1\n2\n6\n6 2 2\n", "x").unwrap_err();
+        assert!(matches!(err, ParseAigerError::BadAnd(_)));
+        // AND redefines the input variable
+        let err = from_ascii_str("aag 2 1 0 1 1\n2\n2\n2 2 2\n", "x").unwrap_err();
+        assert!(matches!(err, ParseAigerError::BadAnd(_)));
+    }
+
+    #[test]
+    fn tolerates_malformed_symbol_lines() {
+        // a multi-byte first character in a symbol tag must not panic
+        let text = "aag 1 1 0 1 0\n2\n2\né0 name\nc\n";
+        let aig = from_ascii_str(text, "x").unwrap();
+        assert_eq!(aig.num_inputs(), 1);
     }
 
     #[test]

@@ -41,6 +41,7 @@ pub mod node;
 pub mod simplify;
 pub mod strash;
 pub mod topo;
+pub mod txn;
 pub mod verilog;
 
 pub use aig::{Aig, Output};

@@ -11,9 +11,8 @@
 
 use std::collections::HashMap;
 
-
-pub use crate::edit::EditRecord;
 use crate::aig::Aig;
+pub use crate::edit::EditRecord;
 use crate::lit::{Lit, NodeId};
 
 /// If `id` computes a trivially foldable function, the literal it folds to.
@@ -38,10 +37,8 @@ fn folds_to(aig: &Aig, id: NodeId) -> Option<Lit> {
 /// fanouts, transitively. Returns one edit record per fold, in application
 /// order. Node values are unchanged, so simulators stay valid.
 pub fn propagate_constants_from(aig: &mut Aig, seeds: &[NodeId]) -> Vec<EditRecord> {
-    let mut work: Vec<NodeId> = seeds
-        .iter()
-        .flat_map(|&s| aig.fanouts(s).iter().copied())
-        .collect();
+    let mut work: Vec<NodeId> =
+        seeds.iter().flat_map(|&s| aig.fanouts(s).iter().copied()).collect();
     work.extend_from_slice(seeds);
     let mut records = Vec::new();
     while let Some(id) = work.pop() {

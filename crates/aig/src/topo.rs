@@ -35,11 +35,7 @@ pub fn topo_order(aig: &Aig) -> Vec<NodeId> {
         state[root.index()] = 1;
         while let Some(&mut (u, ref mut phase)) = stack.last_mut() {
             if *phase < 2 {
-                let fanin = if *phase == 0 {
-                    aig.node(u).fanin0()
-                } else {
-                    aig.node(u).fanin1()
-                };
+                let fanin = if *phase == 0 { aig.node(u).fanin0() } else { aig.node(u).fanin1() };
                 *phase += 1;
                 let v = fanin.node();
                 match state[v.index()] {
@@ -80,11 +76,7 @@ pub fn levels(aig: &Aig) -> Vec<u32> {
 /// Maximum logic level over all primary-output drivers.
 pub fn depth(aig: &Aig) -> u32 {
     let level = levels(aig);
-    aig.outputs()
-        .iter()
-        .map(|o| level[o.lit.node().index()])
-        .max()
-        .unwrap_or(0)
+    aig.outputs().iter().map(|o| level[o.lit.node().index()]).max().unwrap_or(0)
 }
 
 /// Position of every live node in the topological order (dead nodes get

@@ -1,0 +1,228 @@
+//! Transactional editing: an undo journal over the graph's mutation
+//! internals.
+//!
+//! [`crate::edit::replace`] rewires fanins, fanout lists, primary outputs
+//! and dead marks through a small set of `pub(crate)` primitives on
+//! [`Aig`](crate::Aig). While a transaction is open ([`Aig::begin_txn`]),
+//! every one of those primitives records its exact inverse here, so
+//! [`Aig::rollback_txn`] can restore the pre-transaction graph — fanout
+//! *order included* — without ever cloning the circuit. This is what lets a
+//! flow tentatively apply a LAC, re-validate its error exactly, and back out
+//! on budget overshoot at cost proportional to the edit, not the graph.
+//!
+//! Transactions nest: each `begin_txn` pushes a savepoint, `rollback_txn`
+//! undoes back to the innermost savepoint, and `commit_txn` keeps the
+//! changes while leaving enclosing transactions able to undo them.
+//!
+//! Deliberate limits, enforced or documented:
+//!
+//! * Node creation (`add_input`, `and`, `add_output`) inside a transaction
+//!   is rejected — LAC application only ever removes nodes, and the journal
+//!   stays minimal for it.
+//! * The structural-hashing table is *not* restored by rollback; it is
+//!   invalidated on the first destructive edit either way, and the flows
+//!   never construct new nodes after editing begins.
+
+use crate::lit::{Lit, NodeId};
+
+/// One recorded inverse: applying it undoes exactly one mutation primitive.
+///
+/// Undo is strictly LIFO, which makes positional inverses exact: a
+/// `swap_remove` at `pos` is inverted by putting the displaced tail element
+/// back at the end and the removed value back at `pos`.
+#[derive(Clone, Debug)]
+pub(crate) enum TxnOp {
+    /// `set_fanin(node, slot, _)` overwrote `old`.
+    SetFanin { node: NodeId, slot: u8, old: Lit },
+    /// `push_fanout(of, _)` appended one entry.
+    PushFanout { of: NodeId },
+    /// `remove_fanout_once(of, _)` swap-removed `value` from index `pos`.
+    RemoveFanout { of: NodeId, value: NodeId, pos: usize },
+    /// `take_fanouts(of)` emptied the list, which held `old`.
+    TakeFanouts { of: NodeId, old: Vec<NodeId> },
+    /// `take_po_refs(of)` emptied the list, which held `old`.
+    TakePoRefs { of: NodeId, old: Vec<u32> },
+    /// `push_po_ref(of, _)` appended one entry.
+    PushPoRef { of: NodeId },
+    /// `set_output_lit(idx, _)` overwrote `old`.
+    SetOutputLit { idx: u32, old: Lit },
+    /// `mark_dead(node)` killed a live node.
+    MarkDead { node: NodeId },
+}
+
+/// A savepoint: where the enclosing transaction's journal ends.
+#[derive(Clone, Debug)]
+pub(crate) struct Savepoint {
+    /// Journal length when the transaction opened.
+    pub(crate) journal_len: usize,
+    /// Node-slot count when the transaction opened (creation is forbidden
+    /// inside transactions; checked on rollback).
+    pub(crate) num_nodes: usize,
+}
+
+/// The undo journal plus the savepoint stack. Owned by [`crate::Aig`];
+/// empty (and cost-free on the mutation paths) outside transactions.
+#[derive(Clone, Debug, Default)]
+pub(crate) struct TxnLog {
+    pub(crate) ops: Vec<TxnOp>,
+    pub(crate) savepoints: Vec<Savepoint>,
+}
+
+impl TxnLog {
+    /// Whether any transaction is open (mutations must be journaled).
+    #[inline]
+    pub(crate) fn active(&self) -> bool {
+        !self.savepoints.is_empty()
+    }
+
+    #[inline]
+    pub(crate) fn record(&mut self, op: TxnOp) {
+        self.ops.push(op);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::aig::Aig;
+    use crate::check::check;
+    use crate::edit::{replace, EditRecord};
+    use crate::lit::{Lit, NodeId};
+
+    /// `o0 = (a&b)&(c&d)`, `o1 = c&d` — same shape as the `edit` tests.
+    fn sample() -> (Aig, Lit, Lit) {
+        let mut aig = Aig::new("s");
+        let a = aig.add_input("a");
+        let b = aig.add_input("b");
+        let c = aig.add_input("c");
+        let d = aig.add_input("d");
+        let g1 = aig.and(a, b);
+        let g2 = aig.and(c, d);
+        let g3 = aig.and(g1, g2);
+        aig.add_output(g3, "o0");
+        aig.add_output(g2, "o1");
+        (aig, g1, g3)
+    }
+
+    /// Per-node record: (live, fanins, fanouts, output uses).
+    type Snapshot = Vec<(bool, Vec<Lit>, Vec<NodeId>, Vec<u32>)>;
+
+    /// Structural snapshot for exact before/after comparison.
+    fn snapshot(aig: &Aig) -> Snapshot {
+        (0..aig.num_nodes())
+            .map(|i| {
+                let id = NodeId(i as u32);
+                let node = aig.node(id);
+                (
+                    aig.is_live(id),
+                    if node.is_and() { node.fanins().to_vec() } else { Vec::new() },
+                    aig.fanouts(id).to_vec(),
+                    aig.output_refs(id).to_vec(),
+                )
+            })
+            .collect()
+    }
+
+    fn outputs(aig: &Aig) -> Vec<Lit> {
+        (0..aig.num_outputs()).map(|i| aig.output_lit(i)).collect()
+    }
+
+    #[test]
+    fn rollback_restores_graph_exactly() {
+        let (mut aig, g1, g3) = sample();
+        for replacement in [Lit::FALSE, Lit::TRUE, aig.inputs()[0].lit()] {
+            for target in [g1.node(), g3.node()] {
+                let before = snapshot(&aig);
+                let before_outs = outputs(&aig);
+                let dead = aig.num_dead();
+                aig.begin_txn();
+                let rec = replace(&mut aig, target, replacement);
+                assert!(!rec.removed.is_empty());
+                aig.rollback_txn();
+                assert_eq!(snapshot(&aig), before);
+                assert_eq!(outputs(&aig), before_outs);
+                assert_eq!(aig.num_dead(), dead);
+                check(&aig).unwrap();
+            }
+        }
+    }
+
+    #[test]
+    fn commit_keeps_the_edit() {
+        let (mut aig, g1, _) = sample();
+        aig.begin_txn();
+        let rec = replace(&mut aig, g1.node(), Lit::FALSE);
+        aig.commit_txn();
+        assert!(!aig.in_txn());
+        assert!(!aig.is_live(g1.node()));
+        assert_eq!(rec.removed, vec![g1.node()]);
+        check(&aig).unwrap();
+    }
+
+    #[test]
+    fn nested_inner_commit_outer_rollback_undoes_both() {
+        let (mut aig, _, g3) = sample();
+        let before = snapshot(&aig);
+        aig.begin_txn();
+        let pi0 = aig.inputs()[0].lit();
+        replace(&mut aig, g3.node(), pi0);
+        aig.begin_txn();
+        let survivor = aig.iter_ands().next().unwrap();
+        replace(&mut aig, survivor, Lit::TRUE);
+        aig.commit_txn();
+        assert!(aig.in_txn());
+        aig.rollback_txn();
+        assert!(!aig.in_txn());
+        assert_eq!(snapshot(&aig), before);
+        check(&aig).unwrap();
+    }
+
+    #[test]
+    fn nested_inner_rollback_preserves_outer_edit() {
+        let (mut aig, g1, _) = sample();
+        aig.begin_txn();
+        replace(&mut aig, g1.node(), Lit::FALSE);
+        let mid = snapshot(&aig);
+        aig.begin_txn();
+        let g2 = aig.iter_ands().find(|&n| aig.fanout_count(n) > 1).unwrap();
+        replace(&mut aig, g2, Lit::TRUE);
+        aig.rollback_txn();
+        assert_eq!(snapshot(&aig), mid);
+        aig.commit_txn();
+        assert!(!aig.is_live(g1.node()));
+        check(&aig).unwrap();
+    }
+
+    #[test]
+    fn rollback_after_multiple_edits_in_one_txn() {
+        let (mut aig, _, _) = sample();
+        let before = snapshot(&aig);
+        aig.begin_txn();
+        let mut edits: Vec<EditRecord> = Vec::new();
+        loop {
+            let Some(target) = aig.iter_ands().next() else { break };
+            edits.push(replace(&mut aig, target, Lit::FALSE));
+        }
+        assert!(edits.len() >= 2, "expected to exhaust several gates");
+        assert_eq!(aig.num_ands(), 0);
+        aig.rollback_txn();
+        assert_eq!(snapshot(&aig), before);
+        check(&aig).unwrap();
+    }
+
+    #[test]
+    #[should_panic(expected = "node creation inside a transaction")]
+    fn node_creation_inside_txn_is_rejected() {
+        let (mut aig, _, _) = sample();
+        aig.begin_txn();
+        let a = aig.inputs()[0].lit();
+        let b = aig.inputs()[1].lit();
+        aig.and_raw(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "no open transaction")]
+    fn rollback_without_begin_panics() {
+        let (mut aig, _, _) = sample();
+        aig.rollback_txn();
+    }
+}

@@ -19,13 +19,13 @@ fn bench_cpm(c: &mut Criterion) {
         let cuts = CutState::compute(&aig);
 
         group.bench_function(format!("full/{name}"), |b| {
-            b.iter(|| black_box(als_cpm::compute_full(&aig, &sim, &cuts)));
+            b.iter(|| black_box(als_cpm::compute_full(&aig, &sim, &cuts).unwrap()));
         });
 
         // S_cand = 60 mid-circuit nodes, as in phase two.
         let s_cand: Vec<NodeId> = aig.iter_ands().skip(aig.num_ands() / 3).take(60).collect();
         group.bench_function(format!("partial60/{name}"), |b| {
-            b.iter(|| black_box(als_cpm::compute_partial(&aig, &sim, &cuts, &s_cand)));
+            b.iter(|| black_box(als_cpm::compute_partial(&aig, &sim, &cuts, &s_cand).unwrap()));
         });
 
         group.bench_function(format!("depth_one/{name}"), |b| {

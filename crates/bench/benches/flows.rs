@@ -18,19 +18,19 @@ fn bench_flows(c: &mut Criterion) {
 
     group.bench_function("conventional/sm9x8", |b| {
         let flow = ConventionalFlow::new(cfg.clone());
-        b.iter(|| black_box(flow.run(&aig)).lacs_applied());
+        b.iter(|| black_box(flow.run(&aig).unwrap()).lacs_applied());
     });
     group.bench_function("vecbee_l1/sm9x8", |b| {
         let flow = VecbeeDepthOneFlow::new(cfg.clone());
-        b.iter(|| black_box(flow.run(&aig)).lacs_applied());
+        b.iter(|| black_box(flow.run(&aig).unwrap()).lacs_applied());
     });
     group.bench_function("dp/sm9x8", |b| {
         let flow = DualPhaseFlow::new(cfg.clone());
-        b.iter(|| black_box(flow.run(&aig)).lacs_applied());
+        b.iter(|| black_box(flow.run(&aig).unwrap()).lacs_applied());
     });
     group.bench_function("dp_sa/sm9x8", |b| {
         let flow = DualPhaseFlow::with_self_adaption(cfg.clone());
-        b.iter(|| black_box(flow.run(&aig)).lacs_applied());
+        b.iter(|| black_box(flow.run(&aig).unwrap()).lacs_applied());
     });
     group.finish();
 }

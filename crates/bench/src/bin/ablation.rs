@@ -41,7 +41,7 @@ fn main() {
             (DualPhaseFlow::new(cfg.clone()), "DP"),
             (DualPhaseFlow::with_self_adaption(cfg.clone()), "DP-SA"),
         ] {
-            let res = flow.run(&aig);
+            let res = flow.run(&aig).expect("flow failed");
             let incremental =
                 res.iterations.iter().filter(|r| r.phase == Phase::Incremental).count();
             let ph2 = if res.lacs_applied() > 0 {
@@ -50,9 +50,8 @@ fn main() {
                 0.0
             };
             let model = RuntimeModel::fit(&res);
-            let (fm, nr, pred) = model
-                .map(|m| (m.f_m(), m.n_r, m.predicted_speedup()))
-                .unwrap_or((0.0, 0.0, 1.0));
+            let (fm, nr, pred) =
+                model.map(|m| (m.f_m(), m.n_r, m.predicted_speedup())).unwrap_or((0.0, 0.0, 1.0));
             println!(
                 "{:<10} {:<6} | {:>8.3} {:>8.3} {:>8.3} | {:>6} {:>7} {:>8} {:>7} | {:>6.3} {:>5.1} {:>6.1}x",
                 name,

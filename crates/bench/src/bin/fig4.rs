@@ -14,8 +14,7 @@ use als_error::MetricKind;
 
 fn main() {
     let args = ExpArgs::parse();
-    let names =
-        args.circuit_names(vec!["c880", "c1908", "sm9x8", "mult16", "adder", "sin"]);
+    let names = args.circuit_names(vec!["c880", "c1908", "sm9x8", "mult16", "adder", "sin"]);
     let set_size = 60;
     println!("candidate-set hit rate T_k/k (set size {set_size}, MSE constraint)");
     print!("{:<10}", "Circuit");
@@ -28,7 +27,7 @@ fn main() {
         let aig = args.build(&name);
         let bound = args.threshold(MetricKind::Mse, aig.num_outputs());
         let cfg = args.config_for(&name, MetricKind::Mse, bound);
-        let res = ConventionalFlow::new(cfg).run(&aig);
+        let res = ConventionalFlow::new(cfg).run(&aig).expect("flow failed");
         let s: HashSet<_> = res.first_ranking.iter().take(set_size).copied().collect();
         print!("{:<10}", name);
         for k in (10..=60).step_by(10) {

@@ -51,7 +51,7 @@ fn main() {
         let mut ratios = [0.0f64; 4];
         let mut times = [0.0f64; 4];
         for (i, flow) in flows.iter().enumerate() {
-            let res = flow.run(&aig);
+            let res = flow.run(&aig).expect("flow failed");
             assert!(
                 res.final_error <= bound * (1.0 + 1e-9),
                 "{name}/{}: bound violated",

@@ -18,27 +18,11 @@ fn main() {
     );
     println!(
         "{:<10} | {:>9} {:>9} {:>8} {:>8} | {:>9} {:>9} {:>8} {:>8}",
-        "",
-        "ER",
-        "",
-        "",
-        "",
-        "MED",
-        "",
-        "",
-        ""
+        "", "ER", "", "", "", "MED", "", "", ""
     );
     println!(
         "{:<10} | {:>9} {:>9} {:>8} {:>8} | {:>9} {:>9} {:>8} {:>8}",
-        "Circuit",
-        "AccALS",
-        "DP-SA",
-        "t(Acc)",
-        "t(DPSA)",
-        "AccALS",
-        "DP-SA",
-        "t(Acc)",
-        "t(DPSA)"
+        "Circuit", "AccALS", "DP-SA", "t(Acc)", "t(DPSA)", "AccALS", "DP-SA", "t(Acc)", "t(DPSA)"
     );
 
     let mut sums = [0.0f64; 8];
@@ -49,8 +33,8 @@ fn main() {
         for (mi, metric) in [MetricKind::Er, MetricKind::Med].into_iter().enumerate() {
             let bound = args.threshold(metric, aig.num_outputs());
             let cfg = args.config_for(name, metric, bound);
-            let acc = AccAlsFlow::new(cfg.clone()).run(&aig);
-            let dpsa = DualPhaseFlow::with_self_adaption(cfg).run(&aig);
+            let acc = AccAlsFlow::new(cfg.clone()).run(&aig).expect("flow failed");
+            let dpsa = DualPhaseFlow::with_self_adaption(cfg).run(&aig).expect("flow failed");
             for (res, label) in [(&acc, "AccALS"), (&dpsa, "DP-SA")] {
                 assert!(
                     res.final_error <= bound * (1.0 + 1e-9),

@@ -80,11 +80,10 @@ impl ExpArgs {
                     })
                 }
                 "--threshold-index" => {
-                    out.threshold_index =
-                        value("--threshold-index").parse().unwrap_or_else(|_| {
-                            eprintln!("--threshold-index expects 0, 1 or 2");
-                            std::process::exit(2);
-                        })
+                    out.threshold_index = value("--threshold-index").parse().unwrap_or_else(|_| {
+                        eprintln!("--threshold-index expects 0, 1 or 2");
+                        std::process::exit(2);
+                    })
                 }
                 "--group" => out.group = Some(value("--group")),
                 "--help" | "-h" => {
@@ -147,9 +146,7 @@ impl ExpArgs {
     /// Mirrors the paper's setup: SASIMI LACs and `M = 60` for small
     /// circuits, constant LACs and `M = 150` for large ones.
     pub fn config_for(&self, name: &str, metric: MetricKind, bound: f64) -> FlowConfig {
-        let base = FlowConfig::new(metric, bound)
-            .with_patterns(self.patterns)
-            .with_seed(self.seed);
+        let base = FlowConfig::new(metric, bound).with_patterns(self.patterns).with_seed(self.seed);
         if als_circuits::suite::large_circuit_names().contains(&name) {
             base.for_large_circuit()
         } else {
@@ -166,7 +163,7 @@ pub fn adp_ratio_of(result: &FlowResult, original: &Aig) -> f64 {
 /// Runs a flow and prints a one-line summary row; returns
 /// `(adp_ratio, runtime_seconds)`.
 pub fn run_and_report(flow: &dyn Flow, original: &Aig) -> (FlowResult, f64, f64) {
-    let res = flow.run(original);
+    let res = flow.run(original).expect("flow failed");
     let ratio = adp_ratio_of(&res, original);
     let secs = res.runtime.as_secs_f64();
     (res, ratio, secs)

@@ -64,16 +64,7 @@ pub fn alu_c880() -> Aig {
     let norw: Vec<Lit> = a.iter().zip(&x).map(|(&p, &q)| aig.nor(p, q)).collect();
     let mut shl = words::shift_left(&a, 1, 8);
     shl[0] = cin;
-    let options = [
-        sum[..8].to_vec(),
-        diff.clone(),
-        andw,
-        orw,
-        xorw.clone(),
-        norw,
-        shl,
-        x.clone(),
-    ];
+    let options = [sum[..8].to_vec(), diff.clone(), andw, orw, xorw.clone(), norw, shl, x.clone()];
     let r_core = select8(&mut aig, &f, &options);
     let inv_word = replicate(inv, 8);
     let r = words::xor_word(&mut aig, &r_core, &inv_word);
@@ -232,16 +223,7 @@ pub fn alu_c3540() -> Aig {
         words::mux_word(&mut aig, sel[1], &hi, &r01)
     };
 
-    let options = [
-        sum[..8].to_vec(),
-        diff,
-        andw,
-        orw,
-        xorw.clone(),
-        prod.clone(),
-        rot,
-        k.to_vec(),
-    ];
+    let options = [sum[..8].to_vec(), diff, andw, orw, xorw.clone(), prod.clone(), rot, k.to_vec()];
     let r_core = select8(&mut aig, &f[..3], &options);
     let inv_word = replicate(f[3], 8);
     let r = words::xor_word(&mut aig, &r_core, &inv_word);
@@ -304,7 +286,7 @@ pub fn alu_c3540_spec(inputs: &[bool]) -> u128 {
     let _geq = a >= b;
     let diff = a.wrapping_sub(b) & 0xff;
     let prod = (a & 0xf) * (b & 0xf);
-    let rot = (a << (sel as u32) | a >> (8 - sel as u32) % 8) & 0xff;
+    let rot = ((a << (sel as u32)) | (a >> ((8 - sel as u32) % 8))) & 0xff;
     let rot = if sel == 0 { a } else { rot };
     let core = match f & 7 {
         0 => sum8,
@@ -329,9 +311,8 @@ pub fn alu_c3540_spec(inputs: &[bool]) -> u128 {
     let flag = if ctl_par == 1 { carry } else { zero };
 
     let mut out = r_final as u128;
-    for (i, bit) in [carry, zero, parity, sign, eq, gt, xor_k, and_all, ctl_par, flag]
-        .into_iter()
-        .enumerate()
+    for (i, bit) in
+        [carry, zero, parity, sign, eq, gt, xor_k, and_all, ctl_par, flag].into_iter().enumerate()
     {
         out |= (bit as u128) << (8 + i);
     }

@@ -168,9 +168,9 @@ mod tests {
     fn unit_twiddle_adds_b() {
         let w = 8;
         let unit = 1i64 << (w - 1); // careful: this is -128 in w bits? use w-1 scale
-        // W = (unit, 0) represents 1.0 in Q1.(w-1)... but unit = 2^(w-1) is
-        // out of range for signed w bits; use the largest positive value and
-        // accept the tiny scale error: W ≈ 0.992.
+                                    // W = (unit, 0) represents 1.0 in Q1.(w-1)... but unit = 2^(w-1) is
+                                    // out of range for signed w bits; use the largest positive value and
+                                    // accept the tiny scale error: W ≈ 0.992.
         let wmax = unit - 1;
         let (xr, _, yr, _) = butterfly_spec(10, 0, 64, 0, wmax, 0, w);
         // t ≈ 64 * 0.992 = 63

@@ -24,13 +24,10 @@ pub fn detector() -> Aig {
 
     // Syndrome: s_j = XOR of data[i] with bit j of (i+1) set, XOR chk[j].
     let mut s = Vec::with_capacity(5);
-    for j in 0..5 {
-        let terms: Vec<Lit> = (0..16)
-            .filter(|i| (i + 1) >> j & 1 == 1)
-            .map(|i| data[i])
-            .collect();
+    for (j, &chk_j) in chk.iter().enumerate().take(5) {
+        let terms: Vec<Lit> = (0..16).filter(|i| (i + 1) >> j & 1 == 1).map(|i| data[i]).collect();
         let parity = aig.xor_many(&terms);
-        s.push(aig.xor(parity, chk[j]));
+        s.push(aig.xor(parity, chk_j));
     }
     // Overall parity: all data and check bits.
     let all: Vec<Lit> = data.iter().chain(chk.iter()).copied().collect();
@@ -43,9 +40,8 @@ pub fn detector() -> Aig {
     let mut corrected = Vec::with_capacity(16);
     for (i, &d) in data.iter().enumerate() {
         let code = i + 1;
-        let match_bits: Vec<Lit> = (0..5)
-            .map(|j| s[j].xor_complement(code >> j & 1 == 0))
-            .collect();
+        let match_bits: Vec<Lit> =
+            (0..5).map(|j| s[j].xor_complement(code >> j & 1 == 0)).collect();
         let hit = aig.and_many(&match_bits);
         let flip = aig.and(hit, fix_en);
         corrected.push(aig.xor(d, flip));
@@ -92,7 +88,7 @@ pub fn detector_spec(inputs: &[bool]) -> u128 {
     let po = ((data.count_ones() + chk.count_ones()) & 1) as u64;
     let fix_en = en && clr == 0;
     let mut corrected = data;
-    if fix_en && s >= 1 && s <= 16 {
+    if fix_en && (1..=16).contains(&s) {
         corrected ^= 1 << (s - 1);
     }
     let s_any = (s != 0) as u64;
@@ -154,8 +150,8 @@ mod tests {
         for flip in 0..16 {
             let bad = data ^ (1 << flip);
             let mut inputs = vec![false; 33];
-            for i in 0..16 {
-                inputs[i] = bad >> i & 1 == 1;
+            for (i, slot) in inputs.iter_mut().enumerate().take(16) {
+                *slot = bad >> i & 1 == 1;
             }
             for j in 0..6 {
                 inputs[16 + j] = chk >> j & 1 == 1;

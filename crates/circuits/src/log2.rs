@@ -41,16 +41,15 @@ pub fn log2_unit(n: usize) -> Aig {
     // e[j] = OR of is_msb[i] with bit j of i set.
     let mut e = Vec::with_capacity(e_bits);
     for j in 0..e_bits {
-        let terms: Vec<Lit> =
-            (0..n).filter(|i| i >> j & 1 == 1).map(|i| is_msb[i]).collect();
+        let terms: Vec<Lit> = (0..n).filter(|i| i >> j & 1 == 1).map(|i| is_msb[i]).collect();
         e.push(aig.or_many(&terms));
     }
 
     // One-hot barrel shifter: y = Σ is_msb[i] · (x << (n−1−i)).
     let mut y = vec![Lit::FALSE; n];
-    for i in 0..n {
+    for (i, &msb) in is_msb.iter().enumerate() {
         let shifted = words::shift_left(&x, n - 1 - i, n);
-        let gated = words::gate_word(&mut aig, &shifted, is_msb[i]);
+        let gated = words::gate_word(&mut aig, &shifted, msb);
         for (k, &g) in gated.iter().enumerate() {
             y[k] = aig.or(y[k], g);
         }
@@ -92,7 +91,7 @@ pub fn log2_spec(x: u128, n: usize) -> u128 {
     if x == 0 {
         return 0;
     }
-    let e = 127 - (x as u128).leading_zeros() as usize;
+    let e = 127 - x.leading_zeros() as usize;
     let y = (x << (n - 1 - e)) & ((1u128 << n) - 1); // normalised, MSB set
     let fmask = (1u128 << f) - 1;
     let u = (y >> (n - 1 - f)) & fmask;

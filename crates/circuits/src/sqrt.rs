@@ -19,7 +19,7 @@ use crate::words;
 /// `isqrt(128)` reproduces the EPFL `sqrt` profile (128 inputs,
 /// 64 outputs).
 pub fn isqrt(input_bits: usize) -> Aig {
-    assert!(input_bits >= 2 && input_bits % 2 == 0, "input width must be even");
+    assert!(input_bits >= 2 && input_bits.is_multiple_of(2), "input width must be even");
     let k = input_bits / 2;
     let mut aig = Aig::new(format!("sqrt{input_bits}"));
     let x = aig.add_inputs("x", input_bits);

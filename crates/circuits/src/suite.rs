@@ -16,8 +16,19 @@ pub enum BenchmarkScale {
 /// All benchmark names of Table I, paper order.
 pub fn benchmark_names() -> Vec<&'static str> {
     vec![
-        "c880", "c1908", "c3540", "sm9x8", "sm18x14", "butterfly", "vecmul8", "mult16",
-        "adder", "sqrt", "sin", "square", "log2",
+        "c880",
+        "c1908",
+        "c3540",
+        "sm9x8",
+        "sm18x14",
+        "butterfly",
+        "vecmul8",
+        "mult16",
+        "adder",
+        "sqrt",
+        "sin",
+        "square",
+        "log2",
     ]
 }
 

@@ -19,9 +19,7 @@ pub(crate) fn exhaustive_output_words(aig: &Aig) -> Vec<u128> {
 pub(crate) fn random_io_words(aig: &Aig, words: usize, seed: u64) -> Vec<(Vec<bool>, u128)> {
     let patterns = PatternSet::random(aig.num_inputs(), words, seed);
     let sim = Simulator::new(aig, &patterns);
-    (0..patterns.num_patterns())
-        .map(|p| (patterns.pattern(p), sim.output_word(aig, p)))
-        .collect()
+    (0..patterns.num_patterns()).map(|p| (patterns.pattern(p), sim.output_word(aig, p))).collect()
 }
 
 /// Decodes a little-endian slice of bools into a u128.

@@ -13,15 +13,10 @@ use crate::words;
 pub fn vecmul(dim: usize, w: usize) -> Aig {
     assert!(dim >= 1 && w >= 1);
     let mut aig = Aig::new(format!("vecmul{dim}x{w}"));
-    let a: Vec<Vec<Lit>> =
-        (0..dim).map(|i| aig.add_inputs(&format!("a{i}_"), w)).collect();
-    let b: Vec<Vec<Lit>> =
-        (0..dim).map(|i| aig.add_inputs(&format!("b{i}_"), w)).collect();
-    let mut terms: Vec<Vec<Lit>> = a
-        .iter()
-        .zip(&b)
-        .map(|(x, y)| unsigned_product(&mut aig, x, y))
-        .collect();
+    let a: Vec<Vec<Lit>> = (0..dim).map(|i| aig.add_inputs(&format!("a{i}_"), w)).collect();
+    let b: Vec<Vec<Lit>> = (0..dim).map(|i| aig.add_inputs(&format!("b{i}_"), w)).collect();
+    let mut terms: Vec<Vec<Lit>> =
+        a.iter().zip(&b).map(|(x, y)| unsigned_product(&mut aig, x, y)).collect();
     // Balanced adder tree with width growth.
     while terms.len() > 1 {
         let mut next = Vec::with_capacity(terms.len().div_ceil(2));

@@ -8,9 +8,7 @@ use als_aig::{Aig, Lit};
 
 /// A constant word of `width` bits with value `value`.
 pub fn constant(value: u128, width: usize) -> Vec<Lit> {
-    (0..width)
-        .map(|i| if value >> i & 1 == 1 { Lit::TRUE } else { Lit::FALSE })
-        .collect()
+    (0..width).map(|i| if value >> i & 1 == 1 { Lit::TRUE } else { Lit::FALSE }).collect()
 }
 
 /// Ripple-carry addition: returns `width+1` bits (`a + b + cin`, carry out

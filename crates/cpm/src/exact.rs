@@ -18,10 +18,8 @@ use crate::storage::CpmRow;
 /// cone.
 pub fn trivial_cut(aig: &Aig, n: NodeId) -> DisjointCut {
     let cone = als_aig::cone::tfo_cone(aig, n);
-    let mut outputs: Vec<u32> = cone
-        .iter()
-        .flat_map(|&u| aig.output_refs(u).iter().copied())
-        .collect();
+    let mut outputs: Vec<u32> =
+        cone.iter().flat_map(|&u| aig.output_refs(u).iter().copied()).collect();
     outputs.sort_unstable();
     outputs.dedup();
     DisjointCut::from_members(outputs.into_iter().map(CutMember::Output).collect())

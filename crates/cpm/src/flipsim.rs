@@ -112,8 +112,16 @@ impl FlipSim {
                 if f1.is_complement() { !0u64 } else { 0 },
             );
             for w in 0..self.num_words {
-                let a = if use0 { self.flipped[i0].words()[w] } else { sim.value(f0.node()).words()[w] };
-                let b = if use1 { self.flipped[i1].words()[w] } else { sim.value(f1.node()).words()[w] };
+                let a = if use0 {
+                    self.flipped[i0].words()[w]
+                } else {
+                    sim.value(f0.node()).words()[w]
+                };
+                let b = if use1 {
+                    self.flipped[i1].words()[w]
+                } else {
+                    sim.value(f1.node()).words()[w]
+                };
                 let r = (a ^ m0) & (b ^ m1);
                 self.flipped[ii].words_mut()[w] = r;
             }

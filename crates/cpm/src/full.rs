@@ -4,6 +4,7 @@ use als_aig::{Aig, NodeId};
 use als_cuts::{CutMember, CutState, DisjointCut};
 use als_sim::Simulator;
 
+use crate::error::CpmError;
 use crate::flipsim::FlipSim;
 use crate::storage::{Cpm, CpmRow};
 
@@ -17,16 +18,14 @@ pub(crate) fn row_from_cut(
     cpm: &Cpm,
     n: NodeId,
     cut: &DisjointCut,
-) -> CpmRow {
+) -> Result<CpmRow, CpmError> {
     let diffs = flipsim.boolean_differences(aig, sim, cuts.ranks(), n, cut);
     let mut row: CpmRow = Vec::new();
     for (member, b) in diffs {
         match member {
             CutMember::Output(o) => row.push((o, b)),
             CutMember::Node(t) => {
-                let trow = cpm
-                    .row(t)
-                    .unwrap_or_else(|| panic!("row of cut member {t} must precede {n}"));
+                let trow = cpm.row(t).ok_or(CpmError::MissingMemberRow { member: t, node: n })?;
                 for (o, p) in trow {
                     row.push((*o, b.and(p)));
                 }
@@ -35,7 +34,7 @@ pub(crate) fn row_from_cut(
     }
     row.sort_by_key(|(o, _)| *o);
     debug_assert!(row.windows(2).all(|w| w[0].0 < w[1].0), "cut covers each output once");
-    row
+    Ok(row)
 }
 
 /// Computes CPM rows for the nodes selected by `include` (indexed by node
@@ -50,7 +49,7 @@ pub fn compute_for_set(
     sim: &Simulator,
     cuts: &CutState,
     include: Option<&[bool]>,
-) -> Cpm {
+) -> Result<Cpm, CpmError> {
     let mut cpm = Cpm::new(aig.num_nodes());
     let mut flipsim = FlipSim::new(aig.num_nodes(), sim.num_words());
     let order = als_aig::topo::topo_order(aig);
@@ -60,15 +59,15 @@ pub fn compute_for_set(
                 continue;
             }
         }
-        let cut = cuts.cut(n);
-        let row = row_from_cut(aig, sim, cuts, &mut flipsim, &cpm, n, cut);
+        let cut = cuts.get_cut(n).ok_or(CpmError::MissingCut { node: n })?;
+        let row = row_from_cut(aig, sim, cuts, &mut flipsim, &cpm, n, cut)?;
         cpm.set_row(n, row);
     }
-    cpm
+    Ok(cpm)
 }
 
 /// The comprehensive (phase-one) CPM: exact rows for every live node.
-pub fn compute_full(aig: &Aig, sim: &Simulator, cuts: &CutState) -> Cpm {
+pub fn compute_full(aig: &Aig, sim: &Simulator, cuts: &CutState) -> Result<Cpm, CpmError> {
     compute_for_set(aig, sim, cuts, None)
 }
 
@@ -100,7 +99,7 @@ mod tests {
         let patterns = PatternSet::exhaustive(6);
         let sim = Simulator::new(&aig, &patterns);
         let cuts = CutState::compute(&aig);
-        let cpm = compute_full(&aig, &sim, &cuts);
+        let cpm = compute_full(&aig, &sim, &cuts).unwrap();
         for n in aig.iter_live() {
             let reference = brute_force_row(&aig, &patterns, n);
             let row = cpm.row(n).expect("all rows computed");
@@ -117,7 +116,7 @@ mod tests {
         let patterns = PatternSet::random(6, 8, 99);
         let sim = Simulator::new(&aig, &patterns);
         let cuts = CutState::compute(&aig);
-        let cpm = compute_full(&aig, &sim, &cuts);
+        let cpm = compute_full(&aig, &sim, &cuts).unwrap();
         for n in aig.iter_live() {
             let reference = brute_force_row(&aig, &patterns, n);
             assert!(rows_equivalent(cpm.row(n).unwrap(), &reference, aig.num_outputs()));
@@ -130,7 +129,7 @@ mod tests {
         let patterns = PatternSet::exhaustive(6);
         let sim = Simulator::new(&aig, &patterns);
         let cuts = CutState::compute(&aig);
-        let cpm = compute_full(&aig, &sim, &cuts);
+        let cpm = compute_full(&aig, &sim, &cuts).unwrap();
         // output O4 is driven directly by input x5
         let x5 = aig.inputs()[5];
         let entry = cpm.entry(x5, 3).expect("entry exists");

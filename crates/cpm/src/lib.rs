@@ -23,6 +23,12 @@
 //! disjoint-cut advantage over per-output one-cut simulation.
 //! [`reference`] holds a brute-force oracle used by tests.
 
+// Hot-path analysis code must surface failures as values, not panics: a
+// stray `unwrap()` here aborts a whole synthesis run.
+#![warn(clippy::unwrap_used)]
+#![cfg_attr(test, allow(clippy::unwrap_used))]
+
+pub mod error;
 pub mod exact;
 pub mod flipsim;
 pub mod full;
@@ -31,6 +37,7 @@ pub mod reference;
 pub mod storage;
 pub mod vecbee;
 
+pub use error::CpmError;
 pub use exact::{exact_row, trivial_cut};
 pub use flipsim::FlipSim;
 pub use full::compute_full;

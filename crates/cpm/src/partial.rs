@@ -10,12 +10,17 @@ use als_aig::{Aig, NodeId};
 use als_cuts::{CutMember, CutState};
 use als_sim::Simulator;
 
+use crate::error::CpmError;
 use crate::full::compute_for_set;
 use crate::storage::Cpm;
 
 /// Computes `N(S_cand)`: the transitive closure of the candidate nodes
 /// through their disjoint cuts' node members (output sinks terminate).
-pub fn candidate_closure(aig: &Aig, cuts: &CutState, s_cand: &[NodeId]) -> Vec<NodeId> {
+pub fn candidate_closure(
+    aig: &Aig,
+    cuts: &CutState,
+    s_cand: &[NodeId],
+) -> Result<Vec<NodeId>, CpmError> {
     let mut in_set = vec![false; aig.num_nodes()];
     let mut queue: Vec<NodeId> = Vec::new();
     for &s in s_cand {
@@ -28,7 +33,8 @@ pub fn candidate_closure(aig: &Aig, cuts: &CutState, s_cand: &[NodeId]) -> Vec<N
     while head < queue.len() {
         let s = queue[head];
         head += 1;
-        for m in cuts.cut(s).members() {
+        let cut = cuts.get_cut(s).ok_or(CpmError::MissingCut { node: s })?;
+        for m in cut.members() {
             if let CutMember::Node(t) = m {
                 if !in_set[t.index()] {
                     in_set[t.index()] = true;
@@ -37,7 +43,7 @@ pub fn candidate_closure(aig: &Aig, cuts: &CutState, s_cand: &[NodeId]) -> Vec<N
             }
         }
     }
-    queue
+    Ok(queue)
 }
 
 /// Computes exact CPM rows for `N(S_cand)` only.
@@ -49,14 +55,14 @@ pub fn compute_partial(
     sim: &Simulator,
     cuts: &CutState,
     s_cand: &[NodeId],
-) -> (Cpm, usize) {
-    let closure = candidate_closure(aig, cuts, s_cand);
+) -> Result<(Cpm, usize), CpmError> {
+    let closure = candidate_closure(aig, cuts, s_cand)?;
     let mut include = vec![false; aig.num_nodes()];
     for &n in &closure {
         include[n.index()] = true;
     }
-    let cpm = compute_for_set(aig, sim, cuts, Some(&include));
-    (cpm, closure.len())
+    let cpm = compute_for_set(aig, sim, cuts, Some(&include))?;
+    Ok((cpm, closure.len()))
 }
 
 #[cfg(test)]
@@ -83,7 +89,7 @@ mod tests {
         let (aig, n) = example2();
         let cuts = CutState::compute(&aig);
         let (a, b, d) = (n[0], n[1], n[3]);
-        let mut closure = candidate_closure(&aig, &cuts, &[a, b]);
+        let mut closure = candidate_closure(&aig, &cuts, &[a, b]).unwrap();
         closure.sort();
         let mut expect = vec![a, b, d, n[4]];
         expect.sort();
@@ -97,8 +103,8 @@ mod tests {
         let patterns = PatternSet::exhaustive(6);
         let sim = Simulator::new(&aig, &patterns);
         let cuts = CutState::compute(&aig);
-        let full = compute_full(&aig, &sim, &cuts);
-        let (partial, closure_size) = compute_partial(&aig, &sim, &cuts, &[n[0], n[1]]);
+        let full = compute_full(&aig, &sim, &cuts).unwrap();
+        let (partial, closure_size) = compute_partial(&aig, &sim, &cuts, &[n[0], n[1]]).unwrap();
         assert!(closure_size < aig.iter_live().count());
         for &cand in &[n[0], n[1]] {
             assert_eq!(partial.row(cand), full.row(cand));
@@ -113,6 +119,6 @@ mod tests {
     fn closure_of_empty_set_is_empty() {
         let (aig, _) = example2();
         let cuts = CutState::compute(&aig);
-        assert!(candidate_closure(&aig, &cuts, &[]).is_empty());
+        assert!(candidate_closure(&aig, &cuts, &[]).unwrap().is_empty());
     }
 }

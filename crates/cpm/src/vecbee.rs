@@ -62,11 +62,8 @@ pub fn compute_depth_one(aig: &Aig, sim: &Simulator) -> Cpm {
                 }
             }
         }
-        let row: CpmRow = acc
-            .into_iter()
-            .enumerate()
-            .filter_map(|(o, v)| v.map(|v| (o as u32, v)))
-            .collect();
+        let row: CpmRow =
+            acc.into_iter().enumerate().filter_map(|(o, v)| v.map(|v| (o as u32, v))).collect();
         cpm.set_row(n, row);
     }
     cpm
@@ -121,7 +118,7 @@ mod tests {
         let sim = Simulator::new(&aig, &patterns);
         let d1 = compute_depth_one(&aig, &sim);
         let cuts = CutState::compute(&aig);
-        let exact = compute_full(&aig, &sim, &cuts);
+        let exact = compute_full(&aig, &sim, &cuts).unwrap();
         // e is constantly 0; flipping b0 cannot change it... actually
         // flipping b0 CAN change e (e = b0 & !b0&x3 toggles parts). The real
         // check: the exact CPM matches brute force, depth-one does not

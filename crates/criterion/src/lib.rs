@@ -1,0 +1,184 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no registry access, so the workspace vendors a
+//! minimal timing harness with the API surface its benches consume:
+//! [`Criterion::benchmark_group`], `sample_size`, `bench_function`,
+//! [`Bencher::iter`] / [`Bencher::iter_batched`], [`BatchSize`] and the
+//! [`criterion_group!`] / [`criterion_main!`] macros.
+//!
+//! Differences from upstream, by design:
+//!
+//! * **No statistics.** Each benchmark runs `sample_size` timed iterations
+//!   and reports mean wall-clock time per iteration — enough to compare the
+//!   full-vs-incremental algorithms these benches exist to contrast, with
+//!   none of the bootstrap machinery.
+//! * **Inert under `cargo test`.** Bench targets use `harness = false`, so
+//!   `cargo test` executes them as plain binaries; without the `--bench`
+//!   argument that `cargo bench` passes, every routine is skipped and the
+//!   binary exits immediately, keeping the test suite fast.
+
+use std::time::Instant;
+
+/// Top-level harness handle; [`criterion_group!`] constructs one per group
+/// function.
+pub struct Criterion {
+    enabled: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        let enabled = std::env::args().any(|a| a == "--bench")
+            || std::env::var_os("CRITERION_SHIM_FORCE").is_some();
+        Criterion { enabled }
+    }
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup {
+        BenchmarkGroup { name: name.into(), sample_size: 10, enabled: self.enabled }
+    }
+
+    /// Times a single free-standing benchmark.
+    pub fn bench_function<F>(&mut self, id: impl std::fmt::Display, f: F) -> &mut Criterion
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(self.enabled, &id.to_string(), 10, f);
+        self
+    }
+}
+
+/// A named set of benchmarks sharing a sample size.
+pub struct BenchmarkGroup {
+    name: String,
+    sample_size: usize,
+    enabled: bool,
+}
+
+impl BenchmarkGroup {
+    /// Number of timed iterations per benchmark (upstream: samples per
+    /// estimate).
+    pub fn sample_size(&mut self, n: usize) -> &mut BenchmarkGroup {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Times `f` under `id` within this group.
+    pub fn bench_function<F>(&mut self, id: impl std::fmt::Display, f: F) -> &mut BenchmarkGroup
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id);
+        run_one(self.enabled, &full, self.sample_size, f);
+        self
+    }
+
+    /// Ends the group. (Upstream finalizes reports here; the shim prints
+    /// per-benchmark lines eagerly.)
+    pub fn finish(self) {}
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(enabled: bool, id: &str, sample_size: usize, mut f: F) {
+    if !enabled {
+        return;
+    }
+    let mut b = Bencher { iters: sample_size as u64, elapsed_ns: 0.0 };
+    f(&mut b);
+    let mean_ns = b.elapsed_ns / b.iters.max(1) as f64;
+    println!("bench: {id:<40} {:>12.1} ns/iter ({} iters)", mean_ns, b.iters);
+}
+
+/// Controls how `iter_batched` amortizes setup cost; the shim runs one
+/// routine invocation per setup regardless, so the variants only document
+/// intent.
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+/// Passed to every benchmark closure; runs and times the routine.
+pub struct Bencher {
+    iters: u64,
+    elapsed_ns: f64,
+}
+
+impl Bencher {
+    /// Times `routine` over the configured number of iterations.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            std::hint::black_box(routine());
+        }
+        self.elapsed_ns += start.elapsed().as_nanos() as f64;
+    }
+
+    /// Times `routine` on fresh `setup()` input per iteration; setup time is
+    /// excluded from the measurement.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        for _ in 0..self.iters {
+            let input = setup();
+            let start = Instant::now();
+            std::hint::black_box(routine(input));
+            self.elapsed_ns += start.elapsed().as_nanos() as f64;
+        }
+    }
+}
+
+/// Declares a bench group function `$name` running each target against a
+/// default-configured [`Criterion`].
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` running the given [`criterion_group!`] functions.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_harness_skips_routines() {
+        let mut c = Criterion { enabled: false };
+        let mut ran = false;
+        let mut group = c.benchmark_group("g");
+        group.sample_size(3).bench_function("skip", |b| {
+            ran = true;
+            b.iter(|| 1 + 1);
+        });
+        group.finish();
+        assert!(!ran);
+    }
+
+    #[test]
+    fn enabled_harness_times_each_sample() {
+        let mut c = Criterion { enabled: true };
+        let mut calls = 0u64;
+        let mut group = c.benchmark_group("g");
+        group.sample_size(4).bench_function("count", |b| {
+            b.iter_batched(|| calls += 1, |_| (), BatchSize::SmallInput);
+        });
+        group.finish();
+        assert_eq!(calls, 4);
+    }
+}

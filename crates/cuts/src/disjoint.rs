@@ -115,12 +115,7 @@ fn member_rank(member: CutMember, rank: &[u32]) -> u64 {
 ///
 /// `rank` must be [`als_aig::topo::topo_ranks`] for the current graph.
 /// An unused node (empty reachable set) gets an empty cut.
-pub fn closest_disjoint_cut(
-    aig: &Aig,
-    reach: &ReachMap,
-    rank: &[u32],
-    n: NodeId,
-) -> DisjointCut {
+pub fn closest_disjoint_cut(aig: &Aig, reach: &ReachMap, rank: &[u32], n: NodeId) -> DisjointCut {
     struct Entry {
         member: CutMember,
         mask: PackedBits,
@@ -130,7 +125,11 @@ pub fn closest_disjoint_cut(
     let mut entries: Vec<Entry> = Vec::new();
     let push = |entries: &mut Vec<Entry>, member: CutMember| {
         if entries.iter().all(|e| e.member != member) {
-            entries.push(Entry { member, mask: member_mask(member, reach), rank: member_rank(member, rank) });
+            entries.push(Entry {
+                member,
+                mask: member_mask(member, reach),
+                rank: member_rank(member, rank),
+            });
         }
     };
 
@@ -253,11 +252,8 @@ mod tests {
         // b covers O1 via d... but b also reaches e; reconvergence of b and c
         // at e forces expansion. The exact members depend on structure, but
         // validity is what matters, plus: must cover all three outputs.
-        let mut covered: Vec<usize> = cut
-            .members()
-            .iter()
-            .flat_map(|&m| DisjointCut::covered_outputs(m, &reach))
-            .collect();
+        let mut covered: Vec<usize> =
+            cut.members().iter().flat_map(|&m| DisjointCut::covered_outputs(m, &reach)).collect();
         covered.sort();
         assert_eq!(covered, vec![0, 1, 2]);
     }

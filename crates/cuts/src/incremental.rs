@@ -17,7 +17,7 @@
 
 use als_aig::{Aig, EditRecord, NodeId};
 
-use crate::disjoint::{closest_disjoint_cut, DisjointCut};
+use crate::disjoint::{closest_disjoint_cut, verify_cut, DisjointCut};
 use crate::reach::ReachMap;
 
 /// Computes `S_v`: the live nodes whose cut preservation condition may be
@@ -100,6 +100,81 @@ impl CutState {
     pub fn last_update_size(&self) -> usize {
         self.last_update_size
     }
+
+    /// Cheap cross-validation of the incrementally maintained state
+    /// against ground truth, on up to `sample` live nodes drawn
+    /// deterministically from `salt`.
+    ///
+    /// For each sampled node the check requires that
+    ///
+    /// 1. its reachability mask satisfies the local relation a from-scratch
+    ///    [`ReachMap::compute`] establishes (own output references ∪
+    ///    fanouts' masks),
+    /// 2. a disjoint cut is stored for it,
+    /// 3. the stored cut verifies against the reachability map
+    ///    ([`verify_cut`]: member disjointness, exact cover, one-cut paths),
+    /// 4. the stored cut equals a from-scratch recompute
+    ///    ([`closest_disjoint_cut`] on the current graph).
+    ///
+    /// Any violation means the incremental bookkeeping (CPC reuse plus
+    /// `S_v`-restricted refresh) has drifted from the circuit; the caller
+    /// should discard this state and fall back to a full
+    /// [`CutState::compute`]. A `sample` of zero checks nothing.
+    pub fn spot_check(&self, aig: &Aig, sample: usize, salt: u64) -> Result<(), String> {
+        if sample == 0 {
+            return Ok(());
+        }
+        if self.cuts.len() != aig.num_nodes() || self.ranks.len() != aig.num_nodes() {
+            return Err(format!(
+                "cut state sized for {} nodes but the circuit has {}",
+                self.cuts.len(),
+                aig.num_nodes()
+            ));
+        }
+        let mut live: Vec<NodeId> = aig.iter_live().collect();
+        if live.is_empty() {
+            return Ok(());
+        }
+        // SplitMix64 keeps the sample deterministic without a rand
+        // dependency; distinct salts probe distinct node subsets. A partial
+        // Fisher-Yates shuffle draws `sample` *distinct* nodes, so a sample
+        // at least the size of the live set checks every live node.
+        let mut s = salt;
+        let mut next = move || {
+            s = s.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = s;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        let picks = sample.min(live.len());
+        for i in 0..picks {
+            let j = i + (next() % (live.len() - i) as u64) as usize;
+            live.swap(i, j);
+            let id = live[i];
+            if &self.reach.fresh_mask(aig, id) != self.reach.mask(id) {
+                return Err(format!("stale reachability mask of {id}"));
+            }
+            let Some(cut) = self.get_cut(id) else {
+                return Err(format!("missing disjoint cut of live node {id}"));
+            };
+            verify_cut(aig, &self.reach, id, cut)
+                .map_err(|e| format!("invalid cut of {id}: {e}"))?;
+            if &closest_disjoint_cut(aig, &self.reach, &self.ranks, id) != cut {
+                return Err(format!("cut of {id} diverged from a fresh recompute"));
+            }
+        }
+        Ok(())
+    }
+
+    /// Wrecks every stored cut. Test hook for exercising corruption
+    /// fallback paths; never called by the flows themselves.
+    #[doc(hidden)]
+    pub fn debug_corrupt_cuts(&mut self) {
+        for slot in self.cuts.iter_mut().flatten() {
+            *slot = DisjointCut::from_members(Vec::new());
+        }
+    }
 }
 
 #[cfg(test)]
@@ -169,6 +244,44 @@ mod tests {
         for id in aig.iter_live() {
             assert_eq!(state.cut(id), fresh.cut(id), "cut of {id}");
         }
+    }
+
+    #[test]
+    fn spot_check_accepts_fresh_and_incremental_state() {
+        let (mut aig, n) = sample();
+        let mut state = CutState::compute(&aig);
+        state.spot_check(&aig, 64, 1).unwrap();
+        let rec = replace(&mut aig, n[2].node(), n[3]);
+        state.update_after(&aig, &rec);
+        for salt in 0..8 {
+            state.spot_check(&aig, 64, salt).unwrap();
+        }
+    }
+
+    #[test]
+    fn spot_check_detects_stale_state() {
+        let (mut aig, n) = sample();
+        let state = CutState::compute(&aig);
+        // Edit the circuit without telling the state: masks and cuts of the
+        // changed region are now stale.
+        let _ = replace(&mut aig, n[2].node(), n[3]);
+        assert!(state.spot_check(&aig, 64, 7).is_err());
+    }
+
+    #[test]
+    fn spot_check_detects_corrupted_cuts() {
+        let (aig, _) = sample();
+        let mut state = CutState::compute(&aig);
+        state.debug_corrupt_cuts();
+        assert!(state.spot_check(&aig, 64, 3).is_err());
+    }
+
+    #[test]
+    fn spot_check_zero_sample_is_a_noop() {
+        let (aig, _) = sample();
+        let mut state = CutState::compute(&aig);
+        state.debug_corrupt_cuts();
+        state.spot_check(&aig, 0, 0).unwrap();
     }
 
     #[test]

@@ -20,6 +20,11 @@
 //! * [`disjoint`] — the closest-disjoint-cut construction,
 //! * [`incremental`] — `S_c` / `S_v` computation and in-place cut refresh.
 
+// Hot-path analysis code must surface failures as values, not panics: a
+// stray `unwrap()` here aborts a whole synthesis run.
+#![warn(clippy::unwrap_used)]
+#![cfg_attr(test, allow(clippy::unwrap_used))]
+
 pub mod disjoint;
 pub mod incremental;
 pub mod reach;

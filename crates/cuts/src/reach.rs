@@ -22,11 +22,8 @@ impl ReachMap {
     pub fn compute(aig: &Aig) -> ReachMap {
         let num_outputs = aig.num_outputs();
         let words = num_outputs.div_ceil(64);
-        let mut map = ReachMap {
-            num_outputs,
-            words,
-            masks: vec![PackedBits::zeros(words); aig.num_nodes()],
-        };
+        let mut map =
+            ReachMap { num_outputs, words, masks: vec![PackedBits::zeros(words); aig.num_nodes()] };
         let order = als_aig::topo::topo_order(aig);
         for &id in order.iter().rev() {
             map.recompute_node(aig, id);
@@ -37,6 +34,15 @@ impl ReachMap {
     /// Recomputes the mask of a single node from its own output references
     /// and its fanouts' masks (which must already be up to date).
     pub fn recompute_node(&mut self, aig: &Aig, id: NodeId) {
+        self.masks[id.index()] = self.fresh_mask(aig, id);
+    }
+
+    /// Computes what `id`'s mask should be — its own output references
+    /// ORed with its fanouts' stored masks — without storing it. This is
+    /// the local consistency relation a from-scratch [`ReachMap::compute`]
+    /// establishes at every node, which makes it the ground truth for
+    /// spot-checking incrementally maintained state.
+    pub fn fresh_mask(&self, aig: &Aig, id: NodeId) -> PackedBits {
         let mut mask = PackedBits::zeros(self.words);
         for &o in aig.output_refs(id) {
             mask.set(o as usize, true);
@@ -44,7 +50,7 @@ impl ReachMap {
         for &f in aig.fanouts(id) {
             mask.or_assign(&self.masks[f.index()]);
         }
-        self.masks[id.index()] = mask;
+        mask
     }
 
     /// Recomputes the masks of `nodes` only.

@@ -8,7 +8,9 @@ use als_cuts::CutState;
 
 use crate::config::FlowConfig;
 use crate::context::Ctx;
+use crate::error::EngineError;
 use crate::flow::Flow;
+use crate::guard::BudgetGuard;
 use crate::report::{FlowResult, IterationRecord, Phase};
 
 /// AccALS accelerates the iterative flow by applying *multiple* LACs per
@@ -48,10 +50,12 @@ impl Flow for AccAlsFlow {
         "AccALS"
     }
 
-    fn run(&self, original: &Aig) -> FlowResult {
+    fn run(&self, original: &Aig) -> Result<FlowResult, EngineError> {
+        als_aig::check::check(original).map_err(EngineError::InvalidInput)?;
         let cfg = &self.cfg;
         let bound = cfg.error_bound;
         let mut ctx = Ctx::new(original, cfg);
+        let mut guard = BudgetGuard::new(original, cfg);
         let mut iterations = Vec::new();
         let mut first_ranking = Vec::new();
         let mut analyses = 0usize;
@@ -62,17 +66,18 @@ impl Flow for AccAlsFlow {
             let cuts = CutState::compute(&ctx.aig);
             ctx.times.cuts += t0.elapsed();
             let t1 = Instant::now();
-            let cpm = als_cpm::compute_full(&ctx.aig, &ctx.sim, &cuts);
+            let cpm = als_cpm::compute_full(&ctx.aig, &ctx.sim, &cuts)?;
             ctx.times.cpm += t1.elapsed();
             let t2 = Instant::now();
             let lacs = als_lac::generate(&ctx.aig, &ctx.sim, &cfg.lac, None);
             ctx.times.eval += t2.elapsed();
-            let mut evals = ctx.evaluate_lacs(&cpm, &lacs);
+            let mut evals = ctx.evaluate_lacs(&cpm, &lacs)?;
             analyses += 1;
             if first_ranking.is_empty() {
                 first_ranking = Ctx::rank_targets(&evals);
             }
             evals.retain(|e| e.error_after <= bound);
+            evals = guard.admissible(&evals);
             evals.sort_by(|a, b| {
                 a.error_after
                     .total_cmp(&b.error_after)
@@ -85,8 +90,7 @@ impl Flow for AccAlsFlow {
 
             // Greedy multi-selection of non-interfering targets.
             let mut chosen: Vec<_> = Vec::new();
-            let mut blocked_outputs =
-                als_sim::PackedBits::zeros(cuts.reach().mask_words());
+            let mut blocked_outputs = als_sim::PackedBits::zeros(cuts.reach().mask_words());
             let mut used_targets: HashSet<NodeId> = HashSet::new();
             for e in &evals {
                 if chosen.len() >= cfg.multi_k {
@@ -128,13 +132,16 @@ impl Flow for AccAlsFlow {
                 if i > 0 && deviation > self.deviation_tolerance {
                     break;
                 }
-                ctx.apply(&e.lac);
+                if guard.try_apply(&mut ctx, e)?.is_none() {
+                    break; // the guard measured an overshoot — stop the batch
+                }
                 iterations.push(IterationRecord {
                     lac: e.lac,
                     error_after: exact,
                     saving: e.saving,
                     nodes_after: ctx.aig.num_ands(),
                     phase: if i == 0 { Phase::Comprehensive } else { Phase::Incremental },
+                    rollbacks: 0,
                 });
                 applied_any = true;
             }
@@ -143,9 +150,9 @@ impl Flow for AccAlsFlow {
             }
         }
 
-        FlowResult {
+        Ok(FlowResult {
             flow: self.name().to_string(),
-            final_error: ctx.error(),
+            final_error: guard.final_error(&ctx),
             error_bound: bound,
             iterations,
             runtime: ctx.elapsed(),
@@ -155,8 +162,9 @@ impl Flow for AccAlsFlow {
             error_report: ctx.report(),
             comprehensive_time: ctx.elapsed(),
             incremental_time: std::time::Duration::ZERO,
+            guard: guard.stats(),
             circuit: ctx.aig,
-        }
+        })
     }
 }
 
@@ -191,7 +199,7 @@ mod tests {
     fn bound_respected() {
         let aig = two_independent_adders();
         let cfg = FlowConfig::new(MetricKind::Med, 3.0).with_patterns(1024);
-        let res = AccAlsFlow::new(cfg).run(&aig);
+        let res = AccAlsFlow::new(cfg).run(&aig).unwrap();
         assert!(res.final_error <= 3.0 + 1e-9, "error {}", res.final_error);
         als_aig::check::check(&res.circuit).unwrap();
     }
@@ -200,7 +208,7 @@ mod tests {
     fn multi_selection_reduces_analyses() {
         let aig = two_independent_adders();
         let cfg = FlowConfig::new(MetricKind::Er, 0.6).with_patterns(1024);
-        let res = AccAlsFlow::new(cfg).run(&aig);
+        let res = AccAlsFlow::new(cfg).run(&aig).unwrap();
         if res.lacs_applied() >= 2 {
             assert!(res.comprehensive_analyses <= res.lacs_applied());
         }
@@ -210,7 +218,7 @@ mod tests {
     fn zero_tolerance_still_sound() {
         let aig = two_independent_adders();
         let cfg = FlowConfig::new(MetricKind::Med, 2.0).with_patterns(512);
-        let res = AccAlsFlow::new(cfg).with_deviation_tolerance(0.0).run(&aig);
+        let res = AccAlsFlow::new(cfg).with_deviation_tolerance(0.0).run(&aig).unwrap();
         assert!(res.final_error <= 2.0 + 1e-9);
     }
 }

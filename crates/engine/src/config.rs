@@ -28,6 +28,56 @@ pub enum SelectionStrategy {
     MaxGainPerError,
 }
 
+/// Settings of the guarded execution layer: transactional LAC application
+/// with exact pre-commit re-measurement, rollback on budget overshoot and
+/// incremental-state spot-checking.
+#[derive(Clone, Debug, PartialEq)]
+pub struct GuardConfig {
+    /// Apply each selected LAC inside a transaction and re-measure the
+    /// circuit error exactly before committing; roll back and evict the
+    /// candidate when the measurement overshoots the bound. With the
+    /// flows' exact estimators this never triggers, so enabling it does
+    /// not change results — it removes the *assumption* that it cannot.
+    pub enabled: bool,
+    /// Additionally re-validate every commit on an independent validation
+    /// pattern set (different seed, [`GuardConfig::validation_factor`]×
+    /// larger than the estimation set). Catches overshoot caused by an
+    /// unrepresentative estimation sample, at the price of one extra
+    /// simulation per candidate commit.
+    pub strict: bool,
+    /// Size multiplier of the strict validation set relative to the
+    /// estimation set.
+    pub validation_factor: usize,
+    /// Candidates tried (applied, measured, rolled back) per selection
+    /// before the iteration gives up.
+    pub max_retries: usize,
+    /// How many times an overshoot may double the validation sample count
+    /// before it stops growing.
+    pub max_resamples: usize,
+    /// Live nodes spot-checked against ground truth after each
+    /// incremental phase-two round (0 disables the check).
+    pub spot_check: usize,
+    /// Test hook: corrupt the incremental cut state after this many
+    /// phase-two rounds, to exercise the comprehensive fallback. Never set
+    /// outside tests.
+    #[doc(hidden)]
+    pub corrupt_after_round: Option<usize>,
+}
+
+impl Default for GuardConfig {
+    fn default() -> GuardConfig {
+        GuardConfig {
+            enabled: true,
+            strict: false,
+            validation_factor: 4,
+            max_retries: 8,
+            max_resamples: 3,
+            spot_check: 8,
+            corrupt_after_round: None,
+        }
+    }
+}
+
 /// Configuration shared by every flow.
 ///
 /// The dual-phase parameters follow the paper's experimental setup:
@@ -75,6 +125,9 @@ pub struct FlowConfig {
     /// transformation ABC would perform before mapping; keeps reported
     /// areas honest for constant LACs).
     pub fold_constants: bool,
+    /// Guarded execution settings (transactional application, budget
+    /// guard, incremental-state fallback).
+    pub guard: GuardConfig,
 }
 
 impl FlowConfig {
@@ -99,6 +152,7 @@ impl FlowConfig {
             max_lacs: 100_000,
             threads: 1,
             fold_constants: true,
+            guard: GuardConfig::default(),
         }
     }
 
@@ -145,6 +199,26 @@ impl FlowConfig {
     /// Selects the candidate selection criterion.
     pub fn with_selection(mut self, strategy: SelectionStrategy) -> FlowConfig {
         self.selection = strategy;
+        self
+    }
+
+    /// Replaces the guarded-execution settings wholesale.
+    pub fn with_guard(mut self, guard: GuardConfig) -> FlowConfig {
+        self.guard = guard;
+        self
+    }
+
+    /// Enables strict mode: every commit is re-validated on an
+    /// independent, larger pattern set.
+    pub fn with_strict(mut self) -> FlowConfig {
+        self.guard.strict = true;
+        self
+    }
+
+    /// Sets how many rejected candidates a selection may roll back before
+    /// the iteration gives up.
+    pub fn with_max_retries(mut self, retries: usize) -> FlowConfig {
+        self.guard.max_retries = retries;
         self
     }
 

@@ -87,10 +87,7 @@ impl Ctx {
         let sim = Simulator::new(&aig, &patterns);
         let golden: Vec<PackedBits> =
             (0..aig.num_outputs()).map(|o| sim.output_value(&aig, o)).collect();
-        let weights = cfg
-            .weights
-            .clone()
-            .unwrap_or_else(|| unsigned_weights(aig.num_outputs()));
+        let weights = cfg.weights.clone().unwrap_or_else(|| unsigned_weights(aig.num_outputs()));
         let state = ErrorState::new(cfg.metric, weights, golden.clone(), &golden);
         let ranks = als_aig::topo::topo_ranks(&aig);
         let flipsim = FlipSim::new(aig.num_nodes(), patterns.num_words());
@@ -151,12 +148,17 @@ impl Ctx {
     /// error estimation). Candidates without a CPM row (unreachable
     /// targets) are skipped. Result order is deterministic regardless of
     /// the thread count.
-    pub fn evaluate_lacs(&mut self, cpm: &Cpm, lacs: &[Lac]) -> Vec<Evaluated> {
+    pub fn evaluate_lacs(
+        &mut self,
+        cpm: &Cpm,
+        lacs: &[Lac],
+    ) -> Result<Vec<Evaluated>, crate::error::EngineError> {
         let t0 = Instant::now();
         let out = if self.threads <= 1 || lacs.len() < 4 * self.threads {
-            lacs.iter()
+            Ok(lacs
+                .iter()
                 .filter_map(|lac| eval_one(&self.aig, &self.sim, &self.state, cpm, lac))
-                .collect()
+                .collect())
         } else {
             let chunk = lacs.len().div_ceil(self.threads);
             let (aig, sim, state) = (&self.aig, &self.sim, &self.state);
@@ -171,10 +173,21 @@ impl Ctx {
                         })
                     })
                     .collect();
-                handles
-                    .into_iter()
-                    .flat_map(|h| h.join().expect("evaluation worker panicked"))
-                    .collect()
+                let mut all = Vec::new();
+                for h in handles {
+                    match h.join() {
+                        Ok(part) => all.extend(part),
+                        Err(payload) => {
+                            let detail = payload
+                                .downcast_ref::<&str>()
+                                .map(|s| (*s).to_string())
+                                .or_else(|| payload.downcast_ref::<String>().cloned())
+                                .unwrap_or_else(|| "unknown panic payload".to_string());
+                            return Err(crate::error::EngineError::WorkerPanic(detail));
+                        }
+                    }
+                }
+                Ok(all)
             })
         };
         self.times.eval += t0.elapsed();
@@ -184,13 +197,8 @@ impl Ctx {
     /// Exact error a LAC would cause, via full fanout-cone resimulation —
     /// used to validate candidates chosen from approximate estimates.
     pub fn exact_error_of(&mut self, lac: &Lac) -> f64 {
-        let row = als_cpm::exact_row(
-            &self.aig,
-            &self.sim,
-            &self.ranks,
-            &mut self.flipsim,
-            lac.target,
-        );
+        let row =
+            als_cpm::exact_row(&self.aig, &self.sim, &self.ranks, &mut self.flipsim, lac.target);
         let d = lac.change_vector(&self.sim);
         if d.is_zero() {
             return self.state.error();
@@ -245,12 +253,7 @@ impl Ctx {
                         .total_cmp(&score(b))
                         .then(b.error_after.total_cmp(&a.error_after))
                         .then(b.lac.target.cmp(&a.lac.target))
-                        .then(
-                            b.lac
-                                .replacement()
-                                .raw()
-                                .cmp(&a.lac.replacement().raw()),
-                        )
+                        .then(b.lac.replacement().raw().cmp(&a.lac.replacement().raw()))
                 })
                 .cloned(),
         }
@@ -268,16 +271,56 @@ impl Ctx {
         let seed = rec.replacement.node();
         let mut records = vec![rec];
         if self.fold_constants {
-            records.extend(als_aig::simplify::propagate_constants_from(
-                &mut self.aig,
-                &[seed],
-            ));
+            records.extend(als_aig::simplify::propagate_constants_from(&mut self.aig, &[seed]));
         }
         let outs = self.output_values();
         self.state.refresh(&outs);
         self.ranks = als_aig::topo::topo_ranks(&self.aig);
         self.times.apply += t0.elapsed();
         records
+    }
+
+    /// Applies a LAC *inside a transaction* on the working circuit:
+    /// identical to [`Ctx::apply`], but the graph mutations are journaled
+    /// so the application can be undone. Pair with [`Ctx::commit_txn`]
+    /// once the result is accepted or [`Ctx::rollback`] to discard it.
+    pub fn apply_txn(&mut self, lac: &Lac) -> Vec<EditRecord> {
+        self.aig.begin_txn();
+        self.apply(lac)
+    }
+
+    /// Commits the transaction opened by [`Ctx::apply_txn`].
+    pub fn commit_txn(&mut self) {
+        self.aig.commit_txn();
+    }
+
+    /// Rolls back the transaction opened by [`Ctx::apply_txn`] and
+    /// restores the simulation values, error state and topological ranks
+    /// to their pre-application values. `records` must be the edit records
+    /// that [`Ctx::apply_txn`] returned.
+    ///
+    /// Cost is proportional to the edit's fanout cones, not the graph: the
+    /// journal undoes the structural changes, then the cones of each
+    /// record's target and replacement are resimulated (those two seeds
+    /// cover every node either application path touched, because the
+    /// replacement inherits the target's fanouts during `replace` and
+    /// returns them on rollback).
+    pub fn rollback(&mut self, records: &[EditRecord]) {
+        let t0 = Instant::now();
+        self.aig.rollback_txn();
+        let mut seeds: Vec<NodeId> = Vec::new();
+        for rec in records {
+            seeds.push(rec.target);
+            seeds.push(rec.replacement.node());
+        }
+        seeds.retain(|&n| self.aig.is_live(n));
+        seeds.sort_unstable();
+        seeds.dedup();
+        self.sim.resimulate_fanout_cone(&self.aig, &seeds);
+        let outs = self.output_values();
+        self.state.refresh(&outs);
+        self.ranks = als_aig::topo::topo_ranks(&self.aig);
+        self.times.apply += t0.elapsed();
     }
 
     /// Ranks target nodes by their best (smallest) evaluated error — the
@@ -336,9 +379,9 @@ mod tests {
         let aig = small();
         let mut ctx = Ctx::new(&aig, &cfg());
         let cuts = CutState::compute(&ctx.aig);
-        let cpm = als_cpm::compute_full(&ctx.aig, &ctx.sim, &cuts);
+        let cpm = als_cpm::compute_full(&ctx.aig, &ctx.sim, &cuts).unwrap();
         let lacs = als_lac::constant_lacs(&ctx.aig, None);
-        let evals = ctx.evaluate_lacs(&cpm, &lacs);
+        let evals = ctx.evaluate_lacs(&cpm, &lacs).unwrap();
         assert_eq!(evals.len(), lacs.len());
         for e in &evals {
             // exact-row evaluation must agree with the cut-based CPM
@@ -370,10 +413,10 @@ mod tests {
         par_cfg.threads = 4;
         let mut par_ctx = Ctx::new(&aig, &par_cfg);
         let cuts = CutState::compute(&serial_ctx.aig);
-        let cpm = als_cpm::compute_full(&serial_ctx.aig, &serial_ctx.sim, &cuts);
+        let cpm = als_cpm::compute_full(&serial_ctx.aig, &serial_ctx.sim, &cuts).unwrap();
         let lacs = als_lac::constant_lacs(&serial_ctx.aig, None);
-        let a = serial_ctx.evaluate_lacs(&cpm, &lacs);
-        let b = par_ctx.evaluate_lacs(&cpm, &lacs);
+        let a = serial_ctx.evaluate_lacs(&cpm, &lacs).unwrap();
+        let b = par_ctx.evaluate_lacs(&cpm, &lacs).unwrap();
         assert_eq!(a.len(), b.len());
         for (x, y) in a.iter().zip(&b) {
             assert_eq!(x.lac, y.lac);

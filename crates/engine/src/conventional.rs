@@ -8,7 +8,9 @@ use als_cuts::CutState;
 
 use crate::config::FlowConfig;
 use crate::context::Ctx;
+use crate::error::EngineError;
 use crate::flow::Flow;
+use crate::guard::BudgetGuard;
 use crate::report::{FlowResult, IterationRecord, Phase};
 
 /// One comprehensive analysis per applied LAC: full disjoint cuts, full
@@ -37,9 +39,11 @@ impl Flow for ConventionalFlow {
         "Conventional(l=inf)"
     }
 
-    fn run(&self, original: &Aig) -> FlowResult {
+    fn run(&self, original: &Aig) -> Result<FlowResult, EngineError> {
+        als_aig::check::check(original).map_err(EngineError::InvalidInput)?;
         let cfg = &self.cfg;
         let mut ctx = Ctx::new(original, cfg);
+        let mut guard = BudgetGuard::new(original, cfg);
         let mut iterations = Vec::new();
         let mut first_ranking = Vec::new();
         let mut analyses = 0usize;
@@ -53,36 +57,35 @@ impl Flow for ConventionalFlow {
 
             // Step 2: full CPM.
             let t1 = Instant::now();
-            let cpm = als_cpm::compute_full(&ctx.aig, &ctx.sim, &cuts);
+            let cpm = als_cpm::compute_full(&ctx.aig, &ctx.sim, &cuts)?;
             ctx.times.cpm += t1.elapsed();
 
             // Step 3: all candidate LACs.
             let t2 = Instant::now();
             let lacs = als_lac::generate(&ctx.aig, &ctx.sim, &cfg.lac, None);
             ctx.times.eval += t2.elapsed();
-            let evals = ctx.evaluate_lacs(&cpm, &lacs);
+            let evals = ctx.evaluate_lacs(&cpm, &lacs)?;
             analyses += 1;
             if first_ranking.is_empty() {
                 first_ranking = Ctx::rank_targets(&evals);
             }
 
-            let Some(best) = Ctx::select(&evals, cfg.error_bound, cfg.selection, ctx.error())
-            else {
+            let Some(applied) = guard.select_apply(&mut ctx, &evals, cfg.selection)? else {
                 break;
             };
-            ctx.apply(&best.lac);
             iterations.push(IterationRecord {
-                lac: best.lac,
-                error_after: best.error_after,
-                saving: best.saving,
+                lac: applied.eval.lac,
+                error_after: applied.eval.error_after,
+                saving: applied.eval.saving,
                 nodes_after: ctx.aig.num_ands(),
                 phase: Phase::Comprehensive,
+                rollbacks: applied.rollbacks,
             });
         }
 
-        FlowResult {
+        Ok(FlowResult {
             flow: self.name().to_string(),
-            final_error: ctx.error(),
+            final_error: guard.final_error(&ctx),
             error_bound: cfg.error_bound,
             iterations,
             runtime: ctx.elapsed(),
@@ -92,8 +95,9 @@ impl Flow for ConventionalFlow {
             error_report: ctx.report(),
             comprehensive_time: ctx.elapsed(),
             incremental_time: std::time::Duration::ZERO,
+            guard: guard.stats(),
             circuit: ctx.aig,
-        }
+        })
     }
 }
 
@@ -125,7 +129,7 @@ mod tests {
     fn zero_bound_applies_only_free_lacs() {
         let aig = adder();
         let cfg = FlowConfig::new(MetricKind::Er, 0.0).with_patterns(512);
-        let res = ConventionalFlow::new(cfg).run(&aig);
+        let res = ConventionalFlow::new(cfg).run(&aig).unwrap();
         assert_eq!(res.final_error, 0.0);
         // any applied LAC must have been error-free
         for it in &res.iterations {
@@ -137,7 +141,7 @@ mod tests {
     fn bounded_run_respects_bound_and_saves_area() {
         let aig = adder();
         let cfg = FlowConfig::new(MetricKind::Med, 2.0).with_patterns(512);
-        let res = ConventionalFlow::new(cfg).run(&aig);
+        let res = ConventionalFlow::new(cfg).run(&aig).unwrap();
         assert!(res.final_error <= 2.0 + 1e-9, "error {}", res.final_error);
         assert!(res.final_nodes() < aig.num_ands(), "no area saved");
         assert!(!res.iterations.is_empty());
@@ -148,14 +152,12 @@ mod tests {
     #[test]
     fn monotone_bounds_monotone_quality() {
         let aig = adder();
-        let loose = ConventionalFlow::new(
-            FlowConfig::new(MetricKind::Med, 4.0).with_patterns(512),
-        )
-        .run(&aig);
-        let tight = ConventionalFlow::new(
-            FlowConfig::new(MetricKind::Med, 0.5).with_patterns(512),
-        )
-        .run(&aig);
+        let loose = ConventionalFlow::new(FlowConfig::new(MetricKind::Med, 4.0).with_patterns(512))
+            .run(&aig)
+            .unwrap();
+        let tight = ConventionalFlow::new(FlowConfig::new(MetricKind::Med, 0.5).with_patterns(512))
+            .run(&aig)
+            .unwrap();
         assert!(loose.final_nodes() <= tight.final_nodes());
     }
 
@@ -163,7 +165,7 @@ mod tests {
     fn first_ranking_is_populated() {
         let aig = adder();
         let cfg = FlowConfig::new(MetricKind::Med, 1.0).with_patterns(512);
-        let res = ConventionalFlow::new(cfg).run(&aig);
+        let res = ConventionalFlow::new(cfg).run(&aig).unwrap();
         assert!(!res.first_ranking.is_empty());
     }
 }

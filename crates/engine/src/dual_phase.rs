@@ -9,7 +9,9 @@ use als_cuts::CutState;
 
 use crate::config::FlowConfig;
 use crate::context::Ctx;
+use crate::error::EngineError;
 use crate::flow::Flow;
+use crate::guard::BudgetGuard;
 use crate::report::{FlowResult, IterationRecord, Phase};
 
 /// The dual-phase flow.
@@ -74,10 +76,12 @@ impl Flow for DualPhaseFlow {
         }
     }
 
-    fn run(&self, original: &Aig) -> FlowResult {
+    fn run(&self, original: &Aig) -> Result<FlowResult, EngineError> {
+        als_aig::check::check(original).map_err(EngineError::InvalidInput)?;
         let cfg = &self.cfg;
         let bound = cfg.error_bound;
         let mut ctx = Ctx::new(original, cfg);
+        let mut guard = BudgetGuard::new(original, cfg);
         let mut iterations = Vec::new();
         let mut first_ranking = Vec::new();
         let mut analyses = 0usize;
@@ -89,6 +93,12 @@ impl Flow for DualPhaseFlow {
         let mut lac_cfg = cfg.lac.clone();
         let mut comp_time = std::time::Duration::ZERO;
         let mut inc_time = std::time::Duration::ZERO;
+        // Degradation-ladder bookkeeping: total phase-two rounds across the
+        // run (drives the spot-check salt and the corruption test hook),
+        // and the spot-check failure that forced the current comprehensive
+        // fallback, if any.
+        let mut total_rounds = 0usize;
+        let mut fallback_pending: Option<String> = None;
 
         'dual_phase: while iterations.len() < cfg.max_lacs {
             let times_snapshot = ctx.times;
@@ -100,32 +110,48 @@ impl Flow for DualPhaseFlow {
             let t0 = Instant::now();
             let mut cuts = CutState::compute(&ctx.aig);
             ctx.times.cuts += t0.elapsed();
+            // Last rung of the degradation ladder: if this comprehensive
+            // analysis is itself a fallback from a failed incremental
+            // spot-check, cross-validate the *fresh* state too. A fresh
+            // compute that still fails cannot be repaired by recomputing —
+            // abort with context.
+            if let Some(prev) = fallback_pending.take() {
+                if let Err(detail) =
+                    cuts.spot_check(&ctx.aig, cfg.guard.spot_check.max(16), total_rounds as u64)
+                {
+                    return Err(EngineError::CorruptAnalysis {
+                        flow: self.name().to_string(),
+                        detail: format!("{detail} (falling back from: {prev})"),
+                    });
+                }
+            }
             let t1 = Instant::now();
-            let cpm = als_cpm::compute_full(&ctx.aig, &ctx.sim, &cuts);
+            let cpm = als_cpm::compute_full(&ctx.aig, &ctx.sim, &cuts)?;
             ctx.times.cpm += t1.elapsed();
             let t2 = Instant::now();
             let lacs = als_lac::generate(&ctx.aig, &ctx.sim, &lac_cfg, None);
             ctx.times.eval += t2.elapsed();
-            let evals = ctx.evaluate_lacs(&cpm, &lacs);
+            let evals = ctx.evaluate_lacs(&cpm, &lacs)?;
             analyses += 1;
             if first_ranking.is_empty() {
                 first_ranking = Ctx::rank_targets(&evals);
             }
 
-            let Some(best) = Ctx::select(&evals, bound, cfg.selection, ctx.error()) else {
+            let e_pre = ctx.error();
+            let Some(applied) = guard.select_apply(&mut ctx, &evals, cfg.selection)? else {
                 comp_time += phase1_start.elapsed();
                 break;
             };
-            let mut s_cand: Vec<NodeId> =
-                Ctx::rank_targets(&evals).into_iter().take(m).collect();
-            sum_er += relative_increase(best.error_after - ctx.error(), e0);
-            let recs = ctx.apply(&best.lac);
+            let mut s_cand: Vec<NodeId> = Ctx::rank_targets(&evals).into_iter().take(m).collect();
+            sum_er += relative_increase(applied.eval.error_after - e_pre, e0);
+            let recs = applied.records;
             iterations.push(IterationRecord {
-                lac: best.lac,
-                error_after: best.error_after,
-                saving: best.saving,
+                lac: applied.eval.lac,
+                error_after: applied.eval.error_after,
+                saving: applied.eval.saving,
                 nodes_after: ctx.aig.num_ands(),
                 phase: Phase::Comprehensive,
+                rollbacks: applied.rollbacks,
             });
             let removed: HashSet<NodeId> =
                 recs.iter().flat_map(|r| r.removed.iter().copied()).collect();
@@ -140,10 +166,7 @@ impl Flow for DualPhaseFlow {
             // ---------------- Phase two: incremental rounds --------------
             let phase2_start = Instant::now();
             let mut rounds = 0usize;
-            while rounds < n_limit
-                && !s_cand.is_empty()
-                && iterations.len() < cfg.max_lacs
-            {
+            while rounds < n_limit && !s_cand.is_empty() && iterations.len() < cfg.max_lacs {
                 s_cand.retain(|&n| ctx.aig.is_live(n) && ctx.aig.node(n).is_and());
                 if s_cand.is_empty() {
                     break;
@@ -151,40 +174,53 @@ impl Flow for DualPhaseFlow {
                 // Step 2: partial CPM over N(S_cand).
                 let t4 = Instant::now();
                 let (pcpm, _closure) =
-                    als_cpm::compute_partial(&ctx.aig, &ctx.sim, &cuts, &s_cand);
+                    als_cpm::compute_partial(&ctx.aig, &ctx.sim, &cuts, &s_cand)?;
                 ctx.times.cpm += t4.elapsed();
                 // Step 3: LACs targeting S_cand only.
                 let t5 = Instant::now();
                 let lacs = als_lac::generate(&ctx.aig, &ctx.sim, &lac_cfg, Some(&s_cand));
                 ctx.times.eval += t5.elapsed();
-                let evals = ctx.evaluate_lacs(&pcpm, &lacs);
-                let Some(best) =
-                    Ctx::select(&evals, bound, cfg.selection, ctx.error())
-                else {
-                    break;
-                };
+                let evals = ctx.evaluate_lacs(&pcpm, &lacs)?;
 
-                // DP-SA: adaptive phase-two stop.
-                if self.self_adapt {
+                // Guarded selection with the DP-SA adaptive stop woven in:
+                // the stop criterion looks at the candidate's *estimate*
+                // before it is applied, so it runs inside the retry loop.
+                let mut rollbacks = 0usize;
+                let outcome = loop {
+                    if rollbacks > cfg.guard.max_retries {
+                        break None;
+                    }
+                    let pool = guard.admissible(&evals);
+                    let Some(best) = Ctx::select(&pool, bound, cfg.selection, ctx.error()) else {
+                        break None;
+                    };
                     let e = ctx.error();
                     let e_r = relative_increase(best.error_after - e, e0);
-                    let in_relaxed = e > cfg.b_r * bound && e <= cfg.b_s * bound;
-                    let in_strict = e > cfg.b_s * bound;
-                    if (in_relaxed && e_r > cfg.e_t)
-                        || (in_strict && sum_er + e_r > cfg.e_t)
-                    {
-                        break;
+                    if self.self_adapt {
+                        let in_relaxed = e > cfg.b_r * bound && e <= cfg.b_s * bound;
+                        let in_strict = e > cfg.b_s * bound;
+                        if (in_relaxed && e_r > cfg.e_t) || (in_strict && sum_er + e_r > cfg.e_t) {
+                            break None;
+                        }
                     }
+                    match guard.try_apply(&mut ctx, &best)? {
+                        Some(recs) => break Some((best, recs, e_r)),
+                        None => rollbacks += 1,
+                    }
+                };
+                let Some((best, recs, e_r)) = outcome else {
+                    break;
+                };
+                if self.self_adapt {
                     sum_er += e_r;
                 }
-
-                let recs = ctx.apply(&best.lac);
                 iterations.push(IterationRecord {
                     lac: best.lac,
                     error_after: best.error_after,
                     saving: best.saving,
                     nodes_after: ctx.aig.num_ands(),
                     phase: Phase::Incremental,
+                    rollbacks,
                 });
                 let removed: HashSet<NodeId> =
                     recs.iter().flat_map(|r| r.removed.iter().copied()).collect();
@@ -196,8 +232,40 @@ impl Flow for DualPhaseFlow {
                 }
                 ctx.times.cuts += t6.elapsed();
                 rounds += 1;
+                total_rounds += 1;
+
+                // Degradation ladder: cross-validate the incrementally
+                // maintained state against ground truth on a small node
+                // sample. A failure aborts phase two and falls back to a
+                // fresh comprehensive analysis instead of continuing on
+                // corrupt bookkeeping.
+                if let Some(k) = cfg.guard.corrupt_after_round {
+                    if total_rounds == k {
+                        cuts.debug_corrupt_cuts();
+                    }
+                }
+                if cfg.guard.enabled && cfg.guard.spot_check > 0 {
+                    als_aig::check::check(&ctx.aig).map_err(|e| EngineError::CorruptCircuit {
+                        flow: self.name().to_string(),
+                        source: e,
+                    })?;
+                    let t7 = Instant::now();
+                    let verdict =
+                        cuts.spot_check(&ctx.aig, cfg.guard.spot_check, total_rounds as u64);
+                    ctx.times.cuts += t7.elapsed();
+                    if let Err(detail) = verdict {
+                        guard.note_fallback();
+                        fallback_pending = Some(detail);
+                        break;
+                    }
+                }
             }
             inc_time += phase2_start.elapsed();
+            if fallback_pending.is_some() {
+                // Skip self-adaption this round: its timing signal is
+                // polluted by the aborted phase two.
+                continue 'dual_phase;
+            }
 
             // ---------------- Self-adaption: parameter tuning ------------
             if self.self_adapt {
@@ -213,14 +281,11 @@ impl Flow for DualPhaseFlow {
                         // partial-CPM cost.
                         m = (((m as f64) * (1.0 - cfg.r_inc)).round() as usize).max(6);
                     }
-                    Some(3) => {
+                    Some(3) if lac_cfg.substitutions && lac_cfg.max_subs_per_target > 1 => {
                         // Step 3 dominated: fewer LACs per target node.
-                        if lac_cfg.substitutions && lac_cfg.max_subs_per_target > 1 {
-                            let reduced = ((lac_cfg.max_subs_per_target as f64)
-                                * (1.0 - cfg.r_inc))
-                                .round() as usize;
-                            lac_cfg.max_subs_per_target = reduced.max(1);
-                        }
+                        let reduced = ((lac_cfg.max_subs_per_target as f64) * (1.0 - cfg.r_inc))
+                            .round() as usize;
+                        lac_cfg.max_subs_per_target = reduced.max(1);
                     }
                     _ => {}
                 }
@@ -234,9 +299,9 @@ impl Flow for DualPhaseFlow {
             }
         }
 
-        FlowResult {
+        Ok(FlowResult {
             flow: self.name().to_string(),
-            final_error: ctx.error(),
+            final_error: guard.final_error(&ctx),
             error_bound: bound,
             iterations,
             runtime: ctx.elapsed(),
@@ -246,8 +311,9 @@ impl Flow for DualPhaseFlow {
             error_report: ctx.report(),
             comprehensive_time: comp_time,
             incremental_time: inc_time,
+            guard: guard.stats(),
             circuit: ctx.aig,
-        }
+        })
     }
 }
 
@@ -274,7 +340,7 @@ mod tests {
     fn dp_respects_bound() {
         let aig = adder(4);
         let cfg = FlowConfig::new(MetricKind::Med, 3.0).with_patterns(1024);
-        let res = DualPhaseFlow::new(cfg).run(&aig);
+        let res = DualPhaseFlow::new(cfg).run(&aig).unwrap();
         assert!(res.final_error <= 3.0 + 1e-9, "error {}", res.final_error);
         assert!(res.final_nodes() < aig.num_ands());
         als_aig::check::check(&res.circuit).unwrap();
@@ -284,7 +350,7 @@ mod tests {
     fn dp_uses_fewer_comprehensive_analyses_than_lacs() {
         let aig = adder(6);
         let cfg = FlowConfig::new(MetricKind::Med, 8.0).with_patterns(1024);
-        let res = DualPhaseFlow::new(cfg).run(&aig);
+        let res = DualPhaseFlow::new(cfg).run(&aig).unwrap();
         assert!(res.lacs_applied() > 1);
         assert!(
             res.comprehensive_analyses < res.lacs_applied(),
@@ -303,7 +369,7 @@ mod tests {
         let flow = DualPhaseFlow::with_self_adaption(cfg);
         assert!(flow.is_self_adapting());
         assert_eq!(flow.name(), "DP-SA");
-        let res = flow.run(&aig);
+        let res = flow.run(&aig).unwrap();
         assert!(res.final_error <= 4.0 + 1e-9);
         als_aig::check::check(&res.circuit).unwrap();
     }
@@ -314,8 +380,8 @@ mod tests {
         use crate::flow::Flow as _;
         let aig = adder(4);
         let cfg = FlowConfig::new(MetricKind::Med, 2.0).with_patterns(1024);
-        let conv = ConventionalFlow::new(cfg.clone()).run(&aig);
-        let dp = DualPhaseFlow::new(cfg).run(&aig);
+        let conv = ConventionalFlow::new(cfg.clone()).run(&aig).unwrap();
+        let dp = DualPhaseFlow::new(cfg).run(&aig).unwrap();
         // the dual-phase result must stay within a couple of gates of the
         // conventional one (the paper reports no quality loss)
         let diff = dp.final_nodes() as i64 - conv.final_nodes() as i64;

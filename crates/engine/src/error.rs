@@ -1,0 +1,99 @@
+//! Structured failure reporting for the synthesis flows.
+//!
+//! [`crate::Flow::run`] returns `Result<FlowResult, EngineError>` so a
+//! front end can report *why* a run aborted (and exit nonzero) instead of
+//! unwinding through a panic from deep inside an analysis step.
+
+use std::fmt;
+
+use als_aig::check::CheckError;
+use als_cpm::CpmError;
+
+/// Why a flow aborted instead of producing a [`crate::FlowResult`].
+#[derive(Debug)]
+pub enum EngineError {
+    /// The input circuit failed structural validation before the run
+    /// started.
+    InvalidInput(CheckError),
+    /// The working circuit failed structural validation mid-run. The flow
+    /// aborts rather than report results computed on a corrupt netlist.
+    CorruptCircuit {
+        /// Name of the flow that detected the corruption.
+        flow: String,
+        /// The failed structural invariant.
+        source: CheckError,
+    },
+    /// Analysis state failed cross-validation even after a from-scratch
+    /// recompute — retrying cannot re-establish it.
+    CorruptAnalysis {
+        /// Name of the flow that detected the corruption.
+        flow: String,
+        /// What the spot-check found.
+        detail: String,
+    },
+    /// CPM construction failed (stale or missing disjoint cuts).
+    Cpm(CpmError),
+    /// A parallel evaluation worker panicked.
+    WorkerPanic(String),
+    /// An invalid configuration value.
+    Config(String),
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::InvalidInput(e) => {
+                write!(f, "input circuit failed structural check: {e}")
+            }
+            EngineError::CorruptCircuit { flow, source } => {
+                write!(f, "{flow}: working circuit corrupted mid-run: {source}")
+            }
+            EngineError::CorruptAnalysis { flow, detail } => {
+                write!(f, "{flow}: analysis state corrupt after full recompute: {detail}")
+            }
+            EngineError::Cpm(e) => write!(f, "CPM construction failed: {e}"),
+            EngineError::WorkerPanic(detail) => {
+                write!(f, "evaluation worker panicked: {detail}")
+            }
+            EngineError::Config(detail) => write!(f, "invalid configuration: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            EngineError::Cpm(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<CpmError> for EngineError {
+    fn from(e: CpmError) -> EngineError {
+        EngineError::Cpm(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use als_aig::NodeId;
+
+    #[test]
+    fn displays_carry_context() {
+        let e = EngineError::Cpm(CpmError::MissingCut { node: NodeId(5) });
+        assert!(e.to_string().contains("CPM"));
+        let e = EngineError::CorruptAnalysis { flow: "DP-SA".into(), detail: "stale mask".into() };
+        let s = e.to_string();
+        assert!(s.contains("DP-SA") && s.contains("stale mask"));
+        let e = EngineError::WorkerPanic("boom".into());
+        assert!(e.to_string().contains("boom"));
+    }
+
+    #[test]
+    fn cpm_errors_convert_and_chain() {
+        let e: EngineError = CpmError::MissingCut { node: NodeId(2) }.into();
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}

@@ -2,6 +2,7 @@
 
 use als_aig::Aig;
 
+use crate::error::EngineError;
 use crate::report::FlowResult;
 
 /// A complete ALS flow: takes the original circuit, returns the final
@@ -14,6 +15,7 @@ pub trait Flow {
     /// Human-readable flow name used in reports (e.g. `"DP-SA"`).
     fn name(&self) -> &str;
 
-    /// Runs the flow on `original` and returns the result.
-    fn run(&self, original: &Aig) -> FlowResult;
+    /// Runs the flow on `original` and returns the result, or a
+    /// structured [`EngineError`] explaining why the run aborted.
+    fn run(&self, original: &Aig) -> Result<FlowResult, EngineError>;
 }

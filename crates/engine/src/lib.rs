@@ -25,21 +25,30 @@
 //! per-iteration records and a per-step timing breakdown — the data behind
 //! the paper's tables.
 
+// Hot-path analysis code must surface failures as values, not panics: a
+// stray `unwrap()` here aborts a whole synthesis run.
+#![warn(clippy::unwrap_used)]
+#![cfg_attr(test, allow(clippy::unwrap_used))]
+
 pub mod accals;
 pub mod config;
 pub mod context;
 pub mod conventional;
 pub mod dual_phase;
+pub mod error;
 pub mod flow;
+pub mod guard;
 pub mod model;
 pub mod report;
 pub mod vecbee_flow;
 
 pub use accals::AccAlsFlow;
-pub use config::{FlowConfig, PatternSource, SelectionStrategy};
+pub use config::{FlowConfig, GuardConfig, PatternSource, SelectionStrategy};
 pub use conventional::ConventionalFlow;
 pub use dual_phase::DualPhaseFlow;
+pub use error::EngineError;
 pub use flow::Flow;
+pub use guard::BudgetGuard;
 pub use model::RuntimeModel;
-pub use report::{FlowResult, IterationRecord, Phase, StepTimes};
+pub use report::{FlowResult, GuardStats, IterationRecord, Phase, StepTimes};
 pub use vecbee_flow::VecbeeDepthOneFlow;

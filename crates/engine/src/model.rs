@@ -35,8 +35,7 @@ impl RuntimeModel {
         }
         let incremental =
             result.iterations.iter().filter(|r| r.phase == Phase::Incremental).count();
-        let t_com =
-            result.comprehensive_time.as_secs_f64() / result.comprehensive_analyses as f64;
+        let t_com = result.comprehensive_time.as_secs_f64() / result.comprehensive_analyses as f64;
         let t_inc = if incremental > 0 {
             result.incremental_time.as_secs_f64() / incremental as f64
         } else {
@@ -105,7 +104,7 @@ mod tests {
         }
         aig.add_output(carry, "cout");
         let cfg = FlowConfig::new(MetricKind::Med, 16.0).with_patterns(1024);
-        let res = DualPhaseFlow::new(cfg).run(&aig);
+        let res = DualPhaseFlow::new(cfg).run(&aig).unwrap();
         let model = RuntimeModel::fit(&res).expect("at least one analysis ran");
         assert!(model.t_com > 0.0);
         assert!(model.n_r >= 0.0);

@@ -88,6 +88,25 @@ pub struct IterationRecord {
     pub nodes_after: usize,
     /// Phase that selected the LAC.
     pub phase: Phase,
+    /// Candidates the budget guard applied, measured over budget and
+    /// rolled back before this one committed.
+    pub rollbacks: usize,
+}
+
+/// Guarded-execution activity accumulated over a run.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct GuardStats {
+    /// Exact pre-commit measurements performed.
+    pub validations: usize,
+    /// Tentatively applied LACs rolled back on budget overshoot.
+    pub rollbacks: usize,
+    /// Candidates evicted from the pool after a rollback.
+    pub evictions: usize,
+    /// Validation-set doublings triggered by overshoots (strict mode).
+    pub resamples: usize,
+    /// Phase-two rounds aborted to a fresh comprehensive analysis after a
+    /// failed incremental-state spot-check.
+    pub fallbacks: usize,
 }
 
 /// Everything a flow run produces.
@@ -119,6 +138,9 @@ pub struct FlowResult {
     pub comprehensive_time: Duration,
     /// Wall-clock time spent in incremental (phase-two) work.
     pub incremental_time: Duration,
+    /// Guarded-execution activity (rollbacks, evictions, resamples,
+    /// incremental-state fallbacks).
+    pub guard: GuardStats,
 }
 
 impl FlowResult {

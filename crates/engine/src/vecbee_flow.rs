@@ -6,7 +6,9 @@ use als_aig::Aig;
 
 use crate::config::FlowConfig;
 use crate::context::Ctx;
+use crate::error::EngineError;
 use crate::flow::Flow;
+use crate::guard::BudgetGuard;
 use crate::report::{FlowResult, IterationRecord, Phase};
 
 /// The fastest, least accurate VECBEE configuration: the CPM is built from
@@ -44,9 +46,11 @@ impl Flow for VecbeeDepthOneFlow {
         "VECBEE(l=1)"
     }
 
-    fn run(&self, original: &Aig) -> FlowResult {
+    fn run(&self, original: &Aig) -> Result<FlowResult, EngineError> {
+        als_aig::check::check(original).map_err(EngineError::InvalidInput)?;
         let cfg = &self.cfg;
         let mut ctx = Ctx::new(original, cfg);
+        let mut guard = BudgetGuard::new(original, cfg);
         let mut iterations = Vec::new();
         let mut first_ranking = Vec::new();
         let mut analyses = 0usize;
@@ -61,7 +65,7 @@ impl Flow for VecbeeDepthOneFlow {
             let t2 = Instant::now();
             let lacs = als_lac::generate(&ctx.aig, &ctx.sim, &cfg.lac, None);
             ctx.times.eval += t2.elapsed();
-            let mut evals = ctx.evaluate_lacs(&cpm, &lacs);
+            let mut evals = ctx.evaluate_lacs(&cpm, &lacs)?;
             analyses += 1;
             if first_ranking.is_empty() {
                 first_ranking = Ctx::rank_targets(&evals);
@@ -72,24 +76,31 @@ impl Flow for VecbeeDepthOneFlow {
                     .then(b.saving.cmp(&a.saving))
                     .then(a.lac.target.cmp(&b.lac.target))
             });
+            let evals = guard.admissible(&evals);
 
             // Validate candidates in rank order with exact cone
-            // resimulation; apply the first sound one.
+            // resimulation; the first sound one goes through the guard,
+            // which re-measures after the (transactional) application and
+            // rolls back if the estimate-validated candidate still lands
+            // over budget.
             let t3 = Instant::now();
             let mut applied = false;
+            let mut rollbacks = 0;
             for cand in evals.iter().take(self.validate_limit) {
                 let exact = ctx.exact_error_of(&cand.lac);
                 if exact <= cfg.error_bound {
                     ctx.times.eval += t3.elapsed();
-                    let saving = cand.saving;
-                    let lac = cand.lac;
-                    ctx.apply(&lac);
+                    if guard.try_apply(&mut ctx, cand)?.is_none() {
+                        rollbacks += 1;
+                        continue;
+                    }
                     iterations.push(IterationRecord {
-                        lac,
+                        lac: cand.lac,
                         error_after: exact,
-                        saving,
+                        saving: cand.saving,
                         nodes_after: ctx.aig.num_ands(),
                         phase: Phase::Comprehensive,
+                        rollbacks,
                     });
                     applied = true;
                     break;
@@ -101,9 +112,9 @@ impl Flow for VecbeeDepthOneFlow {
             }
         }
 
-        FlowResult {
+        Ok(FlowResult {
             flow: self.name().to_string(),
-            final_error: ctx.error(),
+            final_error: guard.final_error(&ctx),
             error_bound: cfg.error_bound,
             iterations,
             runtime: ctx.elapsed(),
@@ -113,8 +124,9 @@ impl Flow for VecbeeDepthOneFlow {
             error_report: ctx.report(),
             comprehensive_time: ctx.elapsed(),
             incremental_time: std::time::Duration::ZERO,
+            guard: guard.stats(),
             circuit: ctx.aig,
-        }
+        })
     }
 }
 
@@ -140,7 +152,7 @@ mod tests {
     fn bound_is_respected_despite_approximation() {
         let aig = parity_tree();
         let cfg = FlowConfig::new(MetricKind::Er, 0.3).with_patterns(512);
-        let res = VecbeeDepthOneFlow::new(cfg).run(&aig);
+        let res = VecbeeDepthOneFlow::new(cfg).run(&aig).unwrap();
         assert!(res.final_error <= 0.3 + 1e-9, "error {}", res.final_error);
         als_aig::check::check(&res.circuit).unwrap();
     }
@@ -149,7 +161,7 @@ mod tests {
     fn no_cut_time_is_spent() {
         let aig = parity_tree();
         let cfg = FlowConfig::new(MetricKind::Er, 0.2).with_patterns(512);
-        let res = VecbeeDepthOneFlow::new(cfg).run(&aig);
+        let res = VecbeeDepthOneFlow::new(cfg).run(&aig).unwrap();
         assert!(res.step_times.cuts.is_zero());
     }
 
@@ -157,7 +169,7 @@ mod tests {
     fn validation_limit_is_honoured() {
         let aig = parity_tree();
         let cfg = FlowConfig::new(MetricKind::Er, 0.5).with_patterns(512);
-        let res = VecbeeDepthOneFlow::new(cfg).with_validation_limit(1).run(&aig);
+        let res = VecbeeDepthOneFlow::new(cfg).with_validation_limit(1).run(&aig).unwrap();
         assert!(res.final_error <= 0.5 + 1e-9);
     }
 }

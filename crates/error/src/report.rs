@@ -38,7 +38,7 @@ impl ErrorReport {
         let mut histogram = vec![0usize; 130];
         let mut mred_sum = 0.0;
         let mut top = 0usize;
-        for p in 0..n {
+        for (p, &ex) in exact.iter().enumerate().take(n) {
             let ed = state.signed_error(p).abs();
             if ed > 0.0 {
                 let bucket = ed.log2().ceil().max(0.0) as usize;
@@ -46,7 +46,7 @@ impl ErrorReport {
                 histogram[bucket] += 1;
                 top = top.max(bucket + 1);
             }
-            mred_sum += ed / exact[p].max(1.0);
+            mred_sum += ed / ex.max(1.0);
         }
         histogram.truncate(top);
         ErrorReport {

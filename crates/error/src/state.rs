@@ -234,8 +234,7 @@ impl ErrorState {
                             let w = self.weights[o];
                             // current approx bit = exact ^ diff; toggling it
                             // moves the signed error by ∓w.
-                            let approx_bit =
-                                (self.exact[o].words()[wi] >> b & 1 == 1) ^ was_diff;
+                            let approx_bit = (self.exact[o].words()[wi] >> b & 1 == 1) ^ was_diff;
                             e += if approx_bit { -w } else { w };
                         }
                     }

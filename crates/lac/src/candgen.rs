@@ -75,18 +75,13 @@ pub fn sasimi_lacs(
     targets: Option<&[NodeId]>,
 ) -> Vec<Lac> {
     let target_list: Vec<NodeId> = match targets {
-        Some(ts) => ts
-            .iter()
-            .copied()
-            .filter(|&n| aig.is_live(n) && aig.node(n).is_and())
-            .collect(),
+        Some(ts) => {
+            ts.iter().copied().filter(|&n| aig.is_live(n) && aig.node(n).is_and()).collect()
+        }
         None => aig.iter_ands().collect(),
     };
     // Substitution sources: all live inputs and gates.
-    let sources: Vec<NodeId> = aig
-        .iter_live()
-        .filter(|&n| !aig.node(n).is_const0())
-        .collect();
+    let sources: Vec<NodeId> = aig.iter_live().filter(|&n| !aig.node(n).is_const0()).collect();
     let num_bits = sim.num_patterns();
     let max_dist = (cfg.max_distance_frac * num_bits as f64) as usize;
 
@@ -191,10 +186,7 @@ mod tests {
         let lacs = sasimi_lacs(&aig, &sim, &cfg, None);
         // the best substitute for g3 = x0&x1&x2&x3 is g2 = x0&x1&x2
         // (disagrees on 1/16 of patterns)
-        let g3 = aig
-            .iter_ands()
-            .last()
-            .unwrap();
+        let g3 = aig.iter_ands().last().unwrap();
         let best_for_g3 = lacs.iter().find(|l| l.target == g3).unwrap();
         let LacKind::Substitute { sub } = best_for_g3.kind else { panic!() };
         let d = Lac::substitute(g3, sub).change_count(&sim);

@@ -91,12 +91,7 @@ pub fn map_luts(aig: &Aig, k: usize) -> LutMapping {
         for (c0, _) in &cuts[f0.index()] {
             for (c1, _) in &cuts[f1.index()] {
                 if let Some(m) = merge_cuts(c0, c1, k) {
-                    let depth = m
-                        .iter()
-                        .map(|l| best_depth[l.index()])
-                        .max()
-                        .unwrap_or(0)
-                        + 1;
+                    let depth = m.iter().map(|l| best_depth[l.index()]).max().unwrap_or(0) + 1;
                     if !cand.iter().any(|(existing, _)| *existing == m) {
                         cand.push((m, depth));
                     }
@@ -112,12 +107,8 @@ pub fn map_luts(aig: &Aig, k: usize) -> LutMapping {
     }
 
     // Top-down cover from the outputs.
-    let mut needed: Vec<NodeId> = c
-        .outputs()
-        .iter()
-        .map(|o| o.lit.node())
-        .filter(|&d| c.node(d).is_and())
-        .collect();
+    let mut needed: Vec<NodeId> =
+        c.outputs().iter().map(|o| o.lit.node()).filter(|&d| c.node(d).is_and()).collect();
     needed.sort();
     needed.dedup();
     let mut visited: HashSet<NodeId> = HashSet::new();

@@ -137,11 +137,8 @@ pub fn map_netlist(aig: &Aig, lib: &CellLibrary) -> (Aig, Mapping) {
         if va.is_complement() == ua.is_complement() || vb.is_complement() == ub.is_complement() {
             continue; // not the opposite-polarity pair
         }
-        let kind = if ua.is_complement() == ub.is_complement() {
-            CellKind::Xor2
-        } else {
-            CellKind::Xnor2
-        };
+        let kind =
+            if ua.is_complement() == ub.is_complement() { CellKind::Xor2 } else { CellKind::Xnor2 };
         absorbed[u.index()] = true;
         absorbed[v.index()] = true;
         xor_root[g.index()] = Some((ua.node(), ub.node(), kind));
@@ -288,11 +285,7 @@ pub fn map_netlist(aig: &Aig, lib: &CellLibrary) -> (Aig, Mapping) {
             arr_neg[g.index()] = cell_arrival + inv.delay;
         }
         // Inverter needed when the non-produced phase is consumed.
-        let needs_other = if produced_phase {
-            need_pos[g.index()]
-        } else {
-            need_neg[g.index()]
-        };
+        let needs_other = if produced_phase { need_pos[g.index()] } else { need_neg[g.index()] };
         // Mixed-polarity AND cells consume negative literals directly from
         // the shared inverter accounted here, so the check is uniform.
         let is_real_signal = !c.node(g).is_const0();
@@ -340,11 +333,8 @@ pub fn verify_mapping(compacted: &Aig, mapping: &Mapping, rounds: usize) -> Resu
             }
         }
         for cell in &mapping.cells {
-            let pins: Vec<bool> = cell
-                .pins
-                .iter()
-                .map(|l| value[l.node().index()] ^ l.is_complement())
-                .collect();
+            let pins: Vec<bool> =
+                cell.pins.iter().map(|l| value[l.node().index()] ^ l.is_complement()).collect();
             let got = cell.eval(&pins);
             let expect = value[cell.output.index()] ^ cell.inverted_output;
             if got != expect {

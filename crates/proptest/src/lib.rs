@@ -1,0 +1,152 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no registry access, so the workspace vendors a
+//! miniature property-testing framework with the exact API surface its test
+//! suite consumes: [`strategy::Strategy`] with `prop_map`, integer-range and
+//! tuple strategies, [`arbitrary::any`], [`collection::vec`], the
+//! [`proptest!`] / [`prop_assert!`] / [`prop_assert_eq!`] macros and
+//! [`test_runner::ProptestConfig`].
+//!
+//! Differences from upstream, by design:
+//!
+//! * **No shrinking.** A failing case reports its seed and the generated
+//!   inputs (`Debug`-formatted) instead of a minimized counterexample.
+//! * **Deterministic seeds.** Case `i` of test `t` always draws from a seed
+//!   derived from `(t, i)`, so failures reproduce without a persistence
+//!   file.
+
+pub mod arbitrary;
+pub mod collection;
+pub mod prelude;
+pub mod strategy;
+pub mod test_runner;
+
+/// Runs each `#[test] fn name(pat in strategy, ...) { body }` item as a
+/// property: `ProptestConfig::cases` deterministic cases, each generating
+/// every argument from its strategy and executing the body. The body may
+/// `return Ok(())` to accept a case early; `prop_assert!` family failures
+/// abort the case with a diagnostic that includes the generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!($cfg; $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!($crate::test_runner::ProptestConfig::default(); $($rest)*);
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ($cfg:expr; $($(#[$meta:meta])* fn $name:ident($($arg:pat in $strat:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __cfg: $crate::test_runner::ProptestConfig = $cfg;
+                for __case in 0..__cfg.cases {
+                    let __seed = $crate::test_runner::derive_seed(stringify!($name), __case as u64);
+                    let mut __rng = $crate::test_runner::TestRng::from_seed(__seed);
+                    let mut __inputs = ::std::string::String::new();
+                    $(
+                        let __value = $crate::strategy::Strategy::generate(&($strat), &mut __rng);
+                        __inputs.push_str(&::std::format!(
+                            "  {} = {:?}\n", stringify!($arg), __value,
+                        ));
+                        let $arg = __value;
+                    )+
+                    let __outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                        (move || {
+                            $body
+                            ::std::result::Result::Ok(())
+                        })();
+                    if let ::std::result::Result::Err(__err) = __outcome {
+                        ::std::panic!(
+                            "proptest `{}` failed at case {}/{} (seed {:#018x}): {}\ninputs:\n{}",
+                            stringify!($name), __case, __cfg.cases, __seed, __err, __inputs,
+                        );
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// `assert!` for property bodies: evaluates to an early `Err` return (a
+/// failed [`test_runner::TestCaseError`]) instead of panicking.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                ::std::format!("assertion failed: {}", stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                ::std::format!(
+                    "assertion failed: {}: {}",
+                    stringify!($cond),
+                    ::std::format!($($fmt)+),
+                ),
+            ));
+        }
+    };
+}
+
+/// `assert_eq!` for property bodies; see [`prop_assert!`].
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {
+        match (&$left, &$right) {
+            (__l, __r) => {
+                if !(*__l == *__r) {
+                    return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                        ::std::format!(
+                            "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+                            stringify!($left), stringify!($right), __l, __r,
+                        ),
+                    ));
+                }
+            }
+        }
+    };
+    ($left:expr, $right:expr, $($fmt:tt)+) => {
+        match (&$left, &$right) {
+            (__l, __r) => {
+                if !(*__l == *__r) {
+                    return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                        ::std::format!(
+                            "assertion failed: `{} == {}`: {}\n  left: {:?}\n right: {:?}",
+                            stringify!($left), stringify!($right),
+                            ::std::format!($($fmt)+), __l, __r,
+                        ),
+                    ));
+                }
+            }
+        }
+    };
+}
+
+/// `assert_ne!` for property bodies; see [`prop_assert!`].
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {
+        match (&$left, &$right) {
+            (__l, __r) => {
+                if *__l == *__r {
+                    return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                        ::std::format!(
+                            "assertion failed: `{} != {}`\n  both: {:?}",
+                            stringify!($left),
+                            stringify!($right),
+                            __l,
+                        ),
+                    ));
+                }
+            }
+        }
+    };
+}

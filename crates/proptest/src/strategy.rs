@@ -1,0 +1,116 @@
+//! The [`Strategy`] trait plus range, tuple and mapped strategies.
+
+use std::fmt::Debug;
+use std::ops::{Range, RangeInclusive};
+
+use crate::test_runner::TestRng;
+
+/// A recipe for generating values of `Self::Value`.
+///
+/// Unlike upstream there is no value tree or shrinking: `generate` draws one
+/// concrete value from the given deterministic generator.
+pub trait Strategy {
+    /// The generated type. `Debug` so failing cases can print their inputs.
+    type Value: Debug;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// A strategy producing `f(v)` for every `v` this strategy produces.
+    fn prop_map<O: Debug, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// See [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O: Debug, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+macro_rules! int_range_strategies {
+    ($($t:ty),+) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty strategy range");
+                let span = (self.end - self.start) as u64;
+                self.start + rng.below(span) as $t
+            }
+        }
+
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start() <= self.end(), "empty strategy range");
+                let span = (*self.end() - *self.start()) as u64;
+                if span == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                *self.start() + rng.below(span + 1) as $t
+            }
+        }
+    )+};
+}
+
+int_range_strategies!(u8, u16, u32, u64, usize);
+
+macro_rules! tuple_strategies {
+    ($(($($S:ident . $idx:tt),+))+) => {$(
+        impl<$($S: Strategy),+> Strategy for ($($S,)+) {
+            type Value = ($($S::Value,)+);
+
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )+};
+}
+
+tuple_strategies! {
+    (A.0)
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+    (A.0, B.1, C.2, D.3, E.4)
+    (A.0, B.1, C.2, D.3, E.4, F.5)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = TestRng::from_seed(11);
+        for _ in 0..128 {
+            let v = (3u8..9).generate(&mut rng);
+            assert!((3..9).contains(&v));
+            let w = (4usize..=7).generate(&mut rng);
+            assert!((4..=7).contains(&w));
+        }
+    }
+
+    #[test]
+    fn tuples_and_map_compose() {
+        let strat = (0u8..4, 10u16..20).prop_map(|(a, b)| a as u32 + b as u32);
+        let mut rng = TestRng::from_seed(5);
+        for _ in 0..64 {
+            let v = strat.generate(&mut rng);
+            assert!((10..24).contains(&v));
+        }
+    }
+}

@@ -1,0 +1,108 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The build environment has no registry access, so the workspace vendors
+//! the tiny API surface it actually consumes: a seedable deterministic
+//! 64-bit generator. [`rngs::StdRng`] here is SplitMix64 — statistically
+//! solid for Monte-Carlo stimulus generation and fully deterministic in the
+//! seed, which is all `als-sim`'s `PatternSet` requires. It is **not** the
+//! upstream ChaCha-based `StdRng`; streams differ from the real crate, but
+//! every consumer in this workspace only relies on determinism and uniform
+//! bit density, never on a specific stream.
+
+/// A generator that can be constructed from a `u64` seed.
+pub trait SeedableRng: Sized {
+    /// Builds the generator from a 64-bit seed. Identical seeds yield
+    /// identical streams.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Uniformly distributed random words plus convenience derivations.
+///
+/// Upstream splits this into `RngCore` + `Rng`; the shim keeps one trait
+/// (aliased below) so `use rand::Rng` alone brings `next_u64` into scope,
+/// matching how the workspace imports it.
+pub trait Rng {
+    /// The next 64 uniformly random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// The next 32 uniformly random bits (high half of [`Rng::next_u64`]).
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    fn random_unit(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform integer in `[0, bound)`. `bound` must be nonzero.
+    fn random_below(&mut self, bound: u64) -> u64 {
+        self.next_u64() % bound
+    }
+}
+
+/// Upstream-compatible alias: the shim's [`Rng`] already carries the core
+/// word-generation methods.
+pub use Rng as RngCore;
+
+pub mod rngs {
+    //! Concrete generator implementations.
+
+    /// Deterministic SplitMix64 generator (see crate docs for the
+    /// deliberate divergence from upstream `rand`'s ChaCha `StdRng`).
+    #[derive(Clone, Debug)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl crate::SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> StdRng {
+            StdRng { state: seed }
+        }
+    }
+
+    impl crate::Rng for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_in_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..16 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = StdRng::seed_from_u64(8);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn bit_density_is_roughly_half() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let ones: u32 = (0..1024).map(|_| rng.next_u64().count_ones()).sum();
+        let density = ones as f64 / (1024.0 * 64.0);
+        assert!((0.48..0.52).contains(&density), "density {density}");
+    }
+
+    #[test]
+    fn random_unit_in_range() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..100 {
+            let x = rng.random_unit();
+            assert!((0.0..1.0).contains(&x));
+            assert!(rng.random_below(10) < 10);
+        }
+    }
+}

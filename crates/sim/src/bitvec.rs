@@ -143,11 +143,7 @@ impl PackedBits {
     /// Number of positions at which `self` and `other` differ.
     pub fn hamming_distance(&self, other: &PackedBits) -> usize {
         assert_eq!(self.words.len(), other.words.len());
-        self.words
-            .iter()
-            .zip(&other.words)
-            .map(|(a, b)| (a ^ b).count_ones() as usize)
-            .sum()
+        self.words.iter().zip(&other.words).map(|(a, b)| (a ^ b).count_ones() as usize).sum()
     }
 
     /// Iterates over the indices of set bits.

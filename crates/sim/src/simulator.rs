@@ -127,10 +127,8 @@ impl Simulator {
             }
         }
         // Evaluate in topological order restricted to the cone.
-        let mut order: Vec<NodeId> = als_aig::topo::topo_order(aig)
-            .into_iter()
-            .filter(|n| in_cone[n.index()])
-            .collect();
+        let mut order: Vec<NodeId> =
+            als_aig::topo::topo_order(aig).into_iter().filter(|n| in_cone[n.index()]).collect();
         for &id in &order {
             if aig.node(id).is_and() {
                 self.eval_and(aig, id);

@@ -23,10 +23,7 @@ fn main() {
 
     let original = benchmark(&name, BenchmarkScale::Reduced);
     let bound = paper_thresholds(metric, original.num_outputs())[1];
-    println!(
-        "{name}: {} gates, metric {metric}, bound {bound:.3}",
-        original.num_ands()
-    );
+    println!("{name}: {} gates, metric {metric}, bound {bound:.3}", original.num_ands());
 
     let cfg = FlowConfig::new(metric, bound).with_patterns(2048);
     let flows: Vec<Box<dyn Flow>> = vec![
@@ -43,7 +40,7 @@ fn main() {
         "flow", "gates", "ADP", "error", "LACs", "runtime"
     );
     for flow in &flows {
-        let res = flow.run(&original);
+        let res = flow.run(&original).expect("flow failed");
         println!(
             "{:<20} {:>7} {:>8.1}% {:>10.3} {:>7} {:>8.2?}",
             res.flow,

@@ -70,7 +70,7 @@ fn main() {
     println!("{:>10} {:>8} {:>8} {:>9}", "MED bound", "gates", "ADP%", "PSNR(dB)");
     for bound in [8.0, 32.0, 128.0, 512.0] {
         let cfg = FlowConfig::new(MetricKind::Med, bound).with_patterns(4096);
-        let res = DualPhaseFlow::with_self_adaption(cfg).run(&original);
+        let res = DualPhaseFlow::with_self_adaption(cfg).run(&original).expect("flow failed");
         let ax = run_multiplier(&res.circuit, &alphas, &image);
         let bx = run_multiplier(&res.circuit, &inv_alphas, &overlay);
         let got = blend(&ax, &bx);

@@ -28,10 +28,7 @@ fn main() {
     let original = mult(8, 8);
     let bound = 64.0;
     println!("8x8 multiplier, MED bound {bound} under the training distribution\n");
-    println!(
-        "{:<22} {:>7} {:>14} {:>14}",
-        "trained on", "gates", "MED(uniform)", "MED(dense)"
-    );
+    println!("{:<22} {:>7} {:>14} {:>14}", "trained on", "gates", "MED(uniform)", "MED(dense)");
 
     let uniform_eval = PatternSet::random(16, 128, 999);
     let dense_eval = PatternSet::biased(16, 128, 999, 0.85);
@@ -43,7 +40,7 @@ fn main() {
         let cfg = FlowConfig::new(MetricKind::Med, bound)
             .with_patterns(4096)
             .with_input_distribution(source);
-        let res = DualPhaseFlow::with_self_adaption(cfg).run(&original);
+        let res = DualPhaseFlow::with_self_adaption(cfg).run(&original).expect("flow failed");
         println!(
             "{:<22} {:>7} {:>14.1} {:>14.1}",
             label,

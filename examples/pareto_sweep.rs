@@ -37,7 +37,7 @@ fn main() {
     for factor in [0.25, 0.5, 1.0, 2.0, 4.0, 8.0] {
         let bound = factor * r;
         let cfg = FlowConfig::new(MetricKind::Med, bound).with_patterns(2048);
-        let res = DualPhaseFlow::with_self_adaption(cfg).run(&original);
+        let res = DualPhaseFlow::with_self_adaption(cfg).run(&original).expect("flow failed");
         let m = map_circuit(&res.circuit, &lib);
         println!(
             "{:>10.1} {:>9} {:>10.1} {:>9.3} {:>7.1}% {:>7}",

@@ -26,7 +26,7 @@ fn main() {
 
     // 3. Run the dual-phase flow with self-adaption (DP-SA).
     let config = FlowConfig::new(MetricKind::Med, bound).with_patterns(4096);
-    let result = DualPhaseFlow::with_self_adaption(config).run(&original);
+    let result = DualPhaseFlow::with_self_adaption(config).run(&original).expect("flow failed");
 
     // 4. Inspect the outcome.
     let lib = CellLibrary::new();

@@ -15,6 +15,8 @@
 //! --metric er|med|mse                     (default med)
 //! --bound X                               (default: paper reference R)
 //! --patterns N   --seed S   --threads T   --full
+//! --strict           re-validate every commit on an independent pattern set
+//! --max-retries N    rollbacks allowed per selection before giving up
 //! ```
 
 use std::fs::File;
@@ -40,8 +42,7 @@ fn load(name_or_path: &str, full: bool) -> Result<Aig, String> {
         .and_then(|s| s.to_str())
         .unwrap_or("circuit");
     if name_or_path.ends_with(".blif") {
-        dualphase_als::aig::blif::read_blif(BufReader::new(file), stem)
-            .map_err(|e| e.to_string())
+        dualphase_als::aig::blif::read_blif(BufReader::new(file), stem).map_err(|e| e.to_string())
     } else {
         dualphase_als::aig::io::read(BufReader::new(file), stem).map_err(|e| e.to_string())
     }
@@ -81,6 +82,8 @@ struct SynthOpts {
     seed: u64,
     threads: usize,
     full: bool,
+    strict: bool,
+    max_retries: Option<usize>,
     output: Option<String>,
 }
 
@@ -124,12 +127,13 @@ fn run() -> Result<(), String> {
                 seed: 0xA15,
                 threads: 1,
                 full: false,
+                strict: false,
+                max_retries: None,
                 output: None,
             };
             while let Some(a) = args.next() {
-                let mut value = |name: &str| {
-                    args.next().ok_or_else(|| format!("missing value for {name}"))
-                };
+                let mut value =
+                    |name: &str| args.next().ok_or_else(|| format!("missing value for {name}"));
                 match a.as_str() {
                     "--flow" => o.flow = value("--flow")?.to_string(),
                     "--metric" => {
@@ -141,36 +145,44 @@ fn run() -> Result<(), String> {
                         }
                     }
                     "--bound" => {
-                        o.bound =
-                            Some(value("--bound")?.parse().map_err(|_| "bad --bound")?)
+                        o.bound = Some(value("--bound")?.parse().map_err(|_| "bad --bound")?)
                     }
                     "--patterns" => {
-                        o.patterns =
-                            value("--patterns")?.parse().map_err(|_| "bad --patterns")?
+                        o.patterns = value("--patterns")?.parse().map_err(|_| "bad --patterns")?
                     }
                     "--seed" => o.seed = value("--seed")?.parse().map_err(|_| "bad --seed")?,
                     "--threads" => {
                         o.threads = value("--threads")?.parse().map_err(|_| "bad --threads")?
                     }
                     "--full" => o.full = true,
+                    "--strict" => o.strict = true,
+                    "--max-retries" => {
+                        o.max_retries =
+                            Some(value("--max-retries")?.parse().map_err(|_| "bad --max-retries")?)
+                    }
                     "-o" => o.output = Some(value("-o")?.to_string()),
                     other => return Err(format!("unknown option {other}")),
                 }
             }
             let original = load(&target, o.full)?;
-            let bound =
-                o.bound.unwrap_or_else(|| match o.metric {
-                    MetricKind::Er => 0.01,
-                    MetricKind::Med => reference_error(original.num_outputs()),
-                    MetricKind::Mse => {
-                        let r = reference_error(original.num_outputs());
-                        r * r
-                    }
-                });
-            let cfg = FlowConfig::new(o.metric, bound)
+            let bound = o.bound.unwrap_or_else(|| match o.metric {
+                MetricKind::Er => 0.01,
+                MetricKind::Med => reference_error(original.num_outputs()),
+                MetricKind::Mse => {
+                    let r = reference_error(original.num_outputs());
+                    r * r
+                }
+            });
+            let mut cfg = FlowConfig::new(o.metric, bound)
                 .with_patterns(o.patterns)
                 .with_seed(o.seed)
                 .with_threads(o.threads);
+            if o.strict {
+                cfg = cfg.with_strict();
+            }
+            if let Some(retries) = o.max_retries {
+                cfg = cfg.with_max_retries(retries);
+            }
             let flow: Box<dyn Flow> = match o.flow.as_str() {
                 "conventional" => Box::new(ConventionalFlow::new(cfg)),
                 "l1" => Box::new(VecbeeDepthOneFlow::new(cfg)),
@@ -186,7 +198,7 @@ fn run() -> Result<(), String> {
                 original.num_ands(),
                 o.metric
             );
-            let res = flow.run(&original);
+            let res = flow.run(&original).map_err(|e| e.to_string())?;
             let lib = CellLibrary::new();
             println!(
                 "gates {} -> {} | {} = {:.4} (bound {bound:.4}) | ADP ratio {:.1}% | {} LACs in {:.2?}",
@@ -198,6 +210,16 @@ fn run() -> Result<(), String> {
                 res.lacs_applied(),
                 res.runtime
             );
+            if res.guard.rollbacks > 0 || res.guard.fallbacks > 0 {
+                eprintln!(
+                    "guard: {} validations, {} rollbacks, {} evictions, {} resamples, {} fallbacks",
+                    res.guard.validations,
+                    res.guard.rollbacks,
+                    res.guard.evictions,
+                    res.guard.resamples,
+                    res.guard.fallbacks
+                );
+            }
             if let Some(path) = o.output {
                 save(&res.circuit, &path)?;
                 println!("wrote {path}");
@@ -210,7 +232,8 @@ fn run() -> Result<(), String> {
                  als list\n  \
                  als stats <circuit> [--full]\n  \
                  als synth <circuit> [--flow dpsa] [--metric med] [--bound X] \
-                 [--patterns N] [--seed S] [--threads T] [--full] [-o out.aag]\n  \
+                 [--patterns N] [--seed S] [--threads T] [--full] [--strict] \
+                 [--max-retries N] [-o out.aag]\n  \
                  als convert <in.aag> -o <out.aag|out.aig|out.v>"
             );
             Ok(())

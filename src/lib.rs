@@ -20,13 +20,16 @@
 //!
 //! ```
 //! use dualphase_als::circuits::arith::ripple_adder;
-//! use dualphase_als::engine::{Flow, FlowConfig, DualPhaseFlow};
+//! use dualphase_als::engine::{EngineError, Flow, FlowConfig, DualPhaseFlow};
 //! use dualphase_als::error::MetricKind;
 //!
+//! # fn main() -> Result<(), EngineError> {
 //! let aig = ripple_adder(8);
 //! let config = FlowConfig::new(MetricKind::Med, 100.0).with_patterns(1024);
-//! let result = DualPhaseFlow::new(config).run(&aig);
+//! let result = DualPhaseFlow::new(config).run(&aig)?;
 //! assert!(result.final_error <= 100.0);
+//! # Ok(())
+//! # }
 //! ```
 
 pub use als_aig as aig;

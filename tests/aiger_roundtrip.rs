@@ -45,7 +45,7 @@ fn round_trip_after_approximation() {
     let original = benchmark("mult16", BenchmarkScale::Reduced);
     let bound = paper_thresholds(MetricKind::Med, original.num_outputs())[1];
     let cfg = FlowConfig::new(MetricKind::Med, bound).with_patterns(1024);
-    let res = DualPhaseFlow::with_self_adaption(cfg).run(&original);
+    let res = DualPhaseFlow::with_self_adaption(cfg).run(&original).unwrap();
     // approximate circuits have dead slots; writing must compact them away
     let text = to_ascii_string(&res.circuit);
     let back = dualphase_als::aig::io::from_ascii_str(&text, "approx").unwrap();

@@ -4,9 +4,9 @@
 //! counterpart.
 
 use dualphase_als::aig::{Aig, NodeId};
+use dualphase_als::circuits::{benchmark, BenchmarkScale};
 use dualphase_als::cpm::reference::{brute_force_row, rows_equivalent};
 use dualphase_als::cpm::{compute_full, compute_partial};
-use dualphase_als::circuits::{benchmark, BenchmarkScale};
 use dualphase_als::cuts::disjoint::verify_cut;
 use dualphase_als::cuts::CutState;
 use dualphase_als::lac::{constant_lacs, Lac};
@@ -34,7 +34,7 @@ fn full_cpm_equals_brute_force_on_multiplier() {
     let patterns = PatternSet::exhaustive(6);
     let sim = Simulator::new(&aig, &patterns);
     let cuts = CutState::compute(&aig);
-    let cpm = compute_full(&aig, &sim, &cuts);
+    let cpm = compute_full(&aig, &sim, &cuts).unwrap();
     for n in aig.iter_live() {
         let reference = brute_force_row(&aig, &patterns, n);
         assert!(
@@ -50,10 +50,10 @@ fn partial_cpm_agrees_with_full_on_any_candidate_set() {
     let patterns = PatternSet::random(aig.num_inputs(), 8, 42);
     let sim = Simulator::new(&aig, &patterns);
     let cuts = CutState::compute(&aig);
-    let full = compute_full(&aig, &sim, &cuts);
+    let full = compute_full(&aig, &sim, &cuts).unwrap();
     let ands: Vec<NodeId> = aig.iter_ands().collect();
     for chunk in ands.chunks(17).take(5) {
-        let (partial, _) = compute_partial(&aig, &sim, &cuts, chunk);
+        let (partial, _) = compute_partial(&aig, &sim, &cuts, chunk).unwrap();
         for &n in chunk {
             assert_eq!(partial.row(n), full.row(n), "row of {n}");
         }
@@ -91,16 +91,12 @@ fn cpm_estimates_equal_measured_errors_for_constant_lacs() {
     let patterns = PatternSet::exhaustive(6);
     let sim = Simulator::new(&aig, &patterns);
     let cuts = CutState::compute(&aig);
-    let cpm = compute_full(&aig, &sim, &cuts);
+    let cpm = compute_full(&aig, &sim, &cuts).unwrap();
     let golden: Vec<_> = (0..aig.num_outputs()).map(|o| sim.output_value(&aig, o)).collect();
 
     for metric in [MetricKind::Er, MetricKind::Med, MetricKind::Mse] {
-        let state = ErrorState::new(
-            metric,
-            unsigned_weights(aig.num_outputs()),
-            golden.clone(),
-            &golden,
-        );
+        let state =
+            ErrorState::new(metric, unsigned_weights(aig.num_outputs()), golden.clone(), &golden);
         for lac in constant_lacs(&aig, None) {
             let d = lac.change_vector(&sim);
             let flips: Vec<FlipVec> = cpm
@@ -117,9 +113,13 @@ fn cpm_estimates_equal_measured_errors_for_constant_lacs() {
             let approx_sim = Simulator::new(&copy, &patterns);
             let approx: Vec<_> =
                 (0..copy.num_outputs()).map(|o| approx_sim.output_value(&copy, o)).collect();
-            let truth =
-                ErrorState::new(metric, unsigned_weights(aig.num_outputs()), golden.clone(), &approx)
-                    .error();
+            let truth = ErrorState::new(
+                metric,
+                unsigned_weights(aig.num_outputs()),
+                golden.clone(),
+                &approx,
+            )
+            .error();
             assert!(
                 (predicted - truth).abs() < 1e-9,
                 "{metric} {lac:?}: predicted {predicted} vs true {truth}"

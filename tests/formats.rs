@@ -48,27 +48,18 @@ fn biased_distribution_flow_is_sound() {
     let cfg = FlowConfig::new(MetricKind::Med, bound)
         .with_patterns(1024)
         .with_input_distribution(PatternSource::Biased(0.8));
-    let res = DualPhaseFlow::with_self_adaption(cfg.clone()).run(&original);
+    let res = DualPhaseFlow::with_self_adaption(cfg.clone()).run(&original).unwrap();
     assert!(res.final_error <= bound * (1.0 + 1e-9));
     // re-measure under the same biased distribution
-    let patterns = PatternSet::biased(
-        original.num_inputs(),
-        cfg.pattern_words(),
-        cfg.seed,
-        0.8,
-    );
+    let patterns = PatternSet::biased(original.num_inputs(), cfg.pattern_words(), cfg.seed, 0.8);
     let gold = Simulator::new(&original, &patterns);
     let got = Simulator::new(&res.circuit, &patterns);
     let golden: Vec<_> =
         (0..original.num_outputs()).map(|o| gold.output_value(&original, o)).collect();
     let outs: Vec<_> =
         (0..res.circuit.num_outputs()).map(|o| got.output_value(&res.circuit, o)).collect();
-    let med = ErrorState::new(
-        MetricKind::Med,
-        unsigned_weights(original.num_outputs()),
-        golden,
-        &outs,
-    )
-    .error();
+    let med =
+        ErrorState::new(MetricKind::Med, unsigned_weights(original.num_outputs()), golden, &outs)
+            .error();
     assert!((med - res.final_error).abs() < 1e-9, "{med} vs {}", res.final_error);
 }

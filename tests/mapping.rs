@@ -13,10 +13,7 @@ fn whole_suite_maps_to_verified_netlists() {
         verify_mapping(&compacted, &mapping, 16).unwrap_or_else(|e| panic!("{name}: {e}"));
         assert!(mapping.area > 0.0 && mapping.delay > 0.0, "{name}: degenerate mapping");
         // every gate is covered by exactly one cell or absorbed into an XOR
-        assert!(
-            mapping.num_cells <= compacted.num_ands(),
-            "{name}: more cells than gates"
-        );
+        assert!(mapping.num_cells <= compacted.num_ands(), "{name}: more cells than gates");
         // XOR-heavy arithmetic must actually use XOR cells
         if ["adder", "sm9x8", "mult16", "square"].contains(&name) {
             let xors = mapping
@@ -43,7 +40,7 @@ fn approximate_circuits_map_and_verify() {
     let original = benchmark("sm9x8", BenchmarkScale::Reduced);
     let bound = paper_thresholds(MetricKind::Mse, original.num_outputs())[2];
     let cfg = FlowConfig::new(MetricKind::Mse, bound).with_patterns(1024);
-    let res = DualPhaseFlow::with_self_adaption(cfg).run(&original);
+    let res = DualPhaseFlow::with_self_adaption(cfg).run(&original).unwrap();
     let (compacted, mapping) = map_netlist(&res.circuit, &lib);
     verify_mapping(&compacted, &mapping, 32).unwrap();
     let (oc, om) = map_netlist(&original, &lib);

@@ -22,8 +22,12 @@ fn arb_ops() -> impl Strategy<Value = (usize, Vec<Op>, u8)> {
     (
         4usize..8,
         proptest::collection::vec(
-            (0u8..5, any::<u16>(), any::<u16>(), any::<u16>())
-                .prop_map(|(kind, a, b, c)| Op { kind, a, b, c }),
+            (0u8..5, any::<u16>(), any::<u16>(), any::<u16>()).prop_map(|(kind, a, b, c)| Op {
+                kind,
+                a,
+                b,
+                c,
+            }),
             5..50,
         ),
         1u8..4,
@@ -140,6 +144,32 @@ proptest! {
     }
 
     #[test]
+    fn violated_set_covers_all_changed_cuts(
+        (ni, ops, no) in arb_ops(),
+        pick in any::<u16>(),
+        mode in any::<u8>(),
+    ) {
+        use dualphase_als::cuts::violated_set;
+        let mut aig = build_circuit(ni, &ops, no);
+        let before = CutState::compute(&aig);
+        let Some(lac) = choose_lac(&aig, pick, mode) else { return Ok(()) };
+        let rec = lac.apply(&mut aig);
+        let sv: std::collections::HashSet<NodeId> =
+            violated_set(&aig, &rec).into_iter().collect();
+        let fresh = CutState::compute(&aig);
+        // S_v must be a superset of every live node whose reachability mask
+        // or disjoint cut actually changed — otherwise the incremental
+        // refresh would leave stale state behind.
+        for n in aig.iter_live() {
+            let changed = before.get_cut(n) != fresh.get_cut(n)
+                || before.reach().mask(n) != fresh.reach().mask(n);
+            if changed {
+                prop_assert!(sv.contains(&n), "changed node {} missing from S_v", n);
+            }
+        }
+    }
+
+    #[test]
     fn cpm_prediction_matches_application(
         (ni, ops, no) in arb_ops(),
         pick in any::<u16>(),
@@ -151,7 +181,7 @@ proptest! {
         let patterns = PatternSet::random(aig.num_inputs(), 4, 5);
         let sim = Simulator::new(&aig, &patterns);
         let cuts = CutState::compute(&aig);
-        let cpm = dualphase_als::cpm::compute_full(&aig, &sim, &cuts);
+        let cpm = dualphase_als::cpm::compute_full(&aig, &sim, &cuts).unwrap();
         let golden: Vec<_> =
             (0..aig.num_outputs()).map(|o| sim.output_value(&aig, o)).collect();
         let state = ErrorState::new(
