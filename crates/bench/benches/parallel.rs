@@ -1,0 +1,150 @@
+//! Serial-vs-parallel comparison of the three analysis steps on the shared
+//! worker pool, emitting machine-readable speedups to `BENCH_parallel.json`.
+//!
+//! Step 1 is the disjoint-cut computation ([`CutState::compute_with`]),
+//! step 2 the full CPM ([`als_cpm::compute_full_with`]) and step 3 the
+//! bit-parallel simulation ([`Simulator::new_with`]). Each step is timed
+//! with a 1-thread pool and with an N-thread pool (`ALS_BENCH_THREADS`,
+//! default 4) and the parallel result is asserted bit-identical to the
+//! serial one before any number is reported.
+//!
+//! Like the criterion-shim benches, the binary is inert without the
+//! `--bench` argument `cargo bench` passes, so `cargo test` treats it as a
+//! no-op. The output path defaults to `<repo root>/BENCH_parallel.json` and
+//! can be overridden with `ALS_BENCH_OUT`.
+
+use std::time::Instant;
+
+use als_circuits::{benchmark, BenchmarkScale};
+use als_cpm::compute_full_with;
+use als_cuts::CutState;
+use als_par::WorkerPool;
+use als_sim::{PatternSet, Simulator};
+
+const PATTERN_WORDS: usize = 32; // 2048 Monte-Carlo patterns
+const RUNS: usize = 3;
+
+/// Best-of-`RUNS` wall time of `f` in milliseconds (after one warmup).
+fn time_ms<R>(mut f: impl FnMut() -> R) -> (R, f64) {
+    let result = f(); // warmup; also the value handed back for checking
+    let mut best = f64::INFINITY;
+    for _ in 0..RUNS {
+        let t0 = Instant::now();
+        std::hint::black_box(f());
+        best = best.min(t0.elapsed().as_secs_f64() * 1e3);
+    }
+    (result, best)
+}
+
+struct StepRow {
+    step: &'static str,
+    serial_ms: f64,
+    parallel_ms: f64,
+}
+
+impl StepRow {
+    fn speedup(&self) -> f64 {
+        self.serial_ms / self.parallel_ms.max(1e-9)
+    }
+
+    fn json(&self) -> String {
+        format!(
+            "{{\"step\": \"{}\", \"serial_ms\": {:.3}, \"parallel_ms\": {:.3}, \
+             \"speedup\": {:.3}}}",
+            self.step,
+            self.serial_ms,
+            self.parallel_ms,
+            self.speedup()
+        )
+    }
+}
+
+fn main() {
+    if !std::env::args().any(|a| a == "--bench") {
+        return; // `cargo test` runs bench binaries without --bench
+    }
+    let threads: usize = std::env::var("ALS_BENCH_THREADS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&t| t >= 2)
+        .unwrap_or(4);
+    let host_threads = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let serial = WorkerPool::new(1);
+    let pool = WorkerPool::new(threads);
+
+    let mut circuit_rows: Vec<String> = Vec::new();
+    let mut step12 = Vec::new();
+    for name in ["sm9x8", "mult16", "adder"] {
+        let aig = benchmark(name, BenchmarkScale::Reduced);
+        let patterns = PatternSet::random(aig.num_inputs(), PATTERN_WORDS, 0xA15);
+
+        // Step 3 first: both later steps consume the simulator.
+        let (sim, sim_serial_ms) = time_ms(|| Simulator::new_with(&aig, &patterns, &serial));
+        let (psim, sim_parallel_ms) = time_ms(|| Simulator::new_with(&aig, &patterns, &pool));
+        for id in aig.iter_live() {
+            assert_eq!(sim.value(id), psim.value(id), "{name}: sim diverged at {id}");
+        }
+
+        // Step 1: disjoint cuts.
+        let (cuts, cut_serial_ms) = time_ms(|| CutState::compute_with(&aig, &serial).unwrap());
+        let (pcuts, cut_parallel_ms) = time_ms(|| CutState::compute_with(&aig, &pool).unwrap());
+        for id in aig.iter_live() {
+            assert_eq!(cuts.cut(id), pcuts.cut(id), "{name}: cuts diverged at {id}");
+        }
+
+        // Step 2: full CPM.
+        let (cpm, cpm_serial_ms) =
+            time_ms(|| compute_full_with(&aig, &sim, &cuts, &serial).unwrap());
+        let (pcpm, cpm_parallel_ms) =
+            time_ms(|| compute_full_with(&aig, &sim, &cuts, &pool).unwrap());
+        for id in aig.iter_live() {
+            assert_eq!(cpm.row(id), pcpm.row(id), "{name}: CPM diverged at {id}");
+        }
+
+        let steps = [
+            StepRow { step: "cuts", serial_ms: cut_serial_ms, parallel_ms: cut_parallel_ms },
+            StepRow { step: "cpm", serial_ms: cpm_serial_ms, parallel_ms: cpm_parallel_ms },
+            StepRow { step: "sim", serial_ms: sim_serial_ms, parallel_ms: sim_parallel_ms },
+        ];
+        for s in &steps[..2] {
+            step12.push(s.speedup());
+        }
+        for s in &steps {
+            println!(
+                "bench: parallel/{name}/{:<4} serial {:>9.3} ms  x{threads} {:>9.3} ms  \
+                 speedup {:>5.2}",
+                s.step,
+                s.serial_ms,
+                s.parallel_ms,
+                s.speedup()
+            );
+        }
+        let steps_json: Vec<String> = steps.iter().map(StepRow::json).collect();
+        circuit_rows.push(format!(
+            "    {{\"name\": \"{name}\", \"gates\": {}, \"steps\": [\n      {}\n    ]}}",
+            aig.num_ands(),
+            steps_json.join(",\n      ")
+        ));
+    }
+
+    let geomean = (step12.iter().map(|s| s.ln()).sum::<f64>() / step12.len() as f64).exp();
+    let note = if host_threads < threads {
+        format!(
+            "\n  \"note\": \"host exposes only {host_threads} hardware thread(s); \
+             a {threads}-thread pool cannot speed up on this machine and the numbers \
+             measure scheduling overhead, not parallel scaling\",",
+        )
+    } else {
+        String::new()
+    };
+    let json = format!(
+        "{{\n  \"threads\": {threads},\n  \"host_threads\": {host_threads},{note}\n  \
+         \"pattern_words\": {PATTERN_WORDS},\n  \"geomean_speedup_steps_1_2\": {geomean:.3},\n  \
+         \"circuits\": [\n{}\n  ]\n}}\n",
+        circuit_rows.join(",\n")
+    );
+    let out = std::env::var("ALS_BENCH_OUT")
+        .unwrap_or_else(|_| format!("{}/../../BENCH_parallel.json", env!("CARGO_MANIFEST_DIR")));
+    std::fs::write(&out, &json).expect("write BENCH_parallel.json");
+    println!("bench: parallel geomean speedup (steps 1+2) {geomean:.2} -> {out}");
+}

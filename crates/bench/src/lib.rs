@@ -34,6 +34,9 @@ pub struct ExpArgs {
     pub threshold_index: usize,
     /// Optional group filter (`small` / `large`).
     pub group: Option<String>,
+    /// Worker threads for the shared analysis pool (`None` keeps the
+    /// `ALS_THREADS` environment default).
+    pub threads: Option<usize>,
 }
 
 impl Default for ExpArgs {
@@ -45,6 +48,7 @@ impl Default for ExpArgs {
             seed: 0xA15,
             threshold_index: 1,
             group: None,
+            threads: None,
         }
     }
 }
@@ -86,10 +90,16 @@ impl ExpArgs {
                     })
                 }
                 "--group" => out.group = Some(value("--group")),
+                "--threads" => {
+                    out.threads = Some(value("--threads").parse().unwrap_or_else(|_| {
+                        eprintln!("--threads expects a number");
+                        std::process::exit(2);
+                    }))
+                }
                 "--help" | "-h" => {
                     eprintln!(
                         "flags: --full --patterns N --circuits a,b,c --seed S \
-                         --threshold-index 0|1|2 --group small|large"
+                         --threshold-index 0|1|2 --group small|large --threads T"
                     );
                     std::process::exit(0);
                 }
@@ -146,7 +156,11 @@ impl ExpArgs {
     /// Mirrors the paper's setup: SASIMI LACs and `M = 60` for small
     /// circuits, constant LACs and `M = 150` for large ones.
     pub fn config_for(&self, name: &str, metric: MetricKind, bound: f64) -> FlowConfig {
-        let base = FlowConfig::new(metric, bound).with_patterns(self.patterns).with_seed(self.seed);
+        let mut base =
+            FlowConfig::new(metric, bound).with_patterns(self.patterns).with_seed(self.seed);
+        if let Some(threads) = self.threads {
+            base = base.with_threads(threads);
+        }
         if als_circuits::suite::large_circuit_names().contains(&name) {
             base.for_large_circuit()
         } else {

@@ -26,6 +26,14 @@ pub enum CpmError {
         /// The node whose row was being assembled.
         node: NodeId,
     },
+    /// A worker thread panicked during a parallel CPM construction; the
+    /// payload text is preserved. Unlike the other variants this does not
+    /// indicate stale cut state, but the flows treat it the same way
+    /// (abort the iteration with a structured error instead of crashing).
+    WorkerPanic(
+        /// The panic payload, rendered as text.
+        String,
+    ),
 }
 
 impl fmt::Display for CpmError {
@@ -36,6 +44,9 @@ impl fmt::Display for CpmError {
             }
             CpmError::MissingMemberRow { member, node } => {
                 write!(f, "row of cut member {member} not computed before {node}")
+            }
+            CpmError::WorkerPanic(detail) => {
+                write!(f, "worker thread panicked during CPM construction: {detail}")
             }
         }
     }

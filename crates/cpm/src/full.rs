@@ -2,6 +2,7 @@
 
 use als_aig::{Aig, NodeId};
 use als_cuts::{CutMember, CutState, DisjointCut};
+use als_par::WorkerPool;
 use als_sim::Simulator;
 
 use crate::error::CpmError;
@@ -50,9 +51,50 @@ pub fn compute_for_set(
     cuts: &CutState,
     include: Option<&[bool]>,
 ) -> Result<Cpm, CpmError> {
+    compute_for_set_with(aig, sim, cuts, include, &WorkerPool::new(1))
+}
+
+/// Like [`compute_for_set`], but fills each *wave* of the cut DAG in
+/// parallel on `pool` — the analysis step-2 parallelisation.
+///
+/// Eq. (1) makes a node's row depend only on the rows of its cut's node
+/// members, not on topological adjacency, so the reverse-topological sweep
+/// regroups into level-synchronous waves: `wave(n) = 1 + max(wave(t))` over
+/// node members `t` (0 with none). All rows of a wave read only rows from
+/// strictly earlier waves, so a wave fans out across workers — each with
+/// its own [`FlipSim`] scratch — and the rows are installed after the join.
+/// Chunk-ordered joins and the pure row computation make the result
+/// byte-identical to the serial sweep at any thread count.
+pub fn compute_for_set_with(
+    aig: &Aig,
+    sim: &Simulator,
+    cuts: &CutState,
+    include: Option<&[bool]>,
+    pool: &WorkerPool,
+) -> Result<Cpm, CpmError> {
     let mut cpm = Cpm::new(aig.num_nodes());
-    let mut flipsim = FlipSim::new(aig.num_nodes(), sim.num_words());
     let order = als_aig::topo::topo_order(aig);
+    if pool.is_serial() {
+        let mut flipsim = FlipSim::new(aig.num_nodes(), sim.num_words());
+        for &n in order.iter().rev() {
+            if let Some(inc) = include {
+                if !inc[n.index()] {
+                    continue;
+                }
+            }
+            let cut = cuts.get_cut(n).ok_or(CpmError::MissingCut { node: n })?;
+            let row = row_from_cut(aig, sim, cuts, &mut flipsim, &cpm, n, cut)?;
+            cpm.set_row(n, row);
+        }
+        return Ok(cpm);
+    }
+    // Wave assignment. Node members lie in n's TFO, hence *later* in the
+    // topological order and already assigned when the reverse sweep reaches
+    // n; a member without a wave is the same inconsistency the serial sweep
+    // reports as MissingMemberRow.
+    const UNASSIGNED: u32 = u32::MAX;
+    let mut wave = vec![UNASSIGNED; aig.num_nodes()];
+    let mut waves: Vec<Vec<NodeId>> = Vec::new();
     for &n in order.iter().rev() {
         if let Some(inc) = include {
             if !inc[n.index()] {
@@ -60,8 +102,45 @@ pub fn compute_for_set(
             }
         }
         let cut = cuts.get_cut(n).ok_or(CpmError::MissingCut { node: n })?;
-        let row = row_from_cut(aig, sim, cuts, &mut flipsim, &cpm, n, cut)?;
-        cpm.set_row(n, row);
+        let mut w = 0u32;
+        for t in cut.node_members() {
+            let tw = wave[t.index()];
+            if tw == UNASSIGNED {
+                return Err(CpmError::MissingMemberRow { member: t, node: n });
+            }
+            w = w.max(tw + 1);
+        }
+        wave[n.index()] = w;
+        let slot = w as usize;
+        if waves.len() <= slot {
+            waves.resize_with(slot + 1, Vec::new);
+        }
+        waves[slot].push(n);
+    }
+    let mut serial_scratch = FlipSim::new(aig.num_nodes(), sim.num_words());
+    for wv in &waves {
+        if !pool.would_parallelize(wv.len()) {
+            for &n in wv {
+                let cut = cuts.get_cut(n).ok_or(CpmError::MissingCut { node: n })?;
+                let row = row_from_cut(aig, sim, cuts, &mut serial_scratch, &cpm, n, cut)?;
+                cpm.set_row(n, row);
+            }
+            continue;
+        }
+        let shared = &cpm;
+        let rows = pool
+            .try_map_with(
+                wv,
+                || FlipSim::new(aig.num_nodes(), sim.num_words()),
+                |flipsim, &n| {
+                    let cut = cuts.get_cut(n).ok_or(CpmError::MissingCut { node: n })?;
+                    row_from_cut(aig, sim, cuts, flipsim, shared, n, cut)
+                },
+            )
+            .map_err(|p| CpmError::WorkerPanic(p.0))??;
+        for (&n, row) in wv.iter().zip(rows) {
+            cpm.set_row(n, row);
+        }
     }
     Ok(cpm)
 }
@@ -69,6 +148,16 @@ pub fn compute_for_set(
 /// The comprehensive (phase-one) CPM: exact rows for every live node.
 pub fn compute_full(aig: &Aig, sim: &Simulator, cuts: &CutState) -> Result<Cpm, CpmError> {
     compute_for_set(aig, sim, cuts, None)
+}
+
+/// [`compute_full`] on a worker pool (see [`compute_for_set_with`]).
+pub fn compute_full_with(
+    aig: &Aig,
+    sim: &Simulator,
+    cuts: &CutState,
+    pool: &WorkerPool,
+) -> Result<Cpm, CpmError> {
+    compute_for_set_with(aig, sim, cuts, None, pool)
 }
 
 #[cfg(test)]
@@ -120,6 +209,21 @@ mod tests {
         for n in aig.iter_live() {
             let reference = brute_force_row(&aig, &patterns, n);
             assert!(rows_equivalent(cpm.row(n).unwrap(), &reference, aig.num_outputs()));
+        }
+    }
+
+    #[test]
+    fn parallel_cpm_is_bit_identical_to_serial() {
+        let aig = reconvergent();
+        let patterns = PatternSet::random(6, 8, 5);
+        let sim = Simulator::new(&aig, &patterns);
+        let cuts = CutState::compute(&aig);
+        let serial = compute_full(&aig, &sim, &cuts).unwrap();
+        for threads in [2, 7] {
+            let par = compute_full_with(&aig, &sim, &cuts, &WorkerPool::new(threads)).unwrap();
+            for n in aig.iter_live() {
+                assert_eq!(serial.row(n), par.row(n), "row of {n} at {threads} threads");
+            }
         }
     }
 

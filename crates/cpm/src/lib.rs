@@ -40,7 +40,7 @@ pub mod vecbee;
 pub use error::CpmError;
 pub use exact::{exact_row, trivial_cut};
 pub use flipsim::FlipSim;
-pub use full::compute_full;
-pub use partial::{candidate_closure, compute_partial};
+pub use full::{compute_for_set, compute_for_set_with, compute_full, compute_full_with};
+pub use partial::{candidate_closure, compute_partial, compute_partial_with};
 pub use storage::{Cpm, CpmRow};
 pub use vecbee::compute_depth_one;

@@ -11,7 +11,6 @@ use als_cuts::{CutMember, CutState};
 use als_sim::Simulator;
 
 use crate::error::CpmError;
-use crate::full::compute_for_set;
 use crate::storage::Cpm;
 
 /// Computes `N(S_cand)`: the transitive closure of the candidate nodes
@@ -56,12 +55,25 @@ pub fn compute_partial(
     cuts: &CutState,
     s_cand: &[NodeId],
 ) -> Result<(Cpm, usize), CpmError> {
+    compute_partial_with(aig, sim, cuts, s_cand, &als_par::WorkerPool::new(1))
+}
+
+/// [`compute_partial`] on a worker pool: the closure's rows are filled in
+/// level-synchronous waves (see [`crate::full::compute_for_set_with`]),
+/// bit-identical to the serial sweep at any thread count.
+pub fn compute_partial_with(
+    aig: &Aig,
+    sim: &Simulator,
+    cuts: &CutState,
+    s_cand: &[NodeId],
+    pool: &als_par::WorkerPool,
+) -> Result<(Cpm, usize), CpmError> {
     let closure = candidate_closure(aig, cuts, s_cand)?;
     let mut include = vec![false; aig.num_nodes()];
     for &n in &closure {
         include[n.index()] = true;
     }
-    let cpm = compute_for_set(aig, sim, cuts, Some(&include))?;
+    let cpm = crate::full::compute_for_set_with(aig, sim, cuts, Some(&include), pool)?;
     Ok((cpm, closure.len()))
 }
 

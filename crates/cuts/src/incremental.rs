@@ -16,6 +16,7 @@
 //! phase-two step 1.
 
 use als_aig::{Aig, EditRecord, NodeId};
+use als_par::{WorkerPanic, WorkerPool};
 
 use crate::disjoint::{closest_disjoint_cut, verify_cut, DisjointCut};
 use crate::reach::ReachMap;
@@ -40,28 +41,74 @@ pub struct CutState {
     cuts: Vec<Option<DisjointCut>>,
     /// Number of cut recomputations performed by the last update.
     last_update_size: usize,
+    /// Rank entries refreshed by the last update (see
+    /// [`CutState::last_rank_work`]).
+    last_rank_work: usize,
 }
 
 impl CutState {
     /// Full computation for all live nodes (comprehensive analysis).
     pub fn compute(aig: &Aig) -> CutState {
+        match CutState::compute_with(aig, &WorkerPool::new(1)) {
+            Ok(state) => state,
+            // unreachable on a serial pool: the closure runs on this thread
+            Err(p) => p.resume(),
+        }
+    }
+
+    /// Full computation with the disjoint cuts of independent nodes
+    /// computed in parallel on `pool` — the analysis step-1
+    /// parallelisation.
+    ///
+    /// The reach map and topological ranks are computed once up front and
+    /// are read-only inputs to every [`closest_disjoint_cut`] call, so the
+    /// per-node cut computations are independent; chunk-ordered joins make
+    /// the result identical to [`CutState::compute`] at any thread count.
+    pub fn compute_with(aig: &Aig, pool: &WorkerPool) -> Result<CutState, WorkerPanic> {
         let reach = ReachMap::compute(aig);
         let ranks = als_aig::topo::topo_ranks(aig);
+        let live: Vec<NodeId> = aig.iter_live().collect();
+        let computed = pool.map(&live, |&id| closest_disjoint_cut(aig, &reach, &ranks, id))?;
         let mut cuts = vec![None; aig.num_nodes()];
-        for id in aig.iter_live() {
-            cuts[id.index()] = Some(closest_disjoint_cut(aig, &reach, &ranks, id));
+        for (&id, cut) in live.iter().zip(computed) {
+            cuts[id.index()] = Some(cut);
         }
-        let last_update_size = aig.num_nodes() - aig.num_dead();
-        CutState { reach, ranks, cuts, last_update_size }
+        let last_update_size = live.len();
+        Ok(CutState { reach, ranks, cuts, last_update_size, last_rank_work: aig.num_nodes() })
     }
 
     /// Incremental refresh after a LAC: recomputes reachability and cuts
     /// only for the nodes in `S_v`, reusing everything else.
+    ///
+    /// Topological ranks are *kept* rather than recomputed whenever the
+    /// edit provably preserves their validity, which makes the whole update
+    /// O(|S_v|)-ish instead of O(V+E) per LAC (the point of the paper's
+    /// phase-two step 1). The argument: `replace(target, rep)` only adds
+    /// fanin edges `rep → u` for `u` in `target`'s former fanout list (all
+    /// other edges are deletions, which never invalidate a topological
+    /// order). So the stored ranks remain a valid order iff
+    /// `rank(rep) < rank(u)` for every current fanout `u` of `rep` — an
+    /// O(fanout(rep)) check. Constant and input replacements always pass
+    /// (rank 0-ish); a substitution by a topologically late node falls back
+    /// to a full rank refresh, recorded in [`CutState::last_rank_work`].
     pub fn update_after(&mut self, aig: &Aig, edit: &EditRecord) {
         let sv = violated_set(aig, edit);
-        // Ranks are cheap to refresh and keep the expansion heuristic exact.
-        self.ranks = als_aig::topo::topo_ranks(aig);
-        self.reach.recompute_for(aig, &sv);
+        let rep = edit.replacement.node();
+        let still_valid = self.ranks.len() == aig.num_nodes() && {
+            let rep_rank = self.ranks[rep.index()];
+            aig.fanouts(rep).iter().all(|&u| rep_rank < self.ranks[u.index()])
+        };
+        if still_valid {
+            // Removed nodes keep no rank: nothing may sort against them.
+            for &dead in &edit.removed {
+                self.ranks[dead.index()] = u32::MAX;
+            }
+            self.last_rank_work = edit.removed.len() + aig.fanouts(rep).len();
+        } else {
+            self.ranks = als_aig::topo::topo_ranks(aig);
+            self.last_rank_work = aig.num_nodes();
+        }
+        self.reach.recompute_for_ranked(aig, &sv, &self.ranks);
         for &dead in &edit.removed {
             self.cuts[dead.index()] = None;
         }
@@ -99,6 +146,15 @@ impl CutState {
     /// compute. Feeds the self-adaption runtime model.
     pub fn last_update_size(&self) -> usize {
         self.last_update_size
+    }
+
+    /// Number of rank entries the last update wrote: `|removed| +
+    /// |fanout(replacement)|` when the stored topological ranks could be
+    /// kept, the full node count when a fallback recompute (or a full
+    /// [`CutState::compute`]) ran. The regression tests use this to pin the
+    /// incremental update's cost to `|S_v|` rather than `|V|`.
+    pub fn last_rank_work(&self) -> usize {
+        self.last_rank_work
     }
 
     /// Cheap cross-validation of the incrementally maintained state
@@ -282,6 +338,98 @@ mod tests {
         let mut state = CutState::compute(&aig);
         state.debug_corrupt_cuts();
         state.spot_check(&aig, 0, 0).unwrap();
+    }
+
+    #[test]
+    fn update_work_scales_with_sv_not_circuit_size() {
+        // A wide circuit of K independent AND pairs: editing one pair must
+        // touch O(|S_v|) state, not O(|V|). The rank-work counter is the
+        // regression guard — before the fix, every update recomputed
+        // topological ranks for the whole graph.
+        const K: usize = 200;
+        let mut aig = Aig::new("wide");
+        let mut gates = Vec::new();
+        for i in 0..K {
+            let a = aig.add_input(format!("a{i}"));
+            let b = aig.add_input(format!("b{i}"));
+            let g = aig.and(a, b);
+            aig.add_output(g, format!("o{i}"));
+            gates.push(g);
+        }
+        let mut state = CutState::compute(&aig);
+        let rec = replace(&mut aig, gates[0].node(), Lit::FALSE);
+        state.update_after(&aig, &rec);
+        let live = aig.iter_live().count();
+        assert!(live > 2 * K, "circuit should be large, got {live} live nodes");
+        assert!(
+            state.last_update_size() <= 4,
+            "|S_v| should be tiny, touched {}",
+            state.last_update_size()
+        );
+        assert!(
+            state.last_rank_work() <= 8,
+            "rank refresh must scale with the edit, wrote {} entries for {} nodes",
+            state.last_rank_work(),
+            aig.num_nodes()
+        );
+        let fresh = CutState::compute(&aig);
+        for id in aig.iter_live() {
+            assert_eq!(state.cut(id), fresh.cut(id), "cut of {id}");
+        }
+    }
+
+    #[test]
+    fn late_substitution_falls_back_to_full_rank_refresh() {
+        // Substituting a topologically *late* node into an early gate's
+        // fanouts adds an edge the stored ranks cannot order; the update
+        // must detect this and recompute ranks rather than keep an invalid
+        // order (and the result must still match a fresh compute).
+        let mut aig = Aig::new("back");
+        let a = aig.add_input("a");
+        let b = aig.add_input("b");
+        let c = aig.add_input("c");
+        let d = aig.add_input("d");
+        let t = aig.and(a, b);
+        let u = aig.and(t, c);
+        aig.add_output(u, "o0");
+        // A chain created after u: its tail ranks above u in the DFS order.
+        let mut s = aig.and(c, d);
+        for _ in 0..4 {
+            s = aig.and(s, d);
+        }
+        aig.add_output(s, "o1");
+        let mut state = CutState::compute(&aig);
+        let rank_before = state.ranks()[s.node().index()];
+        assert!(rank_before > state.ranks()[u.node().index()], "test premise: s ranks late");
+        let rec = replace(&mut aig, t.node(), s);
+        state.update_after(&aig, &rec);
+        assert_eq!(
+            state.last_rank_work(),
+            aig.num_nodes(),
+            "invalidated ranks must trigger the full fallback"
+        );
+        // The refreshed ranks are a valid topological order of s -> u.
+        assert!(state.ranks()[s.node().index()] < state.ranks()[u.node().index()]);
+        let fresh = CutState::compute(&aig);
+        for id in aig.iter_live() {
+            assert_eq!(state.reach().mask(id), fresh.reach().mask(id), "reach of {id}");
+            assert_eq!(state.cut(id), fresh.cut(id), "cut of {id}");
+        }
+        state.spot_check(&aig, 64, 11).unwrap();
+    }
+
+    #[test]
+    fn parallel_compute_matches_serial() {
+        let (aig, _) = sample();
+        let serial = CutState::compute(&aig);
+        for threads in [2, 7] {
+            let par = CutState::compute_with(&aig, &WorkerPool::new(threads)).unwrap();
+            for id in aig.iter_live() {
+                assert_eq!(serial.cut(id), par.cut(id), "cut of {id} at {threads} threads");
+                assert_eq!(serial.reach().mask(id), par.reach().mask(id));
+            }
+            assert_eq!(serial.ranks(), par.ranks());
+        }
     }
 
     #[test]

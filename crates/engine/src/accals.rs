@@ -63,10 +63,10 @@ impl Flow for AccAlsFlow {
         while iterations.len() < cfg.max_lacs {
             // Comprehensive analysis.
             let t0 = Instant::now();
-            let cuts = CutState::compute(&ctx.aig);
+            let cuts = CutState::compute_with(&ctx.aig, ctx.pool())?;
             ctx.times.cuts += t0.elapsed();
             let t1 = Instant::now();
-            let cpm = als_cpm::compute_full(&ctx.aig, &ctx.sim, &cuts)?;
+            let cpm = als_cpm::compute_full_with(&ctx.aig, &ctx.sim, &cuts, ctx.pool())?;
             ctx.times.cpm += t1.elapsed();
             let t2 = Instant::now();
             let lacs = als_lac::generate(&ctx.aig, &ctx.sim, &cfg.lac, None);

@@ -118,8 +118,9 @@ pub struct FlowConfig {
     pub multi_k: usize,
     /// Safety cap on applied LACs.
     pub max_lacs: usize,
-    /// Worker threads for batch error estimation (the paper uses 16 for
-    /// its Table II runs; 1 = serial).
+    /// Worker threads for the shared analysis pool — disjoint cuts, CPM
+    /// waves, simulation waves and batch error estimation all fan out over
+    /// it (the paper uses 16 for its Table II runs; 1 = serial).
     pub threads: usize,
     /// Fold trivially-constant gates after each applied LAC (an exact
     /// transformation ABC would perform before mapping; keeps reported
@@ -128,6 +129,19 @@ pub struct FlowConfig {
     /// Guarded execution settings (transactional application, budget
     /// guard, incremental-state fallback).
     pub guard: GuardConfig,
+}
+
+/// The default worker-thread budget: the `ALS_THREADS` environment
+/// variable when set to a positive integer, else 1 (serial). Runs stay
+/// byte-for-byte deterministic at any thread count, so this is purely a
+/// performance knob — safe to flip fleet-wide (e.g. in CI) without
+/// touching call sites.
+fn default_threads() -> usize {
+    std::env::var("ALS_THREADS")
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .filter(|&t| t >= 1)
+        .unwrap_or(1)
 }
 
 impl FlowConfig {
@@ -150,7 +164,7 @@ impl FlowConfig {
             e_t: 0.5,
             multi_k: 8,
             max_lacs: 100_000,
-            threads: 1,
+            threads: default_threads(),
             fold_constants: true,
             guard: GuardConfig::default(),
         }
@@ -184,7 +198,8 @@ impl FlowConfig {
         self
     }
 
-    /// Sets the number of worker threads for batch error estimation.
+    /// Sets the worker-thread budget of the shared analysis pool,
+    /// overriding the `ALS_THREADS` default.
     pub fn with_threads(mut self, threads: usize) -> FlowConfig {
         self.threads = threads.max(1);
         self

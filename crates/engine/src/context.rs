@@ -7,6 +7,7 @@ use als_aig::{Aig, EditRecord, NodeId};
 use als_cpm::{Cpm, FlipSim};
 use als_error::{unsigned_weights, ErrorState, FlipVec};
 use als_lac::Lac;
+use als_par::WorkerPool;
 use als_sim::{PackedBits, PatternSet, Simulator};
 
 use crate::config::FlowConfig;
@@ -40,8 +41,8 @@ pub struct Ctx {
     pub flipsim: FlipSim,
     /// Per-step timing accumulators.
     pub times: StepTimes,
-    /// Worker threads for batch evaluation.
-    threads: usize,
+    /// Shared worker pool for every parallel analysis region.
+    pool: WorkerPool,
     /// Fold constants after each applied LAC.
     fold_constants: bool,
     started: Instant,
@@ -84,7 +85,8 @@ impl Ctx {
                 PatternSet::biased(aig.num_inputs(), cfg.pattern_words(), cfg.seed, density)
             }
         };
-        let sim = Simulator::new(&aig, &patterns);
+        let pool = WorkerPool::new(cfg.threads);
+        let sim = Simulator::new_with(&aig, &patterns, &pool);
         let golden: Vec<PackedBits> =
             (0..aig.num_outputs()).map(|o| sim.output_value(&aig, o)).collect();
         let weights = cfg.weights.clone().unwrap_or_else(|| unsigned_weights(aig.num_outputs()));
@@ -99,10 +101,16 @@ impl Ctx {
             ranks,
             flipsim,
             times: StepTimes::default(),
-            threads: cfg.threads,
+            pool,
             fold_constants: cfg.fold_constants,
             started: Instant::now(),
         }
+    }
+
+    /// The worker pool every parallel analysis region of this run shares
+    /// (disjoint cuts, CPM waves, simulation waves, LAC evaluation).
+    pub fn pool(&self) -> &WorkerPool {
+        &self.pool
     }
 
     /// Current measured error of the working circuit.
@@ -154,42 +162,12 @@ impl Ctx {
         lacs: &[Lac],
     ) -> Result<Vec<Evaluated>, crate::error::EngineError> {
         let t0 = Instant::now();
-        let out = if self.threads <= 1 || lacs.len() < 4 * self.threads {
-            Ok(lacs
-                .iter()
-                .filter_map(|lac| eval_one(&self.aig, &self.sim, &self.state, cpm, lac))
-                .collect())
-        } else {
-            let chunk = lacs.len().div_ceil(self.threads);
-            let (aig, sim, state) = (&self.aig, &self.sim, &self.state);
-            std::thread::scope(|scope| {
-                let handles: Vec<_> = lacs
-                    .chunks(chunk)
-                    .map(|part| {
-                        scope.spawn(move || {
-                            part.iter()
-                                .filter_map(|lac| eval_one(aig, sim, state, cpm, lac))
-                                .collect::<Vec<_>>()
-                        })
-                    })
-                    .collect();
-                let mut all = Vec::new();
-                for h in handles {
-                    match h.join() {
-                        Ok(part) => all.extend(part),
-                        Err(payload) => {
-                            let detail = payload
-                                .downcast_ref::<&str>()
-                                .map(|s| (*s).to_string())
-                                .or_else(|| payload.downcast_ref::<String>().cloned())
-                                .unwrap_or_else(|| "unknown panic payload".to_string());
-                            return Err(crate::error::EngineError::WorkerPanic(detail));
-                        }
-                    }
-                }
-                Ok(all)
-            })
-        };
+        let (aig, sim, state) = (&self.aig, &self.sim, &self.state);
+        let out = self
+            .pool
+            .map(lacs, |lac| eval_one(aig, sim, state, cpm, lac))
+            .map(|evals| evals.into_iter().flatten().collect())
+            .map_err(crate::error::EngineError::from);
         self.times.eval += t0.elapsed();
         out
     }
@@ -267,7 +245,7 @@ impl Ctx {
     pub fn apply(&mut self, lac: &Lac) -> Vec<EditRecord> {
         let t0 = Instant::now();
         let rec = lac.apply(&mut self.aig);
-        self.sim.resimulate_fanout_cone(&self.aig, &[rec.replacement.node()]);
+        self.sim.resimulate_fanout_cone_with(&self.aig, &[rec.replacement.node()], &self.pool);
         let seed = rec.replacement.node();
         let mut records = vec![rec];
         if self.fold_constants {
@@ -316,7 +294,7 @@ impl Ctx {
         seeds.retain(|&n| self.aig.is_live(n));
         seeds.sort_unstable();
         seeds.dedup();
-        self.sim.resimulate_fanout_cone(&self.aig, &seeds);
+        self.sim.resimulate_fanout_cone_with(&self.aig, &seeds, &self.pool);
         let outs = self.output_values();
         self.state.refresh(&outs);
         self.ranks = als_aig::topo::topo_ranks(&self.aig);

@@ -52,12 +52,12 @@ impl Flow for ConventionalFlow {
             // Step 1: disjoint cuts (full recomputation — this is the
             // "conventional" cost the dual-phase flow removes).
             let t0 = Instant::now();
-            let cuts = CutState::compute(&ctx.aig);
+            let cuts = CutState::compute_with(&ctx.aig, ctx.pool())?;
             ctx.times.cuts += t0.elapsed();
 
             // Step 2: full CPM.
             let t1 = Instant::now();
-            let cpm = als_cpm::compute_full(&ctx.aig, &ctx.sim, &cuts)?;
+            let cpm = als_cpm::compute_full_with(&ctx.aig, &ctx.sim, &cuts, ctx.pool())?;
             ctx.times.cpm += t1.elapsed();
 
             // Step 3: all candidate LACs.

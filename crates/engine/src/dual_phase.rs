@@ -108,7 +108,7 @@ impl Flow for DualPhaseFlow {
             // ---------------- Phase one: comprehensive analysis ----------
             let phase1_start = Instant::now();
             let t0 = Instant::now();
-            let mut cuts = CutState::compute(&ctx.aig);
+            let mut cuts = CutState::compute_with(&ctx.aig, ctx.pool())?;
             ctx.times.cuts += t0.elapsed();
             // Last rung of the degradation ladder: if this comprehensive
             // analysis is itself a fallback from a failed incremental
@@ -126,7 +126,7 @@ impl Flow for DualPhaseFlow {
                 }
             }
             let t1 = Instant::now();
-            let cpm = als_cpm::compute_full(&ctx.aig, &ctx.sim, &cuts)?;
+            let cpm = als_cpm::compute_full_with(&ctx.aig, &ctx.sim, &cuts, ctx.pool())?;
             ctx.times.cpm += t1.elapsed();
             let t2 = Instant::now();
             let lacs = als_lac::generate(&ctx.aig, &ctx.sim, &lac_cfg, None);
@@ -174,7 +174,7 @@ impl Flow for DualPhaseFlow {
                 // Step 2: partial CPM over N(S_cand).
                 let t4 = Instant::now();
                 let (pcpm, _closure) =
-                    als_cpm::compute_partial(&ctx.aig, &ctx.sim, &cuts, &s_cand)?;
+                    als_cpm::compute_partial_with(&ctx.aig, &ctx.sim, &cuts, &s_cand, ctx.pool())?;
                 ctx.times.cpm += t4.elapsed();
                 // Step 3: LACs targeting S_cand only.
                 let t5 = Instant::now();

@@ -71,7 +71,18 @@ impl std::error::Error for EngineError {
 
 impl From<CpmError> for EngineError {
     fn from(e: CpmError) -> EngineError {
-        EngineError::Cpm(e)
+        match e {
+            // A worker panic inside CPM construction is the same failure
+            // class as one inside LAC evaluation — surface it uniformly.
+            CpmError::WorkerPanic(detail) => EngineError::WorkerPanic(detail),
+            other => EngineError::Cpm(other),
+        }
+    }
+}
+
+impl From<als_par::WorkerPanic> for EngineError {
+    fn from(p: als_par::WorkerPanic) -> EngineError {
+        EngineError::WorkerPanic(p.0)
     }
 }
 
@@ -95,5 +106,13 @@ mod tests {
     fn cpm_errors_convert_and_chain() {
         let e: EngineError = CpmError::MissingCut { node: NodeId(2) }.into();
         assert!(std::error::Error::source(&e).is_some());
+    }
+
+    #[test]
+    fn worker_panics_convert_uniformly() {
+        let e: EngineError = als_par::WorkerPanic("oops".into()).into();
+        assert!(matches!(e, EngineError::WorkerPanic(ref d) if d == "oops"));
+        let e: EngineError = CpmError::WorkerPanic("deep".into()).into();
+        assert!(matches!(e, EngineError::WorkerPanic(ref d) if d == "deep"));
     }
 }

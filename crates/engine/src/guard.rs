@@ -131,14 +131,14 @@ impl BudgetGuard {
         if self.val.is_none() {
             let patterns =
                 PatternSet::random(self.original.num_inputs(), self.val_words, self.val_seed);
-            let sim = Simulator::new(&self.original, &patterns);
+            let sim = Simulator::new_with(&self.original, &patterns, ctx.pool());
             let golden: Vec<PackedBits> = (0..self.original.num_outputs())
                 .map(|o| sim.output_value(&self.original, o))
                 .collect();
             self.val = Some(ValSet { patterns, golden });
         }
         let vs = self.val.as_ref().expect("validation set just built");
-        let sim = Simulator::new(&ctx.aig, &vs.patterns);
+        let sim = Simulator::new_with(&ctx.aig, &vs.patterns, ctx.pool());
         let outs: Vec<PackedBits> =
             (0..ctx.aig.num_outputs()).map(|o| sim.output_value(&ctx.aig, o)).collect();
         ErrorState::new(self.metric, self.weights.clone(), vs.golden.clone(), &outs).error()

@@ -1,0 +1,265 @@
+//! Shared worker pool for the analysis hot path.
+//!
+//! All three analysis steps of the dual-phase framework — disjoint cuts,
+//! CPM construction and LAC evaluation — are embarrassingly parallel over
+//! independent nodes once their read-only inputs (reach map, ranks,
+//! simulation values, earlier CPM rows) are fixed. This crate provides the
+//! one threading primitive they all share, with three guarantees:
+//!
+//! * **Determinism.** Work is split into contiguous chunks and results are
+//!   joined in chunk order, so the output of every `map` is byte-identical
+//!   to the serial fold regardless of the thread count or scheduling.
+//! * **Bounded threads.** A [`WorkerPool`] carries a fixed thread budget;
+//!   each parallel region spawns at most that many scoped threads and
+//!   joins them before returning (no detached workers, no global state).
+//! * **Contained panics.** A panic on a worker thread is caught at the
+//!   join, every remaining worker is still joined, and the first payload
+//!   is surfaced as a [`WorkerPanic`] value the engine converts into its
+//!   structured `EngineError::WorkerPanic` — a run aborts with context
+//!   instead of tearing down the process. (The serial fast path runs on
+//!   the caller's stack and propagates panics natively, exactly like the
+//!   serial code it replaces.)
+//!
+//! The pool intentionally uses `std::thread::scope` rather than persistent
+//! worker threads: analysis regions borrow the circuit, simulator and cut
+//! state immutably, and scoped spawns make those borrows safe without any
+//! `Arc`/channel machinery or external dependencies.
+
+use std::any::Any;
+use std::fmt;
+
+/// A worker thread panicked inside a parallel region; carries the panic
+/// payload rendered as text.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct WorkerPanic(pub String);
+
+impl WorkerPanic {
+    fn from_payload(payload: Box<dyn Any + Send>) -> WorkerPanic {
+        let detail = payload
+            .downcast_ref::<&str>()
+            .map(|s| (*s).to_string())
+            .or_else(|| payload.downcast_ref::<String>().cloned())
+            .unwrap_or_else(|| "unknown panic payload".to_string());
+        WorkerPanic(detail)
+    }
+
+    /// Re-raises the contained panic on the current thread. For callers
+    /// whose API has no error channel (e.g. simulation refresh).
+    pub fn resume(self) -> ! {
+        std::panic::panic_any(self.0)
+    }
+}
+
+impl fmt::Display for WorkerPanic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "worker thread panicked: {}", self.0)
+    }
+}
+
+impl std::error::Error for WorkerPanic {}
+
+/// A fixed-size budget of worker threads for chunk-parallel maps.
+///
+/// The pool itself is trivially cheap to construct and `Clone`; the threads
+/// are spawned per parallel region (scoped) and joined before the call
+/// returns.
+#[derive(Clone, Debug)]
+pub struct WorkerPool {
+    threads: usize,
+}
+
+/// Below this many items per thread a parallel region is not worth the
+/// spawn cost; the pool falls back to the serial path.
+const MIN_ITEMS_PER_THREAD: usize = 4;
+
+impl WorkerPool {
+    /// A pool of `threads` workers (values below 1 are clamped to 1 —
+    /// serial execution).
+    pub fn new(threads: usize) -> WorkerPool {
+        WorkerPool { threads: threads.max(1) }
+    }
+
+    /// The configured thread budget.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Whether this pool always executes on the caller's thread.
+    pub fn is_serial(&self) -> bool {
+        self.threads == 1
+    }
+
+    /// Whether a region over `len` items would actually fan out.
+    pub fn would_parallelize(&self, len: usize) -> bool {
+        self.threads > 1 && len >= MIN_ITEMS_PER_THREAD * self.threads
+    }
+
+    /// Maps `f` over `items`, returning the results in item order.
+    pub fn map<T, R, F>(&self, items: &[T], f: F) -> Result<Vec<R>, WorkerPanic>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(&T) -> R + Sync,
+    {
+        self.map_with(items, || (), |(), item| f(item))
+    }
+
+    /// Maps `f` over `items` with one `scratch()`-built state per worker,
+    /// returning the results in item order.
+    ///
+    /// The scratch builder runs once per spawned worker (once total on the
+    /// serial path), so expensive reusable buffers amortise over the whole
+    /// chunk instead of being rebuilt per item.
+    pub fn map_with<S, T, R, B, F>(
+        &self,
+        items: &[T],
+        scratch: B,
+        f: F,
+    ) -> Result<Vec<R>, WorkerPanic>
+    where
+        T: Sync,
+        R: Send,
+        B: Fn() -> S + Sync,
+        F: Fn(&mut S, &T) -> R + Sync,
+    {
+        if !self.would_parallelize(items.len()) {
+            let mut s = scratch();
+            return Ok(items.iter().map(|item| f(&mut s, item)).collect());
+        }
+        let chunk = items.len().div_ceil(self.threads);
+        let (scratch, f) = (&scratch, &f);
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = items
+                .chunks(chunk)
+                .map(|part| {
+                    scope.spawn(move || {
+                        let mut s = scratch();
+                        part.iter().map(|item| f(&mut s, item)).collect::<Vec<R>>()
+                    })
+                })
+                .collect();
+            // Join every handle even after a panic: leaving a panicked
+            // scoped thread unjoined would make the scope itself panic and
+            // bypass the error conversion.
+            let mut all = Vec::with_capacity(items.len());
+            let mut first_panic: Option<WorkerPanic> = None;
+            for h in handles {
+                match h.join() {
+                    Ok(part) => all.extend(part),
+                    Err(payload) => {
+                        first_panic.get_or_insert_with(|| WorkerPanic::from_payload(payload));
+                    }
+                }
+            }
+            match first_panic {
+                Some(p) => Err(p),
+                None => Ok(all),
+            }
+        })
+    }
+
+    /// Maps a fallible `f` over `items` with per-worker scratch, collecting
+    /// the first error (worker panics take precedence). Item order is
+    /// preserved; error selection is deterministic (first item in order).
+    pub fn try_map_with<S, T, R, E, B, F>(
+        &self,
+        items: &[T],
+        scratch: B,
+        f: F,
+    ) -> Result<Result<Vec<R>, E>, WorkerPanic>
+    where
+        T: Sync,
+        R: Send,
+        E: Send,
+        B: Fn() -> S + Sync,
+        F: Fn(&mut S, &T) -> Result<R, E> + Sync,
+    {
+        let per_item = self.map_with(items, scratch, f)?;
+        Ok(per_item.into_iter().collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_preserves_order_at_any_thread_count() {
+        let items: Vec<u64> = (0..1000).collect();
+        let expect: Vec<u64> = items.iter().map(|x| x * 3 + 1).collect();
+        for threads in [1, 2, 3, 7, 16] {
+            let pool = WorkerPool::new(threads);
+            let got = pool.map(&items, |x| x * 3 + 1).unwrap();
+            assert_eq!(got, expect, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn scratch_is_per_worker_and_results_ordered() {
+        let items: Vec<usize> = (0..500).collect();
+        let pool = WorkerPool::new(4);
+        // Scratch accumulates a per-worker counter; the mapped value must
+        // not depend on it (determinism), only on the item.
+        let got = pool
+            .map_with(
+                &items,
+                || 0usize,
+                |count, &x| {
+                    *count += 1;
+                    x * 2
+                },
+            )
+            .unwrap();
+        assert_eq!(got, items.iter().map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn small_inputs_stay_serial() {
+        let pool = WorkerPool::new(8);
+        assert!(!pool.would_parallelize(7));
+        assert!(pool.would_parallelize(8 * MIN_ITEMS_PER_THREAD));
+        // ...and still produce correct results.
+        let got = pool.map(&[1, 2, 3], |x| x + 1).unwrap();
+        assert_eq!(got, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn worker_panic_is_converted_not_propagated() {
+        let items: Vec<usize> = (0..200).collect();
+        let pool = WorkerPool::new(4);
+        let err = pool
+            .map(&items, |&x| {
+                assert!(x != 137, "boom at {x}");
+                x
+            })
+            .unwrap_err();
+        assert!(err.0.contains("boom at 137"), "payload: {}", err.0);
+        assert!(err.to_string().contains("worker thread panicked"));
+    }
+
+    #[test]
+    fn all_workers_joined_when_several_panic() {
+        let items: Vec<usize> = (0..400).collect();
+        let pool = WorkerPool::new(4);
+        // every chunk panics; the first payload (in chunk order) wins
+        let err = pool.map(&items, |&x| panic!("chunk item {x}")).unwrap_err();
+        assert_eq!(err.0, "chunk item 0");
+    }
+
+    #[test]
+    fn try_map_surfaces_first_error_in_item_order() {
+        let items: Vec<usize> = (0..300).collect();
+        let pool = WorkerPool::new(3);
+        let inner = pool
+            .try_map_with(&items, || (), |(), &x| if x % 100 == 50 { Err(x) } else { Ok(x) })
+            .unwrap();
+        assert_eq!(inner.unwrap_err(), 50);
+    }
+
+    #[test]
+    fn zero_threads_clamps_to_serial() {
+        let pool = WorkerPool::new(0);
+        assert_eq!(pool.threads(), 1);
+        assert!(pool.is_serial());
+    }
+}

@@ -5,6 +5,30 @@ use rand::{Rng, SeedableRng};
 
 use crate::bitvec::PackedBits;
 
+/// One 64-lane word whose bits are independently 1 with probability
+/// `threshold / 2³²` (`threshold` saturated to `2³²` = all ones).
+///
+/// Classic bit-sliced Bernoulli synthesis: walking the threshold's binary
+/// expansion from the least significant *set* bit upward and folding one
+/// uniform word per position with OR (bit set) or AND (bit clear) leaves
+/// every lane 1 with probability `(threshold mod 2^(k+1)) / 2^(k+1)` after
+/// position `k` — after the top bit, exactly `threshold / 2³²`.
+fn biased_word(rng: &mut StdRng, threshold: u64) -> u64 {
+    if threshold == 0 {
+        return 0;
+    }
+    if threshold >= 1 << 32 {
+        return !0;
+    }
+    let start = threshold.trailing_zeros(); // below: acc stays all-zero
+    let mut acc = rng.next_u64();
+    for k in start + 1..32 {
+        let r = rng.next_u64();
+        acc = if (threshold >> k) & 1 == 1 { r | acc } else { r & acc };
+    }
+    acc
+}
+
 /// A set of input patterns: one packed bit vector per primary input.
 ///
 /// The paper assumes uniformly distributed inputs; [`PatternSet::random`]
@@ -35,21 +59,26 @@ impl PatternSet {
     /// distribution). Models non-uniform input distributions, which the
     /// dual-phase framework supports unchanged.
     ///
+    /// The density is realised bit-parallel with 2⁻³² resolution: the
+    /// saturating fixed-point threshold `T = round(density · 2³²)` is
+    /// synthesised one threshold-bit at a time, so a whole 64-pattern word
+    /// costs at most 32 RNG draws (exactly one for `density = 0.5`, zero
+    /// for 0.0 and 1.0) instead of one draw per pattern. Every bit is set
+    /// with probability exactly `T / 2³²` — strict comparison semantics, so
+    /// `density = 0.0` yields all-zero words and `density = 1.0` all-one
+    /// words with certainty, not merely with high probability.
+    ///
     /// # Panics
     /// Panics unless `0.0 <= density <= 1.0`.
     pub fn biased(num_inputs: usize, num_words: usize, seed: u64, density: f64) -> PatternSet {
         assert!((0.0..=1.0).contains(&density), "density must be in [0, 1]");
         let mut rng = StdRng::seed_from_u64(seed);
-        let threshold = (density * u64::MAX as f64) as u64;
+        const ONE: u64 = 1 << 32;
+        let threshold = ((density * ONE as f64).round() as u64).min(ONE);
         let inputs = (0..num_inputs)
             .map(|_| {
-                let mut v = PackedBits::zeros(num_words);
-                for p in 0..num_words * 64 {
-                    if rng.next_u64() <= threshold {
-                        v.set(p, true);
-                    }
-                }
-                v
+                let words = (0..num_words).map(|_| biased_word(&mut rng, threshold)).collect();
+                PackedBits::from_words(words)
             })
             .collect();
         PatternSet { inputs, num_words }
@@ -58,14 +87,16 @@ impl PatternSet {
     /// All `2^num_inputs` patterns.
     ///
     /// Requires `num_inputs >= 6` so the pattern count is a multiple of 64
-    /// (the packing granularity); use 6..=20 in practice.
+    /// (the packing granularity), and caps at 20 inputs — 2²⁰ patterns is
+    /// already 128 KiB per input vector, and every simulated node costs the
+    /// same again, so larger truth tables belong to Monte-Carlo sampling.
     ///
     /// # Panics
-    /// Panics if `num_inputs < 6` or `num_inputs > 24`.
+    /// Panics if `num_inputs < 6` or `num_inputs > 20`.
     pub fn exhaustive(num_inputs: usize) -> PatternSet {
         assert!(
-            (6..=24).contains(&num_inputs),
-            "exhaustive patterns need 6..=24 inputs, got {num_inputs}"
+            (6..=20).contains(&num_inputs),
+            "exhaustive patterns need 6..=20 inputs, got {num_inputs}"
         );
         let num_words = 1usize << (num_inputs - 6);
         let inputs = (0..num_inputs)
@@ -155,17 +186,46 @@ mod tests {
 
     #[test]
     fn biased_density_is_respected() {
-        for density in [0.1, 0.5, 0.9] {
+        for density in [0.1, 0.25, 0.5, 0.9] {
             let p = PatternSet::biased(2, 64, 3, density);
             for i in 0..2 {
                 let d = p.input(i).density();
                 assert!((d - density).abs() < 0.05, "want {density}, got {d}");
             }
         }
-        let zero = PatternSet::biased(1, 8, 1, 0.0);
-        assert!(zero.input(0).is_zero());
-        let one = PatternSet::biased(1, 8, 1, 1.0);
-        assert_eq!(one.input(0).count_ones(), one.input(0).num_bits());
+    }
+
+    #[test]
+    fn biased_extremes_are_exact() {
+        // Exactness must hold for every bit of every word, not just with
+        // high probability: a density of 0.0 may never set a bit and 1.0
+        // may never clear one, across many words, inputs and seeds.
+        for seed in 0..32 {
+            let zero = PatternSet::biased(4, 64, seed, 0.0);
+            let one = PatternSet::biased(4, 64, seed, 1.0);
+            for i in 0..4 {
+                assert!(zero.input(i).is_zero(), "seed {seed} input {i} set a bit at density 0");
+                assert_eq!(
+                    one.input(i).count_ones(),
+                    one.input(i).num_bits(),
+                    "seed {seed} input {i} cleared a bit at density 1"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn biased_half_matches_word_granularity() {
+        // density 0.5 has a one-bit threshold expansion: exactly one RNG
+        // word per pattern word, so the stream is deterministic per seed
+        // and distinct across seeds.
+        let a = PatternSet::biased(3, 16, 9, 0.5);
+        let b = PatternSet::biased(3, 16, 9, 0.5);
+        let c = PatternSet::biased(3, 16, 10, 0.5);
+        for i in 0..3 {
+            assert_eq!(a.input(i), b.input(i));
+        }
+        assert!((0..3).any(|i| a.input(i) != c.input(i)));
     }
 
     #[test]
@@ -198,6 +258,19 @@ mod tests {
     #[should_panic(expected = "exhaustive patterns need")]
     fn exhaustive_too_small_panics() {
         PatternSet::exhaustive(3);
+    }
+
+    #[test]
+    #[should_panic(expected = "exhaustive patterns need")]
+    fn exhaustive_too_large_panics() {
+        PatternSet::exhaustive(21);
+    }
+
+    #[test]
+    fn exhaustive_accepts_documented_bounds() {
+        assert_eq!(PatternSet::exhaustive(6).num_patterns(), 64);
+        // the high edge must match the documented 6..=20 range
+        assert_eq!(PatternSet::exhaustive(20).num_patterns(), 1 << 20);
     }
 
     #[test]

@@ -1,6 +1,7 @@
 //! Full and incremental bit-parallel simulation.
 
 use als_aig::{Aig, Lit, NodeId};
+use als_par::WorkerPool;
 
 use crate::bitvec::PackedBits;
 use crate::patterns::PatternSet;
@@ -23,6 +24,22 @@ impl Simulator {
     /// # Panics
     /// Panics if the pattern set does not cover all primary inputs.
     pub fn new(aig: &Aig, patterns: &PatternSet) -> Simulator {
+        Simulator::new_with(aig, patterns, &WorkerPool::new(1))
+    }
+
+    /// Like [`Simulator::new`], but evaluates each topological level's AND
+    /// gates in parallel on `pool` — the analysis step-3 parallelisation.
+    ///
+    /// Nodes of one level have all fanins in strictly earlier levels, so a
+    /// level can fan out across workers with no synchronisation beyond the
+    /// level barrier; results are bit-identical to the serial evaluation at
+    /// any thread count. A worker panic is re-raised on the caller's thread
+    /// (the closures are pure bit operations, so this cannot trigger short
+    /// of memory corruption).
+    ///
+    /// # Panics
+    /// Panics if the pattern set does not cover all primary inputs.
+    pub fn new_with(aig: &Aig, patterns: &PatternSet, pool: &WorkerPool) -> Simulator {
         assert!(
             patterns.num_inputs() >= aig.num_inputs(),
             "pattern set covers {} inputs, circuit has {}",
@@ -35,11 +52,8 @@ impl Simulator {
             values[pi.index()] = patterns.input(i).clone();
         }
         let mut sim = Simulator { num_words, values };
-        for id in als_aig::topo::topo_order(aig) {
-            if aig.node(id).is_and() {
-                sim.eval_and(aig, id);
-            }
-        }
+        let order = als_aig::topo::topo_order(aig);
+        sim.eval_in_waves(aig, &order, pool);
         sim
     }
 
@@ -97,6 +111,76 @@ impl Simulator {
         }
     }
 
+    /// The value an AND gate takes under the current `values`, computed
+    /// into a fresh buffer (the read-only form of [`Simulator::eval_and`]
+    /// that parallel waves use: workers share `values` immutably and the
+    /// caller installs the results after the join).
+    fn and_value(values: &[PackedBits], num_words: usize, aig: &Aig, id: NodeId) -> PackedBits {
+        let node = aig.node(id);
+        let (f0, f1) = (node.fanin0(), node.fanin1());
+        let (a, b) = (&values[f0.node().index()], &values[f1.node().index()]);
+        let (m0, m1) = (
+            if f0.is_complement() { !0u64 } else { 0 },
+            if f1.is_complement() { !0u64 } else { 0 },
+        );
+        let mut out = PackedBits::zeros(num_words);
+        for (w, slot) in out.words_mut().iter_mut().enumerate() {
+            *slot = (a.words()[w] ^ m0) & (b.words()[w] ^ m1);
+        }
+        out
+    }
+
+    /// Evaluates the AND gates of `order` (a topological order, possibly
+    /// restricted to a cone) grouped into level-synchronous waves, fanning
+    /// each sufficiently large wave out across `pool`.
+    fn eval_in_waves(&mut self, aig: &Aig, order: &[NodeId], pool: &WorkerPool) {
+        if pool.is_serial() {
+            for &id in order {
+                if aig.node(id).is_and() {
+                    self.eval_and(aig, id);
+                }
+            }
+            return;
+        }
+        // Logic level per node: fanins always sit in strictly lower levels,
+        // so the nodes of one level are mutually independent. `order` being
+        // topological guarantees fanin levels are known when needed; nodes
+        // outside `order` (outside the cone) keep level 0, which is safe
+        // because their values are already current by contract.
+        let mut level = vec![0u32; aig.num_nodes()];
+        let mut waves: Vec<Vec<NodeId>> = Vec::new();
+        for &id in order {
+            let node = aig.node(id);
+            if !node.is_and() {
+                continue;
+            }
+            let l0 = level[node.fanin0().node().index()];
+            let l1 = level[node.fanin1().node().index()];
+            let l = l0.max(l1) + 1;
+            level[id.index()] = l;
+            let slot = (l - 1) as usize;
+            if waves.len() <= slot {
+                waves.resize_with(slot + 1, Vec::new);
+            }
+            waves[slot].push(id);
+        }
+        for wave in &waves {
+            if !pool.would_parallelize(wave.len()) {
+                for &id in wave {
+                    self.eval_and(aig, id);
+                }
+                continue;
+            }
+            let (values, num_words) = (&self.values, self.num_words);
+            let results = pool
+                .map(wave, |&id| Simulator::and_value(values, num_words, aig, id))
+                .unwrap_or_else(|p| p.resume());
+            for (&id, v) in wave.iter().zip(results) {
+                self.values[id.index()] = v;
+            }
+        }
+    }
+
     /// Recomputes the values of every node in the transitive fanout of
     /// `seeds` (the seeds' own values are assumed current). Returns the
     /// nodes that were re-evaluated, in topological order.
@@ -104,6 +188,18 @@ impl Simulator {
     /// After `edit::replace(aig, target, sub)`, passing
     /// `seeds = [sub.node()]` refreshes exactly the affected cone.
     pub fn resimulate_fanout_cone(&mut self, aig: &Aig, seeds: &[NodeId]) -> Vec<NodeId> {
+        self.resimulate_fanout_cone_with(aig, seeds, &WorkerPool::new(1))
+    }
+
+    /// Like [`Simulator::resimulate_fanout_cone`], but evaluates each
+    /// level of the affected cone in parallel on `pool` (bit-identical to
+    /// the serial refresh at any thread count).
+    pub fn resimulate_fanout_cone_with(
+        &mut self,
+        aig: &Aig,
+        seeds: &[NodeId],
+        pool: &WorkerPool,
+    ) -> Vec<NodeId> {
         // Collect the union of TFO cones excluding the seeds themselves.
         let mut in_cone = vec![false; aig.num_nodes()];
         let mut queue: Vec<NodeId> = Vec::new();
@@ -129,11 +225,7 @@ impl Simulator {
         // Evaluate in topological order restricted to the cone.
         let mut order: Vec<NodeId> =
             als_aig::topo::topo_order(aig).into_iter().filter(|n| in_cone[n.index()]).collect();
-        for &id in &order {
-            if aig.node(id).is_and() {
-                self.eval_and(aig, id);
-            }
-        }
+        self.eval_in_waves(aig, &order, pool);
         order.retain(|n| aig.node(*n).is_and());
         order
     }

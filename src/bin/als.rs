@@ -80,7 +80,7 @@ struct SynthOpts {
     bound: Option<f64>,
     patterns: usize,
     seed: u64,
-    threads: usize,
+    threads: Option<usize>,
     full: bool,
     strict: bool,
     max_retries: Option<usize>,
@@ -125,7 +125,7 @@ fn run() -> Result<(), String> {
                 bound: None,
                 patterns: 8192,
                 seed: 0xA15,
-                threads: 1,
+                threads: None,
                 full: false,
                 strict: false,
                 max_retries: None,
@@ -152,7 +152,7 @@ fn run() -> Result<(), String> {
                     }
                     "--seed" => o.seed = value("--seed")?.parse().map_err(|_| "bad --seed")?,
                     "--threads" => {
-                        o.threads = value("--threads")?.parse().map_err(|_| "bad --threads")?
+                        o.threads = Some(value("--threads")?.parse().map_err(|_| "bad --threads")?)
                     }
                     "--full" => o.full = true,
                     "--strict" => o.strict = true,
@@ -173,10 +173,13 @@ fn run() -> Result<(), String> {
                     r * r
                 }
             });
-            let mut cfg = FlowConfig::new(o.metric, bound)
-                .with_patterns(o.patterns)
-                .with_seed(o.seed)
-                .with_threads(o.threads);
+            // --threads beats the ALS_THREADS environment default baked
+            // into FlowConfig::new; unset, the default stands.
+            let mut cfg =
+                FlowConfig::new(o.metric, bound).with_patterns(o.patterns).with_seed(o.seed);
+            if let Some(threads) = o.threads {
+                cfg = cfg.with_threads(threads);
+            }
             if o.strict {
                 cfg = cfg.with_strict();
             }

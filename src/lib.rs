@@ -6,6 +6,7 @@
 //! Re-exports every workspace crate under a stable module path:
 //!
 //! * [`aig`] — AND-inverter graph substrate,
+//! * [`par`] — shared worker pool for the parallel analysis steps,
 //! * [`sim`] — bit-parallel Monte-Carlo simulation,
 //! * [`error`] — ER / MSE / MED statistical error metrics,
 //! * [`cuts`] — one-cuts and closest disjoint cuts with incremental update,
@@ -40,4 +41,5 @@ pub use als_engine as engine;
 pub use als_error as error;
 pub use als_lac as lac;
 pub use als_map as map;
+pub use als_par as par;
 pub use als_sim as sim;
