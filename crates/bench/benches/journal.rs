@@ -1,0 +1,95 @@
+//! Journal overhead on a full DP-SA run: the same synthesis is timed with
+//! journaling off and on (`FlowConfig::with_journal`), the results are
+//! asserted identical, and the relative overhead is written to
+//! `BENCH_journal.json`.
+//!
+//! Every committed iteration costs one atomic rewrite of the journal file
+//! (temp + fsync + rename), so the overhead scales with commits, not run
+//! length — this bench reports both the wall-clock ratio and the per-commit
+//! cost so regressions in the journal's write path are visible.
+//!
+//! Like the criterion-shim benches, the binary is inert without the
+//! `--bench` argument `cargo bench` passes. The output path defaults to
+//! `<repo root>/BENCH_journal.json` and can be overridden with
+//! `ALS_BENCH_OUT`.
+
+use std::time::Instant;
+
+use als_circuits::{benchmark, BenchmarkScale};
+use als_engine::{DualPhaseFlow, Flow, FlowConfig, FlowResult};
+use als_error::MetricKind;
+
+const RUNS: usize = 3;
+
+/// Best-of-`RUNS` wall time of `f` in milliseconds (after one warmup).
+fn time_ms<R>(mut f: impl FnMut() -> R) -> (R, f64) {
+    let result = f();
+    let mut best = f64::INFINITY;
+    for _ in 0..RUNS {
+        let t0 = Instant::now();
+        std::hint::black_box(f());
+        best = best.min(t0.elapsed().as_secs_f64() * 1e3);
+    }
+    (result, best)
+}
+
+fn assert_identical(off: &FlowResult, on: &FlowResult, name: &str) {
+    assert_eq!(off.lacs_applied(), on.lacs_applied(), "{name}: journaling changed the run");
+    assert_eq!(off.final_error.to_bits(), on.final_error.to_bits(), "{name}");
+    assert_eq!(
+        als_aig::io::to_ascii_string(&off.circuit),
+        als_aig::io::to_ascii_string(&on.circuit),
+        "{name}: journaling changed the circuit"
+    );
+}
+
+fn main() {
+    if !std::env::args().any(|a| a == "--bench") {
+        return; // `cargo test` runs bench binaries without --bench
+    }
+    let journal_path = std::env::temp_dir().join(format!("als-bench-{}.alsj", std::process::id()));
+
+    let mut rows: Vec<String> = Vec::new();
+    for name in ["adder", "sm9x8", "mult16"] {
+        let aig = benchmark(name, BenchmarkScale::Reduced);
+        let cfg = FlowConfig::new(MetricKind::Med, 4.0).with_patterns(1024).with_threads(1);
+
+        let (off, off_ms) =
+            time_ms(|| DualPhaseFlow::with_self_adaption(cfg.clone()).run(&aig).unwrap());
+        let (on, on_ms) = time_ms(|| {
+            DualPhaseFlow::with_self_adaption(cfg.clone().with_journal(&journal_path))
+                .run(&aig)
+                .unwrap()
+        });
+        assert_identical(&off, &on, name);
+
+        let commits = on.lacs_applied();
+        let journal_bytes = std::fs::metadata(&journal_path).map(|m| m.len()).unwrap_or(0);
+        std::fs::remove_file(&journal_path).ok();
+        let overhead_ms = (on_ms - off_ms).max(0.0);
+        let overhead_pct = 100.0 * overhead_ms / off_ms.max(1e-9);
+        let per_commit_us = 1e3 * overhead_ms / (commits.max(1) as f64);
+        println!(
+            "bench: journal/{name:<7} off {off_ms:>9.3} ms  on {on_ms:>9.3} ms  \
+             overhead {overhead_pct:>5.1}% ({per_commit_us:.0} us/commit, {commits} commits, \
+             {journal_bytes} B)"
+        );
+        rows.push(format!(
+            "    {{\"name\": \"{name}\", \"gates\": {}, \"commits\": {commits}, \
+             \"journal_bytes\": {journal_bytes}, \"off_ms\": {off_ms:.3}, \
+             \"on_ms\": {on_ms:.3}, \"overhead_pct\": {overhead_pct:.2}, \
+             \"per_commit_us\": {per_commit_us:.1}}}",
+            aig.num_ands()
+        ));
+    }
+
+    let json = format!(
+        "{{\n  \"flow\": \"DP-SA\",\n  \"metric\": \"med\",\n  \"bound\": 4.0,\n  \
+         \"patterns\": 1024,\n  \"runs\": {RUNS},\n  \"circuits\": [\n{}\n  ]\n}}\n",
+        rows.join(",\n")
+    );
+    let out = std::env::var("ALS_BENCH_OUT")
+        .unwrap_or_else(|_| format!("{}/../../BENCH_journal.json", env!("CARGO_MANIFEST_DIR")));
+    std::fs::write(&out, &json).expect("write BENCH_journal.json");
+    println!("bench: journal overhead -> {out}");
+}

@@ -53,6 +53,7 @@ impl Flow for AccAlsFlow {
     fn run(&self, original: &Aig) -> Result<FlowResult, EngineError> {
         als_aig::check::check(original).map_err(EngineError::InvalidInput)?;
         let cfg = &self.cfg;
+        crate::journal::reject_unsupported(cfg, self.name())?;
         let bound = cfg.error_bound;
         let mut ctx = Ctx::new(original, cfg);
         let mut guard = BudgetGuard::new(original, cfg);

@@ -78,6 +78,16 @@ impl Default for GuardConfig {
     }
 }
 
+/// Crash-safety settings: where the run journal lives and whether the run
+/// starts fresh or resumes from the journal's last checkpoint.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct JournalConfig {
+    /// Path of the journal file (created fresh, or read when resuming).
+    pub path: std::path::PathBuf,
+    /// Resume from an existing journal instead of starting a fresh run.
+    pub resume: bool,
+}
+
 /// Configuration shared by every flow.
 ///
 /// The dual-phase parameters follow the paper's experimental setup:
@@ -129,6 +139,15 @@ pub struct FlowConfig {
     /// Guarded execution settings (transactional application, budget
     /// guard, incremental-state fallback).
     pub guard: GuardConfig,
+    /// Crash-safe run journal (`None` = no journal). Only the dual-phase
+    /// flows support journaling; other flows reject it with a
+    /// configuration error.
+    pub journal: Option<JournalConfig>,
+    /// Deterministic fault-injection plan exercised by the chaos test
+    /// suite. Compiled in only with the `fault-inject` feature; the
+    /// default plan injects nothing.
+    #[cfg(feature = "fault-inject")]
+    pub faults: crate::faultplan::FaultPlan,
 }
 
 /// The default worker-thread budget: the `ALS_THREADS` environment
@@ -167,6 +186,9 @@ impl FlowConfig {
             threads: default_threads(),
             fold_constants: true,
             guard: GuardConfig::default(),
+            journal: None,
+            #[cfg(feature = "fault-inject")]
+            faults: crate::faultplan::FaultPlan::default(),
         }
     }
 
@@ -234,6 +256,26 @@ impl FlowConfig {
     /// the iteration gives up.
     pub fn with_max_retries(mut self, retries: usize) -> FlowConfig {
         self.guard.max_retries = retries;
+        self
+    }
+
+    /// Journals every committed iteration to `path` (fresh run: any
+    /// existing journal at that path is overwritten).
+    pub fn with_journal(mut self, path: impl Into<std::path::PathBuf>) -> FlowConfig {
+        self.journal = Some(JournalConfig { path: path.into(), resume: false });
+        self
+    }
+
+    /// Resumes a run from the journal at `path` and keeps journaling to it.
+    pub fn with_resume(mut self, path: impl Into<std::path::PathBuf>) -> FlowConfig {
+        self.journal = Some(JournalConfig { path: path.into(), resume: true });
+        self
+    }
+
+    /// Installs a fault-injection plan (chaos tests only).
+    #[cfg(feature = "fault-inject")]
+    pub fn with_faults(mut self, faults: crate::faultplan::FaultPlan) -> FlowConfig {
+        self.faults = faults;
         self
     }
 

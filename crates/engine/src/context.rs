@@ -45,6 +45,8 @@ pub struct Ctx {
     pool: WorkerPool,
     /// Fold constants after each applied LAC.
     fold_constants: bool,
+    #[cfg(feature = "fault-inject")]
+    faults: crate::faultplan::FaultPlan,
     started: Instant,
 }
 
@@ -103,6 +105,8 @@ impl Ctx {
             times: StepTimes::default(),
             pool,
             fold_constants: cfg.fold_constants,
+            #[cfg(feature = "fault-inject")]
+            faults: cfg.faults.clone(),
             started: Instant::now(),
         }
     }
@@ -163,9 +167,15 @@ impl Ctx {
     ) -> Result<Vec<Evaluated>, crate::error::EngineError> {
         let t0 = Instant::now();
         let (aig, sim, state) = (&self.aig, &self.sim, &self.state);
+        #[cfg(feature = "fault-inject")]
+        let faults = &self.faults;
         let out = self
             .pool
-            .map(lacs, |lac| eval_one(aig, sim, state, cpm, lac))
+            .map(lacs, |lac| {
+                #[cfg(feature = "fault-inject")]
+                faults.tick_eval_item();
+                eval_one(aig, sim, state, cpm, lac)
+            })
             .map(|evals| evals.into_iter().flatten().collect())
             .map_err(crate::error::EngineError::from);
         self.times.eval += t0.elapsed();

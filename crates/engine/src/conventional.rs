@@ -42,6 +42,7 @@ impl Flow for ConventionalFlow {
     fn run(&self, original: &Aig) -> Result<FlowResult, EngineError> {
         als_aig::check::check(original).map_err(EngineError::InvalidInput)?;
         let cfg = &self.cfg;
+        crate::journal::reject_unsupported(cfg, self.name())?;
         let mut ctx = Ctx::new(original, cfg);
         let mut guard = BudgetGuard::new(original, cfg);
         let mut iterations = Vec::new();

@@ -12,6 +12,7 @@ use crate::context::Ctx;
 use crate::error::EngineError;
 use crate::flow::Flow;
 use crate::guard::BudgetGuard;
+use crate::journal::{self, JournalWriter};
 use crate::report::{FlowResult, IterationRecord, Phase};
 
 /// The dual-phase flow.
@@ -100,7 +101,119 @@ impl Flow for DualPhaseFlow {
         let mut total_rounds = 0usize;
         let mut fallback_pending: Option<String> = None;
 
+        // ---------------- crash-safe run journal -------------------------
+        // Fresh runs start a new journal; resumes replay the journaled
+        // edit log onto the original circuit (cross-checking every edit
+        // record and error value bit-exactly), restore the loop state of
+        // the last checkpoint and re-execute the iteration that was in
+        // flight when the run died — determinism makes the re-execution
+        // reproduce it exactly.
+        let mut journal: Option<JournalWriter> = None;
+        if let Some(jc) = &cfg.journal {
+            let head = journal::JournalHeader {
+                flow: self.name().to_string(),
+                config_hash: journal::config_fingerprint(cfg, self.name()),
+                circuit_hash: journal::circuit_fingerprint(original),
+            };
+            let writer = if jc.resume {
+                let loaded = journal::load(&jc.path)?;
+                loaded.check_header(&head)?;
+                if let Some((idx, cp)) = loaded.last_checkpoint() {
+                    for c in loaded.commits_before(idx) {
+                        if c.index != iterations.len() as u64 {
+                            return Err(EngineError::Journal {
+                                detail: format!(
+                                    "commit records out of order: found index {} where {} was \
+                                     expected",
+                                    c.index,
+                                    iterations.len()
+                                ),
+                            });
+                        }
+                        let edits = ctx.apply(&c.lac);
+                        if edits != c.edits {
+                            return Err(EngineError::Journal {
+                                detail: format!(
+                                    "replay of commit {} diverged from the journaled edit records",
+                                    c.index
+                                ),
+                            });
+                        }
+                        if ctx.error().to_bits() != c.cum_error.to_bits() {
+                            return Err(EngineError::Journal {
+                                detail: format!(
+                                    "replayed error {} of commit {} does not match journaled {}",
+                                    ctx.error(),
+                                    c.index,
+                                    c.cum_error
+                                ),
+                            });
+                        }
+                        iterations.push(c.iteration_record());
+                    }
+                    if iterations.len() as u64 != cp.commit_count {
+                        return Err(EngineError::Journal {
+                            detail: format!(
+                                "checkpoint expects {} commits but the journal holds {}",
+                                cp.commit_count,
+                                iterations.len()
+                            ),
+                        });
+                    }
+                    if ctx.error().to_bits() != cp.cum_error.to_bits() {
+                        return Err(EngineError::Journal {
+                            detail: format!(
+                                "replayed error {} does not match checkpointed {}",
+                                ctx.error(),
+                                cp.cum_error
+                            ),
+                        });
+                    }
+                    m = cp.m as usize;
+                    n_limit = cp.n_limit as usize;
+                    lac_cfg.max_subs_per_target = cp.max_subs_per_target as usize;
+                    total_rounds = cp.total_rounds as usize;
+                    analyses = cp.analyses as usize;
+                    fallback_pending = cp.fallback_pending.clone();
+                    first_ranking = cp.first_ranking.iter().map(|&n| NodeId(n)).collect();
+                    guard.restore(&cp.guard);
+                    // Seed the writer with the bytes *before* the last
+                    // checkpoint: the loop below immediately re-journals an
+                    // identical checkpoint (the restored state is
+                    // bit-exact), so the resumed journal stays
+                    // byte-identical to an uninterrupted one.
+                    JournalWriter::resume(&jc.path, loaded.image_before(idx))?
+                } else {
+                    // Crash before the first checkpoint: nothing to replay.
+                    JournalWriter::create(&jc.path, &head)?
+                }
+            } else {
+                JournalWriter::create(&jc.path, &head)?
+            };
+            #[cfg(feature = "fault-inject")]
+            let writer = {
+                let mut w = writer;
+                w.set_faults(cfg.faults.clone());
+                w
+            };
+            journal = Some(writer);
+        }
+
         'dual_phase: while iterations.len() < cfg.max_lacs {
+            if let Some(w) = journal.as_mut() {
+                w.append_checkpoint(&journal::Checkpoint {
+                    commit_count: iterations.len() as u64,
+                    cum_error: ctx.error(),
+                    m: m as u64,
+                    n_limit: n_limit as u64,
+                    max_subs_per_target: lac_cfg.max_subs_per_target as u64,
+                    total_rounds: total_rounds as u64,
+                    analyses: analyses as u64,
+                    fallback_pending: fallback_pending.clone(),
+                    first_ranking: first_ranking.iter().map(|n| n.0).collect(),
+                    guard: guard.snapshot(),
+                })?;
+            }
             let times_snapshot = ctx.times;
             let e0 = ctx.error();
             let mut sum_er = 0.0f64;
@@ -116,6 +229,10 @@ impl Flow for DualPhaseFlow {
             // compute that still fails cannot be repaired by recomputing —
             // abort with context.
             if let Some(prev) = fallback_pending.take() {
+                #[cfg(feature = "fault-inject")]
+                if cfg.faults.take_corrupt_fresh() {
+                    cuts.debug_corrupt_cuts();
+                }
                 if let Err(detail) =
                     cuts.spot_check(&ctx.aig, cfg.guard.spot_check.max(16), total_rounds as u64)
                 {
@@ -153,6 +270,11 @@ impl Flow for DualPhaseFlow {
                 phase: Phase::Comprehensive,
                 rollbacks: applied.rollbacks,
             });
+            if let (Some(w), Some(rec)) = (journal.as_mut(), iterations.last()) {
+                let c =
+                    journal::Commit::new(iterations.len() - 1, rec, &recs, ctx.error(), &ctx.times);
+                w.append_commit(&c)?;
+            }
             let removed: HashSet<NodeId> =
                 recs.iter().flat_map(|r| r.removed.iter().copied()).collect();
             s_cand.retain(|n| !removed.contains(n));
@@ -222,6 +344,16 @@ impl Flow for DualPhaseFlow {
                     phase: Phase::Incremental,
                     rollbacks,
                 });
+                if let (Some(w), Some(rec)) = (journal.as_mut(), iterations.last()) {
+                    let c = journal::Commit::new(
+                        iterations.len() - 1,
+                        rec,
+                        &recs,
+                        ctx.error(),
+                        &ctx.times,
+                    );
+                    w.append_commit(&c)?;
+                }
                 let removed: HashSet<NodeId> =
                     recs.iter().flat_map(|r| r.removed.iter().copied()).collect();
                 s_cand.retain(|n| !removed.contains(n));
@@ -243,6 +375,10 @@ impl Flow for DualPhaseFlow {
                     if total_rounds == k {
                         cuts.debug_corrupt_cuts();
                     }
+                }
+                #[cfg(feature = "fault-inject")]
+                if cfg.faults.take_corrupt_at_round(total_rounds) {
+                    cuts.debug_corrupt_cuts();
                 }
                 if cfg.guard.enabled && cfg.guard.spot_check > 0 {
                     als_aig::check::check(&ctx.aig).map_err(|e| EngineError::CorruptCircuit {

@@ -5,6 +5,7 @@
 //! unwinding through a panic from deep inside an analysis step.
 
 use std::fmt;
+use std::path::PathBuf;
 
 use als_aig::check::CheckError;
 use als_cpm::CpmError;
@@ -37,6 +38,21 @@ pub enum EngineError {
     WorkerPanic(String),
     /// An invalid configuration value.
     Config(String),
+    /// A filesystem operation on a run artifact (journal file, temp file)
+    /// failed.
+    Io {
+        /// The path the operation targeted.
+        path: PathBuf,
+        /// The underlying I/O error.
+        source: std::io::Error,
+    },
+    /// A run journal is unusable: bad magic/version, header mismatch
+    /// against the current run, a corrupted record checksum, or a replay
+    /// that diverged from the journaled state.
+    Journal {
+        /// What exactly is wrong with the journal.
+        detail: String,
+    },
 }
 
 impl fmt::Display for EngineError {
@@ -56,6 +72,10 @@ impl fmt::Display for EngineError {
                 write!(f, "evaluation worker panicked: {detail}")
             }
             EngineError::Config(detail) => write!(f, "invalid configuration: {detail}"),
+            EngineError::Io { path, source } => {
+                write!(f, "I/O error on {}: {source}", path.display())
+            }
+            EngineError::Journal { detail } => write!(f, "run journal error: {detail}"),
         }
     }
 }
@@ -64,6 +84,7 @@ impl std::error::Error for EngineError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             EngineError::Cpm(e) => Some(e),
+            EngineError::Io { source, .. } => Some(source),
             _ => None,
         }
     }
@@ -100,6 +121,19 @@ mod tests {
         assert!(s.contains("DP-SA") && s.contains("stale mask"));
         let e = EngineError::WorkerPanic("boom".into());
         assert!(e.to_string().contains("boom"));
+    }
+
+    #[test]
+    fn io_and_journal_variants_display_context() {
+        let e = EngineError::Io {
+            path: std::path::PathBuf::from("/tmp/run.alsj"),
+            source: std::io::Error::new(std::io::ErrorKind::PermissionDenied, "denied"),
+        };
+        let s = e.to_string();
+        assert!(s.contains("/tmp/run.alsj") && s.contains("denied"), "{s}");
+        assert!(std::error::Error::source(&e).is_some());
+        let e = EngineError::Journal { detail: "checksum mismatch in record 3".into() };
+        assert!(e.to_string().contains("checksum mismatch in record 3"));
     }
 
     #[test]

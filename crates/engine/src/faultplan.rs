@@ -1,0 +1,288 @@
+//! Deterministic fault injection for the chaos test suite.
+//!
+//! A [`FaultPlan`] is threaded through a run via
+//! [`FlowConfig::faults`](crate::config::FlowConfig) and consulted at four
+//! injection points, each of which has a *designed* recovery path the chaos
+//! tests assert on:
+//!
+//! | injection point                        | designed recovery                      |
+//! |----------------------------------------|----------------------------------------|
+//! | evaluation worker panic (any flow)     | `EngineError::WorkerPanic`             |
+//! | budget-guard overshoot streak          | rollback + eviction + retry            |
+//! | incremental cut-state corruption       | spot-check → comprehensive fallback    |
+//! | fresh (post-fallback) state corruption | `EngineError::CorruptAnalysis`         |
+//! | journal append I/O failure             | `EngineError::Io`, journal resumable   |
+//!
+//! The whole module only exists under the `fault-inject` feature; without
+//! it neither the plan nor any injection call site is compiled, so the
+//! production hot path carries zero cost. Plans are deterministic: every
+//! trigger is an exact count of events ("the k-th validation", "after
+//! round n"), never time- or randomness-based, so a chaos test fails
+//! reproducibly or not at all.
+//!
+//! Clones share state (the plan rides inside a cloned `FlowConfig`), which
+//! also lets the test keep a handle and assert *that* a fault actually
+//! fired via the `*_fired` counters.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// Sentinel for "this injection is disarmed".
+const OFF: usize = usize::MAX;
+
+/// Shared state of one plan; see the module docs for the injection points.
+#[derive(Debug)]
+struct PlanState {
+    /// Panic while evaluating the item with this 0-based global index
+    /// (counted across every `evaluate_lacs` call of the run).
+    panic_eval_item: AtomicUsize,
+    /// Items evaluated so far.
+    eval_items_seen: AtomicUsize,
+    /// Remaining guard validations to report as overshoots.
+    overshoot_streak: AtomicUsize,
+    /// Corrupt the incremental cut state after this phase-two round.
+    corrupt_after_round: AtomicUsize,
+    /// Corrupt the freshly recomputed state a spot-check fallback lands
+    /// on, forcing the `CorruptAnalysis` end of the degradation ladder.
+    corrupt_fresh: AtomicUsize,
+    /// Fail the journal append with this 0-based index.
+    fail_journal_append: AtomicUsize,
+    /// Journal appends attempted so far.
+    journal_appends_seen: AtomicUsize,
+    /// How many injections of each kind actually fired.
+    eval_panics_fired: AtomicUsize,
+    overshoots_fired: AtomicUsize,
+    corruptions_fired: AtomicUsize,
+    journal_failures_fired: AtomicUsize,
+}
+
+impl Default for PlanState {
+    fn default() -> PlanState {
+        PlanState {
+            panic_eval_item: AtomicUsize::new(OFF),
+            eval_items_seen: AtomicUsize::new(0),
+            overshoot_streak: AtomicUsize::new(0),
+            corrupt_after_round: AtomicUsize::new(OFF),
+            corrupt_fresh: AtomicUsize::new(0),
+            fail_journal_append: AtomicUsize::new(OFF),
+            journal_appends_seen: AtomicUsize::new(0),
+            eval_panics_fired: AtomicUsize::new(0),
+            overshoots_fired: AtomicUsize::new(0),
+            corruptions_fired: AtomicUsize::new(0),
+            journal_failures_fired: AtomicUsize::new(0),
+        }
+    }
+}
+
+/// A deterministic schedule of faults to inject into one run. The default
+/// plan injects nothing.
+#[derive(Clone, Debug, Default)]
+pub struct FaultPlan {
+    state: Arc<PlanState>,
+}
+
+impl FaultPlan {
+    /// An empty plan (injects nothing).
+    pub fn new() -> FaultPlan {
+        FaultPlan::default()
+    }
+
+    // ---------------- arming (builder style) ----------------------------
+
+    /// Panic inside the LAC-evaluation worker while processing the
+    /// `item`-th candidate of the run (0-based, counted across all
+    /// evaluation calls). Only parallel pools (≥ 2 threads over enough
+    /// items) contain the panic as [`EngineError::WorkerPanic`]; the
+    /// serial path propagates panics natively by design.
+    pub fn panic_in_eval_at_item(self, item: usize) -> FaultPlan {
+        self.state.panic_eval_item.store(item, Ordering::SeqCst);
+        self
+    }
+
+    /// Report the next `streak` guard validations as budget overshoots,
+    /// regardless of the measured error.
+    pub fn force_overshoots(self, streak: usize) -> FaultPlan {
+        self.state.overshoot_streak.store(streak, Ordering::SeqCst);
+        self
+    }
+
+    /// Corrupt the incrementally maintained cut state right after the
+    /// given phase-two round (1-based, counted across the run).
+    pub fn corrupt_cuts_after_round(self, round: usize) -> FaultPlan {
+        self.state.corrupt_after_round.store(round, Ordering::SeqCst);
+        self
+    }
+
+    /// Additionally corrupt the *fresh* analysis state that the
+    /// spot-check fallback recomputes, so the degradation ladder runs out
+    /// of rungs and the flow must abort with `CorruptAnalysis`.
+    pub fn corrupt_fresh_analysis(self) -> FaultPlan {
+        self.state.corrupt_fresh.store(1, Ordering::SeqCst);
+        self
+    }
+
+    /// Fail the `append`-th journal write of the run (0-based; the header
+    /// write does not count) with a synthetic I/O error.
+    pub fn fail_journal_append(self, append: usize) -> FaultPlan {
+        self.state.fail_journal_append.store(append, Ordering::SeqCst);
+        self
+    }
+
+    // ---------------- firing (called from injection points) --------------
+
+    /// Called per evaluated candidate; panics when the armed item index is
+    /// reached.
+    pub(crate) fn tick_eval_item(&self) {
+        let armed = self.state.panic_eval_item.load(Ordering::SeqCst);
+        if armed == OFF {
+            return;
+        }
+        let seen = self.state.eval_items_seen.fetch_add(1, Ordering::SeqCst);
+        if seen == armed {
+            self.state.eval_panics_fired.fetch_add(1, Ordering::SeqCst);
+            panic!("fault injection: evaluation worker panic at item {armed}");
+        }
+    }
+
+    /// Whether the current guard validation must be treated as an
+    /// overshoot.
+    pub(crate) fn take_forced_overshoot(&self) -> bool {
+        let fired = self
+            .state
+            .overshoot_streak
+            .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |left| left.checked_sub(1))
+            .is_ok();
+        if fired {
+            self.state.overshoots_fired.fetch_add(1, Ordering::SeqCst);
+        }
+        fired
+    }
+
+    /// Whether the incremental cut state must be corrupted after
+    /// phase-two round `round` (fires at most once).
+    pub(crate) fn take_corrupt_at_round(&self, round: usize) -> bool {
+        let fired = self
+            .state
+            .corrupt_after_round
+            .compare_exchange(round, OFF, Ordering::SeqCst, Ordering::SeqCst)
+            .is_ok();
+        if fired {
+            self.state.corruptions_fired.fetch_add(1, Ordering::SeqCst);
+        }
+        fired
+    }
+
+    /// Whether the fresh post-fallback analysis state must be corrupted
+    /// (fires at most once).
+    pub(crate) fn take_corrupt_fresh(&self) -> bool {
+        let fired = self
+            .state
+            .corrupt_fresh
+            .compare_exchange(1, 0, Ordering::SeqCst, Ordering::SeqCst)
+            .is_ok();
+        if fired {
+            self.state.corruptions_fired.fetch_add(1, Ordering::SeqCst);
+        }
+        fired
+    }
+
+    /// Called per journal append; returns the injected I/O error when the
+    /// armed append index is reached.
+    pub(crate) fn take_journal_failure(&self) -> Option<std::io::Error> {
+        let armed = self.state.fail_journal_append.load(Ordering::SeqCst);
+        if armed == OFF {
+            return None;
+        }
+        let seen = self.state.journal_appends_seen.fetch_add(1, Ordering::SeqCst);
+        if seen == armed {
+            self.state.journal_failures_fired.fetch_add(1, Ordering::SeqCst);
+            return Some(std::io::Error::other(format!(
+                "fault injection: journal append {armed} failed"
+            )));
+        }
+        None
+    }
+
+    // ---------------- assertions (for the chaos tests) --------------------
+
+    /// Evaluation-worker panics fired so far.
+    pub fn eval_panics_fired(&self) -> usize {
+        self.state.eval_panics_fired.load(Ordering::SeqCst)
+    }
+
+    /// Forced overshoots fired so far.
+    pub fn overshoots_fired(&self) -> usize {
+        self.state.overshoots_fired.load(Ordering::SeqCst)
+    }
+
+    /// State corruptions (incremental or fresh) fired so far.
+    pub fn corruptions_fired(&self) -> usize {
+        self.state.corruptions_fired.load(Ordering::SeqCst)
+    }
+
+    /// Journal append failures fired so far.
+    pub fn journal_failures_fired(&self) -> usize {
+        self.state.journal_failures_fired.load(Ordering::SeqCst)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_plan_injects_nothing() {
+        let plan = FaultPlan::new();
+        for _ in 0..100 {
+            plan.tick_eval_item();
+            assert!(!plan.take_forced_overshoot());
+            assert!(!plan.take_corrupt_at_round(1));
+            assert!(!plan.take_corrupt_fresh());
+            assert!(plan.take_journal_failure().is_none());
+        }
+        assert_eq!(plan.eval_panics_fired(), 0);
+        assert_eq!(plan.overshoots_fired(), 0);
+        assert_eq!(plan.corruptions_fired(), 0);
+        assert_eq!(plan.journal_failures_fired(), 0);
+    }
+
+    #[test]
+    fn overshoot_streak_counts_down_exactly() {
+        let plan = FaultPlan::new().force_overshoots(3);
+        let fired: usize = (0..10).filter(|_| plan.take_forced_overshoot()).count();
+        assert_eq!(fired, 3);
+        assert_eq!(plan.overshoots_fired(), 3);
+    }
+
+    #[test]
+    fn corruption_triggers_fire_once_at_their_round() {
+        let plan = FaultPlan::new().corrupt_cuts_after_round(2).corrupt_fresh_analysis();
+        assert!(!plan.take_corrupt_at_round(1));
+        assert!(plan.take_corrupt_at_round(2));
+        assert!(!plan.take_corrupt_at_round(2), "fires at most once");
+        assert!(plan.take_corrupt_fresh());
+        assert!(!plan.take_corrupt_fresh());
+        assert_eq!(plan.corruptions_fired(), 2);
+    }
+
+    #[test]
+    fn eval_panic_fires_at_the_armed_item_and_is_shared_across_clones() {
+        let plan = FaultPlan::new().panic_in_eval_at_item(2);
+        let clone = plan.clone();
+        clone.tick_eval_item();
+        clone.tick_eval_item();
+        let caught = std::panic::catch_unwind(|| clone.tick_eval_item());
+        assert!(caught.is_err());
+        assert_eq!(plan.eval_panics_fired(), 1, "clones share the fired counter");
+    }
+
+    #[test]
+    fn journal_failure_fires_at_the_armed_append() {
+        let plan = FaultPlan::new().fail_journal_append(1);
+        assert!(plan.take_journal_failure().is_none());
+        let err = plan.take_journal_failure().expect("second append fails");
+        assert!(err.to_string().contains("journal append 1"));
+        assert!(plan.take_journal_failure().is_none(), "fires once");
+        assert_eq!(plan.journal_failures_fired(), 1);
+    }
+}

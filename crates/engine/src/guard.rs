@@ -50,6 +50,8 @@ struct ValSet {
 /// Guarded-execution state of one flow run.
 pub struct BudgetGuard {
     cfg: GuardConfig,
+    #[cfg(feature = "fault-inject")]
+    faults: crate::faultplan::FaultPlan,
     bound: f64,
     metric: MetricKind,
     weights: Vec<f64>,
@@ -77,6 +79,8 @@ impl BudgetGuard {
             cfg.weights.clone().unwrap_or_else(|| unsigned_weights(original.num_outputs()));
         BudgetGuard {
             cfg: cfg.guard.clone(),
+            #[cfg(feature = "fault-inject")]
+            faults: cfg.faults.clone(),
             bound: cfg.error_bound,
             metric: cfg.metric,
             weights,
@@ -96,6 +100,33 @@ impl BudgetGuard {
     /// Guard activity accumulated so far.
     pub fn stats(&self) -> GuardStats {
         self.stats
+    }
+
+    /// Snapshot of the guard's mutable state for a journal checkpoint.
+    /// The validation set itself is not captured: it is a pure function
+    /// of `val_seed`/`val_words` and is lazily rebuilt after a restore.
+    pub fn snapshot(&self) -> crate::journal::GuardSnapshot {
+        let mut evicted: Vec<(u32, u32)> = self.evicted.iter().map(|&(n, r)| (n.0, r)).collect();
+        evicted.sort_unstable();
+        crate::journal::GuardSnapshot {
+            val_seed: self.val_seed,
+            val_words: self.val_words as u64,
+            resamples: self.resamples as u64,
+            committed_val_error: self.committed_val_error,
+            evicted,
+            stats: self.stats,
+        }
+    }
+
+    /// Restores the state captured by [`BudgetGuard::snapshot`].
+    pub fn restore(&mut self, s: &crate::journal::GuardSnapshot) {
+        self.val_seed = s.val_seed;
+        self.val_words = s.val_words as usize;
+        self.val = None;
+        self.resamples = s.resamples as usize;
+        self.committed_val_error = s.committed_val_error;
+        self.evicted = s.evicted.iter().map(|&(n, r)| (NodeId(n), r)).collect();
+        self.stats = s.stats;
     }
 
     /// Records one incremental-state fallback (a failed phase-two
@@ -172,6 +203,10 @@ impl BudgetGuard {
         let records = ctx.apply_txn(&eval.lac);
         self.stats.validations += 1;
         let mut over = ctx.error() > threshold(self.bound);
+        #[cfg(feature = "fault-inject")]
+        {
+            over = over || self.faults.take_forced_overshoot();
+        }
         let mut val_error = None;
         if !over && self.cfg.strict {
             let e = self.validation_error(ctx);

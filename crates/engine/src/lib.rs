@@ -36,14 +36,17 @@ pub mod context;
 pub mod conventional;
 pub mod dual_phase;
 pub mod error;
+#[cfg(feature = "fault-inject")]
+pub mod faultplan;
 pub mod flow;
 pub mod guard;
+pub mod journal;
 pub mod model;
 pub mod report;
 pub mod vecbee_flow;
 
 pub use accals::AccAlsFlow;
-pub use config::{FlowConfig, GuardConfig, PatternSource, SelectionStrategy};
+pub use config::{FlowConfig, GuardConfig, JournalConfig, PatternSource, SelectionStrategy};
 pub use conventional::ConventionalFlow;
 pub use dual_phase::DualPhaseFlow;
 pub use error::EngineError;

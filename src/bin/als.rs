@@ -17,6 +17,8 @@
 //! --patterns N   --seed S   --threads T   --full
 //! --strict           re-validate every commit on an independent pattern set
 //! --max-retries N    rollbacks allowed per selection before giving up
+//! --journal <path>   journal every committed iteration (dp/dpsa only)
+//! --resume <path>    resume a crashed run from its journal (dp/dpsa only)
 //! ```
 
 use std::fs::File;
@@ -84,6 +86,8 @@ struct SynthOpts {
     full: bool,
     strict: bool,
     max_retries: Option<usize>,
+    journal: Option<String>,
+    resume: Option<String>,
     output: Option<String>,
 }
 
@@ -99,16 +103,29 @@ fn run() -> Result<(), String> {
         }
         "stats" => {
             let target = args.next().ok_or("usage: als stats <circuit> [--full]")?;
-            let full = args.any(|a| a == "--full");
+            if target.starts_with("--") {
+                return Err(format!("unknown option {target} (expected a circuit first)"));
+            }
+            let mut full = false;
+            for a in args {
+                match a.as_str() {
+                    "--full" => full = true,
+                    other => return Err(format!("unknown option {other}")),
+                }
+            }
             stats(&load(&target, full)?);
             Ok(())
         }
         "convert" => {
             let input = args.next().ok_or("usage: als convert <in> -o <out>")?;
+            if input.starts_with("--") {
+                return Err(format!("unknown option {input} (expected an input file first)"));
+            }
             let mut output = None;
             while let Some(a) = args.next() {
-                if a == "-o" {
-                    output = args.next();
+                match a.as_str() {
+                    "-o" => output = Some(args.next().ok_or("missing value for -o")?),
+                    other => return Err(format!("unknown option {other}")),
                 }
             }
             let output = output.ok_or("missing -o <out>")?;
@@ -119,6 +136,9 @@ fn run() -> Result<(), String> {
         }
         "synth" => {
             let target = args.next().ok_or("usage: als synth <circuit> [options]")?;
+            if target.starts_with("--") {
+                return Err(format!("unknown option {target} (expected a circuit first)"));
+            }
             let mut o = SynthOpts {
                 flow: "dpsa".into(),
                 metric: MetricKind::Med,
@@ -129,6 +149,8 @@ fn run() -> Result<(), String> {
                 full: false,
                 strict: false,
                 max_retries: None,
+                journal: None,
+                resume: None,
                 output: None,
             };
             while let Some(a) = args.next() {
@@ -160,6 +182,8 @@ fn run() -> Result<(), String> {
                         o.max_retries =
                             Some(value("--max-retries")?.parse().map_err(|_| "bad --max-retries")?)
                     }
+                    "--journal" => o.journal = Some(value("--journal")?.to_string()),
+                    "--resume" => o.resume = Some(value("--resume")?.to_string()),
                     "-o" => o.output = Some(value("-o")?.to_string()),
                     other => return Err(format!("unknown option {other}")),
                 }
@@ -185,6 +209,17 @@ fn run() -> Result<(), String> {
             }
             if let Some(retries) = o.max_retries {
                 cfg = cfg.with_max_retries(retries);
+            }
+            if o.journal.is_some() && o.resume.is_some() {
+                return Err("--journal and --resume are mutually exclusive (resume keeps \
+                            journaling to the same file)"
+                    .into());
+            }
+            if let Some(path) = &o.journal {
+                cfg = cfg.with_journal(path);
+            }
+            if let Some(path) = &o.resume {
+                cfg = cfg.with_resume(path);
             }
             let flow: Box<dyn Flow> = match o.flow.as_str() {
                 "conventional" => Box::new(ConventionalFlow::new(cfg)),
@@ -236,7 +271,7 @@ fn run() -> Result<(), String> {
                  als stats <circuit> [--full]\n  \
                  als synth <circuit> [--flow dpsa] [--metric med] [--bound X] \
                  [--patterns N] [--seed S] [--threads T] [--full] [--strict] \
-                 [--max-retries N] [-o out.aag]\n  \
+                 [--max-retries N] [--journal p|--resume p] [-o out.aag]\n  \
                  als convert <in.aag> -o <out.aag|out.aig|out.v>"
             );
             Ok(())

@@ -1,0 +1,129 @@
+//! Fault-injection ("chaos") suite, compiled only with the
+//! `fault-inject` feature:
+//!
+//! ```text
+//! cargo test --features fault-inject --test chaos
+//! ```
+//!
+//! Each injection point of [`FaultPlan`] is driven into a live flow and
+//! the test asserts the *specific* designed recovery — a typed error, a
+//! rollback, a fallback re-analysis, or a resumable journal. No injected
+//! fault may escape as a panic or, worse, a silently wrong result.
+#![cfg(feature = "fault-inject")]
+
+use std::path::PathBuf;
+
+use dualphase_als::circuits::mult::mult;
+use dualphase_als::engine::faultplan::FaultPlan;
+use dualphase_als::engine::journal;
+use dualphase_als::engine::{DualPhaseFlow, EngineError, Flow, FlowConfig};
+use dualphase_als::error::MetricKind;
+
+fn cfg() -> FlowConfig {
+    FlowConfig::new(MetricKind::Med, 2.0).with_patterns(256).with_seed(7)
+}
+
+fn tmp(name: &str) -> PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("als-chaos-{}-{name}.alsj", std::process::id()));
+    p
+}
+
+#[test]
+fn worker_panic_in_evaluation_becomes_a_typed_error() {
+    let plan = FaultPlan::new().panic_in_eval_at_item(5);
+    // The parallel pool contains worker panics; the serial pool (1
+    // thread) deliberately does not, so this is a 2-thread test.
+    let c = cfg().with_threads(2).with_faults(plan.clone());
+    let err = DualPhaseFlow::new(c).run(&mult(3, 3)).unwrap_err();
+    assert!(matches!(err, EngineError::WorkerPanic(_)), "wanted WorkerPanic, got: {err}");
+    assert_eq!(plan.eval_panics_fired(), 1);
+}
+
+#[test]
+fn forced_overshoot_streak_is_rolled_back_and_the_bound_holds() {
+    let plan = FaultPlan::new().force_overshoots(3);
+    let c = cfg().with_faults(plan.clone());
+    let res = DualPhaseFlow::new(c).run(&mult(3, 3)).unwrap();
+    assert_eq!(plan.overshoots_fired(), 3, "the full streak never fired");
+    assert!(res.guard.rollbacks >= 3, "forced overshoots were not rolled back");
+    assert!(res.final_error <= 2.0 + 1e-9, "bound violated: {}", res.final_error);
+    dualphase_als::aig::check::check(&res.circuit).unwrap();
+
+    // the sabotaged run must converge to the clean run's circuit
+    let clean = DualPhaseFlow::new(cfg()).run(&mult(3, 3)).unwrap();
+    assert_eq!(
+        dualphase_als::aig::io::to_ascii_string(&res.circuit),
+        dualphase_als::aig::io::to_ascii_string(&clean.circuit),
+        "rollbacks changed the result"
+    );
+}
+
+#[test]
+fn corrupted_incremental_analysis_triggers_the_fallback_ladder() {
+    let plan = FaultPlan::new().corrupt_cuts_after_round(1);
+    let res = DualPhaseFlow::new(cfg().with_faults(plan.clone())).run(&mult(3, 3)).unwrap();
+    assert!(plan.corruptions_fired() >= 1, "the corruption never fired");
+    assert!(res.guard.fallbacks >= 1, "the corruption was never detected");
+    assert!(res.final_error <= 2.0 + 1e-9);
+    dualphase_als::aig::check::check(&res.circuit).unwrap();
+}
+
+#[test]
+fn corruption_surviving_fresh_analysis_is_a_typed_error() {
+    // First corrupt the incremental state, then corrupt the fallback's
+    // fresh analysis too: the ladder is exhausted and the flow must
+    // refuse to report results rather than trust a failed spot-check.
+    let plan = FaultPlan::new().corrupt_cuts_after_round(1).corrupt_fresh_analysis();
+    let err = DualPhaseFlow::new(cfg().with_faults(plan.clone())).run(&mult(3, 3)).unwrap_err();
+    assert!(
+        matches!(err, EngineError::CorruptAnalysis { .. }),
+        "wanted CorruptAnalysis, got: {err}"
+    );
+    assert_eq!(plan.corruptions_fired(), 2);
+}
+
+#[test]
+fn journal_write_failure_is_a_typed_error_and_the_journal_stays_resumable() {
+    let aig = mult(3, 3);
+    let path = tmp("appendfail");
+
+    // Fail the 3rd append (0-based index 2): the on-disk journal keeps
+    // the state of the 2nd — a clean record-boundary prefix.
+    let plan = FaultPlan::new().fail_journal_append(2);
+    let err = DualPhaseFlow::new(cfg().with_journal(&path).with_faults(plan.clone()))
+        .run(&aig)
+        .unwrap_err();
+    assert!(matches!(err, EngineError::Io { .. }), "wanted Io, got: {err}");
+    assert_eq!(plan.journal_failures_fired(), 1);
+
+    let loaded = journal::load(&path).unwrap();
+    assert!(!loaded.torn_tail, "injected failure must never tear the journal");
+    assert_eq!(loaded.records.len(), 2, "the failed append must not reach the disk");
+
+    // Resuming from the aborted journal finishes the run exactly.
+    let resumed = DualPhaseFlow::new(cfg().with_resume(&path)).run(&aig).unwrap();
+    let clean = DualPhaseFlow::new(cfg()).run(&aig).unwrap();
+    assert_eq!(resumed.final_error.to_bits(), clean.final_error.to_bits());
+    assert_eq!(
+        dualphase_als::aig::io::to_ascii_string(&resumed.circuit),
+        dualphase_als::aig::io::to_ascii_string(&clean.circuit),
+        "resume after an I/O fault diverged"
+    );
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn unarmed_plan_is_inert() {
+    let plan = FaultPlan::new();
+    let sab = DualPhaseFlow::new(cfg().with_faults(plan.clone())).run(&mult(3, 3)).unwrap();
+    let clean = DualPhaseFlow::new(cfg()).run(&mult(3, 3)).unwrap();
+    assert_eq!(plan.eval_panics_fired(), 0);
+    assert_eq!(plan.overshoots_fired(), 0);
+    assert_eq!(plan.corruptions_fired(), 0);
+    assert_eq!(plan.journal_failures_fired(), 0);
+    assert_eq!(
+        dualphase_als::aig::io::to_ascii_string(&sab.circuit),
+        dualphase_als::aig::io::to_ascii_string(&clean.circuit)
+    );
+}

@@ -116,3 +116,26 @@ fn default_guard_does_not_change_results() {
     assert_eq!(guarded.final_error, plain.final_error);
     assert_eq!(guarded.lacs_applied(), plain.lacs_applied());
 }
+
+#[test]
+fn panic_inside_a_transaction_still_rolls_back_exactly() {
+    // A worker panicking mid-edit must not poison the transaction: after
+    // the panic is caught, `rollback_txn` restores the pre-transaction
+    // graph exactly, so the engine's catch-and-rollback recovery is sound.
+    let mut aig = mult(3, 3);
+    let before = dualphase_als::aig::io::to_ascii_string(&aig);
+
+    let panicked = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        aig.begin_txn();
+        let target = aig.iter_ands().next().unwrap();
+        dualphase_als::aig::edit::replace(&mut aig, target, dualphase_als::aig::Lit::FALSE);
+        panic!("worker died mid-edit");
+    }));
+    assert!(panicked.is_err());
+
+    assert!(aig.in_txn(), "the open transaction must survive the unwind");
+    aig.rollback_txn();
+    assert!(!aig.in_txn());
+    assert_eq!(dualphase_als::aig::io::to_ascii_string(&aig), before);
+    dualphase_als::aig::check::check(&aig).unwrap();
+}

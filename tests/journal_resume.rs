@@ -1,0 +1,288 @@
+//! Crash-safety of the run journal: a DP-SA run killed at any commit and
+//! resumed from its journal must reproduce the uninterrupted run
+//! byte-for-byte.
+//!
+//! Two interruption mechanisms are exercised:
+//!
+//! * **In-process:** every append persists the whole journal image
+//!   atomically, so the set of possible on-disk states of a killed run is
+//!   exactly the set of record-boundary prefixes. The prefix tests
+//!   reconstruct each such state from a completed journal and resume from
+//!   it — covering a kill at *every* iteration, not one lucky point.
+//! * **Subprocess:** the `ALS_CRASH_AFTER_COMMITS` hook makes a real
+//!   `als synth --journal` process `abort()` right after persisting the
+//!   N-th commit; the test then resumes with `als synth --resume` and
+//!   compares output files.
+//!
+//! Torn tails (file truncated mid-record) must silently resume from the
+//! last complete record; corrupted checksums must fail with a journal
+//! error instead of producing results from garbage.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+use dualphase_als::aig::Aig;
+use dualphase_als::engine::journal;
+use dualphase_als::engine::{DualPhaseFlow, EngineError, Flow, FlowConfig, FlowResult};
+use dualphase_als::error::MetricKind;
+
+fn adder() -> Aig {
+    dualphase_als::circuits::benchmark("adder", dualphase_als::circuits::BenchmarkScale::Reduced)
+}
+
+fn cfg(threads: usize) -> FlowConfig {
+    FlowConfig::new(MetricKind::Med, 4.0).with_patterns(1024).with_threads(threads)
+}
+
+fn tmp(name: &str) -> PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("als-resume-{}-{name}.alsj", std::process::id()));
+    p
+}
+
+fn ascii(res: &FlowResult) -> String {
+    dualphase_als::aig::io::to_ascii_string(&res.circuit)
+}
+
+fn assert_same_run(a: &FlowResult, b: &FlowResult, what: &str) {
+    assert_eq!(a.iterations.len(), b.iterations.len(), "{what}: LAC counts differ");
+    for (x, y) in a.iterations.iter().zip(&b.iterations) {
+        assert_eq!(x.lac, y.lac, "{what}");
+        assert_eq!(x.error_after.to_bits(), y.error_after.to_bits(), "{what}");
+        assert_eq!(x.saving, y.saving, "{what}");
+        assert_eq!(x.phase, y.phase, "{what}");
+        assert_eq!(x.rollbacks, y.rollbacks, "{what}");
+    }
+    assert_eq!(a.final_error.to_bits(), b.final_error.to_bits(), "{what}: final error differs");
+    assert_eq!(a.guard, b.guard, "{what}: guard stats differ");
+    assert_eq!(ascii(a), ascii(b), "{what}: serialized circuits differ");
+}
+
+/// Runs journaled to `path`, returning the result.
+fn journaled_run(aig: &Aig, threads: usize, path: &PathBuf) -> FlowResult {
+    DualPhaseFlow::with_self_adaption(cfg(threads).with_journal(path)).run(aig).unwrap()
+}
+
+/// Asserts two journals record the same run. Commit records carry
+/// wall-clock step times, so a re-executed suffix is compared with the
+/// timing fields masked; everything else must match exactly.
+fn assert_same_journal(a: &journal::LoadedJournal, b: &journal::LoadedJournal, what: &str) {
+    assert_eq!(a.header.flow, b.header.flow, "{what}");
+    assert_eq!(a.header.config_hash, b.header.config_hash, "{what}");
+    assert_eq!(a.header.circuit_hash, b.header.circuit_hash, "{what}");
+    assert_eq!(a.records.len(), b.records.len(), "{what}: record counts differ");
+    for (i, (x, y)) in a.records.iter().zip(&b.records).enumerate() {
+        match (x, y) {
+            (journal::Record::Checkpoint(x), journal::Record::Checkpoint(y)) => {
+                assert_eq!(format!("{x:?}"), format!("{y:?}"), "{what}: checkpoint {i}");
+            }
+            (journal::Record::Commit(x), journal::Record::Commit(y)) => {
+                let (mut x, mut y) = (x.clone(), y.clone());
+                x.step_nanos = [0; 4];
+                y.step_nanos = [0; 4];
+                assert_eq!(format!("{x:?}"), format!("{y:?}"), "{what}: commit {i}");
+            }
+            _ => panic!("{what}: record {i} kinds differ"),
+        }
+    }
+}
+
+#[test]
+fn journaling_does_not_change_the_result() {
+    let aig = adder();
+    let path = tmp("inert");
+    let plain = DualPhaseFlow::with_self_adaption(cfg(1)).run(&aig).unwrap();
+    let journaled = journaled_run(&aig, 1, &path);
+    assert_same_run(&plain, &journaled, "journal on vs off");
+    assert!(plain.lacs_applied() >= 4, "run too short to be a meaningful crash-test subject");
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn resume_from_every_record_boundary_is_byte_identical() {
+    let aig = adder();
+    let path = tmp("boundaries");
+    let full = journaled_run(&aig, 1, &path);
+    let loaded = journal::load(&path).unwrap();
+    let n = loaded.records.len();
+    assert!(n >= 6, "expected several records, got {n}");
+
+    // A killed run's journal is some record-boundary prefix; try each one
+    // (prefix of 0 records = crash before the first checkpoint).
+    for cut in 0..n {
+        let crash_path = tmp(&format!("cut{cut}"));
+        std::fs::write(&crash_path, loaded.image_before(cut)).unwrap();
+        let resumed =
+            DualPhaseFlow::with_self_adaption(cfg(1).with_resume(&crash_path)).run(&aig).unwrap();
+        assert_same_run(&full, &resumed, &format!("resume from {cut}-record prefix"));
+        // the resumed journal must converge to the uninterrupted one
+        // (modulo the wall-clock timings inside the re-run suffix)
+        let rejournaled = journal::load(&crash_path).unwrap();
+        assert_same_journal(&loaded, &rejournaled, &format!("journal after cut {cut}"));
+        std::fs::remove_file(&crash_path).ok();
+    }
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn resume_at_four_threads_matches_a_serial_run() {
+    let aig = adder();
+    let path = tmp("threads");
+    let full = journaled_run(&aig, 1, &path);
+    let loaded = journal::load(&path).unwrap();
+    let cut = loaded.records.len() / 2;
+    std::fs::write(&path, loaded.image_before(cut)).unwrap();
+    // threads are excluded from the config fingerprint: a 1-thread journal
+    // resumes on 4 threads and must still be byte-identical
+    let resumed = DualPhaseFlow::with_self_adaption(cfg(4).with_resume(&path)).run(&aig).unwrap();
+    assert_same_run(&full, &resumed, "serial journal resumed on 4 threads");
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn torn_tail_resumes_from_the_last_complete_record() {
+    let aig = adder();
+    let path = tmp("torntail");
+    let full = journaled_run(&aig, 1, &path);
+    let bytes = std::fs::read(&path).unwrap();
+    // tear the final record mid-write
+    std::fs::write(&path, &bytes[..bytes.len() - 11]).unwrap();
+    let resumed = DualPhaseFlow::with_self_adaption(cfg(1).with_resume(&path)).run(&aig).unwrap();
+    assert_same_run(&full, &resumed, "resume after torn tail");
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn corrupted_checksum_fails_with_a_journal_error() {
+    let aig = adder();
+    let path = tmp("badsum");
+    journaled_run(&aig, 1, &path);
+    let mut bytes = std::fs::read(&path).unwrap();
+    // flip a byte inside some mid-file record payload
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0x40;
+    std::fs::write(&path, &bytes).unwrap();
+    let err = DualPhaseFlow::with_self_adaption(cfg(1).with_resume(&path)).run(&aig).unwrap_err();
+    assert!(
+        matches!(err, EngineError::Journal { ref detail } if detail.contains("checksum")
+            || detail.contains("record")),
+        "wanted a journal error, got: {err}"
+    );
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn resume_rejects_a_journal_from_a_different_run() {
+    let aig = adder();
+    let path = tmp("identity");
+    journaled_run(&aig, 1, &path);
+    // different seed -> different config hash
+    let other_cfg = cfg(1).with_seed(7).with_resume(&path);
+    let err = DualPhaseFlow::with_self_adaption(other_cfg).run(&aig).unwrap_err();
+    assert!(
+        matches!(err, EngineError::Journal { ref detail } if detail.contains("config")),
+        "wanted a config-hash mismatch, got: {err}"
+    );
+    // different flow (DP vs DP-SA)
+    let err = DualPhaseFlow::new(cfg(1).with_resume(&path)).run(&aig).unwrap_err();
+    assert!(matches!(err, EngineError::Journal { ref detail } if detail.contains("flow")));
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn non_dual_phase_flows_reject_journaling() {
+    use dualphase_als::engine::{AccAlsFlow, ConventionalFlow, VecbeeDepthOneFlow};
+    let aig = adder();
+    let path = tmp("reject");
+    let c = cfg(1).with_journal(&path);
+    for (name, err) in [
+        ("conventional", ConventionalFlow::new(c.clone()).run(&aig).unwrap_err()),
+        ("l1", VecbeeDepthOneFlow::new(c.clone()).run(&aig).unwrap_err()),
+        ("accals", AccAlsFlow::new(c.clone()).run(&aig).unwrap_err()),
+    ] {
+        assert!(
+            matches!(err, EngineError::Config(ref d) if d.contains("journal")),
+            "{name}: wanted a config error, got: {err}"
+        );
+    }
+    std::fs::remove_file(&path).ok();
+}
+
+/// Kill a real `als` process mid-run with the `ALS_CRASH_AFTER_COMMITS`
+/// hook and resume it; the resumed output file must be byte-identical to
+/// an uninterrupted run's. CI repeats this under `ALS_THREADS=4`.
+#[test]
+fn killed_subprocess_resumes_to_an_identical_circuit() {
+    let als = env!("CARGO_BIN_EXE_als");
+    let dir = std::env::temp_dir();
+    let pid = std::process::id();
+    let journal_path = dir.join(format!("als-kill-{pid}.alsj"));
+    let full_out = dir.join(format!("als-kill-{pid}-full.aag"));
+    let resumed_out = dir.join(format!("als-kill-{pid}-resumed.aag"));
+    let synth = [
+        "synth",
+        "adder",
+        "--flow",
+        "dpsa",
+        "--metric",
+        "med",
+        "--bound",
+        "4.0",
+        "--patterns",
+        "1024",
+    ];
+
+    // uninterrupted reference run
+    let st =
+        Command::new(als).args(synth).args(["-o", full_out.to_str().unwrap()]).status().unwrap();
+    assert!(st.success());
+
+    // journaled run, aborted right after the 2nd commit is on disk
+    let st = Command::new(als)
+        .args(synth)
+        .args(["--journal", journal_path.to_str().unwrap()])
+        .env("ALS_CRASH_AFTER_COMMITS", "2")
+        .status()
+        .unwrap();
+    assert!(!st.success(), "the crash hook should have aborted the run");
+    let loaded = journal::load(&journal_path).unwrap();
+    assert!(!loaded.records.is_empty(), "the aborted run journaled nothing");
+
+    // resume and finish
+    let st = Command::new(als)
+        .args(synth)
+        .args(["--resume", journal_path.to_str().unwrap()])
+        .args(["-o", resumed_out.to_str().unwrap()])
+        .status()
+        .unwrap();
+    assert!(st.success(), "resume failed");
+
+    let full = std::fs::read(&full_out).unwrap();
+    let resumed = std::fs::read(&resumed_out).unwrap();
+    assert_eq!(full, resumed, "resumed circuit differs from the uninterrupted run");
+
+    for p in [&journal_path, &full_out, &resumed_out] {
+        std::fs::remove_file(p).ok();
+    }
+}
+
+#[test]
+fn cli_rejects_unknown_options_with_nonzero_exit() {
+    let als = env!("CARGO_BIN_EXE_als");
+    for args in [
+        vec!["synth", "--bogus"],
+        vec!["synth", "adder", "--bogus"],
+        vec!["synth", "adder", "--journal"],
+        vec!["stats", "adder", "--bogus"],
+        vec!["stats", "--bogus"],
+        vec!["convert", "--bogus"],
+    ] {
+        let out = Command::new(als).args(&args).output().unwrap();
+        assert!(!out.status.success(), "als {args:?} should fail");
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(
+            stderr.contains("unknown option") || stderr.contains("missing value"),
+            "als {args:?}: unhelpful error: {stderr}"
+        );
+    }
+}
