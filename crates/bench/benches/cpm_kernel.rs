@@ -1,0 +1,252 @@
+//! Arena CPM + fused error kernels vs. the boxed baseline.
+//!
+//! Rebuilds the pre-arena data layout locally — one heap-allocated
+//! `Vec<(u32, PackedBits)>` per CPM row, per-candidate materialised flip
+//! vectors through `eval_flips` — and compares it against the shipped
+//! arena path (`compute_full` + `eval_flips_sparse`) on both phases the
+//! layout touches:
+//!
+//! * **build** — the full CPM construction (step 2),
+//! * **eval** — batch error estimation of every constant LAC (step 3).
+//!
+//! A counting global allocator reports allocation counts and peak live
+//! bytes per phase alongside best-of-N wall times, and the two paths are
+//! asserted to produce bit-identical error estimates before any number is
+//! written. Results go to `BENCH_cpm_kernel.json` (`ALS_BENCH_OUT`
+//! overrides). Like the other benches, the binary is inert without the
+//! `--bench` argument `cargo bench` passes.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicUsize, Ordering::Relaxed};
+use std::time::Instant;
+
+use als_aig::Aig;
+use als_circuits::{benchmark, BenchmarkScale};
+use als_cpm::FlipSim;
+use als_cuts::{CutMember, CutState};
+use als_error::{unsigned_weights, ErrorState, FlipVec, MetricKind, SparseFlip};
+use als_lac::{generate, CandidateConfig, Lac};
+use als_sim::{PackedBits, PatternSet, Simulator};
+
+// ---------------------------------------------------------------------------
+// Counting allocator
+
+struct Counting;
+
+static ALLOCS: AtomicUsize = AtomicUsize::new(0);
+static LIVE: AtomicUsize = AtomicUsize::new(0);
+static PEAK: AtomicUsize = AtomicUsize::new(0);
+
+unsafe impl GlobalAlloc for Counting {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Relaxed);
+        let live = LIVE.fetch_add(layout.size(), Relaxed) + layout.size();
+        PEAK.fetch_max(live, Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        LIVE.fetch_sub(layout.size(), Relaxed);
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Relaxed);
+        if new_size >= layout.size() {
+            let grow = new_size - layout.size();
+            let live = LIVE.fetch_add(grow, Relaxed) + grow;
+            PEAK.fetch_max(live, Relaxed);
+        } else {
+            LIVE.fetch_sub(layout.size() - new_size, Relaxed);
+        }
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static ALLOC: Counting = Counting;
+
+/// Allocation count and peak live bytes of one run of `f`, measured above
+/// the live-byte floor at entry.
+fn count_allocs<R>(f: impl FnOnce() -> R) -> (R, usize, usize) {
+    let live = LIVE.load(Relaxed);
+    PEAK.store(live, Relaxed);
+    let allocs0 = ALLOCS.load(Relaxed);
+    let result = f();
+    let allocs = ALLOCS.load(Relaxed) - allocs0;
+    let peak = PEAK.load(Relaxed).saturating_sub(live);
+    (result, allocs, peak)
+}
+
+const RUNS: usize = 7;
+
+/// Best-of-`RUNS` wall times of two competing implementations, interleaved
+/// A/B/A/B per repetition (after one warmup each) so host-load drift hits
+/// both sides equally. Returns `(best_a_ms, best_b_ms)`.
+fn time_pair_ms<A, B>(mut a: impl FnMut() -> A, mut b: impl FnMut() -> B) -> (f64, f64) {
+    std::hint::black_box(a());
+    std::hint::black_box(b());
+    let (mut best_a, mut best_b) = (f64::INFINITY, f64::INFINITY);
+    for _ in 0..RUNS {
+        let t0 = Instant::now();
+        std::hint::black_box(a());
+        best_a = best_a.min(t0.elapsed().as_secs_f64() * 1e3);
+        let t0 = Instant::now();
+        std::hint::black_box(b());
+        best_b = best_b.min(t0.elapsed().as_secs_f64() * 1e3);
+    }
+    (best_a, best_b)
+}
+
+// ---------------------------------------------------------------------------
+// Boxed baseline: the pre-arena layout, one heap vector per row entry.
+
+type BoxedRow = Vec<(u32, PackedBits)>;
+type BoxedCpm = Vec<Option<BoxedRow>>;
+
+fn boxed_compute_full(aig: &Aig, sim: &Simulator, cuts: &CutState) -> BoxedCpm {
+    let mut cpm: BoxedCpm = vec![None; aig.num_nodes()];
+    let mut flipsim = FlipSim::new(aig.num_nodes(), sim.num_words());
+    let order = als_aig::topo::topo_order(aig);
+    for &n in order.iter().rev() {
+        let cut = cuts.get_cut(n).expect("cut exists for every live node");
+        let diffs = flipsim.boolean_differences(aig, sim, cuts.ranks(), n, cut);
+        let mut row: BoxedRow = Vec::new();
+        for (member, b) in diffs {
+            match member {
+                CutMember::Output(o) => row.push((o, b)),
+                CutMember::Node(t) => {
+                    let trow = cpm[t.index()].as_ref().expect("member row precedes");
+                    for (o, p) in trow {
+                        row.push((*o, b.and(p)));
+                    }
+                }
+            }
+        }
+        row.sort_by_key(|(o, _)| *o);
+        cpm[n.index()] = Some(row);
+    }
+    cpm
+}
+
+fn boxed_eval(sim: &Simulator, state: &ErrorState, cpm: &BoxedCpm, lacs: &[Lac]) -> Vec<f64> {
+    lacs.iter()
+        .map(|lac| {
+            let row = cpm[lac.target.index()].as_ref().expect("row exists");
+            let d = lac.change_vector(sim);
+            let flips: Vec<FlipVec> = row
+                .iter()
+                .filter_map(|(o, p)| {
+                    let bits = d.and(p);
+                    (!bits.is_zero()).then_some(FlipVec { output: *o as usize, bits })
+                })
+                .collect();
+            state.eval_flips(&flips)
+        })
+        .collect()
+}
+
+fn arena_eval(sim: &Simulator, state: &ErrorState, cpm: &als_cpm::Cpm, lacs: &[Lac]) -> Vec<f64> {
+    let mut d = PackedBits::zeros(sim.num_words());
+    let mut flips: Vec<SparseFlip<'_>> = Vec::new();
+    lacs.iter()
+        .map(|lac| {
+            let row = cpm.row(lac.target).expect("row exists");
+            lac.change_vector_into(sim, &mut d);
+            flips.clear();
+            flips.extend(row.iter().map(|(o, bits)| SparseFlip { output: o as usize, bits }));
+            state.eval_flips_sparse(&d, &flips)
+        })
+        .collect()
+}
+
+fn main() {
+    if !std::env::args().any(|a| a == "--bench") {
+        return; // `cargo test` runs bench binaries without --bench
+    }
+    const PATTERN_WORDS: usize = 32; // 2048 patterns
+
+    let mut rows: Vec<String> = Vec::new();
+    for name in ["adder", "sm9x8", "mult16"] {
+        let aig = benchmark(name, BenchmarkScale::Reduced);
+        let patterns = PatternSet::random(aig.num_inputs(), PATTERN_WORDS, 7);
+        let sim = Simulator::new(&aig, &patterns);
+        let cuts = CutState::compute(&aig);
+        let golden: Vec<PackedBits> =
+            (0..aig.num_outputs()).map(|o| sim.output_value(&aig, o)).collect();
+        let state = ErrorState::new(
+            MetricKind::Med,
+            unsigned_weights(aig.num_outputs()),
+            golden.clone(),
+            &golden,
+        );
+        // the paper's step-3 workload: constants plus SASIMI substitutions
+        let lacs = generate(&aig, &sim, &CandidateConfig::sasimi(8), None);
+
+        // correctness gate: the two layouts must agree bit-for-bit
+        let boxed_cpm = boxed_compute_full(&aig, &sim, &cuts);
+        let arena_cpm = als_cpm::compute_full(&aig, &sim, &cuts).expect("cpm");
+        let boxed_errs = boxed_eval(&sim, &state, &boxed_cpm, &lacs);
+        let arena_errs = arena_eval(&sim, &state, &arena_cpm, &lacs);
+        for (i, (a, b)) in boxed_errs.iter().zip(&arena_errs).enumerate() {
+            assert_eq!(a.to_bits(), b.to_bits(), "{name}: {:?} diverges", lacs[i]);
+        }
+        drop((boxed_cpm, arena_cpm, boxed_errs, arena_errs));
+
+        // wall times, best of RUNS, A/B-interleaved against host drift
+        let (boxed_build_ms, arena_build_ms) = time_pair_ms(
+            || boxed_compute_full(&aig, &sim, &cuts),
+            || als_cpm::compute_full(&aig, &sim, &cuts).expect("cpm"),
+        );
+        let boxed_cpm = boxed_compute_full(&aig, &sim, &cuts);
+        let arena_cpm = als_cpm::compute_full(&aig, &sim, &cuts).expect("cpm");
+        let (boxed_eval_ms, arena_eval_ms) = time_pair_ms(
+            || boxed_eval(&sim, &state, &boxed_cpm, &lacs),
+            || arena_eval(&sim, &state, &arena_cpm, &lacs),
+        );
+        drop((boxed_cpm, arena_cpm));
+
+        // allocation behaviour, single counted run per phase
+        let (boxed_cpm, boxed_build_allocs, boxed_build_peak) =
+            count_allocs(|| boxed_compute_full(&aig, &sim, &cuts));
+        let (arena_cpm, arena_build_allocs, arena_build_peak) =
+            count_allocs(|| als_cpm::compute_full(&aig, &sim, &cuts).expect("cpm"));
+        let (_, boxed_eval_allocs, _) =
+            count_allocs(|| boxed_eval(&sim, &state, &boxed_cpm, &lacs));
+        let (_, arena_eval_allocs, _) =
+            count_allocs(|| arena_eval(&sim, &state, &arena_cpm, &lacs));
+
+        let build_speedup = boxed_build_ms / arena_build_ms.max(1e-9);
+        let eval_speedup = boxed_eval_ms / arena_eval_ms.max(1e-9);
+        println!(
+            "bench: cpm_kernel/{name:<7} build {boxed_build_ms:>8.3} -> {arena_build_ms:>8.3} ms \
+             ({build_speedup:.2}x, {boxed_build_allocs} -> {arena_build_allocs} allocs)  \
+             eval {boxed_eval_ms:>8.3} -> {arena_eval_ms:>8.3} ms \
+             ({eval_speedup:.2}x, {boxed_eval_allocs} -> {arena_eval_allocs} allocs)"
+        );
+        rows.push(format!(
+            "    {{\"name\": \"{name}\", \"gates\": {}, \"lacs\": {}, \
+             \"build\": {{\"boxed_ms\": {boxed_build_ms:.3}, \"arena_ms\": {arena_build_ms:.3}, \
+             \"speedup\": {build_speedup:.3}, \"boxed_allocs\": {boxed_build_allocs}, \
+             \"arena_allocs\": {arena_build_allocs}, \"boxed_peak_bytes\": {boxed_build_peak}, \
+             \"arena_peak_bytes\": {arena_build_peak}}}, \
+             \"eval\": {{\"boxed_ms\": {boxed_eval_ms:.3}, \"arena_ms\": {arena_eval_ms:.3}, \
+             \"speedup\": {eval_speedup:.3}, \"boxed_allocs\": {boxed_eval_allocs}, \
+             \"arena_allocs\": {arena_eval_allocs}}}}}",
+            aig.num_ands(),
+            lacs.len()
+        ));
+    }
+
+    let json = format!(
+        "{{\n  \"metric\": \"med\",\n  \"pattern_words\": {PATTERN_WORDS},\n  \
+         \"runs\": {RUNS},\n  \"note\": \"boxed = pre-arena layout (Vec<(u32, PackedBits)> \
+         rows, materialised flip vectors); arena = flat word arena + eval_flips_sparse; \
+         both paths asserted bit-identical before timing\",\n  \"circuits\": [\n{}\n  ]\n}}\n",
+        rows.join(",\n")
+    );
+    let out = std::env::var("ALS_BENCH_OUT")
+        .unwrap_or_else(|_| format!("{}/../../BENCH_cpm_kernel.json", env!("CARGO_MANIFEST_DIR")));
+    std::fs::write(&out, &json).expect("write BENCH_cpm_kernel.json");
+    println!("bench: cpm kernel -> {out}");
+}

@@ -8,54 +8,253 @@
 
 use als_aig::{Aig, NodeId};
 use als_cuts::{CutMember, DisjointCut};
-use als_sim::{PackedBits, Simulator};
+use als_sim::{BitsRef, PackedBits, Simulator};
+
+/// The Boolean differences of one flip simulation: cut members paired with
+/// their difference vectors, stored in one flat word buffer with per-member
+/// nonzero windows. Reused across calls, so steady-state extraction
+/// performs no heap allocation.
+#[derive(Debug, Default)]
+pub struct DiffSet {
+    num_words: usize,
+    members: Vec<CutMember>,
+    words: Vec<u64>,
+    /// Per member: `(nz_begin, nz_end)` window of its word chunk.
+    nz: Vec<(u32, u32)>,
+}
+
+impl DiffSet {
+    /// Number of members.
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+
+    /// Iterates `(member, difference)` in cut-member order.
+    pub fn iter(&self) -> impl Iterator<Item = (CutMember, BitsRef<'_>)> + '_ {
+        self.members.iter().enumerate().map(move |(i, &m)| (m, self.bits(i)))
+    }
+
+    /// The difference vector of member `i`.
+    pub fn bits(&self, i: usize) -> BitsRef<'_> {
+        let (b, e) = self.nz[i];
+        BitsRef::with_window(
+            &self.words[i * self.num_words..(i + 1) * self.num_words],
+            b as usize,
+            e as usize,
+        )
+    }
+
+    fn clear(&mut self, num_words: usize) {
+        self.num_words = num_words;
+        self.members.clear();
+        self.words.clear();
+        self.nz.clear();
+    }
+
+    /// Appends a member whose difference is the word-wise XOR of `flipped`
+    /// and `orig`, computing the nonzero window on the fly.
+    fn push_xor(&mut self, m: CutMember, flipped: &[u64], orig: &[u64]) {
+        let start = self.words.len();
+        self.words.resize(start + self.num_words, 0);
+        let dst = &mut self.words[start..];
+        let (mut nz_begin, mut nz_end) = (self.num_words, 0);
+        for (w, slot) in dst.iter_mut().enumerate() {
+            let d = flipped[w] ^ orig[w];
+            *slot = d;
+            if d != 0 {
+                nz_begin = nz_begin.min(w);
+                nz_end = w + 1;
+            }
+        }
+        self.members.push(m);
+        self.nz.push((nz_begin.min(nz_end) as u32, nz_end as u32));
+    }
+
+    /// Appends a member with an all-zero difference (node untouched by the
+    /// flip).
+    fn push_zero(&mut self, m: CutMember) {
+        self.words.resize(self.words.len() + self.num_words, 0);
+        self.members.push(m);
+        self.nz.push((0, 0));
+    }
+}
 
 /// Reusable scratch buffers for flip simulations.
 ///
-/// A flip simulation touches only the inner cone of one node, so the
-/// scratch vectors are stamped per call rather than cleared.
+/// A flip simulation touches only the inner cone of one node, so flipped
+/// values live in a compact arena indexed by *cone slot*, not node id: the
+/// arena grows lazily to the largest inner cone seen times the pattern
+/// width, so per-thread scratch memory scales with cone size, not circuit
+/// size. Per-node state is three `u32` stamps.
 #[derive(Debug)]
 pub struct FlipSim {
     num_words: usize,
-    flipped: Vec<PackedBits>,
+    /// node -> arena slot, valid when `stamp` matches the current epoch.
+    slot: Vec<u32>,
     stamp: Vec<u32>,
     epoch: u32,
+    /// Flipped values, `cone_len × num_words` words, grown on demand.
+    arena: Vec<u64>,
+    /// Scratch: the inner cone in topological order.
+    cone: Vec<NodeId>,
     /// Scratch: cone membership stamps.
     cone_stamp: Vec<u32>,
+    /// Scratch: cut-node-member stamps (O(1) member tests during the BFS).
+    member_stamp: Vec<u32>,
     cone_epoch: u32,
+    diffs: DiffSet,
 }
 
 impl FlipSim {
     /// Allocates scratch for a graph with `num_nodes` slots and pattern
-    /// vectors of `num_words` words.
+    /// vectors of `num_words` words. The value arena itself starts empty
+    /// and grows with the largest inner cone actually simulated.
     pub fn new(num_nodes: usize, num_words: usize) -> FlipSim {
         FlipSim {
             num_words,
-            flipped: vec![PackedBits::zeros(num_words); num_nodes],
+            slot: vec![0; num_nodes],
             stamp: vec![0; num_nodes],
             epoch: 0,
+            arena: Vec::new(),
+            cone: Vec::new(),
             cone_stamp: vec![0; num_nodes],
+            member_stamp: vec![0; num_nodes],
             cone_epoch: 0,
+            diffs: DiffSet::default(),
         }
     }
 
-    #[inline]
-    fn flipped_or_orig<'a>(&'a self, sim: &'a Simulator, id: NodeId) -> &'a PackedBits {
-        if self.stamp[id.index()] == self.epoch {
-            &self.flipped[id.index()]
-        } else {
-            sim.value(id)
-        }
+    /// Bytes currently held by the flipped-value arena (scales with the
+    /// largest inner cone seen, not the circuit).
+    pub fn arena_bytes(&self) -> usize {
+        self.arena.len() * std::mem::size_of::<u64>()
     }
 
     /// Simulates the inner cone of `n` with `n`'s value complemented and
     /// returns, for each cut member `t`, the Boolean-difference vector
-    /// `B[n][t]`.
+    /// `B[n][t]`, in a reused buffer.
     ///
     /// `ranks` must be current topological ranks
-    /// ([`als_aig::topo::topo_ranks`]). For an [`CutMember::Output`] member
+    /// ([`als_aig::topo::topo_ranks`]). For a [`CutMember::Output`] member
     /// the difference is that of the output's driver (output complements
     /// cancel under XOR).
+    pub fn differences(
+        &mut self,
+        aig: &Aig,
+        sim: &Simulator,
+        ranks: &[u32],
+        n: NodeId,
+        cut: &DisjointCut,
+    ) -> &DiffSet {
+        debug_assert_eq!(sim.num_words(), self.num_words);
+        self.epoch = self.epoch.wrapping_add(1);
+        self.cone_epoch = self.cone_epoch.wrapping_add(1);
+
+        // Stamp cut node members for O(1) tests during the BFS.
+        for m in cut.members() {
+            if let CutMember::Node(t) = m {
+                self.member_stamp[t.index()] = self.cone_epoch;
+            }
+        }
+
+        // Collect the inner cone: BFS from n through fanouts, not expanding
+        // beyond cut member nodes (output sinks terminate naturally).
+        self.cone.clear();
+        self.cone_stamp[n.index()] = self.cone_epoch;
+        self.cone.push(n);
+        let mut head = 0;
+        while head < self.cone.len() {
+            let u = self.cone[head];
+            head += 1;
+            if u != n && self.member_stamp[u.index()] == self.cone_epoch {
+                continue; // member: include but do not expand
+            }
+            for &f in aig.fanouts(u) {
+                if self.cone_stamp[f.index()] != self.cone_epoch {
+                    self.cone_stamp[f.index()] = self.cone_epoch;
+                    self.cone.push(f);
+                }
+            }
+        }
+        self.cone.sort_by_key(|id| ranks[id.index()]);
+
+        // Grow the arena to the cone and assign slots in topological order.
+        let needed = self.cone.len() * self.num_words;
+        if self.arena.len() < needed {
+            self.arena.resize(needed, 0);
+        }
+        for (i, &id) in self.cone.iter().enumerate() {
+            self.slot[id.index()] = i as u32;
+        }
+
+        // Seed: n flipped (slot 0 — n has the lowest rank in its own cone).
+        debug_assert_eq!(self.cone[0], n);
+        for (w, slot) in self.arena[..self.num_words].iter_mut().enumerate() {
+            *slot = !sim.value(n).words()[w];
+        }
+        self.stamp[n.index()] = self.epoch;
+
+        // Evaluate the cone in topological order.
+        for ci in 1..self.cone.len() {
+            let id = self.cone[ci];
+            if !aig.node(id).is_and() {
+                continue;
+            }
+            let node = aig.node(id);
+            let (f0, f1) = (node.fanin0(), node.fanin1());
+            let (i0, i1) = (f0.node().index(), f1.node().index());
+            let (m0, m1) = (
+                if f0.is_complement() { !0u64 } else { 0 },
+                if f1.is_complement() { !0u64 } else { 0 },
+            );
+            let (s0, s1) = (self.slot[i0] as usize, self.slot[i1] as usize);
+            let (use0, use1) = (self.stamp[i0] == self.epoch, self.stamp[i1] == self.epoch);
+            let dst = ci * self.num_words;
+            for w in 0..self.num_words {
+                let a = if use0 {
+                    self.arena[s0 * self.num_words + w]
+                } else {
+                    sim.value(f0.node()).words()[w]
+                };
+                let b = if use1 {
+                    self.arena[s1 * self.num_words + w]
+                } else {
+                    sim.value(f1.node()).words()[w]
+                };
+                self.arena[dst + w] = (a ^ m0) & (b ^ m1);
+            }
+            self.stamp[id.index()] = self.epoch;
+        }
+
+        // Extract differences at the cut into the reused buffer.
+        let (diffs, num_words) = (&mut self.diffs, self.num_words);
+        diffs.clear(num_words);
+        for &m in cut.members() {
+            let node = match m {
+                CutMember::Node(t) => t,
+                CutMember::Output(o) => aig.output_lit(o as usize).node(),
+            };
+            if self.stamp[node.index()] == self.epoch {
+                let s = self.slot[node.index()] as usize;
+                diffs.push_xor(
+                    m,
+                    &self.arena[s * num_words..(s + 1) * num_words],
+                    sim.value(node).words(),
+                );
+            } else {
+                diffs.push_zero(m);
+            }
+        }
+        &self.diffs
+    }
+
+    /// [`FlipSim::differences`] materialised as owned vectors — the boxed
+    /// compatibility path for single-row consumers and tests.
     pub fn boolean_differences(
         &mut self,
         aig: &Aig,
@@ -64,82 +263,7 @@ impl FlipSim {
         n: NodeId,
         cut: &DisjointCut,
     ) -> Vec<(CutMember, PackedBits)> {
-        debug_assert_eq!(sim.num_words(), self.num_words);
-        self.epoch = self.epoch.wrapping_add(1);
-        self.cone_epoch = self.cone_epoch.wrapping_add(1);
-
-        // Collect the inner cone: BFS from n through fanouts, not expanding
-        // beyond cut member nodes (output sinks terminate naturally).
-        let mut cone: Vec<NodeId> = Vec::new();
-        let is_cut_node = |id: NodeId| cut.members().contains(&CutMember::Node(id));
-        self.cone_stamp[n.index()] = self.cone_epoch;
-        let mut queue = vec![n];
-        let mut head = 0;
-        while head < queue.len() {
-            let u = queue[head];
-            head += 1;
-            if u != n && is_cut_node(u) {
-                cone.push(u);
-                continue; // member: include but do not expand
-            }
-            cone.push(u);
-            for &f in aig.fanouts(u) {
-                if self.cone_stamp[f.index()] != self.cone_epoch {
-                    self.cone_stamp[f.index()] = self.cone_epoch;
-                    queue.push(f);
-                }
-            }
-        }
-        cone.sort_by_key(|id| ranks[id.index()]);
-
-        // Seed: n flipped.
-        self.flipped[n.index()].words_mut().copy_from_slice(sim.value(n).words());
-        self.flipped[n.index()].not_assign();
-        self.stamp[n.index()] = self.epoch;
-
-        // Evaluate the cone in topological order.
-        for &id in &cone {
-            if id == n || !aig.node(id).is_and() {
-                continue;
-            }
-            let node = aig.node(id);
-            let (f0, f1) = (node.fanin0(), node.fanin1());
-            let (i0, i1, ii) = (f0.node().index(), f1.node().index(), id.index());
-            let use0 = self.stamp[i0] == self.epoch;
-            let use1 = self.stamp[i1] == self.epoch;
-            let (m0, m1) = (
-                if f0.is_complement() { !0u64 } else { 0 },
-                if f1.is_complement() { !0u64 } else { 0 },
-            );
-            for w in 0..self.num_words {
-                let a = if use0 {
-                    self.flipped[i0].words()[w]
-                } else {
-                    sim.value(f0.node()).words()[w]
-                };
-                let b = if use1 {
-                    self.flipped[i1].words()[w]
-                } else {
-                    sim.value(f1.node()).words()[w]
-                };
-                let r = (a ^ m0) & (b ^ m1);
-                self.flipped[ii].words_mut()[w] = r;
-            }
-            self.stamp[ii] = self.epoch;
-        }
-
-        // Extract differences at the cut.
-        cut.members()
-            .iter()
-            .map(|&m| {
-                let node = match m {
-                    CutMember::Node(t) => t,
-                    CutMember::Output(o) => aig.output_lit(o as usize).node(),
-                };
-                let diff = self.flipped_or_orig(sim, node).xor(sim.value(node));
-                (m, diff)
-            })
-            .collect()
+        self.differences(aig, sim, ranks, n, cut).iter().map(|(m, b)| (m, b.to_packed())).collect()
     }
 }
 
@@ -238,5 +362,35 @@ mod tests {
         let _ = fs.boolean_differences(&aig, &sim, &ranks, g2.node(), &cut2);
         let again = fs.boolean_differences(&aig, &sim, &ranks, g1.node(), &cut1);
         assert_eq!(first, again);
+    }
+
+    #[test]
+    fn scratch_memory_scales_with_cone_not_circuit() {
+        // A wide circuit where each node's inner cone is tiny.
+        let mut aig = Aig::new("wide");
+        let x = aig.add_inputs("x", 64);
+        let mut last = None;
+        for i in 0..32 {
+            let g = aig.and(x[2 * i], x[2 * i + 1]);
+            aig.add_output(g, format!("o{i}"));
+            last = Some(g);
+        }
+        let _ = last;
+        let patterns = PatternSet::random(64, 4, 9);
+        let sim = Simulator::new(&aig, &patterns);
+        let reach = ReachMap::compute(&aig);
+        let ranks = als_aig::topo::topo_ranks(&aig);
+        let mut fs = FlipSim::new(aig.num_nodes(), sim.num_words());
+        for n in aig.iter_ands() {
+            let cut = closest_disjoint_cut(&aig, &reach, &ranks, n);
+            let _ = fs.differences(&aig, &sim, &ranks, n, &cut);
+        }
+        // every inner cone here is a single node; the arena must stay far
+        // below num_nodes × num_words words
+        assert!(
+            fs.arena_bytes() <= 4 * sim.num_words() * 8,
+            "arena {} bytes for single-node cones",
+            fs.arena_bytes()
+        );
     }
 }

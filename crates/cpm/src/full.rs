@@ -7,10 +7,18 @@ use als_sim::Simulator;
 
 use crate::error::CpmError;
 use crate::flipsim::FlipSim;
-use crate::storage::{Cpm, CpmRow};
+use crate::storage::{Cpm, RowData};
 
 /// Computes one node's CPM row from its cut members' Boolean differences
-/// and the already-computed rows of node members.
+/// and the already-computed rows of node members, into the reused `out`
+/// buffer (cleared first).
+///
+/// The Eq. (1) products `B[n][t] ∧ P[t][o]` are streamed word-by-word from
+/// the member difference and the arena entry, restricted to the
+/// intersection of their nonzero windows; a product that annihilates (all
+/// zero) is dropped on the spot, and an annihilated member difference skips
+/// its whole sub-row without reading it.
+#[allow(clippy::too_many_arguments)] // internal kernel: the row pipeline's full context
 pub(crate) fn row_from_cut(
     aig: &Aig,
     sim: &Simulator,
@@ -19,23 +27,42 @@ pub(crate) fn row_from_cut(
     cpm: &Cpm,
     n: NodeId,
     cut: &DisjointCut,
-) -> Result<CpmRow, CpmError> {
-    let diffs = flipsim.boolean_differences(aig, sim, cuts.ranks(), n, cut);
-    let mut row: CpmRow = Vec::new();
-    for (member, b) in diffs {
+    out: &mut RowData,
+) -> Result<(), CpmError> {
+    out.clear();
+    let diffs = flipsim.differences(aig, sim, cuts.ranks(), n, cut);
+    for (member, b) in diffs.iter() {
         match member {
-            CutMember::Output(o) => row.push((o, b)),
+            CutMember::Output(o) => {
+                if b.is_zero() {
+                    continue; // annihilated: the flip never reaches o
+                }
+                let dst = out.push_entry(o);
+                dst[b.nz_begin()..b.nz_end()].copy_from_slice(&b.words()[b.nz_begin()..b.nz_end()]);
+            }
             CutMember::Node(t) => {
                 let trow = cpm.row(t).ok_or(CpmError::MissingMemberRow { member: t, node: n })?;
-                for (o, p) in trow {
-                    row.push((*o, b.and(p)));
+                if b.is_zero() {
+                    continue; // annihilated: nothing propagates through t
+                }
+                for (o, p) in trow.iter() {
+                    let lo = b.nz_begin().max(p.nz_begin());
+                    let hi = b.nz_end().min(p.nz_end());
+                    let dst = out.push_entry(o);
+                    let mut any = 0u64;
+                    for (w, slot) in dst.iter_mut().enumerate().take(hi).skip(lo) {
+                        let v = b.words()[w] & p.words()[w];
+                        *slot = v;
+                        any |= v;
+                    }
+                    if any == 0 {
+                        out.pop_entry(); // product annihilated
+                    }
                 }
             }
         }
     }
-    row.sort_by_key(|(o, _)| *o);
-    debug_assert!(row.windows(2).all(|w| w[0].0 < w[1].0), "cut covers each output once");
-    Ok(row)
+    Ok(())
 }
 
 /// Computes CPM rows for the nodes selected by `include` (indexed by node
@@ -72,10 +99,11 @@ pub fn compute_for_set_with(
     include: Option<&[bool]>,
     pool: &WorkerPool,
 ) -> Result<Cpm, CpmError> {
-    let mut cpm = Cpm::new(aig.num_nodes());
+    let mut cpm = Cpm::new(aig.num_nodes(), sim.num_words());
     let order = als_aig::topo::topo_order(aig);
     if pool.is_serial() {
         let mut flipsim = FlipSim::new(aig.num_nodes(), sim.num_words());
+        let mut row = RowData::new(sim.num_words());
         for &n in order.iter().rev() {
             if let Some(inc) = include {
                 if !inc[n.index()] {
@@ -83,8 +111,8 @@ pub fn compute_for_set_with(
                 }
             }
             let cut = cuts.get_cut(n).ok_or(CpmError::MissingCut { node: n })?;
-            let row = row_from_cut(aig, sim, cuts, &mut flipsim, &cpm, n, cut)?;
-            cpm.set_row(n, row);
+            row_from_cut(aig, sim, cuts, &mut flipsim, &cpm, n, cut, &mut row)?;
+            cpm.set_row(n, &mut row);
         }
         return Ok(cpm);
     }
@@ -118,27 +146,31 @@ pub fn compute_for_set_with(
         waves[slot].push(n);
     }
     let mut serial_scratch = FlipSim::new(aig.num_nodes(), sim.num_words());
+    let mut serial_row = RowData::new(sim.num_words());
     for wv in &waves {
         if !pool.would_parallelize(wv.len()) {
             for &n in wv {
                 let cut = cuts.get_cut(n).ok_or(CpmError::MissingCut { node: n })?;
-                let row = row_from_cut(aig, sim, cuts, &mut serial_scratch, &cpm, n, cut)?;
-                cpm.set_row(n, row);
+                row_from_cut(aig, sim, cuts, &mut serial_scratch, &cpm, n, cut, &mut serial_row)?;
+                cpm.set_row(n, &mut serial_row);
             }
             continue;
         }
         let shared = &cpm;
-        let rows = pool
+        let mut rows = pool
             .try_map_with(
                 wv,
-                || FlipSim::new(aig.num_nodes(), sim.num_words()),
-                |flipsim, &n| {
+                || (FlipSim::new(aig.num_nodes(), sim.num_words()), RowData::new(sim.num_words())),
+                |(flipsim, row), &n| {
                     let cut = cuts.get_cut(n).ok_or(CpmError::MissingCut { node: n })?;
-                    row_from_cut(aig, sim, cuts, flipsim, shared, n, cut)
+                    row_from_cut(aig, sim, cuts, flipsim, shared, n, cut, row)?;
+                    // hand an owned buffer back to the join; the scratch
+                    // buffer restarts empty for the next item
+                    Ok(std::mem::replace(row, RowData::new(sim.num_words())))
                 },
             )
             .map_err(|p| CpmError::WorkerPanic(p.0))??;
-        for (&n, row) in wv.iter().zip(rows) {
+        for (&n, row) in wv.iter().zip(rows.iter_mut()) {
             cpm.set_row(n, row);
         }
     }
@@ -197,6 +229,7 @@ mod tests {
                 "CPM row of {n} diverges from brute force"
             );
         }
+        assert!(cpm.arena_bytes() > 0);
     }
 
     #[test]
@@ -237,6 +270,6 @@ mod tests {
         // output O4 is driven directly by input x5
         let x5 = aig.inputs()[5];
         let entry = cpm.entry(x5, 3).expect("entry exists");
-        assert_eq!(entry.count_ones(), entry.num_bits());
+        assert_eq!(entry.count_ones(), entry.num_words() * 64);
     }
 }

@@ -22,6 +22,11 @@
 //! Boolean differences `B[n][t]` to *all* cut members of `n` at once — the
 //! disjoint-cut advantage over per-output one-cut simulation.
 //! [`reference`] holds a brute-force oracle used by tests.
+//!
+//! [`storage`] backs the matrix with one flat word arena per [`Cpm`]: rows
+//! are `(output, arena-range)` index slices with per-entry nonzero-word
+//! windows, so downstream kernels stream over cache-friendly slices and
+//! skip guaranteed-zero words instead of chasing boxed per-entry vectors.
 
 // Hot-path analysis code must surface failures as values, not panics: a
 // stray `unwrap()` here aborts a whole synthesis run.
@@ -39,8 +44,8 @@ pub mod vecbee;
 
 pub use error::CpmError;
 pub use exact::{exact_row, trivial_cut};
-pub use flipsim::FlipSim;
+pub use flipsim::{DiffSet, FlipSim};
 pub use full::{compute_for_set, compute_for_set_with, compute_full, compute_full_with};
 pub use partial::{candidate_closure, compute_partial, compute_partial_with};
-pub use storage::{Cpm, CpmRow};
+pub use storage::{Cpm, CpmRow, RowData, RowView};
 pub use vecbee::compute_depth_one;

@@ -42,16 +42,35 @@ pub fn brute_force_row(aig: &Aig, patterns: &PatternSet, n: NodeId) -> CpmRow {
         .collect()
 }
 
-/// Whether a sparse CPM row equals a dense reference row: entries present
-/// in one and absent in the other must be zero vectors.
-pub fn rows_equivalent(sparse: &CpmRow, dense: &CpmRow, num_outputs: usize) -> bool {
+/// Whether an arena CPM row equals a dense reference row: entries present
+/// in one and absent in the other must be zero vectors (the arena drops
+/// annihilated entries at write time).
+pub fn rows_equivalent(sparse: crate::RowView<'_>, dense: &CpmRow, num_outputs: usize) -> bool {
     for o in 0..num_outputs as u32 {
-        let s = sparse.iter().find(|(oo, _)| *oo == o).map(|(_, v)| v);
+        let s = sparse.entry(o);
         let d = dense.iter().find(|(oo, _)| *oo == o).map(|(_, v)| v);
         let equal = match (s, d) {
-            (Some(a), Some(b)) => a == b,
+            (Some(a), Some(b)) => a == *b,
             (Some(a), None) => a.is_zero(),
             (None, Some(b)) => b.is_zero(),
+            (None, None) => true,
+        };
+        if !equal {
+            return false;
+        }
+    }
+    true
+}
+
+/// [`rows_equivalent`] for two boxed rows (both owned `CpmRow`s).
+pub fn boxed_rows_equivalent(a: &CpmRow, b: &CpmRow, num_outputs: usize) -> bool {
+    for o in 0..num_outputs as u32 {
+        let av = a.iter().find(|(oo, _)| *oo == o).map(|(_, v)| v);
+        let bv = b.iter().find(|(oo, _)| *oo == o).map(|(_, v)| v);
+        let equal = match (av, bv) {
+            (Some(x), Some(y)) => x == y,
+            (Some(x), None) => x.is_zero(),
+            (None, Some(y)) => y.is_zero(),
             (None, None) => true,
         };
         if !equal {
@@ -83,8 +102,13 @@ mod tests {
     fn rows_equivalent_handles_sparsity() {
         let dense = vec![(0, PackedBits::zeros(1)), (1, PackedBits::ones(1))];
         let sparse = vec![(1, PackedBits::ones(1))];
-        assert!(rows_equivalent(&sparse, &dense, 2));
+        assert!(boxed_rows_equivalent(&sparse, &dense, 2));
         let wrong = vec![(1, PackedBits::zeros(1))];
-        assert!(!rows_equivalent(&wrong, &dense, 2));
+        assert!(!boxed_rows_equivalent(&wrong, &dense, 2));
+
+        // and the arena form agrees after zero-dropping
+        let mut cpm = crate::Cpm::new(1, 1);
+        cpm.set_row_pairs(als_aig::NodeId(0), &dense);
+        assert!(rows_equivalent(cpm.row(als_aig::NodeId(0)).unwrap(), &dense, 2));
     }
 }

@@ -13,26 +13,26 @@
 //! simulation at all: it is evaluated locally from the fanout's other
 //! fanin.
 
-use als_aig::{Aig, Lit, NodeId};
+use als_aig::{Aig, NodeId};
 use als_sim::{PackedBits, Simulator};
 
-use crate::storage::{Cpm, CpmRow};
+use crate::storage::{Cpm, RowData};
 
-/// Boolean difference of a direct fanout `f` of `n`: how `f`'s value reacts
-/// to toggling `n`, evaluated locally.
-fn local_diff(aig: &Aig, sim: &Simulator, n: NodeId, f: NodeId) -> PackedBits {
+/// Boolean difference of a direct fanout `f` of `n`, written into `out`:
+/// how `f`'s value reacts to toggling `n`, evaluated locally from the
+/// fanout's fanins without allocating.
+fn local_diff_into(aig: &Aig, sim: &Simulator, n: NodeId, f: NodeId, out: &mut PackedBits) {
     let node = aig.node(f);
     let (f0, f1) = (node.fanin0(), node.fanin1());
-    let read = |lit: Lit, flip: bool| {
-        let mut v = sim.lit_value(lit);
-        if flip {
-            v.not_assign();
-        }
-        v
-    };
-    let a = read(f0, f0.node() == n);
-    let b = read(f1, f1.node() == n);
-    a.and(&b).xor(sim.value(f))
+    // flip the polarity of every fanin edge fed by n
+    let (m0, m1) = (
+        if f0.is_complement() != (f0.node() == n) { !0u64 } else { 0 },
+        if f1.is_complement() != (f1.node() == n) { !0u64 } else { 0 },
+    );
+    let (a, b, orig) = (sim.value(f0.node()), sim.value(f1.node()), sim.value(f));
+    for (w, slot) in out.words_mut().iter_mut().enumerate() {
+        *slot = ((a.words()[w] ^ m0) & (b.words()[w] ^ m1)) ^ orig.words()[w];
+    }
 }
 
 /// Computes the depth-one VECBEE CPM for every live node.
@@ -40,31 +40,38 @@ fn local_diff(aig: &Aig, sim: &Simulator, n: NodeId, f: NodeId) -> PackedBits {
 /// Exact on fanout-tree regions, approximate under reconvergence.
 pub fn compute_depth_one(aig: &Aig, sim: &Simulator) -> Cpm {
     let words = sim.num_words();
-    let mut cpm = Cpm::new(aig.num_nodes());
+    let mut cpm = Cpm::new(aig.num_nodes(), words);
     let order = als_aig::topo::topo_order(aig);
+    let mut diff = PackedBits::zeros(words);
+    let mut row = RowData::new(words);
+    let mut fanouts: Vec<NodeId> = Vec::new();
     for &n in order.iter().rev() {
         let mut acc: Vec<Option<PackedBits>> = vec![None; aig.num_outputs()];
         for &o in aig.output_refs(n) {
             acc[o as usize] = Some(PackedBits::ones(words));
         }
         // Deduplicate fanouts (a double edge still yields one local diff).
-        let mut fanouts: Vec<NodeId> = aig.fanouts(n).to_vec();
+        fanouts.clear();
+        fanouts.extend_from_slice(aig.fanouts(n));
         fanouts.sort();
         fanouts.dedup();
-        for f in fanouts {
-            let b = local_diff(aig, sim, n, f);
+        for &f in &fanouts {
+            local_diff_into(aig, sim, n, f, &mut diff);
             let frow = cpm.row(f).expect("fanout row precedes in reverse topo order");
-            for (o, p) in frow {
-                let masked = b.and(p);
-                match &mut acc[*o as usize] {
+            for (o, p) in frow.iter() {
+                let masked = p.and(&diff);
+                match &mut acc[o as usize] {
                     Some(existing) => existing.or_assign(&masked),
                     slot @ None => *slot = Some(masked),
                 }
             }
         }
-        let row: CpmRow =
-            acc.into_iter().enumerate().filter_map(|(o, v)| v.map(|v| (o as u32, v))).collect();
-        cpm.set_row(n, row);
+        for (o, v) in acc.into_iter().enumerate() {
+            if let Some(v) = v {
+                row.push_entry(o as u32).copy_from_slice(v.words());
+            }
+        }
+        cpm.set_row(n, &mut row);
     }
     cpm
 }

@@ -5,7 +5,7 @@ use std::time::{Duration, Instant};
 
 use als_aig::{Aig, EditRecord, NodeId};
 use als_cpm::{Cpm, FlipSim};
-use als_error::{unsigned_weights, ErrorState, FlipVec};
+use als_error::{unsigned_weights, ErrorState, FlipVec, SparseFlip};
 use als_lac::Lac;
 use als_par::WorkerPool;
 use als_sim::{PackedBits, PatternSet, Simulator};
@@ -43,6 +43,8 @@ pub struct Ctx {
     pub times: StepTimes,
     /// Shared worker pool for every parallel analysis region.
     pool: WorkerPool,
+    /// Reusable output-value buffers for error-state refreshes.
+    outs: Vec<PackedBits>,
     /// Fold constants after each applied LAC.
     fold_constants: bool,
     #[cfg(feature = "fault-inject")]
@@ -51,26 +53,27 @@ pub struct Ctx {
 }
 
 /// Evaluates one LAC against the CPM and error state (no mutation).
-fn eval_one(
+///
+/// `d` and `flips` are caller-owned scratch: the change vector is written
+/// into `d` in place, and the CPM row's arena slices are collected into
+/// `flips` as borrowed views, so a candidate evaluation allocates nothing.
+/// The fused [`ErrorState::eval_flips_sparse`] kernel then streams
+/// `d ∧ P[n][o]` word-by-word with zero-word skipping — bit-identical to
+/// materialising the flip vectors and calling `eval_flips`.
+fn eval_one<'a>(
     aig: &Aig,
     sim: &Simulator,
     state: &ErrorState,
-    cpm: &Cpm,
+    cpm: &'a Cpm,
     lac: &Lac,
+    d: &mut PackedBits,
+    flips: &mut Vec<SparseFlip<'a>>,
 ) -> Option<Evaluated> {
     let row = cpm.row(lac.target)?;
-    let d = lac.change_vector(sim);
-    let flips: Vec<FlipVec> = if d.is_zero() {
-        Vec::new()
-    } else {
-        row.iter()
-            .filter_map(|(o, p)| {
-                let bits = d.and(p);
-                (!bits.is_zero()).then_some(FlipVec { output: *o as usize, bits })
-            })
-            .collect()
-    };
-    let error_after = state.eval_flips(&flips);
+    lac.change_vector_into(sim, d);
+    flips.clear();
+    flips.extend(row.iter().map(|(o, bits)| SparseFlip { output: o as usize, bits }));
+    let error_after = state.eval_flips_sparse(d, flips);
     let saving = als_lac::area_saving(aig, lac.target);
     Some(Evaluated { lac: *lac, error_after, saving })
 }
@@ -104,6 +107,7 @@ impl Ctx {
             flipsim,
             times: StepTimes::default(),
             pool,
+            outs: Vec::new(),
             fold_constants: cfg.fold_constants,
             #[cfg(feature = "fault-inject")]
             faults: cfg.faults.clone(),
@@ -137,6 +141,18 @@ impl Ctx {
         (0..self.aig.num_outputs()).map(|o| self.sim.output_value(&self.aig, o)).collect()
     }
 
+    /// Refreshes the error state from the current output values, reusing
+    /// the context's output buffers instead of allocating per call.
+    fn refresh_error_state(&mut self) {
+        let num_outputs = self.aig.num_outputs();
+        let num_words = self.sim.num_words();
+        self.outs.resize_with(num_outputs, || PackedBits::zeros(num_words));
+        for (o, out) in self.outs.iter_mut().enumerate() {
+            self.sim.output_value_into(&self.aig, o, out);
+        }
+        self.state.refresh(&self.outs);
+    }
+
     /// Converts a LAC's change vector plus a CPM row into per-output flip
     /// vectors.
     pub fn flips_for(&self, lac: &Lac, cpm: &Cpm) -> Option<Vec<FlipVec>> {
@@ -148,8 +164,8 @@ impl Ctx {
         Some(
             row.iter()
                 .filter_map(|(o, p)| {
-                    let bits = d.and(p);
-                    (!bits.is_zero()).then_some(FlipVec { output: *o as usize, bits })
+                    let bits = p.and(&d);
+                    (!bits.is_zero()).then_some(FlipVec { output: o as usize, bits })
                 })
                 .collect(),
         )
@@ -167,15 +183,20 @@ impl Ctx {
     ) -> Result<Vec<Evaluated>, crate::error::EngineError> {
         let t0 = Instant::now();
         let (aig, sim, state) = (&self.aig, &self.sim, &self.state);
+        let num_words = sim.num_words();
         #[cfg(feature = "fault-inject")]
         let faults = &self.faults;
         let out = self
             .pool
-            .map(lacs, |lac| {
-                #[cfg(feature = "fault-inject")]
-                faults.tick_eval_item();
-                eval_one(aig, sim, state, cpm, lac)
-            })
+            .map_with(
+                lacs,
+                || (PackedBits::zeros(num_words), Vec::new()),
+                |(d, flips), lac| {
+                    #[cfg(feature = "fault-inject")]
+                    faults.tick_eval_item();
+                    eval_one(aig, sim, state, cpm, lac, d, flips)
+                },
+            )
             .map(|evals| evals.into_iter().flatten().collect())
             .map_err(crate::error::EngineError::from);
         self.times.eval += t0.elapsed();
@@ -261,8 +282,7 @@ impl Ctx {
         if self.fold_constants {
             records.extend(als_aig::simplify::propagate_constants_from(&mut self.aig, &[seed]));
         }
-        let outs = self.output_values();
-        self.state.refresh(&outs);
+        self.refresh_error_state();
         self.ranks = als_aig::topo::topo_ranks(&self.aig);
         self.times.apply += t0.elapsed();
         records
@@ -305,8 +325,7 @@ impl Ctx {
         seeds.sort_unstable();
         seeds.dedup();
         self.sim.resimulate_fanout_cone_with(&self.aig, &seeds, &self.pool);
-        let outs = self.output_values();
-        self.state.refresh(&outs);
+        self.refresh_error_state();
         self.ranks = als_aig::topo::topo_ranks(&self.aig);
         self.times.apply += t0.elapsed();
     }

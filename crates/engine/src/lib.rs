@@ -47,6 +47,7 @@ pub mod vecbee_flow;
 
 pub use accals::AccAlsFlow;
 pub use config::{FlowConfig, GuardConfig, JournalConfig, PatternSource, SelectionStrategy};
+pub use context::{Ctx, Evaluated};
 pub use conventional::ConventionalFlow;
 pub use dual_phase::DualPhaseFlow;
 pub use error::EngineError;

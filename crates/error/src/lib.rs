@@ -20,4 +20,4 @@ pub mod state;
 
 pub use metric::{paper_thresholds, reference_error, unsigned_weights, MetricKind};
 pub use report::ErrorReport;
-pub use state::{ErrorState, FlipVec};
+pub use state::{ErrorState, FlipVec, SparseFlip};

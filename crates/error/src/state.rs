@@ -1,6 +1,6 @@
 //! Cached per-pattern error state and batch flip evaluation.
 
-use als_sim::PackedBits;
+use als_sim::{BitsRef, PackedBits};
 
 use crate::metric::MetricKind;
 
@@ -13,6 +13,18 @@ pub struct FlipVec {
     pub output: usize,
     /// One bit per pattern: 1 = this output toggles.
     pub bits: PackedBits,
+}
+
+/// A *deferred* flip source for the fused evaluation kernel: the CPM
+/// propagation entry `P[n][o]` of one output, borrowed straight from the
+/// arena. The kernel forms `D ∧ P[n][o]` word-by-word on the fly, so no
+/// per-candidate flip vector is ever materialised.
+#[derive(Copy, Clone, Debug)]
+pub struct SparseFlip<'a> {
+    /// Output index.
+    pub output: usize,
+    /// The propagation vector `P[n][o]` with its nonzero-word window.
+    pub bits: BitsRef<'a>,
 }
 
 /// Everything needed to (a) report the current circuit error and (b)
@@ -80,20 +92,24 @@ impl ErrorState {
     }
 
     /// Recomputes all caches from the current output values (after a LAC
-    /// has been applied and the circuit resimulated).
+    /// has been applied and the circuit resimulated). The diff vectors are
+    /// rewritten in place — the refresh allocates nothing.
     pub fn refresh(&mut self, approx: &[PackedBits]) {
         assert_eq!(approx.len(), self.exact.len());
         self.wrong_count.iter_mut().for_each(|c| *c = 0);
         self.err.iter_mut().for_each(|e| *e = 0.0);
         for (o, a) in approx.iter().enumerate() {
-            let d = a.xor(&self.exact[o]);
             let w = self.weights.get(o).copied().unwrap_or(0.0);
+            let exact = &self.exact[o];
+            let diff = &mut self.diff[o];
             for wi in 0..self.num_words {
-                let mut word = d.words()[wi];
-                let ewd = self.exact[o].words()[wi];
-                while word != 0 {
-                    let b = word.trailing_zeros() as usize;
-                    word &= word - 1;
+                let ewd = exact.words()[wi];
+                let word = a.words()[wi] ^ ewd;
+                diff.words_mut()[wi] = word;
+                let mut rem = word;
+                while rem != 0 {
+                    let b = rem.trailing_zeros() as usize;
+                    rem &= rem - 1;
                     let p = wi * 64 + b;
                     self.wrong_count[p] += 1;
                     // approx bit differs from exact: signed error moves by
@@ -105,7 +121,6 @@ impl ErrorState {
                     }
                 }
             }
-            self.diff[o] = d;
         }
         self.sum = match self.kind {
             MetricKind::Er => self.wrong_count.iter().filter(|&&c| c > 0).count() as f64,
@@ -255,6 +270,94 @@ impl ErrorState {
     pub fn error_increase(&self, flips: &[FlipVec]) -> f64 {
         self.eval_flips(flips) - self.error()
     }
+
+    /// The fused form of [`ErrorState::eval_flips`]: evaluates the error
+    /// the circuit would have if the candidate with change vector `d` and
+    /// CPM propagation entries `flips` were applied, forming the per-output
+    /// flip vectors `d ∧ P[n][o]` word-by-word on the fly.
+    ///
+    /// No per-candidate temporaries are allocated; words outside the
+    /// intersection of `d`'s support and each entry's nonzero window are
+    /// skipped without being read, and an annihilated candidate (empty
+    /// union window or all-zero `d`) exits immediately with the current
+    /// error. Bit-identical to materialising the flip vectors, filtering
+    /// the all-zero ones, and calling [`ErrorState::eval_flips`] — same
+    /// floating-point operations in the same order.
+    ///
+    /// `flips` must be sorted consistently with the caller's reference
+    /// ordering (CPM rows are sorted by output).
+    pub fn eval_flips_sparse(&self, d: &PackedBits, flips: &[SparseFlip<'_>]) -> f64 {
+        let n = self.num_patterns() as f64;
+        if flips.is_empty() {
+            return self.sum / n;
+        }
+        assert_eq!(d.num_words(), self.num_words, "change-vector width mismatch");
+        let lo = flips.iter().map(|f| f.bits.nz_begin()).min().unwrap_or(0);
+        let hi = flips.iter().map(|f| f.bits.nz_end()).max().unwrap_or(0);
+        // Per-word compaction: the flips whose masked word `d ∧ P` is
+        // nonzero at the current word index, in row order. The per-bit loop
+        // below then touches only entries that actually flip something in
+        // this word — a per-word refinement of the boxed path's whole-row
+        // zero filtering. Rows wider than the stack buffers fall back to
+        // one heap buffer per call (still far below the boxed layout's
+        // per-entry allocations).
+        const STACK_FLIPS: usize = 128;
+        let mut active_stack = [(0u64, 0u32); STACK_FLIPS];
+        let mut active_heap: Vec<(u64, u32)> = Vec::new();
+        let active: &mut [(u64, u32)] = if flips.len() <= STACK_FLIPS {
+            &mut active_stack[..flips.len()]
+        } else {
+            active_heap.resize(flips.len(), (0, 0));
+            &mut active_heap
+        };
+        let mut delta_sum = 0.0;
+        for wi in lo..hi {
+            let dw = d.words()[wi];
+            if dw == 0 {
+                continue;
+            }
+            let mut changed = 0u64;
+            let mut k = 0usize;
+            for f in flips.iter() {
+                if wi >= f.bits.nz_begin() && wi < f.bits.nz_end() {
+                    let m = dw & f.bits.words()[wi];
+                    if m != 0 {
+                        active[k] = (m, f.output as u32);
+                        k += 1;
+                        changed |= m;
+                    }
+                }
+            }
+            while changed != 0 {
+                let b = changed.trailing_zeros() as usize;
+                changed &= changed - 1;
+                let p = wi * 64 + b;
+                let (mut cnt, mut e) = (self.wrong_count[p] as i64, self.err[p]);
+                for &(m, o) in active[..k].iter() {
+                    if m >> b & 1 == 1 {
+                        let o = o as usize;
+                        let was_diff = self.diff[o].words()[wi] >> b & 1 == 1;
+                        cnt += if was_diff { -1 } else { 1 };
+                        if self.kind.is_weighted() {
+                            let w = self.weights[o];
+                            // current approx bit = exact ^ diff; toggling it
+                            // moves the signed error by ∓w.
+                            let approx_bit = (self.exact[o].words()[wi] >> b & 1 == 1) ^ was_diff;
+                            e += if approx_bit { -w } else { w };
+                        }
+                    }
+                }
+                delta_sum += match self.kind {
+                    MetricKind::Er => {
+                        (cnt > 0) as i64 as f64 - (self.wrong_count[p] > 0) as i64 as f64
+                    }
+                    MetricKind::Med => e.abs() - self.err[p].abs(),
+                    MetricKind::Mse => e * e - self.err[p] * self.err[p],
+                };
+            }
+        }
+        (self.sum + delta_sum) / n
+    }
 }
 
 #[cfg(test)]
@@ -324,6 +427,43 @@ mod tests {
                 e = fresh.error()
             );
         }
+    }
+
+    #[test]
+    fn eval_flips_sparse_is_bit_identical_to_eval_flips() {
+        // Multi-word state with a zero middle word so the window skipping
+        // actually engages; the fused kernel must return the *same bits*.
+        let exact = vec![bits(vec![0b1100, 0, 0b1]), bits(vec![0b1010, 0, 0b10])];
+        let approx = [bits(vec![0b0110, 0, 0b11]), bits(vec![0b1010, 0, 0])];
+        for kind in MetricKind::ALL {
+            let s = ErrorState::new(kind, unsigned_weights(2), exact.clone(), &approx);
+            let d = bits(vec![0b0111, 0, 0b10]);
+            let rows = [(0u32, bits(vec![0b0101, 0, 0b11])), (1u32, bits(vec![0, 0, 0b10]))];
+            // reference: materialise d ∧ P, drop all-zero vectors, eval_flips
+            let dense: Vec<FlipVec> = rows
+                .iter()
+                .map(|(o, p)| FlipVec { output: *o as usize, bits: d.and(p) })
+                .filter(|f| !f.bits.is_zero())
+                .collect();
+            let sparse: Vec<SparseFlip<'_>> = rows
+                .iter()
+                .map(|(o, p)| SparseFlip { output: *o as usize, bits: p.as_bits_ref() })
+                .collect();
+            let a = s.eval_flips(&dense);
+            let b = s.eval_flips_sparse(&d, &sparse);
+            assert_eq!(a.to_bits(), b.to_bits(), "{kind}: {a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn eval_flips_sparse_annihilated_is_identity() {
+        let s = two_output_state(MetricKind::Med, 0b1101, 0b1000);
+        // entries present but d ∧ P = 0 everywhere
+        let d = bits(vec![0b1000_0000]);
+        let p = bits(vec![0b0111]);
+        let sparse = vec![SparseFlip { output: 0, bits: p.as_bits_ref() }];
+        assert_eq!(s.eval_flips_sparse(&d, &sparse).to_bits(), s.error().to_bits());
+        assert_eq!(s.eval_flips_sparse(&d, &[]).to_bits(), s.error().to_bits());
     }
 
     #[test]

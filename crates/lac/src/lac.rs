@@ -68,6 +68,23 @@ impl Lac {
         }
     }
 
+    /// Non-allocating form of [`Lac::change_vector`]: writes `D` into
+    /// `out`, which must already have the simulator's word width.
+    pub fn change_vector_into(&self, sim: &Simulator, out: &mut PackedBits) {
+        let old = sim.value(self.target);
+        match self.kind {
+            LacKind::Const0 => out.copy_from(old),
+            LacKind::Const1 => {
+                out.copy_from(old);
+                out.not_assign();
+            }
+            LacKind::Substitute { sub } => {
+                sim.lit_value_into(sub, out);
+                out.xor_assign(old);
+            }
+        }
+    }
+
     /// Number of patterns on which the LAC changes the target's value.
     pub fn change_count(&self, sim: &Simulator) -> usize {
         self.change_vector(sim).count_ones()
@@ -124,6 +141,23 @@ mod tests {
         // differ when g != !x0: g=1,x0=1 => !x0=0 differ(16); g=0,x0=0 =>
         // !x0=1 differ (32 patterns x0=0); g=0,x0=1,x1=0: !x0=0 equal.
         assert_eq!(lac_inv.change_count(&sim), 48);
+    }
+
+    #[test]
+    fn change_vector_into_matches_allocating_form() {
+        let (aig, g, h, sim, _) = setup();
+        let x0 = aig.inputs()[0].lit();
+        let lacs = [
+            Lac::const0(g.node()),
+            Lac::const1(h.node()),
+            Lac::substitute(g.node(), x0),
+            Lac::substitute(h.node(), !x0),
+        ];
+        let mut out = PackedBits::zeros(sim.num_words());
+        for lac in lacs {
+            lac.change_vector_into(&sim, &mut out);
+            assert_eq!(out, lac.change_vector(&sim), "{lac:?}");
+        }
     }
 
     #[test]

@@ -140,6 +140,17 @@ impl PackedBits {
         self.count_ones() as f64 / self.num_bits() as f64
     }
 
+    /// Overwrites `self` with `other`'s bits.
+    pub fn copy_from(&mut self, other: &PackedBits) {
+        assert_eq!(self.words.len(), other.words.len());
+        self.words.copy_from_slice(&other.words);
+    }
+
+    /// A borrowed view of this vector covering its full word range.
+    pub fn as_bits_ref(&self) -> BitsRef<'_> {
+        BitsRef::with_window(&self.words, 0, self.words.len())
+    }
+
     /// Number of positions at which `self` and `other` differ.
     pub fn hamming_distance(&self, other: &PackedBits) -> usize {
         assert_eq!(self.words.len(), other.words.len());
@@ -160,6 +171,121 @@ impl PackedBits {
                 }
             })
         })
+    }
+}
+
+/// A borrowed packed bit vector: a word slice in some arena, annotated with
+/// the window `[nz_begin, nz_end)` of words that may be nonzero.
+///
+/// The window is the sparsity metadata the CPM arena and the fused error
+/// kernels share: kernels skip every word outside it without reading the
+/// slice. Words inside the window are *allowed* to be zero; words outside it
+/// must be zero.
+#[derive(Copy, Clone)]
+pub struct BitsRef<'a> {
+    words: &'a [u64],
+    nz_begin: u32,
+    nz_end: u32,
+}
+
+impl<'a> BitsRef<'a> {
+    /// A view over `words` with the nonzero window computed by scanning.
+    pub fn new(words: &'a [u64]) -> BitsRef<'a> {
+        let nz_begin = words.iter().position(|&w| w != 0).unwrap_or(words.len());
+        let nz_end = if nz_begin == words.len() {
+            nz_begin
+        } else {
+            words.iter().rposition(|&w| w != 0).map_or(0, |i| i + 1)
+        };
+        BitsRef::with_window(words, nz_begin, nz_end)
+    }
+
+    /// A view with a precomputed window (words outside it must be zero).
+    pub fn with_window(words: &'a [u64], nz_begin: usize, nz_end: usize) -> BitsRef<'a> {
+        debug_assert!(nz_begin <= nz_end && nz_end <= words.len());
+        BitsRef { words, nz_begin: nz_begin as u32, nz_end: nz_end as u32 }
+    }
+
+    /// The full word slice.
+    #[inline]
+    pub fn words(&self) -> &'a [u64] {
+        self.words
+    }
+
+    /// Number of 64-bit words.
+    #[inline]
+    pub fn num_words(&self) -> usize {
+        self.words.len()
+    }
+
+    /// First word index that may be nonzero.
+    #[inline]
+    pub fn nz_begin(&self) -> usize {
+        self.nz_begin as usize
+    }
+
+    /// One past the last word index that may be nonzero.
+    #[inline]
+    pub fn nz_end(&self) -> usize {
+        self.nz_end as usize
+    }
+
+    /// Whether no bit is set (empty nonzero window or all-zero window).
+    pub fn is_zero(&self) -> bool {
+        self.words[self.nz_begin()..self.nz_end()].iter().all(|&w| w == 0)
+    }
+
+    /// Number of set bits.
+    pub fn count_ones(&self) -> usize {
+        self.words[self.nz_begin()..self.nz_end()].iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Bit for pattern `i`.
+    #[inline]
+    pub fn get(&self, i: usize) -> bool {
+        self.words[i / 64] >> (i % 64) & 1 == 1
+    }
+
+    /// Materialises the view as an owned vector.
+    pub fn to_packed(&self) -> PackedBits {
+        PackedBits { words: self.words.to_vec() }
+    }
+
+    /// Returns `self & other` as an owned vector, touching only the
+    /// nonzero window.
+    pub fn and(&self, other: &PackedBits) -> PackedBits {
+        assert_eq!(self.words.len(), other.words.len());
+        let mut out = PackedBits::zeros(self.words.len());
+        for w in self.nz_begin()..self.nz_end() {
+            out.words[w] = self.words[w] & other.words[w];
+        }
+        out
+    }
+}
+
+impl PartialEq for BitsRef<'_> {
+    fn eq(&self, other: &BitsRef<'_>) -> bool {
+        self.words == other.words
+    }
+}
+
+impl Eq for BitsRef<'_> {}
+
+impl PartialEq<PackedBits> for BitsRef<'_> {
+    fn eq(&self, other: &PackedBits) -> bool {
+        self.words == &other.words[..]
+    }
+}
+
+impl PartialEq<BitsRef<'_>> for PackedBits {
+    fn eq(&self, other: &BitsRef<'_>) -> bool {
+        &self.words[..] == other.words
+    }
+}
+
+impl fmt::Debug for BitsRef<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "BitsRef[{} bits, {} ones]", self.words.len() * 64, self.count_ones())
     }
 }
 

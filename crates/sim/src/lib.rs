@@ -7,6 +7,8 @@
 //!
 //! * [`PackedBits`] — a fixed-width packed bit vector with the word-level
 //!   operations the analyses need,
+//! * [`BitsRef`] — a borrowed word-slice view with a nonzero-word window,
+//!   the zero-copy currency between the CPM arena and the error kernels,
 //! * [`PatternSet`] — input stimuli (uniform random or exhaustive),
 //! * [`Simulator`] — node values for a whole AIG with full and incremental
 //!   (cone-restricted) resimulation.
@@ -15,6 +17,6 @@ pub mod bitvec;
 pub mod patterns;
 pub mod simulator;
 
-pub use bitvec::PackedBits;
+pub use bitvec::{BitsRef, PackedBits};
 pub use patterns::PatternSet;
 pub use simulator::Simulator;

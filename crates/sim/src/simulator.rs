@@ -96,6 +96,12 @@ impl Simulator {
         self.lit_value(aig.output_lit(idx))
     }
 
+    /// Writes the value of primary output `idx` into `out` without
+    /// allocating.
+    pub fn output_value_into(&self, aig: &Aig, idx: usize, out: &mut PackedBits) {
+        self.lit_value_into(aig.output_lit(idx), out);
+    }
+
     fn eval_and(&mut self, aig: &Aig, id: NodeId) {
         let node = aig.node(id);
         let (f0, f1) = (node.fanin0(), node.fanin1());

@@ -103,7 +103,7 @@ fn cpm_estimates_equal_measured_errors_for_constant_lacs() {
                 .row(lac.target)
                 .unwrap()
                 .iter()
-                .map(|(o, p)| FlipVec { output: *o as usize, bits: d.and(p) })
+                .map(|(o, p)| FlipVec { output: o as usize, bits: p.and(&d) })
                 .collect();
             let predicted = state.eval_flips(&flips);
 

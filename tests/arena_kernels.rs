@@ -1,0 +1,236 @@
+//! The arena-backed CPM and the fused word-skipping error kernels must be
+//! byte-identical to the boxed/materialising reference implementations.
+//!
+//! Random circuits via proptest, checked at thread counts {1, 4}:
+//!
+//! * full and partial arena CPM rows vs. the brute-force flip-and-resim
+//!   oracle (absent entries must be zero vectors — the arena drops
+//!   annihilated entries at write time),
+//! * `eval_flips_sparse` over borrowed arena slices vs. materialising the
+//!   flip vectors and calling `eval_flips` — exact `f64` bit equality,
+//! * batch LAC evaluation through the engine vs. a dense re-evaluation of
+//!   every candidate, serial and parallel.
+
+use proptest::prelude::*;
+
+use dualphase_als::aig::{Aig, Lit, NodeId};
+use dualphase_als::cpm::reference::{brute_force_row, rows_equivalent};
+use dualphase_als::cuts::CutState;
+use dualphase_als::error::{unsigned_weights, ErrorState, FlipVec, MetricKind, SparseFlip};
+use dualphase_als::lac::{constant_lacs, Lac};
+use dualphase_als::par::WorkerPool;
+use dualphase_als::sim::{PatternSet, Simulator};
+
+/// Operation encoding for random circuit construction (mirrors props.rs).
+#[derive(Clone, Debug)]
+struct Op {
+    kind: u8,
+    a: u16,
+    b: u16,
+    c: u16,
+}
+
+fn arb_ops() -> impl Strategy<Value = (usize, Vec<Op>, u8)> {
+    (
+        4usize..8,
+        proptest::collection::vec(
+            (0u8..5, any::<u16>(), any::<u16>(), any::<u16>()).prop_map(|(kind, a, b, c)| Op {
+                kind,
+                a,
+                b,
+                c,
+            }),
+            5..50,
+        ),
+        1u8..4,
+    )
+}
+
+fn build_circuit(num_inputs: usize, ops: &[Op], num_outputs: u8) -> Aig {
+    let mut aig = Aig::new("random");
+    let mut sigs: Vec<Lit> = aig.add_inputs("x", num_inputs);
+    for op in ops {
+        let pick = |sel: u16, sigs: &[Lit]| {
+            let lit = sigs[sel as usize % sigs.len()];
+            lit.xor_complement(sel & 0x100 != 0)
+        };
+        let la = pick(op.a, &sigs);
+        let lb = pick(op.b, &sigs);
+        let lc = pick(op.c, &sigs);
+        let out = match op.kind {
+            0 => aig.and(la, lb),
+            1 => aig.or(la, lb),
+            2 => aig.xor(la, lb),
+            3 => aig.mux(la, lb, lc),
+            _ => aig.maj(la, lb, lc),
+        };
+        sigs.push(out);
+    }
+    let n = sigs.len();
+    for (k, &lit) in sigs[n.saturating_sub(num_outputs as usize)..].iter().enumerate() {
+        aig.add_output(lit.xor_complement(k % 2 == 1), format!("o{k}"));
+    }
+    dualphase_als::aig::edit::sweep_dangling(&mut aig);
+    aig
+}
+
+const THREAD_COUNTS: [usize; 2] = [1, 4];
+
+/// An error state with non-trivial diffs: the golden outputs against the
+/// outputs of the same circuit after one constant LAC.
+fn perturbed_state(
+    aig: &Aig,
+    sim: &Simulator,
+    patterns: &PatternSet,
+    kind: MetricKind,
+    pick: u16,
+) -> Option<ErrorState> {
+    let ands: Vec<NodeId> = aig.iter_ands().collect();
+    if ands.is_empty() {
+        return None;
+    }
+    let golden: Vec<_> = (0..aig.num_outputs()).map(|o| sim.output_value(aig, o)).collect();
+    let mut copy = aig.clone();
+    Lac::const0(ands[pick as usize % ands.len()]).apply(&mut copy);
+    let approx_sim = Simulator::new(&copy, patterns);
+    let approx: Vec<_> =
+        (0..copy.num_outputs()).map(|o| approx_sim.output_value(&copy, o)).collect();
+    Some(ErrorState::new(kind, unsigned_weights(aig.num_outputs()), golden, &approx))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn arena_full_cpm_equals_brute_force((ni, ops, no) in arb_ops()) {
+        let aig = build_circuit(ni, &ops, no);
+        let patterns = PatternSet::random(aig.num_inputs(), 2, 31);
+        let sim = Simulator::new(&aig, &patterns);
+        let cuts = CutState::compute(&aig);
+        for threads in THREAD_COUNTS {
+            let cpm = dualphase_als::cpm::compute_full_with(
+                &aig, &sim, &cuts, &WorkerPool::new(threads),
+            ).unwrap();
+            for n in aig.iter_live() {
+                let reference = brute_force_row(&aig, &patterns, n);
+                prop_assert!(
+                    rows_equivalent(cpm.row(n).unwrap(), &reference, aig.num_outputs()),
+                    "row of {} at {} threads", n, threads
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn arena_partial_cpm_equals_brute_force(
+        (ni, ops, no) in arb_ops(),
+        cand_picks in proptest::collection::vec(any::<u16>(), 1..5),
+    ) {
+        let aig = build_circuit(ni, &ops, no);
+        let ands: Vec<NodeId> = aig.iter_ands().collect();
+        if ands.is_empty() {
+            return Ok(());
+        }
+        let s_cand: Vec<_> = cand_picks.iter().map(|&p| ands[p as usize % ands.len()]).collect();
+        let patterns = PatternSet::random(aig.num_inputs(), 2, 32);
+        let sim = Simulator::new(&aig, &patterns);
+        let cuts = CutState::compute(&aig);
+        for threads in THREAD_COUNTS {
+            let (cpm, _) = dualphase_als::cpm::compute_partial_with(
+                &aig, &sim, &cuts, &s_cand, &WorkerPool::new(threads),
+            ).unwrap();
+            for &n in &s_cand {
+                let reference = brute_force_row(&aig, &patterns, n);
+                prop_assert!(
+                    rows_equivalent(cpm.row(n).unwrap(), &reference, aig.num_outputs()),
+                    "row of {} at {} threads", n, threads
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn fused_eval_is_bit_identical_to_materialised_eval(
+        (ni, ops, no) in arb_ops(),
+        perturb in any::<u16>(),
+    ) {
+        let aig = build_circuit(ni, &ops, no);
+        let patterns = PatternSet::random(aig.num_inputs(), 4, 33);
+        let sim = Simulator::new(&aig, &patterns);
+        let cuts = CutState::compute(&aig);
+        let cpm = dualphase_als::cpm::compute_full(&aig, &sim, &cuts).unwrap();
+        for kind in [MetricKind::Er, MetricKind::Med, MetricKind::Mse] {
+            let Some(state) = perturbed_state(&aig, &sim, &patterns, kind, perturb) else {
+                return Ok(());
+            };
+            for lac in constant_lacs(&aig, None) {
+                let Some(row) = cpm.row(lac.target) else { continue };
+                let d = lac.change_vector(&sim);
+                // reference: materialise d ∧ P, drop zero vectors, eval_flips
+                let dense: Vec<FlipVec> = row
+                    .iter()
+                    .filter_map(|(o, p)| {
+                        let bits = p.and(&d);
+                        (!bits.is_zero()).then_some(FlipVec { output: o as usize, bits })
+                    })
+                    .collect();
+                let sparse: Vec<SparseFlip<'_>> = row
+                    .iter()
+                    .map(|(o, bits)| SparseFlip { output: o as usize, bits })
+                    .collect();
+                let reference = state.eval_flips(&dense);
+                let fused = state.eval_flips_sparse(&d, &sparse);
+                prop_assert_eq!(
+                    reference.to_bits(), fused.to_bits(),
+                    "{} {:?}: {} vs {}", kind, lac, reference, fused
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn batch_lac_evaluation_matches_dense_reference((ni, ops, no) in arb_ops()) {
+        use dualphase_als::engine::{Ctx, FlowConfig};
+        let aig = build_circuit(ni, &ops, no);
+        if aig.iter_ands().next().is_none() {
+            return Ok(());
+        }
+        let lacs = constant_lacs(&aig, None);
+        let mut per_thread = Vec::new();
+        for threads in THREAD_COUNTS {
+            let cfg = FlowConfig::new(MetricKind::Med, 1.0)
+                .with_patterns(256)
+                .with_threads(threads);
+            let mut ctx = Ctx::new(&aig, &cfg);
+            let cuts = CutState::compute(&ctx.aig);
+            let cpm = dualphase_als::cpm::compute_full(&ctx.aig, &ctx.sim, &cuts).unwrap();
+            let evals = ctx.evaluate_lacs(&cpm, &lacs).unwrap();
+            // dense reference: materialised flip vectors through eval_flips
+            for e in &evals {
+                let row = cpm.row(e.lac.target).unwrap();
+                let d = e.lac.change_vector(&ctx.sim);
+                let dense: Vec<FlipVec> = row
+                    .iter()
+                    .filter_map(|(o, p)| {
+                        let bits = p.and(&d);
+                        (!bits.is_zero()).then_some(FlipVec { output: o as usize, bits })
+                    })
+                    .collect();
+                let reference = ctx.state.eval_flips(&dense);
+                prop_assert_eq!(
+                    reference.to_bits(), e.error_after.to_bits(),
+                    "{:?} at {} threads", e.lac, threads
+                );
+            }
+            per_thread.push(evals);
+        }
+        // and serial vs parallel batches are byte-identical
+        let (a, b) = (&per_thread[0], &per_thread[1]);
+        prop_assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(b) {
+            prop_assert_eq!(x.lac, y.lac);
+            prop_assert_eq!(x.error_after.to_bits(), y.error_after.to_bits());
+            prop_assert_eq!(x.saving, y.saving);
+        }
+    }
+}

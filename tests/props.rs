@@ -195,7 +195,7 @@ proptest! {
             .row(lac.target)
             .unwrap()
             .iter()
-            .map(|(o, p)| FlipVec { output: *o as usize, bits: d.and(p) })
+            .map(|(o, p)| FlipVec { output: o as usize, bits: p.and(&d) })
             .collect();
         let predicted = state.eval_flips(&flips);
 
