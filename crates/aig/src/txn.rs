@@ -3,9 +3,9 @@
 //!
 //! [`crate::edit::replace`] rewires fanins, fanout lists, primary outputs
 //! and dead marks through a small set of `pub(crate)` primitives on
-//! [`Aig`](crate::Aig). While a transaction is open ([`Aig::begin_txn`]),
+//! [`Aig`](crate::Aig). While a transaction is open ([`Aig::begin_txn`](crate::Aig::begin_txn)),
 //! every one of those primitives records its exact inverse here, so
-//! [`Aig::rollback_txn`] can restore the pre-transaction graph — fanout
+//! [`Aig::rollback_txn`](crate::Aig::rollback_txn) can restore the pre-transaction graph — fanout
 //! *order included* — without ever cloning the circuit. This is what lets a
 //! flow tentatively apply a LAC, re-validate its error exactly, and back out
 //! on budget overshoot at cost proportional to the edit, not the graph.

@@ -1,0 +1,134 @@
+//! Observability overhead on a full DP-SA run.
+//!
+//! Two timings per circuit, best-of-`RUNS` each:
+//!
+//! * **off** — `Obs::disabled()`, the default everywhere. Every
+//!   instrumentation point is an inlined `Option::None` check.
+//! * **on** — full observability: JSONL span trace plus Prometheus export
+//!   to temp files. This bounds what `--trace`/`--metrics` costs.
+//!
+//! Run-to-run wall-clock noise on a busy machine (several percent) swamps
+//! the disabled path's true cost, so that cost is measured at the
+//! primitive level instead: a micro-loop times one disabled
+//! span-open/count/finish cycle plus a disabled counter increment, and the
+//! per-run overhead is that unit cost scaled by the number of span events
+//! the run actually records (counted from the enabled run's trace). The
+//! resulting `disabled_overhead_pct` is deterministic and far below 1%.
+//!
+//! Both runs are asserted byte-identical, and the numbers land in
+//! `BENCH_obs.json` (override the path with `ALS_BENCH_OUT`).
+
+use std::time::Instant;
+
+use als_circuits::{benchmark, BenchmarkScale};
+use als_engine::{flows, FlowConfig, FlowResult};
+use als_error::MetricKind;
+use als_obs::{Obs, ObsConfig};
+
+const RUNS: usize = 3;
+
+/// Best-of-`RUNS` wall time of `f` in milliseconds (after one warmup).
+fn time_ms<R>(mut f: impl FnMut() -> R) -> (R, f64) {
+    let result = f();
+    let mut best = f64::INFINITY;
+    for _ in 0..RUNS {
+        let t0 = Instant::now();
+        std::hint::black_box(f());
+        best = best.min(t0.elapsed().as_secs_f64() * 1e3);
+    }
+    (result, best)
+}
+
+fn assert_identical(a: &FlowResult, b: &FlowResult, name: &str, what: &str) {
+    assert_eq!(a.lacs_applied(), b.lacs_applied(), "{name}: {what} changed the run");
+    assert_eq!(a.final_error.to_bits(), b.final_error.to_bits(), "{name}: {what}");
+    assert_eq!(
+        als_aig::io::to_ascii_string(&a.circuit),
+        als_aig::io::to_ascii_string(&b.circuit),
+        "{name}: {what} changed the circuit"
+    );
+}
+
+/// Cost of one fully-disabled instrumentation point, in nanoseconds: a
+/// span open + attached count + finish, plus a counter increment — the
+/// work every instrumented site pays when observability is off.
+fn disabled_site_ns() -> f64 {
+    let obs = Obs::disabled();
+    let counter = obs.counter("bench_disabled_total", "");
+    const ITERS: u32 = 1_000_000;
+    let t0 = Instant::now();
+    for i in 0..ITERS {
+        let mut span = obs.span("bench");
+        span.count("k", u64::from(i));
+        std::hint::black_box(span.finish());
+        counter.inc();
+    }
+    t0.elapsed().as_secs_f64() * 1e9 / f64::from(ITERS)
+}
+
+fn main() {
+    if !std::env::args().any(|a| a == "--bench") {
+        return; // `cargo test` runs bench binaries without --bench
+    }
+    let tmp = std::env::temp_dir();
+    let trace_path = tmp.join(format!("als-bench-obs-{}.jsonl", std::process::id()));
+    let prom_path = tmp.join(format!("als-bench-obs-{}.prom", std::process::id()));
+
+    let site_ns = disabled_site_ns();
+    println!("bench: obs/site    disabled span+count+finish+counter = {site_ns:.1} ns");
+
+    let mut rows: Vec<String> = Vec::new();
+    for name in ["adder", "sm9x8", "mult16"] {
+        let aig = benchmark(name, BenchmarkScale::Reduced);
+        let cfg = FlowConfig::new(MetricKind::Med, 4.0).with_patterns(1024).with_threads(1);
+        let run = |cfg: FlowConfig| flows::by_name("dpsa", cfg).unwrap().run(&aig).unwrap();
+
+        let (off, off_ms) = time_ms(|| run(cfg.clone()));
+        let (on, on_ms) = time_ms(|| {
+            let obs = Obs::new(ObsConfig {
+                trace: Some(trace_path.clone()),
+                metrics: Some(prom_path.clone()),
+                tree: false,
+            })
+            .expect("observability sinks");
+            let res = run(cfg.clone().with_obs(obs.clone()));
+            obs.finish().expect("observability export");
+            res
+        });
+        assert_identical(&off, &on, name, "observability");
+
+        let trace = std::fs::read_to_string(&trace_path).unwrap_or_default();
+        let spans = trace.lines().count();
+        let trace_bytes = trace.len();
+        std::fs::remove_file(&trace_path).ok();
+        std::fs::remove_file(&prom_path).ok();
+        // Disabled-path cost: every recorded span corresponds to one
+        // instrumentation site executed; scale the measured unit cost.
+        let disabled_pct = 100.0 * (spans as f64 * site_ns) / (off_ms * 1e6).max(1e-9);
+        let enabled_pct = 100.0 * (on_ms - off_ms).max(0.0) / off_ms.max(1e-9);
+        assert!(disabled_pct < 1.0, "{name}: disabled-path overhead {disabled_pct:.3}% >= 1%");
+        println!(
+            "bench: obs/{name:<7} off {off_ms:>9.3} ms  on {on_ms:>9.3} ms  \
+             disabled {disabled_pct:>6.3}%  enabled {enabled_pct:>5.1}%  \
+             ({spans} spans, {trace_bytes} B trace)"
+        );
+        rows.push(format!(
+            "    {{\"name\": \"{name}\", \"gates\": {}, \"off_ms\": {off_ms:.3}, \
+             \"on_ms\": {on_ms:.3}, \"spans\": {spans}, \
+             \"disabled_overhead_pct\": {disabled_pct:.4}, \
+             \"enabled_overhead_pct\": {enabled_pct:.2}, \"trace_bytes\": {trace_bytes}}}",
+            aig.num_ands()
+        ));
+    }
+
+    let json = format!(
+        "{{\n  \"flow\": \"DP-SA\",\n  \"metric\": \"med\",\n  \"bound\": 4.0,\n  \
+         \"patterns\": 1024,\n  \"runs\": {RUNS},\n  \
+         \"disabled_site_ns\": {site_ns:.1},\n  \"circuits\": [\n{}\n  ]\n}}\n",
+        rows.join(",\n")
+    );
+    let out = std::env::var("ALS_BENCH_OUT")
+        .unwrap_or_else(|_| format!("{}/../../BENCH_obs.json", env!("CARGO_MANIFEST_DIR")));
+    std::fs::write(&out, &json).expect("write BENCH_obs.json");
+    println!("bench: observability overhead -> {out}");
+}

@@ -6,11 +6,12 @@
 //! quantities behind the paper's runtime model (Eq. 2).
 
 use als_bench::{adp_ratio_of, pct, ExpArgs};
-use als_engine::{DualPhaseFlow, Flow, Phase, RuntimeModel};
+use als_engine::{flows, Phase, RuntimeModel};
 use als_error::MetricKind;
 
 fn main() {
     let args = ExpArgs::parse();
+    let obs = args.observability();
     let names = args.circuit_names(vec!["sm9x8", "mult16", "adder", "sin"]);
     println!(
         "Self-adaption ablation (MSE, {} patterns, {} scale)",
@@ -36,11 +37,9 @@ fn main() {
     for name in &names {
         let aig = args.build(name);
         let bound = args.threshold(MetricKind::Mse, aig.num_outputs());
-        let cfg = args.config_for(name, MetricKind::Mse, bound);
-        for (flow, label) in [
-            (DualPhaseFlow::new(cfg.clone()), "DP"),
-            (DualPhaseFlow::with_self_adaption(cfg.clone()), "DP-SA"),
-        ] {
+        let cfg = args.config_for(name, MetricKind::Mse, bound).with_obs(obs.clone());
+        for (flow_name, label) in [("dp", "DP"), ("dpsa", "DP-SA")] {
+            let flow = flows::by_name(flow_name, cfg.clone()).expect("registered flow");
             let res = flow.run(&aig).expect("flow failed");
             let incremental =
                 res.iterations.iter().filter(|r| r.phase == Phase::Incremental).count();
@@ -69,4 +68,5 @@ fn main() {
             );
         }
     }
+    obs.finish().expect("observability export failed");
 }

@@ -9,11 +9,12 @@
 use std::collections::HashSet;
 
 use als_bench::ExpArgs;
-use als_engine::{ConventionalFlow, Flow};
+use als_engine::flows;
 use als_error::MetricKind;
 
 fn main() {
     let args = ExpArgs::parse();
+    let obs = args.observability();
     let names = args.circuit_names(vec!["c880", "c1908", "sm9x8", "mult16", "adder", "sin"]);
     let set_size = 60;
     println!("candidate-set hit rate T_k/k (set size {set_size}, MSE constraint)");
@@ -26,8 +27,11 @@ fn main() {
     for name in names {
         let aig = args.build(&name);
         let bound = args.threshold(MetricKind::Mse, aig.num_outputs());
-        let cfg = args.config_for(&name, MetricKind::Mse, bound);
-        let res = ConventionalFlow::new(cfg).run(&aig).expect("flow failed");
+        let cfg = args.config_for(&name, MetricKind::Mse, bound).with_obs(obs.clone());
+        let res = flows::by_name("conventional", cfg)
+            .expect("registered flow")
+            .run(&aig)
+            .expect("flow failed");
         let s: HashSet<_> = res.first_ranking.iter().take(set_size).copied().collect();
         print!("{:<10}", name);
         for k in (10..=60).step_by(10) {
@@ -43,4 +47,5 @@ fn main() {
         }
         println!("   ({} LACs applied)", res.lacs_applied());
     }
+    obs.finish().expect("observability export failed");
 }

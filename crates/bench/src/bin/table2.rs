@@ -7,11 +7,15 @@
 //! small group at reduced scale.
 
 use als_bench::{adp_ratio_of, pct, ExpArgs};
-use als_engine::{ConventionalFlow, DualPhaseFlow, Flow, VecbeeDepthOneFlow};
+use als_engine::flows;
 use als_error::MetricKind;
+
+/// The four flows of Table II, in column order (registry names).
+const TABLE2_FLOWS: [&str; 4] = ["conventional", "l1", "dp", "dpsa"];
 
 fn main() {
     let args = ExpArgs::parse();
+    let obs = args.observability();
     let default = als_circuits::suite::small_circuit_names();
     let names = args.circuit_names(default);
 
@@ -40,17 +44,12 @@ fn main() {
     for name in &names {
         let aig = args.build(name);
         let bound = args.threshold(MetricKind::Mse, aig.num_outputs());
-        let cfg = args.config_for(name, MetricKind::Mse, bound);
+        let cfg = args.config_for(name, MetricKind::Mse, bound).with_obs(obs.clone());
 
-        let flows: [Box<dyn Flow>; 4] = [
-            Box::new(ConventionalFlow::new(cfg.clone())),
-            Box::new(VecbeeDepthOneFlow::new(cfg.clone())),
-            Box::new(DualPhaseFlow::new(cfg.clone())),
-            Box::new(DualPhaseFlow::with_self_adaption(cfg)),
-        ];
         let mut ratios = [0.0f64; 4];
         let mut times = [0.0f64; 4];
-        for (i, flow) in flows.iter().enumerate() {
+        for (i, flow_name) in TABLE2_FLOWS.iter().enumerate() {
+            let flow = flows::by_name(flow_name, cfg.clone()).expect("registered flow");
             let res = flow.run(&aig).expect("flow failed");
             assert!(
                 res.final_error <= bound * (1.0 + 1e-9),
@@ -96,4 +95,5 @@ fn main() {
             sums[4] / sums[6].max(1e-12)
         );
     }
+    obs.finish().expect("observability export failed");
 }

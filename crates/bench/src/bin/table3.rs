@@ -2,11 +2,12 @@
 //! constraints.
 
 use als_bench::{adp_ratio_of, pct, ExpArgs};
-use als_engine::{AccAlsFlow, DualPhaseFlow, Flow};
+use als_engine::flows;
 use als_error::MetricKind;
 
 fn main() {
     let args = ExpArgs::parse();
+    let obs = args.observability();
     let default = als_circuits::benchmark_names();
     let names = args.circuit_names(default);
 
@@ -32,9 +33,15 @@ fn main() {
         let mut cells = [0.0f64; 8];
         for (mi, metric) in [MetricKind::Er, MetricKind::Med].into_iter().enumerate() {
             let bound = args.threshold(metric, aig.num_outputs());
-            let cfg = args.config_for(name, metric, bound);
-            let acc = AccAlsFlow::new(cfg.clone()).run(&aig).expect("flow failed");
-            let dpsa = DualPhaseFlow::with_self_adaption(cfg).run(&aig).expect("flow failed");
+            let cfg = args.config_for(name, metric, bound).with_obs(obs.clone());
+            let run = |flow_name| {
+                flows::by_name(flow_name, cfg.clone())
+                    .expect("registered flow")
+                    .run(&aig)
+                    .expect("flow failed")
+            };
+            let acc = run("accals");
+            let dpsa = run("dpsa");
             for (res, label) in [(&acc, "AccALS"), (&dpsa, "DP-SA")] {
                 assert!(
                     res.final_error <= bound * (1.0 + 1e-9),
@@ -79,4 +86,5 @@ fn main() {
             sums[7] / n
         );
     }
+    obs.finish().expect("observability export failed");
 }

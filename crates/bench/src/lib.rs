@@ -9,13 +9,16 @@
 //!   full),
 //! * `--circuits a,b,c` — restrict to a subset of benchmarks,
 //! * `--seed S` — RNG seed,
-//! * `--threshold-index 0|1|2` — which of the paper's three thresholds.
+//! * `--threshold-index 0|1|2` — which of the paper's three thresholds,
+//! * `--trace p.jsonl` / `--metrics p.prom` — structured observability
+//!   sinks shared by every run the binary performs.
 
 use als_aig::Aig;
 use als_circuits::{benchmark, BenchmarkScale};
 use als_engine::{Flow, FlowConfig, FlowResult};
 use als_error::{paper_thresholds, MetricKind};
 use als_map::{map_circuit, CellLibrary};
+use als_obs::{Obs, ObsConfig};
 
 pub use als_error::metric::paper_thresholds as thresholds;
 
@@ -37,6 +40,10 @@ pub struct ExpArgs {
     /// Worker threads for the shared analysis pool (`None` keeps the
     /// `ALS_THREADS` environment default).
     pub threads: Option<usize>,
+    /// JSONL span-trace path shared by every run of the binary.
+    pub trace: Option<String>,
+    /// Prometheus text-metrics path, written when the binary finishes.
+    pub metrics: Option<String>,
 }
 
 impl Default for ExpArgs {
@@ -49,6 +56,8 @@ impl Default for ExpArgs {
             threshold_index: 1,
             group: None,
             threads: None,
+            trace: None,
+            metrics: None,
         }
     }
 }
@@ -90,6 +99,8 @@ impl ExpArgs {
                     })
                 }
                 "--group" => out.group = Some(value("--group")),
+                "--trace" => out.trace = Some(value("--trace")),
+                "--metrics" => out.metrics = Some(value("--metrics")),
                 "--threads" => {
                     out.threads = Some(value("--threads").parse().unwrap_or_else(|_| {
                         eprintln!("--threads expects a number");
@@ -99,7 +110,8 @@ impl ExpArgs {
                 "--help" | "-h" => {
                     eprintln!(
                         "flags: --full --patterns N --circuits a,b,c --seed S \
-                         --threshold-index 0|1|2 --group small|large --threads T"
+                         --threshold-index 0|1|2 --group small|large --threads T \
+                         --trace p.jsonl --metrics p.prom"
                     );
                     std::process::exit(0);
                 }
@@ -149,6 +161,24 @@ impl ExpArgs {
     /// The paper threshold for `metric` on a circuit with `k` outputs.
     pub fn threshold(&self, metric: MetricKind, k: usize) -> f64 {
         paper_thresholds(metric, k)[self.threshold_index.min(2)]
+    }
+
+    /// One observability handle for the whole binary (disabled unless
+    /// `--trace` or `--metrics` was given). Call once, clone it into every
+    /// [`FlowConfig`] via `with_obs`, and `finish()` it before exiting.
+    pub fn observability(&self) -> Obs {
+        if self.trace.is_none() && self.metrics.is_none() {
+            return Obs::disabled();
+        }
+        Obs::new(ObsConfig {
+            trace: self.trace.as_ref().map(Into::into),
+            metrics: self.metrics.as_ref().map(Into::into),
+            tree: false,
+        })
+        .unwrap_or_else(|e| {
+            eprintln!("observability setup failed: {e}");
+            std::process::exit(2);
+        })
     }
 
     /// A flow configuration for the given circuit under `metric`.

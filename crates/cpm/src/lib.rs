@@ -21,7 +21,7 @@
 //! [`flipsim`] implements the single-flip cone simulation that yields the
 //! Boolean differences `B[n][t]` to *all* cut members of `n` at once — the
 //! disjoint-cut advantage over per-output one-cut simulation.
-//! [`reference`] holds a brute-force oracle used by tests.
+//! [`mod@reference`] holds a brute-force oracle used by tests.
 //!
 //! [`storage`] backs the matrix with one flat word arena per [`Cpm`]: rows
 //! are `(output, arena-range)` index slices with per-entry nonzero-word

@@ -1,7 +1,6 @@
 //! AccALS-style multi-LAC selection baseline.
 
 use std::collections::HashSet;
-use std::time::Instant;
 
 use als_aig::{Aig, NodeId};
 use als_cuts::CutState;
@@ -53,25 +52,31 @@ impl Flow for AccAlsFlow {
     fn run(&self, original: &Aig) -> Result<FlowResult, EngineError> {
         als_aig::check::check(original).map_err(EngineError::InvalidInput)?;
         let cfg = &self.cfg;
-        crate::journal::reject_unsupported(cfg, self.name())?;
+        crate::journal::reject_unsupported(cfg, self)?;
         let bound = cfg.error_bound;
         let mut ctx = Ctx::new(original, cfg);
+        let _flow_span = ctx.obs().span("flow");
         let mut guard = BudgetGuard::new(original, cfg);
         let mut iterations = Vec::new();
         let mut first_ranking = Vec::new();
         let mut analyses = 0usize;
 
         while iterations.len() < cfg.max_lacs {
+            let _iter_span = ctx.obs().span("iteration");
+            let _phase_span = ctx.obs().span("phase1");
             // Comprehensive analysis.
-            let t0 = Instant::now();
+            let span = ctx.obs().span("cuts");
             let cuts = CutState::compute_with(&ctx.aig, ctx.pool())?;
-            ctx.times.cuts += t0.elapsed();
-            let t1 = Instant::now();
+            ctx.times.cuts += span.finish();
+            ctx.metrics.cut_recomputes.inc();
+            let mut span = ctx.obs().span("cpm");
             let cpm = als_cpm::compute_full_with(&ctx.aig, &ctx.sim, &cuts, ctx.pool())?;
-            ctx.times.cpm += t1.elapsed();
-            let t2 = Instant::now();
+            span.count("rows", cpm.num_rows() as u64);
+            ctx.times.cpm += span.finish();
+            ctx.metrics.cpm_rows_built.add(cpm.num_rows() as u64);
+            let span = ctx.obs().span("eval");
             let lacs = als_lac::generate(&ctx.aig, &ctx.sim, &cfg.lac, None);
-            ctx.times.eval += t2.elapsed();
+            ctx.times.eval += span.finish();
             let mut evals = ctx.evaluate_lacs(&cpm, &lacs)?;
             analyses += 1;
             if first_ranking.is_empty() {
@@ -121,9 +126,9 @@ impl Flow for AccAlsFlow {
                         continue;
                     }
                 }
-                let t3 = Instant::now();
+                let span = ctx.obs().span("eval");
                 let exact = ctx.exact_error_of(&e.lac);
-                ctx.times.eval += t3.elapsed();
+                ctx.times.eval += span.finish();
                 if exact > bound {
                     break; // stale estimate no longer sound — stop the batch
                 }
@@ -136,6 +141,7 @@ impl Flow for AccAlsFlow {
                 if guard.try_apply(&mut ctx, e)?.is_none() {
                     break; // the guard measured an overshoot — stop the batch
                 }
+                ctx.metrics.iterations.inc();
                 iterations.push(IterationRecord {
                     lac: e.lac,
                     error_after: exact,

@@ -1,7 +1,10 @@
 //! Flow configuration.
 
+use std::fmt;
+
 use als_error::MetricKind;
 use als_lac::CandidateConfig;
+use als_obs::Obs;
 
 /// How Monte-Carlo input patterns are drawn.
 #[derive(Copy, Clone, PartialEq, Debug, Default)]
@@ -143,6 +146,11 @@ pub struct FlowConfig {
     /// flows support journaling; other flows reject it with a
     /// configuration error.
     pub journal: Option<JournalConfig>,
+    /// Observability handle: hierarchical tracing spans and the metrics
+    /// registry every instrumented layer (flows, guard, journal, worker
+    /// pool) reports into. Disabled by default; a disabled handle makes
+    /// every instrumentation point an inlined no-op.
+    pub obs: Obs,
     /// Deterministic fault-injection plan exercised by the chaos test
     /// suite. Compiled in only with the `fault-inject` feature; the
     /// default plan injects nothing.
@@ -187,9 +195,18 @@ impl FlowConfig {
             fold_constants: true,
             guard: GuardConfig::default(),
             journal: None,
+            obs: Obs::disabled(),
             #[cfg(feature = "fault-inject")]
             faults: crate::faultplan::FaultPlan::default(),
         }
+    }
+
+    /// Starts a validating builder with the paper's small-circuit
+    /// defaults. Unlike the chainable `with_*` setters (which clamp bad
+    /// values silently), [`FlowConfigBuilder::build`] rejects an
+    /// inconsistent configuration with a [`ConfigError`].
+    pub fn builder(metric: MetricKind, error_bound: f64) -> FlowConfigBuilder {
+        FlowConfigBuilder { cfg: FlowConfig::new(metric, error_bound) }
     }
 
     /// Switches to the paper's large-circuit setup: `M = 150`, `N = 50`,
@@ -279,9 +296,176 @@ impl FlowConfig {
         self
     }
 
+    /// Attaches an observability handle: every instrumented layer of the
+    /// run (flows, guard, journal, worker pool) reports spans and metrics
+    /// through it.
+    pub fn with_obs(mut self, obs: Obs) -> FlowConfig {
+        self.obs = obs;
+        self
+    }
+
     /// Number of 64-bit pattern words.
     pub fn pattern_words(&self) -> usize {
         self.num_patterns.div_ceil(64)
+    }
+
+    /// Checks the cross-field invariants the builder enforces. The public
+    /// fields remain assignable for one deprecation cycle, so a config
+    /// assembled by hand can be re-validated before a run.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.num_patterns == 0 {
+            return Err(ConfigError::NoPatterns);
+        }
+        if self.m == 0 || self.n == 0 {
+            return Err(ConfigError::EmptyCandidateSet { m: self.m, n: self.n });
+        }
+        if self.m <= self.n {
+            return Err(ConfigError::CandidateBudget { m: self.m, n: self.n });
+        }
+        if let PatternSource::Biased(p) = self.patterns_from {
+            if !(0.0..=1.0).contains(&p) || p.is_nan() {
+                return Err(ConfigError::BiasOutOfRange(p));
+            }
+        }
+        if !self.error_bound.is_finite() || self.error_bound < 0.0 {
+            return Err(ConfigError::BadErrorBound(self.error_bound));
+        }
+        Ok(())
+    }
+}
+
+/// Why a [`FlowConfigBuilder`] refused to produce a [`FlowConfig`].
+#[derive(Clone, Debug, PartialEq)]
+pub enum ConfigError {
+    /// The Monte-Carlo sample count is zero.
+    NoPatterns,
+    /// `M` or `N` is zero — no candidates to analyse.
+    EmptyCandidateSet {
+        /// Candidate-set size `M`.
+        m: usize,
+        /// Phase-two iteration limit `N`.
+        n: usize,
+    },
+    /// The phase-two budget `N` is not strictly below the candidate-set
+    /// size `M`.
+    CandidateBudget {
+        /// Candidate-set size `M`.
+        m: usize,
+        /// Phase-two iteration limit `N`.
+        n: usize,
+    },
+    /// A biased input distribution's one-probability is outside `[0, 1]`.
+    BiasOutOfRange(f64),
+    /// The error bound is negative, infinite or NaN.
+    BadErrorBound(f64),
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::NoPatterns => {
+                write!(f, "the Monte-Carlo pattern count must be positive")
+            }
+            ConfigError::EmptyCandidateSet { m, n } => {
+                write!(f, "M and N must be positive (got M = {m}, N = {n})")
+            }
+            ConfigError::CandidateBudget { m, n } => {
+                write!(f, "the candidate-set size M must exceed N (got M = {m}, N = {n})")
+            }
+            ConfigError::BiasOutOfRange(p) => {
+                write!(f, "biased input probability {p} is outside [0, 1]")
+            }
+            ConfigError::BadErrorBound(b) => {
+                write!(f, "error bound {b} must be finite and non-negative")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+/// Validating builder for [`FlowConfig`], started by
+/// [`FlowConfig::builder`]. Setters store values verbatim (no clamping);
+/// [`FlowConfigBuilder::build`] checks the cross-field invariants and
+/// returns a [`ConfigError`] instead of silently repairing the input.
+#[derive(Clone, Debug)]
+pub struct FlowConfigBuilder {
+    cfg: FlowConfig,
+}
+
+impl FlowConfigBuilder {
+    /// Sets the Monte-Carlo pattern count (validated, not clamped).
+    pub fn patterns(mut self, num_patterns: usize) -> FlowConfigBuilder {
+        self.cfg.num_patterns = num_patterns;
+        self
+    }
+
+    /// Sets the RNG seed.
+    pub fn seed(mut self, seed: u64) -> FlowConfigBuilder {
+        self.cfg.seed = seed;
+        self
+    }
+
+    /// Sets the candidate-set size `M` and the phase-two limit `N`
+    /// explicitly (`build` enforces `M > N > 0`).
+    pub fn candidates(mut self, m: usize, n: usize) -> FlowConfigBuilder {
+        self.cfg.m = m;
+        self.cfg.n = n;
+        self
+    }
+
+    /// Sets the worker-thread budget.
+    pub fn threads(mut self, threads: usize) -> FlowConfigBuilder {
+        self.cfg.threads = threads.max(1);
+        self
+    }
+
+    /// Selects the input distribution (`build` rejects a biased
+    /// probability outside `[0, 1]`).
+    pub fn input_distribution(mut self, source: PatternSource) -> FlowConfigBuilder {
+        self.cfg.patterns_from = source;
+        self
+    }
+
+    /// Selects the candidate selection criterion.
+    pub fn selection(mut self, strategy: SelectionStrategy) -> FlowConfigBuilder {
+        self.cfg.selection = strategy;
+        self
+    }
+
+    /// Replaces the guarded-execution settings wholesale.
+    pub fn guard(mut self, guard: GuardConfig) -> FlowConfigBuilder {
+        self.cfg.guard = guard;
+        self
+    }
+
+    /// Journals every committed iteration to `path`.
+    pub fn journal(mut self, path: impl Into<std::path::PathBuf>) -> FlowConfigBuilder {
+        self.cfg.journal = Some(JournalConfig { path: path.into(), resume: false });
+        self
+    }
+
+    /// Attaches an observability handle.
+    pub fn obs(mut self, obs: Obs) -> FlowConfigBuilder {
+        self.cfg.obs = obs;
+        self
+    }
+
+    /// Switches to the paper's large-circuit setup (`M = 150`, `N = 50`,
+    /// constant LACs only).
+    pub fn large_circuit(mut self) -> FlowConfigBuilder {
+        self.cfg = self.cfg.for_large_circuit();
+        self
+    }
+
+    /// Validates the assembled configuration and returns it, or the first
+    /// violated invariant.
+    pub fn build(self) -> Result<FlowConfig, ConfigError> {
+        self.cfg.validate()?;
+        let mut cfg = self.cfg;
+        // normalise the pattern count exactly like the legacy setter
+        cfg.num_patterns = cfg.num_patterns.max(64);
+        Ok(cfg)
     }
 }
 
@@ -320,5 +504,58 @@ mod tests {
     fn candidate_derivation() {
         let c = FlowConfig::new(MetricKind::Er, 0.01).with_candidates(90);
         assert_eq!((c.m, c.n), (90, 30));
+    }
+
+    #[test]
+    fn builder_accepts_valid_configs() {
+        let c = FlowConfig::builder(MetricKind::Med, 2.0)
+            .patterns(1000)
+            .seed(7)
+            .candidates(90, 30)
+            .threads(4)
+            .input_distribution(PatternSource::Biased(0.25))
+            .build()
+            .unwrap();
+        assert_eq!((c.m, c.n), (90, 30));
+        assert_eq!(c.seed, 7);
+        assert_eq!(c.threads, 4);
+        assert_eq!(c.num_patterns, 1000);
+        assert!(!c.obs.is_enabled());
+    }
+
+    #[test]
+    fn builder_rejects_inverted_candidate_budget() {
+        let err = FlowConfig::builder(MetricKind::Med, 1.0).candidates(20, 20).build().unwrap_err();
+        assert_eq!(err, ConfigError::CandidateBudget { m: 20, n: 20 });
+        assert!(err.to_string().contains("M must exceed N"));
+        let err = FlowConfig::builder(MetricKind::Med, 1.0).candidates(0, 0).build().unwrap_err();
+        assert_eq!(err, ConfigError::EmptyCandidateSet { m: 0, n: 0 });
+    }
+
+    #[test]
+    fn builder_rejects_zero_patterns_and_bad_bias() {
+        let err = FlowConfig::builder(MetricKind::Er, 0.1).patterns(0).build().unwrap_err();
+        assert_eq!(err, ConfigError::NoPatterns);
+        let err = FlowConfig::builder(MetricKind::Er, 0.1)
+            .input_distribution(PatternSource::Biased(1.5))
+            .build()
+            .unwrap_err();
+        assert_eq!(err, ConfigError::BiasOutOfRange(1.5));
+        assert!(FlowConfig::builder(MetricKind::Er, 0.1)
+            .input_distribution(PatternSource::Biased(f64::NAN))
+            .build()
+            .is_err());
+    }
+
+    #[test]
+    fn builder_rejects_bad_bounds_and_validate_matches() {
+        let err = FlowConfig::builder(MetricKind::Er, -1.0).build().unwrap_err();
+        assert_eq!(err, ConfigError::BadErrorBound(-1.0));
+        assert!(FlowConfig::builder(MetricKind::Er, f64::INFINITY).build().is_err());
+        // hand-assembled configs re-validate through the same predicate
+        let mut c = FlowConfig::new(MetricKind::Er, 0.1);
+        assert!(c.validate().is_ok());
+        c.n = c.m;
+        assert!(c.validate().is_err());
     }
 }

@@ -7,6 +7,7 @@ use als_aig::{Aig, EditRecord, NodeId};
 use als_cpm::{Cpm, FlipSim};
 use als_error::{unsigned_weights, ErrorState, FlipVec, SparseFlip};
 use als_lac::Lac;
+use als_obs::{Counter, Histogram, Obs};
 use als_par::WorkerPool;
 use als_sim::{PackedBits, PatternSet, Simulator};
 
@@ -22,6 +23,65 @@ pub struct Evaluated {
     pub error_after: f64,
     /// Gates its application removes.
     pub saving: usize,
+}
+
+/// Pre-registered metric handles of one flow run. All handles are no-ops
+/// when the run's [`Obs`] is disabled; flows update them inline on the hot
+/// path without re-consulting the registry.
+#[derive(Clone, Debug, Default)]
+pub struct EngineMetrics {
+    /// Full (comprehensive) disjoint-cut recomputations.
+    pub cut_recomputes: Counter,
+    /// CPC-violating nodes (`|S_v|`) repaired by incremental cut updates.
+    pub cpc_violations: Counter,
+    /// Per-update `|S_v|` distribution.
+    pub s_v_size: Histogram,
+    /// Per-round `|S_cand|` distribution.
+    pub s_cand_size: Histogram,
+    /// Candidate LACs evaluated per analysis (`|S_c|`).
+    pub lacs_evaluated: Histogram,
+    /// CPM rows built (full and partial computations).
+    pub cpm_rows_built: Counter,
+    /// Rows a partial CPM avoided rebuilding (live nodes minus closure).
+    pub cpm_rows_reused: Counter,
+    /// Journal append latency (checkpoints and commits), microseconds.
+    pub journal_append_us: Histogram,
+    /// Applied LACs (committed iterations).
+    pub iterations: Counter,
+    /// Incremental phase-two rounds completed.
+    pub phase2_rounds: Counter,
+}
+
+impl EngineMetrics {
+    /// Registers every engine metric on `obs` (no-op handles when
+    /// disabled).
+    pub fn register(obs: &Obs) -> EngineMetrics {
+        EngineMetrics {
+            cut_recomputes: obs
+                .counter("als_cut_recomputations_total", "full disjoint-cut recomputations"),
+            cpc_violations: obs.counter(
+                "als_cpc_violations_total",
+                "CPC-violating nodes repaired by incremental cut updates",
+            ),
+            s_v_size: obs
+                .histogram("als_s_v_size", "CPC-violating set size |S_v| per incremental update"),
+            s_cand_size: obs
+                .histogram("als_s_cand_size", "candidate node set size |S_cand| per round"),
+            lacs_evaluated: obs
+                .histogram("als_lacs_evaluated", "candidate LACs evaluated per analysis"),
+            cpm_rows_built: obs
+                .counter("als_cpm_rows_built_total", "CPM rows built (full + partial)"),
+            cpm_rows_reused: obs.counter(
+                "als_cpm_rows_reused_total",
+                "rows a partial CPM avoided rebuilding (live nodes minus closure)",
+            ),
+            journal_append_us: obs
+                .histogram("als_journal_append_us", "journal append latency (us)"),
+            iterations: obs.counter("als_iterations_total", "applied LACs (committed iterations)"),
+            phase2_rounds: obs
+                .counter("als_phase2_rounds_total", "incremental phase-two rounds completed"),
+        }
+    }
 }
 
 /// Mutable state of one flow run: the working circuit, its simulation,
@@ -41,6 +101,10 @@ pub struct Ctx {
     pub flipsim: FlipSim,
     /// Per-step timing accumulators.
     pub times: StepTimes,
+    /// Pre-registered metric handles (no-ops when observability is off).
+    pub metrics: EngineMetrics,
+    /// Observability handle of this run.
+    obs: Obs,
     /// Shared worker pool for every parallel analysis region.
     pool: WorkerPool,
     /// Reusable output-value buffers for error-state refreshes.
@@ -90,7 +154,7 @@ impl Ctx {
                 PatternSet::biased(aig.num_inputs(), cfg.pattern_words(), cfg.seed, density)
             }
         };
-        let pool = WorkerPool::new(cfg.threads);
+        let pool = WorkerPool::new(cfg.threads).with_obs(&cfg.obs);
         let sim = Simulator::new_with(&aig, &patterns, &pool);
         let golden: Vec<PackedBits> =
             (0..aig.num_outputs()).map(|o| sim.output_value(&aig, o)).collect();
@@ -106,6 +170,8 @@ impl Ctx {
             ranks,
             flipsim,
             times: StepTimes::default(),
+            metrics: EngineMetrics::register(&cfg.obs),
+            obs: cfg.obs.clone(),
             pool,
             outs: Vec::new(),
             fold_constants: cfg.fold_constants,
@@ -119,6 +185,12 @@ impl Ctx {
     /// (disjoint cuts, CPM waves, simulation waves, LAC evaluation).
     pub fn pool(&self) -> &WorkerPool {
         &self.pool
+    }
+
+    /// The observability handle of this run (disabled unless the
+    /// configuration attached one).
+    pub fn obs(&self) -> &Obs {
+        &self.obs
     }
 
     /// Current measured error of the working circuit.
@@ -181,7 +253,9 @@ impl Ctx {
         cpm: &Cpm,
         lacs: &[Lac],
     ) -> Result<Vec<Evaluated>, crate::error::EngineError> {
-        let t0 = Instant::now();
+        let mut span = self.obs.span("eval");
+        span.count("lacs", lacs.len() as u64);
+        self.metrics.lacs_evaluated.observe(lacs.len() as u64);
         let (aig, sim, state) = (&self.aig, &self.sim, &self.state);
         let num_words = sim.num_words();
         #[cfg(feature = "fault-inject")]
@@ -199,7 +273,7 @@ impl Ctx {
             )
             .map(|evals| evals.into_iter().flatten().collect())
             .map_err(crate::error::EngineError::from);
-        self.times.eval += t0.elapsed();
+        self.times.eval += span.finish();
         out
     }
 
@@ -239,7 +313,8 @@ impl Ctx {
     }
 
     /// Picks the best applicable candidate under the configured
-    /// [`SelectionStrategy`]. `current_error` is the circuit error before
+    /// [`SelectionStrategy`](crate::config::SelectionStrategy).
+    /// `current_error` is the circuit error before
     /// the candidate would be applied (used by the gain/cost criterion).
     pub fn select(
         evals: &[Evaluated],
@@ -274,7 +349,7 @@ impl Ctx {
     /// exact transformation — simulated values are untouched). Returns all
     /// edit records, LAC first, for incremental consumers.
     pub fn apply(&mut self, lac: &Lac) -> Vec<EditRecord> {
-        let t0 = Instant::now();
+        let mut span = self.obs.span("apply");
         let rec = lac.apply(&mut self.aig);
         self.sim.resimulate_fanout_cone_with(&self.aig, &[rec.replacement.node()], &self.pool);
         let seed = rec.replacement.node();
@@ -284,7 +359,9 @@ impl Ctx {
         }
         self.refresh_error_state();
         self.ranks = als_aig::topo::topo_ranks(&self.aig);
-        self.times.apply += t0.elapsed();
+        span.count("edits", records.len() as u64);
+        span.count("nodes", self.aig.num_ands() as u64);
+        self.times.apply += span.finish();
         records
     }
 
@@ -314,7 +391,8 @@ impl Ctx {
     /// replacement inherits the target's fanouts during `replace` and
     /// returns them on rollback).
     pub fn rollback(&mut self, records: &[EditRecord]) {
-        let t0 = Instant::now();
+        let mut span = self.obs.span("apply");
+        span.count("rollback", 1);
         self.aig.rollback_txn();
         let mut seeds: Vec<NodeId> = Vec::new();
         for rec in records {
@@ -327,7 +405,7 @@ impl Ctx {
         self.sim.resimulate_fanout_cone_with(&self.aig, &seeds, &self.pool);
         self.refresh_error_state();
         self.ranks = als_aig::topo::topo_ranks(&self.aig);
-        self.times.apply += t0.elapsed();
+        self.times.apply += span.finish();
     }
 
     /// Ranks target nodes by their best (smallest) evaluated error — the

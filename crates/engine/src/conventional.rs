@@ -1,8 +1,6 @@
 //! The conventional single-LAC-per-iteration flow (enhanced VECBEE,
 //! `l = ∞`).
 
-use std::time::Instant;
-
 use als_aig::Aig;
 use als_cuts::CutState;
 
@@ -42,29 +40,36 @@ impl Flow for ConventionalFlow {
     fn run(&self, original: &Aig) -> Result<FlowResult, EngineError> {
         als_aig::check::check(original).map_err(EngineError::InvalidInput)?;
         let cfg = &self.cfg;
-        crate::journal::reject_unsupported(cfg, self.name())?;
+        crate::journal::reject_unsupported(cfg, self)?;
         let mut ctx = Ctx::new(original, cfg);
+        let _flow_span = ctx.obs().span("flow");
         let mut guard = BudgetGuard::new(original, cfg);
         let mut iterations = Vec::new();
         let mut first_ranking = Vec::new();
         let mut analyses = 0usize;
 
         while iterations.len() < cfg.max_lacs {
+            let _iter_span = ctx.obs().span("iteration");
+            let _phase_span = ctx.obs().span("phase1");
             // Step 1: disjoint cuts (full recomputation — this is the
             // "conventional" cost the dual-phase flow removes).
-            let t0 = Instant::now();
+            let mut span = ctx.obs().span("cuts");
+            span.count("nodes", ctx.aig.num_ands() as u64);
             let cuts = CutState::compute_with(&ctx.aig, ctx.pool())?;
-            ctx.times.cuts += t0.elapsed();
+            ctx.times.cuts += span.finish();
+            ctx.metrics.cut_recomputes.inc();
 
             // Step 2: full CPM.
-            let t1 = Instant::now();
+            let mut span = ctx.obs().span("cpm");
             let cpm = als_cpm::compute_full_with(&ctx.aig, &ctx.sim, &cuts, ctx.pool())?;
-            ctx.times.cpm += t1.elapsed();
+            span.count("rows", cpm.num_rows() as u64);
+            ctx.times.cpm += span.finish();
+            ctx.metrics.cpm_rows_built.add(cpm.num_rows() as u64);
 
             // Step 3: all candidate LACs.
-            let t2 = Instant::now();
+            let span = ctx.obs().span("eval");
             let lacs = als_lac::generate(&ctx.aig, &ctx.sim, &cfg.lac, None);
-            ctx.times.eval += t2.elapsed();
+            ctx.times.eval += span.finish();
             let evals = ctx.evaluate_lacs(&cpm, &lacs)?;
             analyses += 1;
             if first_ranking.is_empty() {
@@ -74,6 +79,7 @@ impl Flow for ConventionalFlow {
             let Some(applied) = guard.select_apply(&mut ctx, &evals, cfg.selection)? else {
                 break;
             };
+            ctx.metrics.iterations.inc();
             iterations.push(IterationRecord {
                 lac: applied.eval.lac,
                 error_after: applied.eval.error_after,

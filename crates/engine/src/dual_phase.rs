@@ -2,7 +2,7 @@
 //! (DP-SA) — the paper's contribution.
 
 use std::collections::HashSet;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use als_aig::{Aig, NodeId};
 use als_cuts::CutState;
@@ -68,6 +68,21 @@ fn relative_increase(e_inc: f64, e0: f64) -> f64 {
     }
 }
 
+/// Appends a journal record through `append`, recording the call's latency
+/// into the run's `als_journal_append_us` histogram when enabled.
+fn timed_append<E>(
+    latency: &als_obs::Histogram,
+    append: impl FnOnce() -> Result<(), E>,
+) -> Result<(), E> {
+    if !latency.is_enabled() {
+        return append();
+    }
+    let t0 = Instant::now();
+    let out = append();
+    latency.observe_duration(t0.elapsed());
+    out
+}
+
 impl Flow for DualPhaseFlow {
     fn name(&self) -> &str {
         if self.self_adapt {
@@ -77,11 +92,16 @@ impl Flow for DualPhaseFlow {
         }
     }
 
+    fn supports_journal(&self) -> bool {
+        true
+    }
+
     fn run(&self, original: &Aig) -> Result<FlowResult, EngineError> {
         als_aig::check::check(original).map_err(EngineError::InvalidInput)?;
         let cfg = &self.cfg;
         let bound = cfg.error_bound;
         let mut ctx = Ctx::new(original, cfg);
+        let _flow_span = ctx.obs().span("flow");
         let mut guard = BudgetGuard::new(original, cfg);
         let mut iterations = Vec::new();
         let mut first_ranking = Vec::new();
@@ -92,8 +112,8 @@ impl Flow for DualPhaseFlow {
         let mut m = cfg.m;
         let mut n_limit = cfg.n;
         let mut lac_cfg = cfg.lac.clone();
-        let mut comp_time = std::time::Duration::ZERO;
-        let mut inc_time = std::time::Duration::ZERO;
+        let mut comp_time = Duration::ZERO;
+        let mut inc_time = Duration::ZERO;
         // Degradation-ladder bookkeeping: total phase-two rounds across the
         // run (drives the spot-check salt and the corruption test hook),
         // and the spot-check failure that forced the current comprehensive
@@ -200,8 +220,9 @@ impl Flow for DualPhaseFlow {
         }
 
         'dual_phase: while iterations.len() < cfg.max_lacs {
+            let _iter_span = ctx.obs().span("iteration");
             if let Some(w) = journal.as_mut() {
-                w.append_checkpoint(&journal::Checkpoint {
+                let cp = journal::Checkpoint {
                     commit_count: iterations.len() as u64,
                     cum_error: ctx.error(),
                     m: m as u64,
@@ -212,17 +233,20 @@ impl Flow for DualPhaseFlow {
                     fallback_pending: fallback_pending.clone(),
                     first_ranking: first_ranking.iter().map(|n| n.0).collect(),
                     guard: guard.snapshot(),
-                })?;
+                };
+                timed_append(&ctx.metrics.journal_append_us, || w.append_checkpoint(&cp))?;
             }
             let times_snapshot = ctx.times;
             let e0 = ctx.error();
             let mut sum_er = 0.0f64;
 
             // ---------------- Phase one: comprehensive analysis ----------
-            let phase1_start = Instant::now();
-            let t0 = Instant::now();
+            let phase1_span = ctx.obs().span("phase1");
+            let mut span = ctx.obs().span("cuts");
+            span.count("nodes", ctx.aig.num_ands() as u64);
             let mut cuts = CutState::compute_with(&ctx.aig, ctx.pool())?;
-            ctx.times.cuts += t0.elapsed();
+            ctx.times.cuts += span.finish();
+            ctx.metrics.cut_recomputes.inc();
             // Last rung of the degradation ladder: if this comprehensive
             // analysis is itself a fallback from a failed incremental
             // spot-check, cross-validate the *fresh* state too. A fresh
@@ -242,12 +266,14 @@ impl Flow for DualPhaseFlow {
                     });
                 }
             }
-            let t1 = Instant::now();
+            let mut span = ctx.obs().span("cpm");
             let cpm = als_cpm::compute_full_with(&ctx.aig, &ctx.sim, &cuts, ctx.pool())?;
-            ctx.times.cpm += t1.elapsed();
-            let t2 = Instant::now();
+            span.count("rows", cpm.num_rows() as u64);
+            ctx.times.cpm += span.finish();
+            ctx.metrics.cpm_rows_built.add(cpm.num_rows() as u64);
+            let span = ctx.obs().span("eval");
             let lacs = als_lac::generate(&ctx.aig, &ctx.sim, &lac_cfg, None);
-            ctx.times.eval += t2.elapsed();
+            ctx.times.eval += span.finish();
             let evals = ctx.evaluate_lacs(&cpm, &lacs)?;
             analyses += 1;
             if first_ranking.is_empty() {
@@ -256,10 +282,12 @@ impl Flow for DualPhaseFlow {
 
             let e_pre = ctx.error();
             let Some(applied) = guard.select_apply(&mut ctx, &evals, cfg.selection)? else {
-                comp_time += phase1_start.elapsed();
+                comp_time += phase1_span.finish();
                 break;
             };
+            ctx.metrics.iterations.inc();
             let mut s_cand: Vec<NodeId> = Ctx::rank_targets(&evals).into_iter().take(m).collect();
+            ctx.metrics.s_cand_size.observe(s_cand.len() as u64);
             sum_er += relative_increase(applied.eval.error_after - e_pre, e0);
             let recs = applied.records;
             iterations.push(IterationRecord {
@@ -273,35 +301,49 @@ impl Flow for DualPhaseFlow {
             if let (Some(w), Some(rec)) = (journal.as_mut(), iterations.last()) {
                 let c =
                     journal::Commit::new(iterations.len() - 1, rec, &recs, ctx.error(), &ctx.times);
-                w.append_commit(&c)?;
+                timed_append(&ctx.metrics.journal_append_us, || w.append_commit(&c))?;
             }
             let removed: HashSet<NodeId> =
                 recs.iter().flat_map(|r| r.removed.iter().copied()).collect();
             s_cand.retain(|n| !removed.contains(n));
-            let t3 = Instant::now();
+            let mut span = ctx.obs().span("cuts");
+            let mut s_v = 0u64;
             for rec in &recs {
                 cuts.update_after(&ctx.aig, rec);
+                let sz = cuts.last_update_size() as u64;
+                s_v += sz;
+                ctx.metrics.s_v_size.observe(sz);
             }
-            ctx.times.cuts += t3.elapsed();
-            comp_time += phase1_start.elapsed();
+            span.count("s_v", s_v);
+            ctx.times.cuts += span.finish();
+            ctx.metrics.cpc_violations.add(s_v);
+            comp_time += phase1_span.finish();
 
             // ---------------- Phase two: incremental rounds --------------
-            let phase2_start = Instant::now();
+            let phase2_span = ctx.obs().span("phase2");
             let mut rounds = 0usize;
             while rounds < n_limit && !s_cand.is_empty() && iterations.len() < cfg.max_lacs {
+                let _round_span = ctx.obs().span("round");
                 s_cand.retain(|&n| ctx.aig.is_live(n) && ctx.aig.node(n).is_and());
                 if s_cand.is_empty() {
                     break;
                 }
+                ctx.metrics.s_cand_size.observe(s_cand.len() as u64);
                 // Step 2: partial CPM over N(S_cand).
-                let t4 = Instant::now();
-                let (pcpm, _closure) =
+                let mut span = ctx.obs().span("cpm");
+                let (pcpm, closure) =
                     als_cpm::compute_partial_with(&ctx.aig, &ctx.sim, &cuts, &s_cand, ctx.pool())?;
-                ctx.times.cpm += t4.elapsed();
+                span.count("rows", pcpm.num_rows() as u64);
+                span.count("closure", closure as u64);
+                ctx.times.cpm += span.finish();
+                ctx.metrics.cpm_rows_built.add(pcpm.num_rows() as u64);
+                ctx.metrics
+                    .cpm_rows_reused
+                    .add((ctx.aig.num_ands() as u64).saturating_sub(closure as u64));
                 // Step 3: LACs targeting S_cand only.
-                let t5 = Instant::now();
+                let span = ctx.obs().span("eval");
                 let lacs = als_lac::generate(&ctx.aig, &ctx.sim, &lac_cfg, Some(&s_cand));
-                ctx.times.eval += t5.elapsed();
+                ctx.times.eval += span.finish();
                 let evals = ctx.evaluate_lacs(&pcpm, &lacs)?;
 
                 // Guarded selection with the DP-SA adaptive stop woven in:
@@ -336,6 +378,7 @@ impl Flow for DualPhaseFlow {
                 if self.self_adapt {
                     sum_er += e_r;
                 }
+                ctx.metrics.iterations.inc();
                 iterations.push(IterationRecord {
                     lac: best.lac,
                     error_after: best.error_after,
@@ -352,19 +395,26 @@ impl Flow for DualPhaseFlow {
                         ctx.error(),
                         &ctx.times,
                     );
-                    w.append_commit(&c)?;
+                    timed_append(&ctx.metrics.journal_append_us, || w.append_commit(&c))?;
                 }
                 let removed: HashSet<NodeId> =
                     recs.iter().flat_map(|r| r.removed.iter().copied()).collect();
                 s_cand.retain(|n| !removed.contains(n));
                 // Step 1 (incremental): refresh cuts for S_v only.
-                let t6 = Instant::now();
+                let mut span = ctx.obs().span("cuts");
+                let mut s_v = 0u64;
                 for rec in &recs {
                     cuts.update_after(&ctx.aig, rec);
+                    let sz = cuts.last_update_size() as u64;
+                    s_v += sz;
+                    ctx.metrics.s_v_size.observe(sz);
                 }
-                ctx.times.cuts += t6.elapsed();
+                span.count("s_v", s_v);
+                ctx.times.cuts += span.finish();
+                ctx.metrics.cpc_violations.add(s_v);
                 rounds += 1;
                 total_rounds += 1;
+                ctx.metrics.phase2_rounds.inc();
 
                 // Degradation ladder: cross-validate the incrementally
                 // maintained state against ground truth on a small node
@@ -385,10 +435,11 @@ impl Flow for DualPhaseFlow {
                         flow: self.name().to_string(),
                         source: e,
                     })?;
-                    let t7 = Instant::now();
+                    let mut span = ctx.obs().span("cuts");
+                    span.count("spot_check", 1);
                     let verdict =
                         cuts.spot_check(&ctx.aig, cfg.guard.spot_check, total_rounds as u64);
-                    ctx.times.cuts += t7.elapsed();
+                    ctx.times.cuts += span.finish();
                     if let Err(detail) = verdict {
                         guard.note_fallback();
                         fallback_pending = Some(detail);
@@ -396,7 +447,7 @@ impl Flow for DualPhaseFlow {
                     }
                 }
             }
-            inc_time += phase2_start.elapsed();
+            inc_time += phase2_span.finish();
             if fallback_pending.is_some() {
                 // Skip self-adaption this round: its timing signal is
                 // polluted by the aborted phase two.

@@ -107,6 +107,12 @@ impl From<als_par::WorkerPanic> for EngineError {
     }
 }
 
+impl From<crate::config::ConfigError> for EngineError {
+    fn from(e: crate::config::ConfigError) -> EngineError {
+        EngineError::Config(e.to_string())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

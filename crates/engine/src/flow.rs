@@ -18,4 +18,12 @@ pub trait Flow {
     /// Runs the flow on `original` and returns the result, or a
     /// structured [`EngineError`] explaining why the run aborted.
     fn run(&self, original: &Aig) -> Result<FlowResult, EngineError>;
+
+    /// Whether the flow can journal its run for crash recovery. Flows
+    /// whose loop structure has no checkpoint boundaries keep the default
+    /// `false`; a journaling configuration is then rejected up front by
+    /// [`crate::journal::reject_unsupported`] instead of silently ignored.
+    fn supports_journal(&self) -> bool {
+        false
+    }
 }

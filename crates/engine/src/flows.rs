@@ -1,0 +1,79 @@
+//! The flow registry: one place that knows how to turn a flow name into a
+//! runnable [`Flow`].
+//!
+//! The CLI, the bench binaries and the journal's configuration checks used
+//! to each carry their own `match` over flow-name strings; they all
+//! dispatch through [`by_name`] now, so adding a flow means touching this
+//! file once.
+
+use crate::accals::AccAlsFlow;
+use crate::config::FlowConfig;
+use crate::conventional::ConventionalFlow;
+use crate::dual_phase::DualPhaseFlow;
+use crate::error::EngineError;
+use crate::flow::Flow;
+use crate::vecbee_flow::VecbeeDepthOneFlow;
+
+/// Canonical names accepted by [`by_name`], in presentation order.
+pub const FLOW_NAMES: &[&str] = &["conventional", "l1", "accals", "dp", "dpsa"];
+
+/// Builds the flow registered under `name` (see [`FLOW_NAMES`]) with the
+/// given configuration. Unknown names return [`EngineError::Config`]
+/// listing the valid ones.
+pub fn by_name(name: &str, cfg: FlowConfig) -> Result<Box<dyn Flow>, EngineError> {
+    match name {
+        "conventional" => Ok(Box::new(ConventionalFlow::new(cfg))),
+        "l1" => Ok(Box::new(VecbeeDepthOneFlow::new(cfg))),
+        "accals" => Ok(Box::new(AccAlsFlow::new(cfg))),
+        "dp" => Ok(Box::new(DualPhaseFlow::new(cfg))),
+        "dpsa" => Ok(Box::new(DualPhaseFlow::with_self_adaption(cfg))),
+        other => Err(EngineError::Config(format!(
+            "unknown flow {other:?} (expected one of: {})",
+            FLOW_NAMES.join(", ")
+        ))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use als_error::MetricKind;
+
+    fn cfg() -> FlowConfig {
+        FlowConfig::new(MetricKind::Med, 1.0)
+    }
+
+    #[test]
+    fn every_registered_name_resolves() {
+        for &name in FLOW_NAMES {
+            let flow = by_name(name, cfg()).unwrap();
+            assert!(!flow.name().is_empty(), "{name}");
+        }
+    }
+
+    #[test]
+    fn registry_names_map_to_expected_flows() {
+        assert_eq!(by_name("dpsa", cfg()).unwrap().name(), "DP-SA");
+        assert_eq!(by_name("dp", cfg()).unwrap().name(), "DP");
+        assert_eq!(by_name("conventional", cfg()).unwrap().name(), "Conventional(l=inf)");
+        assert_eq!(by_name("l1", cfg()).unwrap().name(), "VECBEE(l=1)");
+        assert_eq!(by_name("accals", cfg()).unwrap().name(), "AccALS");
+    }
+
+    #[test]
+    fn only_dual_phase_flows_journal() {
+        for &name in FLOW_NAMES {
+            let flow = by_name(name, cfg()).unwrap();
+            assert_eq!(flow.supports_journal(), matches!(name, "dp" | "dpsa"), "{name}");
+        }
+    }
+
+    #[test]
+    fn unknown_name_lists_alternatives() {
+        let Err(err) = by_name("sasimi", cfg()) else {
+            panic!("unknown flow name must not resolve");
+        };
+        let msg = err.to_string();
+        assert!(msg.contains("sasimi") && msg.contains("dpsa"), "{msg}");
+    }
+}

@@ -15,6 +15,7 @@ use std::collections::HashSet;
 
 use als_aig::{Aig, EditRecord, NodeId};
 use als_error::{unsigned_weights, ErrorState, MetricKind};
+use als_obs::{Counter, Obs};
 use als_sim::{PackedBits, PatternSet, Simulator};
 
 use crate::config::{FlowConfig, GuardConfig, SelectionStrategy};
@@ -70,6 +71,37 @@ pub struct BudgetGuard {
     /// Validation error recorded at the most recent commit (strict mode).
     committed_val_error: f64,
     stats: GuardStats,
+    metrics: GuardMetrics,
+}
+
+/// Pre-registered guard counters mirroring [`GuardStats`] into the
+/// metrics registry (no-ops when observability is off).
+#[derive(Clone, Debug, Default)]
+struct GuardMetrics {
+    validations: Counter,
+    rollbacks: Counter,
+    evictions: Counter,
+    resamples: Counter,
+    fallbacks: Counter,
+}
+
+impl GuardMetrics {
+    fn register(obs: &Obs) -> GuardMetrics {
+        GuardMetrics {
+            validations: obs
+                .counter("als_guard_validations_total", "exact pre-commit measurements"),
+            rollbacks: obs
+                .counter("als_guard_rollbacks_total", "applications rolled back on overshoot"),
+            evictions: obs
+                .counter("als_guard_evictions_total", "candidates evicted after a rollback"),
+            resamples: obs
+                .counter("als_guard_resamples_total", "strict-mode validation-set doublings"),
+            fallbacks: obs.counter(
+                "als_guard_fallbacks_total",
+                "phase-two aborts to a fresh comprehensive analysis",
+            ),
+        }
+    }
 }
 
 impl BudgetGuard {
@@ -94,6 +126,7 @@ impl BudgetGuard {
             evicted: HashSet::new(),
             committed_val_error: 0.0,
             stats: GuardStats::default(),
+            metrics: GuardMetrics::register(&cfg.obs),
         }
     }
 
@@ -133,6 +166,7 @@ impl BudgetGuard {
     /// spot-check that forced a fresh comprehensive analysis).
     pub fn note_fallback(&mut self) {
         self.stats.fallbacks += 1;
+        self.metrics.fallbacks.inc();
     }
 
     /// The final error the run should report: the measured error on the
@@ -186,6 +220,7 @@ impl BudgetGuard {
         self.val_seed = self.val_seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(1);
         self.val = None;
         self.stats.resamples += 1;
+        self.metrics.resamples.inc();
     }
 
     /// Applies `eval` inside a transaction and re-measures before
@@ -202,6 +237,7 @@ impl BudgetGuard {
         }
         let records = ctx.apply_txn(&eval.lac);
         self.stats.validations += 1;
+        self.metrics.validations.inc();
         let mut over = ctx.error() > threshold(self.bound);
         #[cfg(feature = "fault-inject")]
         {
@@ -222,8 +258,10 @@ impl BudgetGuard {
         }
         ctx.rollback(&records);
         self.stats.rollbacks += 1;
+        self.metrics.rollbacks.inc();
         self.evicted.insert((eval.lac.target, eval.lac.replacement().raw()));
         self.stats.evictions += 1;
+        self.metrics.evictions.inc();
         if self.cfg.strict {
             self.resample();
         }

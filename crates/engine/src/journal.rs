@@ -23,7 +23,8 @@
 //!   and a [`GuardSnapshot`]. Everything phase one needs that is not a
 //!   function of the circuit itself.
 //! * **commit** (kind 2) — one per applied LAC: the LAC, its
-//!   [`IterationRecord`] fields, the serialized [`EditRecord`]s of the
+//!   [`IterationRecord`](crate::report::IterationRecord) fields, the
+//!   serialized [`als_aig::edit::EditRecord`]s of the
 //!   application, the cumulative error after the commit and the
 //!   cumulative per-step times.
 //!
@@ -143,14 +144,17 @@ pub fn circuit_fingerprint(aig: &Aig) -> u64 {
     fnv1a(als_aig::io::to_ascii_string(aig).as_bytes())
 }
 
-/// Guard used by the non-dual-phase flows, whose loop structure has no
-/// checkpoint boundaries: journaling them is a configuration error, not a
-/// silent no-op.
-pub fn reject_unsupported(cfg: &FlowConfig, flow: &str) -> Result<(), EngineError> {
-    if cfg.journal.is_some() {
+/// Rejects a journaling configuration for flows that cannot honour it.
+/// Dispatch is on [`crate::Flow::supports_journal`] — not on name strings —
+/// so new flows opt in by overriding the trait method, and journaling a
+/// flow that cannot checkpoint is a configuration error, not a silent
+/// no-op.
+pub fn reject_unsupported(cfg: &FlowConfig, flow: &dyn crate::Flow) -> Result<(), EngineError> {
+    if cfg.journal.is_some() && !flow.supports_journal() {
         return Err(EngineError::Config(format!(
-            "{flow} does not support --journal/--resume; only the dual-phase flows (dp, dpsa) \
-             journal runs"
+            "{} does not support --journal/--resume; only the dual-phase flows (dp, dpsa) \
+             journal runs",
+            flow.name()
         )));
     }
     Ok(())

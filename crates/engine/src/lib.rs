@@ -39,6 +39,7 @@ pub mod error;
 #[cfg(feature = "fault-inject")]
 pub mod faultplan;
 pub mod flow;
+pub mod flows;
 pub mod guard;
 pub mod journal;
 pub mod model;
@@ -46,12 +47,16 @@ pub mod report;
 pub mod vecbee_flow;
 
 pub use accals::AccAlsFlow;
-pub use config::{FlowConfig, GuardConfig, JournalConfig, PatternSource, SelectionStrategy};
-pub use context::{Ctx, Evaluated};
+pub use config::{
+    ConfigError, FlowConfig, FlowConfigBuilder, GuardConfig, JournalConfig, PatternSource,
+    SelectionStrategy,
+};
+pub use context::{Ctx, EngineMetrics, Evaluated};
 pub use conventional::ConventionalFlow;
 pub use dual_phase::DualPhaseFlow;
 pub use error::EngineError;
 pub use flow::Flow;
+pub use flows::{by_name, FLOW_NAMES};
 pub use guard::BudgetGuard;
 pub use model::RuntimeModel;
 pub use report::{FlowResult, GuardStats, IterationRecord, Phase, StepTimes};

@@ -1,7 +1,5 @@
 //! VECBEE with depth limit `l = 1`.
 
-use std::time::Instant;
-
 use als_aig::Aig;
 
 use crate::config::FlowConfig;
@@ -49,23 +47,28 @@ impl Flow for VecbeeDepthOneFlow {
     fn run(&self, original: &Aig) -> Result<FlowResult, EngineError> {
         als_aig::check::check(original).map_err(EngineError::InvalidInput)?;
         let cfg = &self.cfg;
-        crate::journal::reject_unsupported(cfg, self.name())?;
+        crate::journal::reject_unsupported(cfg, self)?;
         let mut ctx = Ctx::new(original, cfg);
+        let _flow_span = ctx.obs().span("flow");
         let mut guard = BudgetGuard::new(original, cfg);
         let mut iterations = Vec::new();
         let mut first_ranking = Vec::new();
         let mut analyses = 0usize;
 
         'outer: while iterations.len() < cfg.max_lacs {
+            let _iter_span = ctx.obs().span("iteration");
+            let _phase_span = ctx.obs().span("phase1");
             // Step 2 (no step 1): depth-one CPM.
-            let t1 = Instant::now();
+            let mut span = ctx.obs().span("cpm");
             let cpm = als_cpm::compute_depth_one(&ctx.aig, &ctx.sim);
-            ctx.times.cpm += t1.elapsed();
+            span.count("rows", cpm.num_rows() as u64);
+            ctx.times.cpm += span.finish();
+            ctx.metrics.cpm_rows_built.add(cpm.num_rows() as u64);
 
             // Step 3: evaluate everything approximately.
-            let t2 = Instant::now();
+            let span = ctx.obs().span("eval");
             let lacs = als_lac::generate(&ctx.aig, &ctx.sim, &cfg.lac, None);
-            ctx.times.eval += t2.elapsed();
+            ctx.times.eval += span.finish();
             let mut evals = ctx.evaluate_lacs(&cpm, &lacs)?;
             analyses += 1;
             if first_ranking.is_empty() {
@@ -84,17 +87,18 @@ impl Flow for VecbeeDepthOneFlow {
             // which re-measures after the (transactional) application and
             // rolls back if the estimate-validated candidate still lands
             // over budget.
-            let t3 = Instant::now();
             let mut applied = false;
             let mut rollbacks = 0;
             for cand in evals.iter().take(self.validate_limit) {
+                let span = ctx.obs().span("eval");
                 let exact = ctx.exact_error_of(&cand.lac);
+                ctx.times.eval += span.finish();
                 if exact <= cfg.error_bound {
-                    ctx.times.eval += t3.elapsed();
                     if guard.try_apply(&mut ctx, cand)?.is_none() {
                         rollbacks += 1;
                         continue;
                     }
+                    ctx.metrics.iterations.inc();
                     iterations.push(IterationRecord {
                         lac: cand.lac,
                         error_after: exact,
@@ -108,7 +112,6 @@ impl Flow for VecbeeDepthOneFlow {
                 }
             }
             if !applied {
-                ctx.times.eval += t3.elapsed();
                 break 'outer;
             }
         }

@@ -1,0 +1,37 @@
+//! `promlint` — lints a Prometheus text exposition file emitted by the
+//! observability layer (`als synth … --metrics <path>`).
+//!
+//! ```text
+//! promlint <metrics.prom> [more.prom …]
+//! ```
+//!
+//! Exits nonzero with a diagnostic on the first malformed file; prints the
+//! sample count per file otherwise. CI runs this over the file a traced
+//! tier-1 synthesis run leaves behind.
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let paths: Vec<String> = std::env::args().skip(1).collect();
+    if paths.is_empty() {
+        eprintln!("usage: promlint <metrics.prom> [more.prom …]");
+        return ExitCode::from(2);
+    }
+    for path in &paths {
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("promlint: {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        match als_obs::prom::lint(&text) {
+            Ok(samples) => println!("{path}: OK ({samples} samples)"),
+            Err(detail) => {
+                eprintln!("promlint: {path}: {detail}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,419 @@
+//! Structured observability for the ALS workspace: hierarchical tracing
+//! spans, a typed metrics registry, and three sinks (human-readable tree,
+//! JSONL event stream, Prometheus text exposition).
+//!
+//! # Design
+//!
+//! The whole layer hangs off one cheap handle, [`Obs`]. A **disabled**
+//! handle (the default everywhere) is an `Option::None` inside: every
+//! span, counter, gauge and histogram operation is an `#[inline]` check
+//! that immediately returns, so instrumented code costs nothing when
+//! observability is off — no allocation, no atomics, no locks. An
+//! **enabled** handle shares one [`metrics::Registry`] plus the configured
+//! sinks via an `Arc`; cloning it is pointer-copy cheap and every clone
+//! feeds the same registry.
+//!
+//! Spans nest per thread (`flow > iteration > phase > step`); each
+//! finished span carries its wall time, a small per-process thread index
+//! and any attached counts. [`Span::finish`] *returns the measured
+//! duration*, which is how the engine keeps its `StepTimes` accumulators
+//! (the input to DP-SA's step-domination decision) and the trace on one
+//! shared measurement instead of two diverging clocks.
+//!
+//! Nothing here feeds wall-clock state back into synthesis decisions:
+//! metrics are write-only from the algorithm's point of view, and
+//! histogram buckets are fixed powers of two. Enabled runs produce
+//! byte-identical circuits to disabled runs (pinned by the facade's
+//! `tests/obs.rs`).
+//!
+//! # Example
+//!
+//! ```
+//! use als_obs::{Obs, ObsConfig};
+//!
+//! let dir = std::env::temp_dir().join("als_obs_doc");
+//! std::fs::create_dir_all(&dir).unwrap();
+//! let obs = Obs::new(ObsConfig {
+//!     trace: Some(dir.join("run.jsonl")),
+//!     metrics: Some(dir.join("run.prom")),
+//!     tree: false,
+//! })
+//! .unwrap();
+//!
+//! let violations = obs.counter("als_cpc_violations_total", "CPC-violating nodes recut");
+//! let mut span = obs.span("cuts");
+//! violations.add(3);
+//! span.count("s_v", 3);
+//! let elapsed = span.finish(); // the same duration the engine accumulates
+//! assert!(elapsed.as_nanos() > 0);
+//! obs.finish().unwrap();
+//! ```
+
+#![warn(clippy::unwrap_used)]
+#![cfg_attr(test, allow(clippy::unwrap_used))]
+
+pub mod metrics;
+pub mod prom;
+pub mod trace;
+
+use std::cell::{Cell, RefCell};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+pub use metrics::{Counter, Gauge, Histogram};
+
+/// Where the enabled sinks write.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ObsConfig {
+    /// JSONL span event stream (`--trace <path>`); `None` disables it.
+    pub trace: Option<PathBuf>,
+    /// Prometheus text exposition written at [`Obs::finish`]
+    /// (`--metrics <path>`); `None` disables it.
+    pub metrics: Option<PathBuf>,
+    /// Print the aggregated span tree to stderr at [`Obs::finish`].
+    pub tree: bool,
+}
+
+struct Inner {
+    registry: metrics::Registry,
+    jsonl: Option<trace::JsonlSink>,
+    metrics_path: Option<PathBuf>,
+    tree_to_stderr: bool,
+    tree: trace::TreeAgg,
+    epoch: Instant,
+    next_span: AtomicU64,
+    tree_printed: AtomicBool,
+}
+
+/// The observability handle. Cheap to clone; disabled by default
+/// everywhere (see [`Obs::disabled`]).
+#[derive(Clone, Default)]
+pub struct Obs {
+    inner: Option<Arc<Inner>>,
+}
+
+impl std::fmt::Debug for Obs {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match &self.inner {
+            None => f.write_str("Obs(disabled)"),
+            Some(i) => f
+                .debug_struct("Obs")
+                .field("trace", &i.jsonl.is_some())
+                .field("metrics", &i.metrics_path)
+                .field("tree", &i.tree_to_stderr)
+                .finish(),
+        }
+    }
+}
+
+// Small per-process thread index for trace events (thread::ThreadId has no
+// stable numeric form).
+static NEXT_THREAD: AtomicU64 = AtomicU64::new(0);
+thread_local! {
+    static THREAD_IDX: Cell<Option<u64>> = const { Cell::new(None) };
+    // (span id, full path) stack of the spans currently open on this
+    // thread; spans must finish on the thread that opened them.
+    static SPAN_STACK: RefCell<Vec<(u64, String)>> = const { RefCell::new(Vec::new()) };
+}
+
+fn thread_index() -> u64 {
+    THREAD_IDX.with(|c| match c.get() {
+        Some(i) => i,
+        None => {
+            let i = NEXT_THREAD.fetch_add(1, Ordering::Relaxed);
+            c.set(Some(i));
+            i
+        }
+    })
+}
+
+impl Obs {
+    /// The disabled handle: every operation is an inlined no-op.
+    pub const fn disabled() -> Obs {
+        Obs { inner: None }
+    }
+
+    /// An enabled handle with the given sinks. Creating the trace file
+    /// fails eagerly; the metrics file is only written at [`Obs::finish`].
+    pub fn new(cfg: ObsConfig) -> std::io::Result<Obs> {
+        let jsonl = match &cfg.trace {
+            Some(path) => Some(trace::JsonlSink::create(path)?),
+            None => None,
+        };
+        Ok(Obs {
+            inner: Some(Arc::new(Inner {
+                registry: metrics::Registry::new(),
+                jsonl,
+                metrics_path: cfg.metrics,
+                tree_to_stderr: cfg.tree,
+                tree: trace::TreeAgg::default(),
+                epoch: Instant::now(),
+                next_span: AtomicU64::new(1),
+                tree_printed: AtomicBool::new(false),
+            })),
+        })
+    }
+
+    /// Whether this handle records anything.
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Registers (or retrieves) a counter; no-op handle when disabled.
+    pub fn counter(&self, name: &str, help: &'static str) -> Counter {
+        match &self.inner {
+            Some(i) => i.registry.counter(name, help),
+            None => Counter::noop(),
+        }
+    }
+
+    /// Registers (or retrieves) a gauge; no-op handle when disabled.
+    pub fn gauge(&self, name: &str, help: &'static str) -> Gauge {
+        match &self.inner {
+            Some(i) => i.registry.gauge(name, help),
+            None => Gauge::noop(),
+        }
+    }
+
+    /// Registers (or retrieves) a histogram; no-op handle when disabled.
+    pub fn histogram(&self, name: &str, help: &'static str) -> Histogram {
+        match &self.inner {
+            Some(i) => i.registry.histogram(name, help),
+            None => Histogram::noop(),
+        }
+    }
+
+    /// Opens a span. The span measures wall time from this call until
+    /// [`Span::finish`] (or drop); when the handle is enabled the span is
+    /// also pushed on this thread's span stack, so nested spans record
+    /// their full `parent/child` path.
+    #[inline]
+    pub fn span(&self, name: &'static str) -> Span {
+        let rec = self.inner.as_ref().map(|inner| {
+            let id = inner.next_span.fetch_add(1, Ordering::Relaxed);
+            let (parent, path) = SPAN_STACK.with(|s| {
+                let mut stack = s.borrow_mut();
+                let (parent, path) = match stack.last() {
+                    Some((pid, ppath)) => (*pid, format!("{ppath}/{name}")),
+                    None => (0, name.to_string()),
+                };
+                stack.push((id, path.clone()));
+                (parent, path)
+            });
+            SpanRec {
+                inner: Arc::clone(inner),
+                name,
+                path,
+                id,
+                parent,
+                start_ns: inner.epoch.elapsed().as_nanos() as u64,
+                counts: Vec::new(),
+            }
+        });
+        Span { start: Instant::now(), rec }
+    }
+
+    /// Writes the Prometheus exposition, flushes the JSONL stream and (on
+    /// the first call) prints the span tree to stderr. Idempotent; later
+    /// calls re-export the current metric values.
+    pub fn finish(&self) -> std::io::Result<()> {
+        let Some(inner) = &self.inner else {
+            return Ok(());
+        };
+        if let Some(sink) = &inner.jsonl {
+            sink.flush();
+        }
+        if let Some(path) = &inner.metrics_path {
+            std::fs::write(path, prom::render(&inner.registry.snapshot()))?;
+        }
+        if inner.tree_to_stderr && !inner.tree_printed.swap(true, Ordering::Relaxed) {
+            eprint!("{}", inner.tree.render());
+        }
+        Ok(())
+    }
+
+    /// Renders the current span tree (empty when disabled).
+    pub fn render_tree(&self) -> String {
+        self.inner.as_ref().map(|i| i.tree.render()).unwrap_or_default()
+    }
+
+    /// Total nanoseconds recorded under an exact span path (0 when
+    /// disabled) — cross-check hook for tests.
+    pub fn span_total_ns(&self, path: &str) -> u64 {
+        self.inner.as_ref().map_or(0, |i| i.tree.total_ns(path))
+    }
+}
+
+struct SpanRec {
+    inner: Arc<Inner>,
+    name: &'static str,
+    path: String,
+    id: u64,
+    parent: u64,
+    start_ns: u64,
+    counts: Vec<(&'static str, u64)>,
+}
+
+/// An open span. Always measures wall time (so the engine's `StepTimes`
+/// can be fed from [`Span::finish`]'s return value even when tracing is
+/// off); records an event only when the owning [`Obs`] is enabled.
+#[must_use = "a span measures the scope it lives in; bind it to a variable"]
+pub struct Span {
+    start: Instant,
+    rec: Option<SpanRec>,
+}
+
+impl Span {
+    /// Attaches a count (node set sizes, candidate counts, …) to the span
+    /// event. No-op when the span is disabled.
+    #[inline]
+    pub fn count(&mut self, key: &'static str, value: u64) {
+        if let Some(rec) = &mut self.rec {
+            rec.counts.push((key, value));
+        }
+    }
+
+    /// Ends the span and returns its measured duration — the single
+    /// source of truth shared by the trace event and the caller's timing
+    /// accumulator.
+    pub fn finish(mut self) -> Duration {
+        self.end()
+    }
+
+    fn end(&mut self) -> Duration {
+        let elapsed = self.start.elapsed();
+        if let Some(rec) = self.rec.take() {
+            SPAN_STACK.with(|s| {
+                let mut stack = s.borrow_mut();
+                if stack.last().map(|(id, _)| *id) == Some(rec.id) {
+                    stack.pop();
+                } else {
+                    // Out-of-order finish (a span outlived its parent):
+                    // drop the whole mis-nested suffix rather than corrupt
+                    // later paths.
+                    if let Some(pos) = stack.iter().position(|(id, _)| *id == rec.id) {
+                        stack.truncate(pos);
+                    }
+                }
+            });
+            let ev = trace::SpanEvent {
+                name: rec.name,
+                path: &rec.path,
+                id: rec.id,
+                parent: rec.parent,
+                thread: thread_index(),
+                start_ns: rec.start_ns,
+                dur_ns: elapsed.as_nanos() as u64,
+                counts: &rec.counts,
+            };
+            rec.inner.tree.record(&ev);
+            if let Some(sink) = &rec.inner.jsonl {
+                sink.write_line(&ev.to_json());
+            }
+        }
+        elapsed
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        if self.rec.is_some() {
+            self.end();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join("als_obs_tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(format!("{}_{name}", std::process::id()))
+    }
+
+    #[test]
+    fn disabled_handle_is_inert() {
+        let obs = Obs::disabled();
+        assert!(!obs.is_enabled());
+        let c = obs.counter("c_total", "");
+        c.add(5);
+        assert_eq!(c.get(), 0);
+        let mut sp = obs.span("x");
+        sp.count("k", 1);
+        let d = sp.finish();
+        assert!(d.as_nanos() > 0, "disabled spans still measure time");
+        assert!(obs.finish().is_ok());
+        assert_eq!(obs.render_tree(), "");
+    }
+
+    #[test]
+    fn spans_nest_into_paths_and_aggregate() {
+        let obs = Obs::new(ObsConfig::default()).unwrap();
+        let outer = obs.span("flow");
+        {
+            let inner = obs.span("cuts");
+            std::thread::sleep(Duration::from_millis(1));
+            inner.finish();
+        }
+        let d = outer.finish();
+        assert!(obs.span_total_ns("flow") >= d.as_nanos() as u64);
+        assert!(obs.span_total_ns("flow/cuts") > 0);
+        assert_eq!(obs.span_total_ns("cuts"), 0, "child recorded under its parent path");
+        let tree = obs.render_tree();
+        assert!(tree.contains("flow"), "{tree}");
+    }
+
+    #[test]
+    fn finish_duration_matches_recorded_event() {
+        let obs = Obs::new(ObsConfig::default()).unwrap();
+        let sp = obs.span("only");
+        let d = sp.finish();
+        assert_eq!(obs.span_total_ns("only"), d.as_nanos() as u64);
+    }
+
+    #[test]
+    fn jsonl_and_prometheus_files_are_written() {
+        let trace_path = tmp("t.jsonl");
+        let prom_path = tmp("t.prom");
+        let obs = Obs::new(ObsConfig {
+            trace: Some(trace_path.clone()),
+            metrics: Some(prom_path.clone()),
+            tree: false,
+        })
+        .unwrap();
+        obs.counter("als_demo_total", "demo").add(2);
+        let mut sp = obs.span("cuts");
+        sp.count("s_v", 9);
+        sp.finish();
+        obs.finish().unwrap();
+        let trace = std::fs::read_to_string(&trace_path).unwrap();
+        assert!(trace.lines().count() == 1, "{trace}");
+        assert!(trace.contains("\"counts\":{\"s_v\":9}"), "{trace}");
+        let promtext = std::fs::read_to_string(&prom_path).unwrap();
+        assert!(promtext.contains("als_demo_total 2"), "{promtext}");
+        prom::lint(&promtext).unwrap();
+    }
+
+    #[test]
+    fn dropped_span_still_records() {
+        let obs = Obs::new(ObsConfig::default()).unwrap();
+        {
+            let _sp = obs.span("scoped");
+        }
+        assert!(obs.span_total_ns("scoped") > 0);
+    }
+
+    #[test]
+    fn clones_share_one_registry() {
+        let obs = Obs::new(ObsConfig::default()).unwrap();
+        let clone = obs.clone();
+        obs.counter("shared_total", "").add(1);
+        clone.counter("shared_total", "").add(2);
+        assert_eq!(obs.counter("shared_total", "").get(), 3);
+    }
+}

@@ -1,0 +1,331 @@
+//! The typed metrics registry: counters, gauges and histograms with fixed
+//! power-of-two buckets.
+//!
+//! Handles are cheap `Option<Arc<..>>` wrappers: a handle obtained from a
+//! disabled [`crate::Obs`] carries `None` and every operation on it is an
+//! inlined no-op, so instrumented hot paths cost nothing when observability
+//! is off. Enabled handles update lock-free atomics; the registry itself is
+//! only locked at registration and export time.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Number of histogram buckets: bucket `i` counts values in
+/// `(2^(i-1), 2^i]` (bucket 0 holds zero and one). 64 buckets cover the
+/// whole `u64` range, so no observation is ever dropped.
+pub const NUM_BUCKETS: usize = 64;
+
+/// A monotonically increasing counter.
+#[derive(Clone, Debug, Default)]
+pub struct Counter(Option<Arc<AtomicU64>>);
+
+impl Counter {
+    /// A handle that ignores every update (the disabled path).
+    pub const fn noop() -> Counter {
+        Counter(None)
+    }
+
+    /// Adds `n` to the counter.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        if let Some(c) = &self.0 {
+            c.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Adds one to the counter.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Current value (0 for a disabled handle).
+    pub fn get(&self) -> u64 {
+        self.0.as_ref().map_or(0, |c| c.load(Ordering::Relaxed))
+    }
+
+    /// Whether updates are recorded anywhere.
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        self.0.is_some()
+    }
+}
+
+/// A gauge holding the last value set.
+#[derive(Clone, Debug, Default)]
+pub struct Gauge(Option<Arc<AtomicU64>>);
+
+impl Gauge {
+    /// A handle that ignores every update (the disabled path).
+    pub const fn noop() -> Gauge {
+        Gauge(None)
+    }
+
+    /// Sets the gauge.
+    #[inline]
+    pub fn set(&self, v: u64) {
+        if let Some(g) = &self.0 {
+            g.store(v, Ordering::Relaxed);
+        }
+    }
+
+    /// Current value (0 for a disabled handle).
+    pub fn get(&self) -> u64 {
+        self.0.as_ref().map_or(0, |g| g.load(Ordering::Relaxed))
+    }
+}
+
+/// Lock-free histogram state shared by every clone of a [`Histogram`].
+#[derive(Debug)]
+pub struct HistogramCore {
+    buckets: [AtomicU64; NUM_BUCKETS],
+    sum: AtomicU64,
+    count: AtomicU64,
+}
+
+impl HistogramCore {
+    fn new() -> HistogramCore {
+        HistogramCore {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            sum: AtomicU64::new(0),
+            count: AtomicU64::new(0),
+        }
+    }
+}
+
+/// A histogram over `u64` observations with fixed power-of-two buckets:
+/// bucket upper bounds are `1, 2, 4, …, 2^63` (the last bucket absorbs
+/// everything larger). Deterministic by construction — bucket boundaries
+/// never depend on the data or on wall-clock state.
+#[derive(Clone, Debug, Default)]
+pub struct Histogram(Option<Arc<HistogramCore>>);
+
+/// The bucket index a value lands in: `0` for 0 and 1, else
+/// `ceil(log2(v))`.
+#[inline]
+pub fn bucket_index(v: u64) -> usize {
+    if v <= 1 {
+        0
+    } else {
+        ((64 - (v - 1).leading_zeros()) as usize).min(NUM_BUCKETS - 1)
+    }
+}
+
+/// The inclusive upper bound of bucket `i` (`2^i`), saturating at
+/// `u64::MAX` for the last bucket.
+pub fn bucket_bound(i: usize) -> u64 {
+    if i >= 63 {
+        u64::MAX
+    } else {
+        1u64 << i
+    }
+}
+
+impl Histogram {
+    /// A handle that ignores every update (the disabled path).
+    pub const fn noop() -> Histogram {
+        Histogram(None)
+    }
+
+    /// Records one observation.
+    #[inline]
+    pub fn observe(&self, v: u64) {
+        if let Some(h) = &self.0 {
+            h.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+            h.sum.fetch_add(v, Ordering::Relaxed);
+            h.count.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Records a [`std::time::Duration`] in microseconds.
+    #[inline]
+    pub fn observe_duration(&self, d: std::time::Duration) {
+        if self.0.is_some() {
+            self.observe(d.as_micros() as u64);
+        }
+    }
+
+    /// Number of observations (0 for a disabled handle).
+    pub fn count(&self) -> u64 {
+        self.0.as_ref().map_or(0, |h| h.count.load(Ordering::Relaxed))
+    }
+
+    /// Sum of all observed values (0 for a disabled handle).
+    pub fn sum(&self) -> u64 {
+        self.0.as_ref().map_or(0, |h| h.sum.load(Ordering::Relaxed))
+    }
+
+    /// Whether observations are recorded anywhere.
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        self.0.is_some()
+    }
+
+    /// Per-bucket counts (non-cumulative), empty for a disabled handle.
+    pub fn snapshot(&self) -> Vec<u64> {
+        match &self.0 {
+            None => Vec::new(),
+            Some(h) => h.buckets.iter().map(|b| b.load(Ordering::Relaxed)).collect(),
+        }
+    }
+}
+
+/// One registered metric.
+#[derive(Clone, Debug)]
+pub enum Metric {
+    /// A monotonic counter.
+    Counter(Counter),
+    /// A last-value gauge.
+    Gauge(Gauge),
+    /// A power-of-two-bucketed histogram.
+    Histogram(Histogram),
+}
+
+/// Name → metric map. Registration is idempotent: asking twice for the
+/// same name returns handles backed by the same atomics, so call sites
+/// never need to coordinate.
+#[derive(Debug, Default)]
+pub struct Registry {
+    metrics: Mutex<BTreeMap<String, Metric>>,
+    help: Mutex<BTreeMap<String, &'static str>>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Registry {
+        Registry::default()
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, BTreeMap<String, Metric>> {
+        // A poisoned registry lock can only come from a panic inside this
+        // module's short critical sections; the map is still structurally
+        // sound, so keep serving it.
+        self.metrics.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    fn note_help(&self, name: &str, help: &'static str) {
+        let mut map = self.help.lock().unwrap_or_else(|e| e.into_inner());
+        map.entry(name.to_string()).or_insert(help);
+    }
+
+    /// Registers (or retrieves) a counter.
+    pub fn counter(&self, name: &str, help: &'static str) -> Counter {
+        self.note_help(name, help);
+        let mut map = self.lock();
+        match map
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Counter(Counter(Some(Arc::new(AtomicU64::new(0))))))
+        {
+            Metric::Counter(c) => c.clone(),
+            _ => Counter::noop(),
+        }
+    }
+
+    /// Registers (or retrieves) a gauge.
+    pub fn gauge(&self, name: &str, help: &'static str) -> Gauge {
+        self.note_help(name, help);
+        let mut map = self.lock();
+        match map
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Gauge(Gauge(Some(Arc::new(AtomicU64::new(0))))))
+        {
+            Metric::Gauge(g) => g.clone(),
+            _ => Gauge::noop(),
+        }
+    }
+
+    /// Registers (or retrieves) a histogram.
+    pub fn histogram(&self, name: &str, help: &'static str) -> Histogram {
+        self.note_help(name, help);
+        let mut map = self.lock();
+        match map
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Histogram(Histogram(Some(Arc::new(HistogramCore::new())))))
+        {
+            Metric::Histogram(h) => h.clone(),
+            _ => Histogram::noop(),
+        }
+    }
+
+    /// A point-in-time copy of every registered metric, sorted by name.
+    pub fn snapshot(&self) -> Vec<(String, &'static str, Metric)> {
+        let help = self.help.lock().unwrap_or_else(|e| e.into_inner());
+        self.lock()
+            .iter()
+            .map(|(name, m)| (name.clone(), help.get(name).copied().unwrap_or(""), m.clone()))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn noop_handles_ignore_updates() {
+        let c = Counter::noop();
+        c.inc();
+        c.add(100);
+        assert_eq!(c.get(), 0);
+        let g = Gauge::noop();
+        g.set(7);
+        assert_eq!(g.get(), 0);
+        let h = Histogram::noop();
+        h.observe(42);
+        assert_eq!(h.count(), 0);
+        assert!(h.snapshot().is_empty());
+    }
+
+    #[test]
+    fn registry_is_idempotent_and_shared() {
+        let r = Registry::new();
+        let a = r.counter("x_total", "");
+        let b = r.counter("x_total", "");
+        a.add(3);
+        b.add(4);
+        assert_eq!(a.get(), 7);
+        assert_eq!(r.snapshot().len(), 1);
+    }
+
+    #[test]
+    fn bucket_boundaries_are_powers_of_two() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 0);
+        assert_eq!(bucket_index(2), 1);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 2);
+        assert_eq!(bucket_index(5), 3);
+        assert_eq!(bucket_index(1024), 10);
+        assert_eq!(bucket_index(1025), 11);
+        assert_eq!(bucket_index(u64::MAX), 63);
+        assert_eq!(bucket_bound(0), 1);
+        assert_eq!(bucket_bound(10), 1024);
+        assert_eq!(bucket_bound(63), u64::MAX);
+    }
+
+    #[test]
+    fn histogram_accumulates_sum_count_buckets() {
+        let r = Registry::new();
+        let h = r.histogram("lat_us", "");
+        for v in [0, 1, 2, 3, 1000] {
+            h.observe(v);
+        }
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.sum(), 1006);
+        let snap = h.snapshot();
+        assert_eq!(snap[0], 2); // 0 and 1
+        assert_eq!(snap[1], 1); // 2
+        assert_eq!(snap[2], 1); // 3
+        assert_eq!(snap[10], 1); // 1000 ≤ 1024
+    }
+
+    #[test]
+    fn type_mismatch_returns_noop_not_panic() {
+        let r = Registry::new();
+        let _c = r.counter("m", "");
+        let g = r.gauge("m", "");
+        g.set(9);
+        assert_eq!(g.get(), 0, "mismatched re-registration degrades to no-op");
+    }
+}

@@ -1,0 +1,194 @@
+//! Prometheus text exposition (version 0.0.4) and a small lint checker
+//! for it.
+//!
+//! The exposition is written once, at [`crate::Obs::finish`] — this is a
+//! batch synthesis tool, not a long-lived server, so "scrape" means
+//! "read the file the run left behind". The lint checker is what CI runs
+//! over the emitted file; it validates exactly the subset of the format
+//! this crate produces.
+
+use crate::metrics::{bucket_bound, Metric, NUM_BUCKETS};
+
+/// Renders a metric snapshot as Prometheus text exposition.
+pub fn render(snapshot: &[(String, &'static str, Metric)]) -> String {
+    let mut out = String::new();
+    for (name, help, metric) in snapshot {
+        if !help.is_empty() {
+            out.push_str(&format!("# HELP {name} {help}\n"));
+        }
+        match metric {
+            Metric::Counter(c) => {
+                out.push_str(&format!("# TYPE {name} counter\n{name} {}\n", c.get()));
+            }
+            Metric::Gauge(g) => {
+                out.push_str(&format!("# TYPE {name} gauge\n{name} {}\n", g.get()));
+            }
+            Metric::Histogram(h) => {
+                out.push_str(&format!("# TYPE {name} histogram\n"));
+                let buckets = h.snapshot();
+                let mut cum = 0u64;
+                for (i, b) in buckets.iter().enumerate().take(NUM_BUCKETS) {
+                    cum += b;
+                    // Power-of-two buckets: only emit non-empty prefixes to
+                    // keep the file readable; the +Inf bucket always closes
+                    // the series.
+                    if *b != 0 || i == 0 {
+                        out.push_str(&format!(
+                            "{name}_bucket{{le=\"{}\"}} {cum}\n",
+                            bucket_bound(i)
+                        ));
+                    }
+                }
+                out.push_str(&format!("{name}_bucket{{le=\"+Inf\"}} {cum}\n"));
+                out.push_str(&format!("{name}_sum {}\n", h.sum()));
+                out.push_str(&format!("{name}_count {}\n", h.count()));
+            }
+        }
+    }
+    out
+}
+
+/// Lints Prometheus exposition text: every sample must belong to a
+/// preceding `# TYPE` declaration, names must be valid, histogram series
+/// must be cumulative and closed by `+Inf`, and `_count` must equal the
+/// `+Inf` bucket. Returns the number of samples checked.
+pub fn lint(text: &str) -> Result<usize, String> {
+    fn valid_name(s: &str) -> bool {
+        !s.is_empty()
+            && s.chars().next().is_some_and(|c| c.is_ascii_alphabetic() || c == '_')
+            && s.chars().all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+    }
+
+    let mut current: Option<(String, String)> = None; // (name, type)
+    let mut samples = 0usize;
+    let mut hist_cum: Option<u64> = None;
+    let mut hist_inf: Option<u64> = None;
+
+    for (lineno, line) in text.lines().enumerate() {
+        let n = lineno + 1;
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let mut it = rest.split_whitespace();
+            let name = it.next().ok_or(format!("line {n}: TYPE without a name"))?;
+            let kind = it.next().ok_or(format!("line {n}: TYPE {name} without a kind"))?;
+            if !valid_name(name) {
+                return Err(format!("line {n}: invalid metric name {name:?}"));
+            }
+            if !matches!(kind, "counter" | "gauge" | "histogram") {
+                return Err(format!("line {n}: unknown metric type {kind:?}"));
+            }
+            current = Some((name.to_string(), kind.to_string()));
+            hist_cum = None;
+            hist_inf = None;
+            continue;
+        }
+        if line.starts_with('#') {
+            continue; // HELP or comment
+        }
+        let (series, value) =
+            line.rsplit_once(' ').ok_or(format!("line {n}: sample without a value"))?;
+        let value: f64 =
+            value.parse().map_err(|_| format!("line {n}: unparseable value {value:?}"))?;
+        let (name, labels) = match series.split_once('{') {
+            Some((name, rest)) => {
+                let labels =
+                    rest.strip_suffix('}').ok_or(format!("line {n}: unclosed label set"))?;
+                (name, Some(labels))
+            }
+            None => (series, None),
+        };
+        if !valid_name(name) {
+            return Err(format!("line {n}: invalid sample name {name:?}"));
+        }
+        let (decl_name, decl_kind) =
+            current.as_ref().ok_or(format!("line {n}: sample {name} before any # TYPE"))?;
+        let belongs = match decl_kind.as_str() {
+            "histogram" => {
+                name == decl_name
+                    || name == format!("{decl_name}_bucket")
+                    || name == format!("{decl_name}_sum")
+                    || name == format!("{decl_name}_count")
+            }
+            _ => name == decl_name,
+        };
+        if !belongs {
+            return Err(format!("line {n}: sample {name} does not match # TYPE {decl_name}"));
+        }
+        if decl_kind == "histogram" && name.ends_with("_bucket") {
+            let labels = labels.ok_or(format!("line {n}: histogram bucket without le label"))?;
+            let le = labels
+                .strip_prefix("le=\"")
+                .and_then(|s| s.strip_suffix('"'))
+                .ok_or(format!("line {n}: bucket label must be le=\"…\", got {labels:?}"))?;
+            let cum = value as u64;
+            if let Some(prev) = hist_cum {
+                if cum < prev {
+                    return Err(format!("line {n}: histogram buckets not cumulative"));
+                }
+            }
+            hist_cum = Some(cum);
+            if le == "+Inf" {
+                hist_inf = Some(cum);
+            }
+        }
+        if decl_kind == "histogram" && name.ends_with("_count") {
+            let inf = hist_inf.ok_or(format!("line {n}: histogram _count before +Inf bucket"))?;
+            if value as u64 != inf {
+                return Err(format!(
+                    "line {n}: _count {} disagrees with +Inf bucket {inf}",
+                    value as u64
+                ));
+            }
+        }
+        if decl_kind == "counter" && value < 0.0 {
+            return Err(format!("line {n}: counter {name} is negative"));
+        }
+        samples += 1;
+    }
+    Ok(samples)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::Registry;
+
+    #[test]
+    fn rendered_exposition_passes_the_linter() {
+        let r = Registry::new();
+        r.counter("als_cpc_violations_total", "CPC-violating nodes recut").add(12);
+        r.gauge("als_pool_threads", "configured worker threads").set(4);
+        let h = r.histogram("als_journal_append_us", "journal append latency");
+        for v in [3, 90, 1500] {
+            h.observe(v);
+        }
+        let text = render(&r.snapshot());
+        let samples = lint(&text).expect("lint must pass on our own output");
+        assert!(samples >= 6, "{text}");
+        assert!(text.contains("als_journal_append_us_bucket{le=\"+Inf\"} 3"), "{text}");
+        assert!(text.contains("als_journal_append_us_sum 1593"), "{text}");
+    }
+
+    #[test]
+    fn linter_rejects_malformed_text() {
+        assert!(lint("als_x 1\n").is_err(), "sample before TYPE");
+        assert!(lint("# TYPE als_x counter\nals_y 1\n").is_err(), "name mismatch");
+        assert!(lint("# TYPE als_x wibble\n").is_err(), "unknown type");
+        assert!(lint("# TYPE als_x counter\nals_x -1\n").is_err(), "negative counter");
+        let bad_hist = "# TYPE h histogram\nh_bucket{le=\"1\"} 5\nh_bucket{le=\"2\"} 3\n";
+        assert!(lint(bad_hist).is_err(), "non-cumulative buckets");
+        let bad_count = "# TYPE h histogram\nh_bucket{le=\"+Inf\"} 5\nh_sum 1\nh_count 4\n";
+        assert!(lint(bad_count).is_err(), "_count != +Inf");
+    }
+
+    #[test]
+    fn empty_histogram_still_closes_with_inf() {
+        let r = Registry::new();
+        r.histogram("h", "");
+        let text = render(&r.snapshot());
+        assert!(text.contains("h_bucket{le=\"+Inf\"} 0"));
+        lint(&text).unwrap();
+    }
+}

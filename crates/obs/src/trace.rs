@@ -1,0 +1,206 @@
+//! Trace sinks: the JSONL event stream and the aggregated span tree.
+//!
+//! JSON is written by hand (string escaping + number formatting only) so
+//! the crate stays dependency-free; the event schema is documented in
+//! DESIGN.md §10 and pinned by the facade's `tests/obs.rs`.
+
+use std::collections::BTreeMap;
+use std::io::Write;
+use std::sync::Mutex;
+
+/// Appends a JSON string literal (with escaping) to `out`.
+pub fn push_json_str(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// One finished span, ready for the sinks.
+pub struct SpanEvent<'a> {
+    /// Span name (last path segment).
+    pub name: &'static str,
+    /// Full `/`-joined span path, e.g. `flow/iteration/phase1/cuts`.
+    pub path: &'a str,
+    /// Unique span id within the run.
+    pub id: u64,
+    /// Id of the enclosing span (0 = root).
+    pub parent: u64,
+    /// Small per-process thread index.
+    pub thread: u64,
+    /// Start offset from the observability epoch, nanoseconds.
+    pub start_ns: u64,
+    /// Span duration, nanoseconds.
+    pub dur_ns: u64,
+    /// Attached counts (`|S_v|`, node counts, …).
+    pub counts: &'a [(&'static str, u64)],
+}
+
+impl SpanEvent<'_> {
+    /// Renders the event as one JSON line (no trailing newline).
+    pub fn to_json(&self) -> String {
+        let mut s = String::with_capacity(128);
+        s.push_str("{\"t\":\"span\",\"name\":");
+        push_json_str(&mut s, self.name);
+        s.push_str(",\"path\":");
+        push_json_str(&mut s, self.path);
+        s.push_str(&format!(
+            ",\"id\":{},\"parent\":{},\"thread\":{},\"start_ns\":{},\"dur_ns\":{}",
+            self.id, self.parent, self.thread, self.start_ns, self.dur_ns
+        ));
+        if !self.counts.is_empty() {
+            s.push_str(",\"counts\":{");
+            for (i, (k, v)) in self.counts.iter().enumerate() {
+                if i > 0 {
+                    s.push(',');
+                }
+                push_json_str(&mut s, k);
+                s.push_str(&format!(":{v}"));
+            }
+            s.push('}');
+        }
+        s.push('}');
+        s
+    }
+}
+
+/// The JSONL event stream: line-buffered writes behind a mutex (events are
+/// rare relative to the work they bracket — one per analysis step, not one
+/// per candidate).
+pub struct JsonlSink {
+    out: Mutex<std::io::BufWriter<std::fs::File>>,
+}
+
+impl JsonlSink {
+    /// Creates (truncates) the stream at `path`.
+    pub fn create(path: &std::path::Path) -> std::io::Result<JsonlSink> {
+        let file = std::fs::File::create(path)?;
+        Ok(JsonlSink { out: Mutex::new(std::io::BufWriter::new(file)) })
+    }
+
+    /// Appends one pre-rendered JSON line.
+    pub fn write_line(&self, line: &str) {
+        if let Ok(mut w) = self.out.lock() {
+            let _ = writeln!(w, "{line}");
+        }
+    }
+
+    /// Flushes buffered lines to disk.
+    pub fn flush(&self) {
+        if let Ok(mut w) = self.out.lock() {
+            let _ = w.flush();
+        }
+    }
+}
+
+/// Aggregated statistics of one span path.
+#[derive(Clone, Debug, Default)]
+pub struct PathStat {
+    /// Spans finished under this path.
+    pub count: u64,
+    /// Total time spent in them, nanoseconds.
+    pub total_ns: u64,
+    /// Summed attached counts by key.
+    pub counts: BTreeMap<&'static str, u64>,
+}
+
+/// The span tree aggregated by path — the human-readable sink.
+#[derive(Debug, Default)]
+pub struct TreeAgg {
+    stats: Mutex<BTreeMap<String, PathStat>>,
+}
+
+impl TreeAgg {
+    /// Folds one finished span into the aggregate.
+    pub fn record(&self, ev: &SpanEvent<'_>) {
+        if let Ok(mut map) = self.stats.lock() {
+            let stat = map.entry(ev.path.to_string()).or_default();
+            stat.count += 1;
+            stat.total_ns += ev.dur_ns;
+            for (k, v) in ev.counts {
+                *stat.counts.entry(k).or_insert(0) += v;
+            }
+        }
+    }
+
+    /// Renders the aggregate as an indented tree, one line per distinct
+    /// span path, sorted so children follow their parents.
+    pub fn render(&self) -> String {
+        let map = match self.stats.lock() {
+            Ok(m) => m.clone(),
+            Err(_) => return String::new(),
+        };
+        let mut out = String::new();
+        for (path, stat) in &map {
+            let depth = path.matches('/').count();
+            let name = path.rsplit('/').next().unwrap_or(path);
+            let ms = stat.total_ns as f64 / 1e6;
+            out.push_str(&format!(
+                "{:indent$}{name:<14} {:>7}x {ms:>10.3} ms",
+                "",
+                stat.count,
+                indent = depth * 2
+            ));
+            for (k, v) in &stat.counts {
+                out.push_str(&format!("  {k}={v}"));
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Total nanoseconds recorded under `path` (exact-match).
+    pub fn total_ns(&self, path: &str) -> u64 {
+        self.stats.lock().ok().and_then(|m| m.get(path).map(|s| s.total_ns)).unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev<'a>(path: &'a str, dur: u64, counts: &'a [(&'static str, u64)]) -> SpanEvent<'a> {
+        SpanEvent { name: "x", path, id: 1, parent: 0, thread: 0, start_ns: 5, dur_ns: dur, counts }
+    }
+
+    #[test]
+    fn json_escaping_is_sound() {
+        let mut s = String::new();
+        push_json_str(&mut s, "a\"b\\c\nd\u{1}");
+        assert_eq!(s, "\"a\\\"b\\\\c\\nd\\u0001\"");
+    }
+
+    #[test]
+    fn span_event_renders_valid_shape() {
+        let counts = [("s_v", 3u64)];
+        let line = ev("flow/cuts", 42, &counts).to_json();
+        assert!(line.starts_with("{\"t\":\"span\""));
+        assert!(line.contains("\"path\":\"flow/cuts\""));
+        assert!(line.contains("\"dur_ns\":42"));
+        assert!(line.contains("\"counts\":{\"s_v\":3}"));
+        assert!(line.ends_with('}'));
+    }
+
+    #[test]
+    fn tree_aggregates_by_path() {
+        let tree = TreeAgg::default();
+        tree.record(&ev("flow", 10, &[]));
+        tree.record(&ev("flow/cuts", 3, &[("s_v", 2)]));
+        tree.record(&ev("flow/cuts", 4, &[("s_v", 5)]));
+        assert_eq!(tree.total_ns("flow/cuts"), 7);
+        let render = tree.render();
+        assert!(render.contains("cuts"), "{render}");
+        assert!(render.contains("s_v=7"), "{render}");
+    }
+}

@@ -27,6 +27,9 @@
 
 use std::any::Any;
 use std::fmt;
+use std::time::Instant;
+
+use als_obs::{Counter, Histogram, Obs};
 
 /// A worker thread panicked inside a parallel region; carries the panic
 /// payload rendered as text.
@@ -66,6 +69,45 @@ impl std::error::Error for WorkerPanic {}
 #[derive(Clone, Debug)]
 pub struct WorkerPool {
     threads: usize,
+    metrics: PoolMetrics,
+}
+
+/// Pre-registered utilization metrics of one pool. Disabled handles are
+/// inlined no-ops, so an uninstrumented pool pays nothing per region.
+#[derive(Clone, Debug, Default)]
+struct PoolMetrics {
+    /// Whether the backing [`Obs`] records anything (gates the per-region
+    /// `Instant` reads, which unlike the handles are not free).
+    enabled: bool,
+    /// Parallel regions that actually fanned out.
+    regions: Counter,
+    /// Regions that stayed on the caller's thread (small inputs or a
+    /// serial pool).
+    serial_regions: Counter,
+    /// Items mapped across all regions.
+    items: Counter,
+    /// Per-worker busy time inside a parallel region, microseconds.
+    busy_us: Histogram,
+    /// Per-region pool utilization: `100 · Σ busy / (workers · span)`.
+    utilization_pct: Histogram,
+}
+
+impl PoolMetrics {
+    fn register(obs: &Obs) -> PoolMetrics {
+        PoolMetrics {
+            enabled: obs.is_enabled(),
+            regions: obs.counter("als_pool_regions_total", "parallel regions that fanned out"),
+            serial_regions: obs
+                .counter("als_pool_serial_regions_total", "regions that ran on the caller thread"),
+            items: obs.counter("als_pool_items_total", "items mapped over the pool"),
+            busy_us: obs
+                .histogram("als_pool_worker_busy_us", "per-worker busy time per region (us)"),
+            utilization_pct: obs.histogram(
+                "als_pool_utilization_pct",
+                "per-region worker utilization (percent of workers x wall time)",
+            ),
+        }
+    }
 }
 
 /// Below this many items per thread a parallel region is not worth the
@@ -76,7 +118,16 @@ impl WorkerPool {
     /// A pool of `threads` workers (values below 1 are clamped to 1 —
     /// serial execution).
     pub fn new(threads: usize) -> WorkerPool {
-        WorkerPool { threads: threads.max(1) }
+        WorkerPool { threads: threads.max(1), metrics: PoolMetrics::default() }
+    }
+
+    /// Attaches an observability handle: the pool pre-registers its
+    /// utilization metrics and records them per region. With a disabled
+    /// `Obs` this is equivalent to the plain pool.
+    #[must_use]
+    pub fn with_obs(mut self, obs: &Obs) -> WorkerPool {
+        self.metrics = PoolMetrics::register(obs);
+        self
     }
 
     /// The configured thread budget.
@@ -123,9 +174,18 @@ impl WorkerPool {
         F: Fn(&mut S, &T) -> R + Sync,
     {
         if !self.would_parallelize(items.len()) {
+            self.metrics.serial_regions.inc();
+            self.metrics.items.add(items.len() as u64);
             let mut s = scratch();
             return Ok(items.iter().map(|item| f(&mut s, item)).collect());
         }
+        self.metrics.regions.inc();
+        self.metrics.items.add(items.len() as u64);
+        // Busy-time reads are gated on `enabled`: handles are free when
+        // disabled but `Instant::now` is not, and the worker closure must
+        // not pay it on uninstrumented runs.
+        let timed = self.metrics.enabled;
+        let region_start = timed.then(Instant::now);
         let chunk = items.len().div_ceil(self.threads);
         let (scratch, f) = (&scratch, &f);
         std::thread::scope(|scope| {
@@ -133,22 +193,39 @@ impl WorkerPool {
                 .chunks(chunk)
                 .map(|part| {
                     scope.spawn(move || {
+                        let t0 = timed.then(Instant::now);
                         let mut s = scratch();
-                        part.iter().map(|item| f(&mut s, item)).collect::<Vec<R>>()
+                        let out = part.iter().map(|item| f(&mut s, item)).collect::<Vec<R>>();
+                        (out, t0.map(|t| t.elapsed()))
                     })
                 })
                 .collect();
+            let workers = handles.len() as u64;
             // Join every handle even after a panic: leaving a panicked
             // scoped thread unjoined would make the scope itself panic and
             // bypass the error conversion.
             let mut all = Vec::with_capacity(items.len());
             let mut first_panic: Option<WorkerPanic> = None;
+            let mut busy_ns = 0u128;
             for h in handles {
                 match h.join() {
-                    Ok(part) => all.extend(part),
+                    Ok((part, busy)) => {
+                        all.extend(part);
+                        if let Some(b) = busy {
+                            busy_ns += b.as_nanos();
+                            self.metrics.busy_us.observe_duration(b);
+                        }
+                    }
                     Err(payload) => {
                         first_panic.get_or_insert_with(|| WorkerPanic::from_payload(payload));
                     }
+                }
+            }
+            if let Some(start) = region_start {
+                let span_ns = start.elapsed().as_nanos();
+                if span_ns > 0 {
+                    let pct = busy_ns * 100 / (span_ns * u128::from(workers.max(1)));
+                    self.metrics.utilization_pct.observe(pct.min(100) as u64);
                 }
             }
             match first_panic {
@@ -254,6 +331,31 @@ mod tests {
             .try_map_with(&items, || (), |(), &x| if x % 100 == 50 { Err(x) } else { Ok(x) })
             .unwrap();
         assert_eq!(inner.unwrap_err(), 50);
+    }
+
+    #[test]
+    fn instrumented_pool_records_regions_and_matches_plain_output() {
+        let obs = als_obs::Obs::new(als_obs::ObsConfig::default()).unwrap();
+        let items: Vec<u64> = (0..1000).collect();
+        let plain = WorkerPool::new(4);
+        let pool = WorkerPool::new(4).with_obs(&obs);
+        assert_eq!(pool.map(&items, |x| x * 7).unwrap(), plain.map(&items, |x| x * 7).unwrap());
+        let _small = pool.map(&[1u64, 2], |x| *x).unwrap();
+        assert_eq!(obs.counter("als_pool_regions_total", "").get(), 1);
+        assert_eq!(obs.counter("als_pool_serial_regions_total", "").get(), 1);
+        assert_eq!(obs.counter("als_pool_items_total", "").get(), 1002);
+        assert_eq!(obs.histogram("als_pool_worker_busy_us", "").count(), 4);
+        assert_eq!(obs.histogram("als_pool_utilization_pct", "").count(), 1);
+    }
+
+    #[test]
+    fn disabled_obs_pool_records_nothing() {
+        let pool = WorkerPool::new(2).with_obs(&als_obs::Obs::disabled());
+        let items: Vec<u64> = (0..100).collect();
+        pool.map(&items, |x| x + 1).unwrap();
+        assert!(!pool.metrics.enabled);
+        assert_eq!(pool.metrics.regions.get(), 0);
+        assert_eq!(pool.metrics.items.get(), 0);
     }
 
     #[test]

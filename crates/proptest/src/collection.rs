@@ -1,4 +1,4 @@
-//! Collection strategies: [`vec`].
+//! Collection strategies: [`vec()`].
 
 use std::ops::{Range, RangeInclusive};
 
@@ -33,7 +33,7 @@ impl From<usize> for SizeRange {
     }
 }
 
-/// The strategy returned by [`vec`].
+/// The strategy returned by [`vec()`].
 pub struct VecStrategy<S> {
     element: S,
     size: SizeRange,

@@ -19,19 +19,19 @@
 //! --max-retries N    rollbacks allowed per selection before giving up
 //! --journal <path>   journal every committed iteration (dp/dpsa only)
 //! --resume <path>    resume a crashed run from its journal (dp/dpsa only)
+//! --trace <path>     write a JSONL span trace of the run
+//! --metrics <path>   write Prometheus text metrics at exit
+//! --tree             print the aggregated span tree to stderr at exit
 //! ```
 
 use std::fs::File;
 use std::io::{BufReader, BufWriter};
 use std::process::ExitCode;
 
-use dualphase_als::aig::Aig;
 use dualphase_als::circuits::{benchmark, benchmark_names, BenchmarkScale};
-use dualphase_als::engine::{
-    AccAlsFlow, ConventionalFlow, DualPhaseFlow, Flow, FlowConfig, VecbeeDepthOneFlow,
-};
-use dualphase_als::error::{reference_error, MetricKind};
+use dualphase_als::error::reference_error;
 use dualphase_als::map::{map_circuit, CellLibrary};
+use dualphase_als::prelude::*;
 
 fn load(name_or_path: &str, full: bool) -> Result<Aig, String> {
     if benchmark_names().contains(&name_or_path) {
@@ -89,6 +89,9 @@ struct SynthOpts {
     journal: Option<String>,
     resume: Option<String>,
     output: Option<String>,
+    trace: Option<String>,
+    metrics: Option<String>,
+    tree: bool,
 }
 
 fn run() -> Result<(), String> {
@@ -152,6 +155,9 @@ fn run() -> Result<(), String> {
                 journal: None,
                 resume: None,
                 output: None,
+                trace: None,
+                metrics: None,
+                tree: false,
             };
             while let Some(a) = args.next() {
                 let mut value =
@@ -184,6 +190,9 @@ fn run() -> Result<(), String> {
                     }
                     "--journal" => o.journal = Some(value("--journal")?.to_string()),
                     "--resume" => o.resume = Some(value("--resume")?.to_string()),
+                    "--trace" => o.trace = Some(value("--trace")?.to_string()),
+                    "--metrics" => o.metrics = Some(value("--metrics")?.to_string()),
+                    "--tree" => o.tree = true,
                     "-o" => o.output = Some(value("-o")?.to_string()),
                     other => return Err(format!("unknown option {other}")),
                 }
@@ -221,14 +230,20 @@ fn run() -> Result<(), String> {
             if let Some(path) = &o.resume {
                 cfg = cfg.with_resume(path);
             }
-            let flow: Box<dyn Flow> = match o.flow.as_str() {
-                "conventional" => Box::new(ConventionalFlow::new(cfg)),
-                "l1" => Box::new(VecbeeDepthOneFlow::new(cfg)),
-                "accals" => Box::new(AccAlsFlow::new(cfg)),
-                "dp" => Box::new(DualPhaseFlow::new(cfg)),
-                "dpsa" => Box::new(DualPhaseFlow::with_self_adaption(cfg)),
-                other => return Err(format!("unknown flow {other}")),
+            // One observability handle for the whole run: the flow, guard,
+            // journal and worker pool all report through clones of it.
+            let obs = if o.trace.is_some() || o.metrics.is_some() || o.tree {
+                Obs::new(ObsConfig {
+                    trace: o.trace.as_ref().map(Into::into),
+                    metrics: o.metrics.as_ref().map(Into::into),
+                    tree: o.tree,
+                })
+                .map_err(|e| format!("observability setup: {e}"))?
+            } else {
+                Obs::disabled()
             };
+            cfg = cfg.with_obs(obs.clone());
+            let flow = flows::by_name(&o.flow, cfg).map_err(|e| e.to_string())?;
             eprintln!(
                 "running {} on {} ({} gates), {} bound {bound:.4}",
                 flow.name(),
@@ -237,6 +252,10 @@ fn run() -> Result<(), String> {
                 o.metric
             );
             let res = flow.run(&original).map_err(|e| e.to_string())?;
+            obs.finish().map_err(|e| format!("observability export: {e}"))?;
+            if let Some(path) = &o.metrics {
+                eprintln!("wrote metrics to {path}");
+            }
             let lib = CellLibrary::new();
             println!(
                 "gates {} -> {} | {} = {:.4} (bound {bound:.4}) | ADP ratio {:.1}% | {} LACs in {:.2?}",
@@ -271,7 +290,8 @@ fn run() -> Result<(), String> {
                  als stats <circuit> [--full]\n  \
                  als synth <circuit> [--flow dpsa] [--metric med] [--bound X] \
                  [--patterns N] [--seed S] [--threads T] [--full] [--strict] \
-                 [--max-retries N] [--journal p|--resume p] [-o out.aag]\n  \
+                 [--max-retries N] [--journal p|--resume p] \
+                 [--trace p.jsonl] [--metrics p.prom] [--tree] [-o out.aag]\n  \
                  als convert <in.aag> -o <out.aag|out.aig|out.v>"
             );
             Ok(())

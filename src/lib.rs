@@ -6,6 +6,7 @@
 //! Re-exports every workspace crate under a stable module path:
 //!
 //! * [`aig`] — AND-inverter graph substrate,
+//! * [`obs`] — structured observability: spans, metrics, JSONL/Prometheus,
 //! * [`par`] — shared worker pool for the parallel analysis steps,
 //! * [`sim`] — bit-parallel Monte-Carlo simulation,
 //! * [`error`] — ER / MSE / MED statistical error metrics,
@@ -20,14 +21,12 @@
 //! # Quickstart
 //!
 //! ```
-//! use dualphase_als::circuits::arith::ripple_adder;
-//! use dualphase_als::engine::{EngineError, Flow, FlowConfig, DualPhaseFlow};
-//! use dualphase_als::error::MetricKind;
+//! use dualphase_als::prelude::*;
 //!
 //! # fn main() -> Result<(), EngineError> {
-//! let aig = ripple_adder(8);
-//! let config = FlowConfig::new(MetricKind::Med, 100.0).with_patterns(1024);
-//! let result = DualPhaseFlow::new(config).run(&aig)?;
+//! let aig = dualphase_als::circuits::arith::ripple_adder(8);
+//! let config = FlowConfig::builder(MetricKind::Med, 100.0).patterns(1024).build()?;
+//! let result = flows::by_name("dp", config)?.run(&aig)?;
 //! assert!(result.final_error <= 100.0);
 //! # Ok(())
 //! # }
@@ -41,5 +40,29 @@ pub use als_engine as engine;
 pub use als_error as error;
 pub use als_lac as lac;
 pub use als_map as map;
+pub use als_obs as obs;
 pub use als_par as par;
 pub use als_sim as sim;
+
+/// The names most programs need, importable in one line.
+///
+/// ```
+/// use dualphase_als::prelude::*;
+/// ```
+///
+/// brings in the circuit type ([`Aig`](crate::aig::Aig)), the
+/// configuration surface ([`FlowConfig`](crate::engine::FlowConfig) and
+/// its builder), the [`Flow`](crate::engine::Flow) trait with the
+/// [`by_name`](crate::engine::flows::by_name) registry, the result and
+/// error types, and the observability handles
+/// ([`Obs`](crate::obs::Obs), [`ObsConfig`](crate::obs::ObsConfig)).
+pub mod prelude {
+    pub use crate::aig::Aig;
+    pub use crate::engine::flows;
+    pub use crate::engine::{
+        by_name, ConfigError, EngineError, Flow, FlowConfig, FlowConfigBuilder, FlowResult,
+        StepTimes, FLOW_NAMES,
+    };
+    pub use crate::error::MetricKind;
+    pub use crate::obs::{Obs, ObsConfig};
+}
