@@ -160,6 +160,75 @@ fn arena_eval(sim: &Simulator, state: &ErrorState, cpm: &als_cpm::Cpm, lacs: &[L
         .collect()
 }
 
+/// The pre-SIMD eval path: per-candidate scalar sparse kernel, no dedup.
+fn scalar_eval(sim: &Simulator, state: &ErrorState, cpm: &als_cpm::Cpm, lacs: &[Lac]) -> Vec<f64> {
+    let mut d = PackedBits::zeros(sim.num_words());
+    let mut flips: Vec<SparseFlip<'_>> = Vec::new();
+    lacs.iter()
+        .map(|lac| {
+            let row = cpm.row(lac.target).expect("row exists");
+            lac.change_vector_into(sim, &mut d);
+            flips.clear();
+            flips.extend(row.iter().map(|(o, bits)| SparseFlip { output: o as usize, bits }));
+            state.eval_flips_sparse_scalar(&d, &flips)
+        })
+        .collect()
+}
+
+/// This PR's eval path: structural dedup over the candidates (hash of the
+/// tail-masked change vector + the CPM row fingerprint, exact-verified
+/// before merging — the same keying the engine uses), then the chunked
+/// (auto-vectorised/AVX2) sparse kernel once per class. Returns the
+/// per-candidate errors plus the number of dedup hits.
+fn deduped_chunked_eval(
+    sim: &Simulator,
+    state: &ErrorState,
+    cpm: &als_cpm::Cpm,
+    lacs: &[Lac],
+) -> (Vec<f64>, usize) {
+    let num_words = sim.num_words();
+    let tail = als_sim::tail_mask(sim.num_patterns());
+    let mut d = PackedBits::zeros(num_words);
+    let mut d_arena: Vec<u64> = vec![0; lacs.len() * num_words];
+    let mut keys: Vec<Option<(u64, u64)>> = Vec::with_capacity(lacs.len());
+    let mut fp_memo: std::collections::HashMap<als_aig::NodeId, u64> =
+        std::collections::HashMap::new();
+    for (i, lac) in lacs.iter().enumerate() {
+        let row = cpm.row(lac.target).expect("row exists");
+        lac.change_vector_into(sim, &mut d);
+        let dst = &mut d_arena[i * num_words..(i + 1) * num_words];
+        dst.copy_from_slice(d.words());
+        if let Some(last) = dst.last_mut() {
+            *last &= tail;
+        }
+        let fp = *fp_memo.entry(lac.target).or_insert_with(|| row.fingerprint());
+        keys.push(Some((als_cuts::hash_words(dst), fp)));
+    }
+    let d_of = |i: usize| &d_arena[i * num_words..(i + 1) * num_words];
+    let classes = als_lac::DedupClasses::build(
+        lacs.len(),
+        |i| keys[i],
+        |rep, i| d_of(rep) == d_of(i) && cpm.row(lacs[rep].target) == cpm.row(lacs[i].target),
+    );
+    let mut flips: Vec<SparseFlip<'_>> = Vec::new();
+    let rep_errs: Vec<f64> = classes
+        .reps()
+        .iter()
+        .map(|&i| {
+            let lac = &lacs[i];
+            let row = cpm.row(lac.target).expect("row exists");
+            lac.change_vector_into(sim, &mut d);
+            flips.clear();
+            flips.extend(row.iter().map(|(o, bits)| SparseFlip { output: o as usize, bits }));
+            state.eval_flips_sparse_chunked(&d, &flips)
+        })
+        .collect();
+    let errs = (0..lacs.len())
+        .map(|i| rep_errs[classes.class_of(i).expect("every candidate keyed")])
+        .collect();
+    (errs, classes.hits())
+}
+
 fn main() {
     if !std::env::args().any(|a| a == "--bench") {
         return; // `cargo test` runs bench binaries without --bench
@@ -204,6 +273,19 @@ fn main() {
             || boxed_eval(&sim, &state, &boxed_cpm, &lacs),
             || arena_eval(&sim, &state, &arena_cpm, &lacs),
         );
+
+        // this PR's kernel work: scalar per-candidate sparse eval vs the
+        // chunked kernel behind structural dedup. Bit-identity gate first.
+        let scalar_errs = scalar_eval(&sim, &state, &arena_cpm, &lacs);
+        let (dedup_errs, dedup_hits) = deduped_chunked_eval(&sim, &state, &arena_cpm, &lacs);
+        for (i, (a, b)) in scalar_errs.iter().zip(&dedup_errs).enumerate() {
+            assert_eq!(a.to_bits(), b.to_bits(), "{name}: {:?} simd+dedup diverges", lacs[i]);
+        }
+        drop((scalar_errs, dedup_errs));
+        let (scalar_ms, simd_dedup_ms) = time_pair_ms(
+            || scalar_eval(&sim, &state, &arena_cpm, &lacs),
+            || deduped_chunked_eval(&sim, &state, &arena_cpm, &lacs),
+        );
         drop((boxed_cpm, arena_cpm));
 
         // allocation behaviour, single counted run per phase
@@ -218,11 +300,14 @@ fn main() {
 
         let build_speedup = boxed_build_ms / arena_build_ms.max(1e-9);
         let eval_speedup = boxed_eval_ms / arena_eval_ms.max(1e-9);
+        let sparse_speedup = scalar_ms / simd_dedup_ms.max(1e-9);
         println!(
             "bench: cpm_kernel/{name:<7} build {boxed_build_ms:>8.3} -> {arena_build_ms:>8.3} ms \
              ({build_speedup:.2}x, {boxed_build_allocs} -> {arena_build_allocs} allocs)  \
              eval {boxed_eval_ms:>8.3} -> {arena_eval_ms:>8.3} ms \
-             ({eval_speedup:.2}x, {boxed_eval_allocs} -> {arena_eval_allocs} allocs)"
+             ({eval_speedup:.2}x, {boxed_eval_allocs} -> {arena_eval_allocs} allocs)  \
+             sparse {scalar_ms:>8.3} -> {simd_dedup_ms:>8.3} ms \
+             ({sparse_speedup:.2}x, {dedup_hits} dedup hits)"
         );
         rows.push(format!(
             "    {{\"name\": \"{name}\", \"gates\": {}, \"lacs\": {}, \
@@ -232,7 +317,10 @@ fn main() {
              \"arena_peak_bytes\": {arena_build_peak}}}, \
              \"eval\": {{\"boxed_ms\": {boxed_eval_ms:.3}, \"arena_ms\": {arena_eval_ms:.3}, \
              \"speedup\": {eval_speedup:.3}, \"boxed_allocs\": {boxed_eval_allocs}, \
-             \"arena_allocs\": {arena_eval_allocs}}}}}",
+             \"arena_allocs\": {arena_eval_allocs}}}, \
+             \"sparse_eval\": {{\"scalar_ms\": {scalar_ms:.3}, \
+             \"simd_dedup_ms\": {simd_dedup_ms:.3}, \"speedup\": {sparse_speedup:.3}, \
+             \"dedup_hits\": {dedup_hits}}}}}",
             aig.num_ands(),
             lacs.len()
         ));
@@ -242,7 +330,9 @@ fn main() {
         "{{\n  \"metric\": \"med\",\n  \"pattern_words\": {PATTERN_WORDS},\n  \
          \"runs\": {RUNS},\n  \"note\": \"boxed = pre-arena layout (Vec<(u32, PackedBits)> \
          rows, materialised flip vectors); arena = flat word arena + eval_flips_sparse; \
-         both paths asserted bit-identical before timing\",\n  \"circuits\": [\n{}\n  ]\n}}\n",
+         sparse_eval compares the scalar per-candidate kernel against the chunked \
+         (auto-vectorised/AVX2) kernel behind structural dedup; all paths asserted \
+         bit-identical before timing\",\n  \"circuits\": [\n{}\n  ]\n}}\n",
         rows.join(",\n")
     );
     let out = std::env::var("ALS_BENCH_OUT")

@@ -3,10 +3,14 @@
 //! asserted identical, and the relative overhead is written to
 //! `BENCH_journal.json`.
 //!
-//! Every committed iteration costs one atomic rewrite of the journal file
-//! (temp + fsync + rename), so the overhead scales with commits, not run
-//! length — this bench reports both the wall-clock ratio and the per-commit
-//! cost so regressions in the journal's write path are visible.
+//! Under group commit the writer persists (temp + fsync + rename + parent
+//! dir fsync) once per committed *iteration* — at the next checkpoint
+//! append or the final flush — not once per LAC, so the overhead scales
+//! with iterations. This bench derives the persist count from the loaded
+//! journal (header + one per checkpoint + one trailing flush when the
+//! journal ends in commits) and reports commits-per-persist alongside the
+//! wall-clock ratio, so both write-path regressions and any return to
+//! per-commit fsyncing are visible.
 //!
 //! Like the criterion-shim benches, the binary is inert without the
 //! `--bench` argument `cargo bench` passes. The output path defaults to
@@ -65,6 +69,19 @@ fn main() {
 
         let commits = on.lacs_applied();
         let journal_bytes = std::fs::metadata(&journal_path).map(|m| m.len()).unwrap_or(0);
+        // Derive the persist count from the surviving journal: the header
+        // write, one group commit per checkpoint append, and a final
+        // flush if the journal ends in commit records.
+        let loaded = als_engine::journal::load(&journal_path).expect("journal loads");
+        let checkpoints = loaded
+            .records
+            .iter()
+            .filter(|r| matches!(r, als_engine::journal::Record::Checkpoint(_)))
+            .count();
+        let trailing_flush =
+            matches!(loaded.records.last(), Some(als_engine::journal::Record::Commit(_)));
+        let persists = 1 + checkpoints + usize::from(trailing_flush);
+        let commits_per_persist = commits as f64 / persists as f64;
         std::fs::remove_file(&journal_path).ok();
         let overhead_ms = (on_ms - off_ms).max(0.0);
         let overhead_pct = 100.0 * overhead_ms / off_ms.max(1e-9);
@@ -72,10 +89,12 @@ fn main() {
         println!(
             "bench: journal/{name:<7} off {off_ms:>9.3} ms  on {on_ms:>9.3} ms  \
              overhead {overhead_pct:>5.1}% ({per_commit_us:.0} us/commit, {commits} commits, \
-             {journal_bytes} B)"
+             {persists} persists, {journal_bytes} B)"
         );
         rows.push(format!(
             "    {{\"name\": \"{name}\", \"gates\": {}, \"commits\": {commits}, \
+             \"checkpoints\": {checkpoints}, \"persists\": {persists}, \
+             \"commits_per_persist\": {commits_per_persist:.2}, \
              \"journal_bytes\": {journal_bytes}, \"off_ms\": {off_ms:.3}, \
              \"on_ms\": {on_ms:.3}, \"overhead_pct\": {overhead_pct:.2}, \
              \"per_commit_us\": {per_commit_us:.1}}}",
@@ -85,7 +104,9 @@ fn main() {
 
     let json = format!(
         "{{\n  \"flow\": \"DP-SA\",\n  \"metric\": \"med\",\n  \"bound\": 4.0,\n  \
-         \"patterns\": 1024,\n  \"runs\": {RUNS},\n  \"circuits\": [\n{}\n  ]\n}}\n",
+         \"patterns\": 1024,\n  \"runs\": {RUNS},\n  \"note\": \"group commit: one persist \
+         (temp + fsync + rename + dir fsync) per iteration — at the checkpoint append or \
+         the final flush — not one per committed LAC\",\n  \"circuits\": [\n{}\n  ]\n}}\n",
         rows.join(",\n")
     );
     let out = std::env::var("ALS_BENCH_OUT")

@@ -60,19 +60,17 @@ impl DiffSet {
     /// and `orig`, computing the nonzero window on the fly.
     fn push_xor(&mut self, m: CutMember, flipped: &[u64], orig: &[u64]) {
         let start = self.words.len();
-        self.words.resize(start + self.num_words, 0);
+        self.words.extend_from_slice(flipped);
         let dst = &mut self.words[start..];
-        let (mut nz_begin, mut nz_end) = (self.num_words, 0);
-        for (w, slot) in dst.iter_mut().enumerate() {
-            let d = flipped[w] ^ orig[w];
-            *slot = d;
-            if d != 0 {
-                nz_begin = nz_begin.min(w);
-                nz_end = w + 1;
-            }
-        }
+        als_sim::kernel::xor_assign(dst, orig);
+        let nz_begin = dst.iter().position(|&w| w != 0).unwrap_or(dst.len());
+        let nz_end = if nz_begin == dst.len() {
+            nz_begin
+        } else {
+            dst.iter().rposition(|&w| w != 0).map_or(0, |i| i + 1)
+        };
         self.members.push(m);
-        self.nz.push((nz_begin.min(nz_end) as u32, nz_end as u32));
+        self.nz.push((nz_begin as u32, nz_end as u32));
     }
 
     /// Appends a member with an all-zero difference (node untouched by the
@@ -194,9 +192,8 @@ impl FlipSim {
 
         // Seed: n flipped (slot 0 — n has the lowest rank in its own cone).
         debug_assert_eq!(self.cone[0], n);
-        for (w, slot) in self.arena[..self.num_words].iter_mut().enumerate() {
-            *slot = !sim.value(n).words()[w];
-        }
+        self.arena[..self.num_words].copy_from_slice(sim.value(n).words());
+        als_sim::kernel::not_assign(&mut self.arena[..self.num_words]);
         self.stamp[n.index()] = self.epoch;
 
         // Evaluate the cone in topological order.
@@ -214,20 +211,17 @@ impl FlipSim {
             );
             let (s0, s1) = (self.slot[i0] as usize, self.slot[i1] as usize);
             let (use0, use1) = (self.stamp[i0] == self.epoch, self.stamp[i1] == self.epoch);
-            let dst = ci * self.num_words;
-            for w in 0..self.num_words {
-                let a = if use0 {
-                    self.arena[s0 * self.num_words + w]
-                } else {
-                    sim.value(f0.node()).words()[w]
-                };
-                let b = if use1 {
-                    self.arena[s1 * self.num_words + w]
-                } else {
-                    sim.value(f1.node()).words()[w]
-                };
-                self.arena[dst + w] = (a ^ m0) & (b ^ m1);
-            }
+            let nw = self.num_words;
+            // Fanins in the cone sit at strictly lower slots (the cone is
+            // rank-sorted), so the arena splits into sources and the
+            // destination chunk without aliasing.
+            debug_assert!((!use0 || s0 < ci) && (!use1 || s1 < ci));
+            let (src, rest) = self.arena.split_at_mut(ci * nw);
+            let a: &[u64] =
+                if use0 { &src[s0 * nw..(s0 + 1) * nw] } else { sim.value(f0.node()).words() };
+            let b: &[u64] =
+                if use1 { &src[s1 * nw..(s1 + 1) * nw] } else { sim.value(f1.node()).words() };
+            als_sim::kernel::and2_masked(&mut rest[..nw], a, b, m0, m1);
             self.stamp[id.index()] = self.epoch;
         }
 

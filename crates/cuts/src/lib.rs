@@ -18,7 +18,9 @@
 //!   invariant two TFO cones intersect **iff** their reachable-output sets
 //!   intersect, which makes disjointness tests cheap,
 //! * [`disjoint`] — the closest-disjoint-cut construction,
-//! * [`incremental`] — `S_c` / `S_v` computation and in-place cut refresh.
+//! * [`incremental`] — `S_c` / `S_v` computation and in-place cut refresh,
+//! * [`strash`] — deterministic word-level hashing used to key functionally
+//!   identical LAC candidates for structural deduplication.
 
 // Hot-path analysis code must surface failures as values, not panics: a
 // stray `unwrap()` here aborts a whole synthesis run.
@@ -28,7 +30,9 @@
 pub mod disjoint;
 pub mod incremental;
 pub mod reach;
+pub mod strash;
 
 pub use disjoint::{closest_disjoint_cut, CutMember, DisjointCut};
 pub use incremental::{violated_set, CutState};
 pub use reach::ReachMap;
+pub use strash::{hash_words, WordHasher};

@@ -1,0 +1,88 @@
+//! Structural hashing primitives for candidate deduplication.
+//!
+//! Functionally identical LAC candidates — same change vector `D` applied
+//! at nodes whose CPM rows propagate identically — produce identical error
+//! estimates, so evaluating more than one per class is wasted work. This
+//! module provides the word-level FNV-1a hashing used to key candidates by
+//! `(hash(D), hash(row))`; the hash is a fast filter only, equality is
+//! always confirmed exactly by the caller before two candidates share a
+//! class (see `als_lac::dedup`).
+
+/// FNV-1a offset basis (64-bit).
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+/// FNV-1a prime (64-bit).
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// A running FNV-1a word hasher. Deterministic across runs and platforms —
+/// dedup keys may be logged by observability counters, so the hash must not
+/// depend on `RandomState`.
+#[derive(Copy, Clone, Debug)]
+pub struct WordHasher(u64);
+
+impl WordHasher {
+    /// A fresh hasher at the FNV offset basis.
+    pub fn new() -> WordHasher {
+        WordHasher(FNV_OFFSET)
+    }
+
+    /// Folds one 64-bit word into the hash, byte by byte in little-endian
+    /// order (plain FNV-1a over the word's bytes).
+    pub fn write_u64(&mut self, w: u64) {
+        let mut h = self.0;
+        for b in w.to_le_bytes() {
+            h = (h ^ u64::from(b)).wrapping_mul(FNV_PRIME);
+        }
+        self.0 = h;
+    }
+
+    /// Folds a word slice into the hash.
+    pub fn write_words(&mut self, words: &[u64]) {
+        for &w in words {
+            self.write_u64(w);
+        }
+    }
+
+    /// The current hash value.
+    pub fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+impl Default for WordHasher {
+    fn default() -> WordHasher {
+        WordHasher::new()
+    }
+}
+
+/// FNV-1a hash of a word slice. Trailing zero words are significant: callers
+/// hashing variable-width data must normalise (or include the length) first.
+pub fn hash_words(words: &[u64]) -> u64 {
+    let mut h = WordHasher::new();
+    h.write_words(words);
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hash_is_deterministic_and_length_sensitive() {
+        let a = [0x1234_5678_9abc_def0u64, 0xffff_0000_ffff_0000];
+        assert_eq!(hash_words(&a), hash_words(&a));
+        assert_ne!(hash_words(&a), hash_words(&a[..1]));
+        assert_ne!(hash_words(&a[..1]), hash_words(&[a[0], 0]));
+        // FNV-1a of the empty input is the offset basis.
+        assert_eq!(hash_words(&[]), 0xcbf2_9ce4_8422_2325);
+    }
+
+    #[test]
+    fn incremental_hashing_matches_one_shot() {
+        let words = [7u64, 0, u64::MAX, 42];
+        let mut h = WordHasher::new();
+        for &w in &words {
+            h.write_u64(w);
+        }
+        assert_eq!(h.finish(), hash_words(&words));
+    }
+}

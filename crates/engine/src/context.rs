@@ -50,6 +50,11 @@ pub struct EngineMetrics {
     pub iterations: Counter,
     /// Incremental phase-two rounds completed.
     pub phase2_rounds: Counter,
+    /// Candidates that shared a structural class with an earlier one —
+    /// evaluations saved by deduplication.
+    pub dedup_hits: Counter,
+    /// Class representatives actually evaluated after deduplication.
+    pub dedup_reps: Counter,
 }
 
 impl EngineMetrics {
@@ -80,6 +85,14 @@ impl EngineMetrics {
             iterations: obs.counter("als_iterations_total", "applied LACs (committed iterations)"),
             phase2_rounds: obs
                 .counter("als_phase2_rounds_total", "incremental phase-two rounds completed"),
+            dedup_hits: obs.counter(
+                "als_lac_dedup_hits_total",
+                "candidate evaluations saved by structural deduplication",
+            ),
+            dedup_reps: obs.counter(
+                "als_lac_dedup_reps_total",
+                "class representatives evaluated after structural deduplication",
+            ),
         }
     }
 }
@@ -146,6 +159,9 @@ impl Ctx {
     /// Initialises a run on a copy of `original`.
     pub fn new(original: &Aig, cfg: &FlowConfig) -> Ctx {
         let aig = original.clone();
+        // The pattern count need not be a multiple of 64: the tail lanes of
+        // the last word are masked at the `PatternSet` boundary and the
+        // error state accumulates only the logical `cfg.num_patterns` bits.
         let patterns = match cfg.patterns_from {
             crate::config::PatternSource::Uniform => {
                 PatternSet::random(aig.num_inputs(), cfg.pattern_words(), cfg.seed)
@@ -153,13 +169,20 @@ impl Ctx {
             crate::config::PatternSource::Biased(density) => {
                 PatternSet::biased(aig.num_inputs(), cfg.pattern_words(), cfg.seed, density)
             }
-        };
+        }
+        .with_pattern_count(cfg.num_patterns);
         let pool = WorkerPool::new(cfg.threads).with_obs(&cfg.obs);
         let sim = Simulator::new_with(&aig, &patterns, &pool);
         let golden: Vec<PackedBits> =
             (0..aig.num_outputs()).map(|o| sim.output_value(&aig, o)).collect();
         let weights = cfg.weights.clone().unwrap_or_else(|| unsigned_weights(aig.num_outputs()));
-        let state = ErrorState::new(cfg.metric, weights, golden.clone(), &golden);
+        let state = ErrorState::with_pattern_count(
+            cfg.metric,
+            weights,
+            golden.clone(),
+            &golden,
+            cfg.num_patterns,
+        );
         let ranks = als_aig::topo::topo_ranks(&aig);
         let flipsim = FlipSim::new(aig.num_nodes(), patterns.num_words());
         Ctx {
@@ -248,6 +271,15 @@ impl Ctx {
     /// error estimation). Candidates without a CPM row (unreachable
     /// targets) are skipped. Result order is deterministic regardless of
     /// the thread count.
+    ///
+    /// Functionally identical candidates — equal change vector `D` at
+    /// targets with equal CPM rows — yield the same estimated error, so
+    /// they are partitioned into structural classes first (keyed by
+    /// `(hash(D), row fingerprint)`, confirmed exactly before merging) and
+    /// only one representative per class goes through the batch kernel.
+    /// The others inherit its `error_after`; area saving is per-candidate
+    /// (class members may have different targets). The result is identical
+    /// to evaluating every candidate individually.
     pub fn evaluate_lacs(
         &mut self,
         cpm: &Cpm,
@@ -258,12 +290,49 @@ impl Ctx {
         self.metrics.lacs_evaluated.observe(lacs.len() as u64);
         let (aig, sim, state) = (&self.aig, &self.sim, &self.state);
         let num_words = sim.num_words();
+
+        // Serial keying pre-pass: one change vector + hash per candidate,
+        // with the row fingerprint memoised per target node. The tail
+        // lanes of `D` are masked before hashing: the eval kernels mask
+        // them identically, so candidates differing only in garbage tail
+        // bits are functionally identical and must share a class.
+        let tail = als_sim::tail_mask(state.num_patterns());
+        let mut d = PackedBits::zeros(num_words);
+        let mut d_arena: Vec<u64> = vec![0; lacs.len() * num_words];
+        let mut keys: Vec<Option<(u64, u64)>> = Vec::with_capacity(lacs.len());
+        let mut fp_memo: std::collections::HashMap<NodeId, u64> = std::collections::HashMap::new();
+        for (i, lac) in lacs.iter().enumerate() {
+            let Some(row) = cpm.row(lac.target) else {
+                keys.push(None);
+                continue;
+            };
+            lac.change_vector_into(sim, &mut d);
+            let dst = &mut d_arena[i * num_words..(i + 1) * num_words];
+            dst.copy_from_slice(d.words());
+            if let Some(last) = dst.last_mut() {
+                *last &= tail;
+            }
+            let fp = *fp_memo.entry(lac.target).or_insert_with(|| row.fingerprint());
+            keys.push(Some((als_cuts::hash_words(dst), fp)));
+        }
+        let d_of = |i: usize| &d_arena[i * num_words..(i + 1) * num_words];
+        let classes = als_lac::DedupClasses::build(
+            lacs.len(),
+            |i| keys[i],
+            |rep, i| d_of(rep) == d_of(i) && cpm.row(lacs[rep].target) == cpm.row(lacs[i].target),
+        );
+        span.count("dedup_hits", classes.hits() as u64);
+        self.metrics.dedup_hits.add(classes.hits() as u64);
+        self.metrics.dedup_reps.add(classes.num_classes() as u64);
+
+        // Parallel evaluation of one representative per class.
+        let reps: Vec<Lac> = classes.reps().iter().map(|&i| lacs[i]).collect();
         #[cfg(feature = "fault-inject")]
         let faults = &self.faults;
         let out = self
             .pool
             .map_with(
-                lacs,
+                &reps,
                 || (PackedBits::zeros(num_words), Vec::new()),
                 |(d, flips), lac| {
                     #[cfg(feature = "fault-inject")]
@@ -271,8 +340,23 @@ impl Ctx {
                     eval_one(aig, sim, state, cpm, lac, d, flips)
                 },
             )
-            .map(|evals| evals.into_iter().flatten().collect())
-            .map_err(crate::error::EngineError::from);
+            .map_err(crate::error::EngineError::from)
+            .map(|rep_evals: Vec<Option<Evaluated>>| {
+                // Broadcast each class result back to every member, in the
+                // original candidate order.
+                let mut out = Vec::with_capacity(lacs.len());
+                for (i, lac) in lacs.iter().enumerate() {
+                    let Some(c) = classes.class_of(i) else { continue };
+                    let Some(rep) = &rep_evals[c] else { continue };
+                    let saving = if classes.reps()[c] == i {
+                        rep.saving
+                    } else {
+                        als_lac::area_saving(aig, lac.target)
+                    };
+                    out.push(Evaluated { lac: *lac, error_after: rep.error_after, saving });
+                }
+                out
+            });
         self.times.eval += span.finish();
         out
     }

@@ -301,7 +301,9 @@ impl Flow for DualPhaseFlow {
             if let (Some(w), Some(rec)) = (journal.as_mut(), iterations.last()) {
                 let c =
                     journal::Commit::new(iterations.len() - 1, rec, &recs, ctx.error(), &ctx.times);
-                timed_append(&ctx.metrics.journal_append_us, || w.append_commit(&c))?;
+                // Group commit: buffered in memory, made durable by the next
+                // checkpoint append (or the end-of-run flush).
+                w.append_commit_buffered(&c);
             }
             let removed: HashSet<NodeId> =
                 recs.iter().flat_map(|r| r.removed.iter().copied()).collect();
@@ -395,7 +397,7 @@ impl Flow for DualPhaseFlow {
                         ctx.error(),
                         &ctx.times,
                     );
-                    timed_append(&ctx.metrics.journal_append_us, || w.append_commit(&c))?;
+                    w.append_commit_buffered(&c);
                 }
                 let removed: HashSet<NodeId> =
                     recs.iter().flat_map(|r| r.removed.iter().copied()).collect();
@@ -484,6 +486,12 @@ impl Flow for DualPhaseFlow {
                 // but guard against pathological configs
                 break 'dual_phase;
             }
+        }
+
+        // Final group commit: commits of the last iteration have no
+        // following checkpoint to ride on, so flush them explicitly.
+        if let Some(w) = journal.as_mut() {
+            timed_append(&ctx.metrics.journal_append_us, || w.flush())?;
         }
 
         Ok(FlowResult {

@@ -49,11 +49,16 @@ struct PlanState {
     fail_journal_append: AtomicUsize,
     /// Journal appends attempted so far.
     journal_appends_seen: AtomicUsize,
+    /// Fail the parent-directory fsync with this 0-based index.
+    fail_journal_dir_sync: AtomicUsize,
+    /// Directory fsyncs attempted so far.
+    dir_syncs_seen: AtomicUsize,
     /// How many injections of each kind actually fired.
     eval_panics_fired: AtomicUsize,
     overshoots_fired: AtomicUsize,
     corruptions_fired: AtomicUsize,
     journal_failures_fired: AtomicUsize,
+    dir_sync_failures_fired: AtomicUsize,
 }
 
 impl Default for PlanState {
@@ -66,10 +71,13 @@ impl Default for PlanState {
             corrupt_fresh: AtomicUsize::new(0),
             fail_journal_append: AtomicUsize::new(OFF),
             journal_appends_seen: AtomicUsize::new(0),
+            fail_journal_dir_sync: AtomicUsize::new(OFF),
+            dir_syncs_seen: AtomicUsize::new(0),
             eval_panics_fired: AtomicUsize::new(0),
             overshoots_fired: AtomicUsize::new(0),
             corruptions_fired: AtomicUsize::new(0),
             journal_failures_fired: AtomicUsize::new(0),
+            dir_sync_failures_fired: AtomicUsize::new(0),
         }
     }
 }
@@ -125,6 +133,14 @@ impl FaultPlan {
     /// write does not count) with a synthetic I/O error.
     pub fn fail_journal_append(self, append: usize) -> FaultPlan {
         self.state.fail_journal_append.store(append, Ordering::SeqCst);
+        self
+    }
+
+    /// Fail the `sync`-th parent-directory fsync of the run (0-based; the
+    /// header write does not count) with a synthetic I/O error — the
+    /// "rename landed but the directory entry is not durable" case.
+    pub fn fail_journal_dir_sync(self, sync: usize) -> FaultPlan {
+        self.state.fail_journal_dir_sync.store(sync, Ordering::SeqCst);
         self
     }
 
@@ -203,6 +219,23 @@ impl FaultPlan {
         None
     }
 
+    /// Called per parent-directory fsync; returns the injected I/O error
+    /// when the armed sync index is reached.
+    pub(crate) fn take_dir_sync_failure(&self) -> Option<std::io::Error> {
+        let armed = self.state.fail_journal_dir_sync.load(Ordering::SeqCst);
+        if armed == OFF {
+            return None;
+        }
+        let seen = self.state.dir_syncs_seen.fetch_add(1, Ordering::SeqCst);
+        if seen == armed {
+            self.state.dir_sync_failures_fired.fetch_add(1, Ordering::SeqCst);
+            return Some(std::io::Error::other(format!(
+                "fault injection: journal directory sync {armed} failed"
+            )));
+        }
+        None
+    }
+
     // ---------------- assertions (for the chaos tests) --------------------
 
     /// Evaluation-worker panics fired so far.
@@ -224,6 +257,11 @@ impl FaultPlan {
     pub fn journal_failures_fired(&self) -> usize {
         self.state.journal_failures_fired.load(Ordering::SeqCst)
     }
+
+    /// Journal directory-sync failures fired so far.
+    pub fn dir_sync_failures_fired(&self) -> usize {
+        self.state.dir_sync_failures_fired.load(Ordering::SeqCst)
+    }
 }
 
 #[cfg(test)]
@@ -239,11 +277,13 @@ mod tests {
             assert!(!plan.take_corrupt_at_round(1));
             assert!(!plan.take_corrupt_fresh());
             assert!(plan.take_journal_failure().is_none());
+            assert!(plan.take_dir_sync_failure().is_none());
         }
         assert_eq!(plan.eval_panics_fired(), 0);
         assert_eq!(plan.overshoots_fired(), 0);
         assert_eq!(plan.corruptions_fired(), 0);
         assert_eq!(plan.journal_failures_fired(), 0);
+        assert_eq!(plan.dir_sync_failures_fired(), 0);
     }
 
     #[test]
@@ -284,5 +324,15 @@ mod tests {
         assert!(err.to_string().contains("journal append 1"));
         assert!(plan.take_journal_failure().is_none(), "fires once");
         assert_eq!(plan.journal_failures_fired(), 1);
+    }
+
+    #[test]
+    fn dir_sync_failure_fires_at_the_armed_sync() {
+        let plan = FaultPlan::new().fail_journal_dir_sync(1);
+        assert!(plan.take_dir_sync_failure().is_none());
+        let err = plan.take_dir_sync_failure().expect("second sync fails");
+        assert!(err.to_string().contains("directory sync 1"));
+        assert!(plan.take_dir_sync_failure().is_none(), "fires once");
+        assert_eq!(plan.dir_sync_failures_fired(), 1);
     }
 }

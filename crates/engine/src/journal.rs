@@ -30,14 +30,23 @@
 //!
 //! # Durability
 //!
-//! Every append rewrites the whole journal atomically: the full byte
-//! image is written to a sibling `.tmp` file, fsynced and renamed over
-//! the journal path. The on-disk file is therefore always a *prefix* of
-//! the logical journal ending on a record boundary — a crash between
-//! appends loses at most the records not yet written, never corrupts
-//! earlier ones. Journals are small (a few KiB per hundred commits), so
-//! the rewrite is cheap; see `BENCH_journal.json` for the measured
-//! overhead on a full DP-SA run.
+//! Every persist rewrites the whole journal atomically: the full byte
+//! image is written to a sibling `.tmp` file, fsynced, renamed over the
+//! journal path, and the parent directory is fsynced so the rename itself
+//! survives power loss. The on-disk file is therefore always a *prefix*
+//! of the logical journal ending on a record boundary — a crash between
+//! persists loses at most the records not yet flushed, never corrupts
+//! earlier ones.
+//!
+//! Commits are **group-committed**: the dual-phase loop buffers each
+//! iteration's commit records in memory and makes them durable with a
+//! single fsync — either an explicit [`JournalWriter::flush`] or the next
+//! iteration's checkpoint append (whose persist covers everything
+//! buffered before it). That turns one fsync per applied LAC into one
+//! fsync per iteration without weakening the prefix invariant. Journals
+//! are small (a few KiB per hundred commits), so the rewrite is cheap;
+//! see `BENCH_journal.json` for the measured overhead on a full DP-SA
+//! run.
 //!
 //! # Recovery rules
 //!
@@ -601,14 +610,23 @@ fn frame(kind: u8, payload: &[u8]) -> Vec<u8> {
 }
 
 /// Appends records to a journal file, atomically (whole-image temp file +
-/// rename per append).
+/// rename per persist).
+///
+/// Commits support **group commit**: [`JournalWriter::append_commit_buffered`]
+/// only extends the in-memory image, and one [`JournalWriter::flush`] (or
+/// any checkpoint append) makes every buffered commit durable with a single
+/// write + fsync + rename. The on-disk file always ends on a record
+/// boundary, so a crash between flushes loses at most the buffered commits
+/// of the current iteration — never a torn or reordered record.
 pub struct JournalWriter {
     path: PathBuf,
     tmp: PathBuf,
     /// Full byte image of the journal (header + complete records).
     buf: Vec<u8>,
-    /// Commit records persisted so far (drives the crash hook).
+    /// Commit records durably persisted so far (drives the crash hook).
     commits_written: usize,
+    /// Commit records appended to `buf` but not yet persisted.
+    pending_commits: usize,
     /// Crash hook: abort the process after persisting this many commits.
     crash_after: Option<usize>,
     #[cfg(feature = "fault-inject")]
@@ -624,6 +642,7 @@ impl JournalWriter {
             tmp: PathBuf::from(tmp),
             buf,
             commits_written: 0,
+            pending_commits: 0,
             crash_after: std::env::var(CRASH_AFTER_COMMITS_ENV)
                 .ok()
                 .and_then(|v| v.trim().parse::<usize>().ok()),
@@ -653,8 +672,12 @@ impl JournalWriter {
         self.faults = faults;
     }
 
-    /// Writes the current image to the temp file and renames it over the
-    /// journal path, so the on-disk journal is replaced atomically.
+    /// Writes the current image to the temp file, fsyncs it, renames it
+    /// over the journal path, and fsyncs the parent directory so the
+    /// rename itself is durable. Without the directory sync a crash after
+    /// the rename could still lose the new directory entry — the file
+    /// content was safe but the journal path might resolve to the old
+    /// inode (or nothing) after power loss.
     fn persist(&mut self) -> Result<(), EngineError> {
         #[cfg(feature = "fault-inject")]
         if let Some(source) = self.faults.take_journal_failure() {
@@ -664,29 +687,76 @@ impl JournalWriter {
             std::fs::write(&self.tmp, &self.buf)?;
             let f = std::fs::File::open(&self.tmp)?;
             f.sync_all()?;
-            std::fs::rename(&self.tmp, &self.path)
+            std::fs::rename(&self.tmp, &self.path)?;
+            #[cfg(feature = "fault-inject")]
+            if let Some(source) = self.faults.take_dir_sync_failure() {
+                return Err(source);
+            }
+            let parent = self.path.parent().filter(|p| !p.as_os_str().is_empty());
+            let dir = std::fs::File::open(parent.unwrap_or_else(|| Path::new(".")))?;
+            dir.sync_all()
         };
         write().map_err(|e| io_err(&self.path, e))
     }
 
-    /// Appends and persists a checkpoint record.
-    pub fn append_checkpoint(&mut self, cp: &Checkpoint) -> Result<(), EngineError> {
-        self.buf.extend_from_slice(&frame(KIND_CHECKPOINT, &cp.encode()));
-        self.persist()
+    /// Marks every buffered commit durable after a successful persist and
+    /// services the [`CRASH_AFTER_COMMITS_ENV`] hook: when the armed count
+    /// was crossed by this persist, the process aborts *after* the records
+    /// are durably on disk — simulating a kill at the worst moment that
+    /// still has work to lose.
+    fn mark_durable(&mut self) {
+        let before = self.commits_written;
+        self.commits_written += self.pending_commits;
+        self.pending_commits = 0;
+        if let Some(n) = self.crash_after {
+            if before < n && self.commits_written >= n {
+                std::process::abort();
+            }
+        }
     }
 
-    /// Appends and persists a commit record. When the
-    /// [`CRASH_AFTER_COMMITS_ENV`] hook is armed and this was the N-th
-    /// commit, the process aborts *after* the record is durably on disk —
-    /// simulating a kill at the worst moment that still has work to lose.
-    pub fn append_commit(&mut self, c: &Commit) -> Result<(), EngineError> {
-        self.buf.extend_from_slice(&frame(KIND_COMMIT, &c.encode()));
+    /// Appends and persists a checkpoint record. The persist also makes
+    /// any buffered commits durable (they precede the checkpoint in the
+    /// image), so the top-of-iteration checkpoint doubles as the group
+    /// commit of the previous iteration.
+    pub fn append_checkpoint(&mut self, cp: &Checkpoint) -> Result<(), EngineError> {
+        self.buf.extend_from_slice(&frame(KIND_CHECKPOINT, &cp.encode()));
         self.persist()?;
-        self.commits_written += 1;
-        if self.crash_after == Some(self.commits_written) {
-            std::process::abort();
-        }
+        self.mark_durable();
         Ok(())
+    }
+
+    /// Appends a commit record to the in-memory image without touching
+    /// disk. The record becomes durable at the next [`JournalWriter::flush`]
+    /// or checkpoint append — one fsync then covers every commit buffered
+    /// since the last persist.
+    pub fn append_commit_buffered(&mut self, c: &Commit) {
+        self.buf.extend_from_slice(&frame(KIND_COMMIT, &c.encode()));
+        self.pending_commits += 1;
+    }
+
+    /// Persists every buffered commit with one write + fsync + rename.
+    /// No-op when nothing is buffered.
+    pub fn flush(&mut self) -> Result<(), EngineError> {
+        if self.pending_commits == 0 {
+            return Ok(());
+        }
+        self.persist()?;
+        self.mark_durable();
+        Ok(())
+    }
+
+    /// Commit records buffered in memory but not yet persisted.
+    pub fn pending_commits(&self) -> usize {
+        self.pending_commits
+    }
+
+    /// Appends and immediately persists a commit record — a buffered
+    /// append followed by a [`JournalWriter::flush`]. Kept for callers
+    /// (and tests) that want per-commit durability.
+    pub fn append_commit(&mut self, c: &Commit) -> Result<(), EngineError> {
+        self.append_commit_buffered(c);
+        self.flush()
     }
 }
 

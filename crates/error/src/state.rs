@@ -41,6 +41,13 @@ pub struct ErrorState {
     kind: MetricKind,
     weights: Vec<f64>,
     num_words: usize,
+    /// Logical pattern count; at most `num_words * 64`.
+    num_patterns: usize,
+    /// Valid-lane mask of the last word (`!0` when `num_patterns` is a
+    /// multiple of 64). Applied wherever word bits enter the accumulators,
+    /// so garbage tail lanes (complemented edges set them) never leak into
+    /// ER/MED/MSE.
+    tail_mask: u64,
     /// Exact (golden) output bits, per output.
     exact: Vec<PackedBits>,
     /// approx XOR exact, per output.
@@ -70,17 +77,43 @@ impl ErrorState {
         exact: Vec<PackedBits>,
         approx: &[PackedBits],
     ) -> ErrorState {
+        let num_patterns = exact.first().map_or(0, PackedBits::num_bits);
+        ErrorState::with_pattern_count(kind, weights, exact, approx, num_patterns)
+    }
+
+    /// Like [`ErrorState::new`], but for a logical pattern count that need
+    /// not be a multiple of 64: the tail lanes of the last word beyond
+    /// `num_patterns` are masked out of every accumulation and all metric
+    /// denominators use the logical count. With a multiple-of-64 count this
+    /// is bit-identical to [`ErrorState::new`].
+    ///
+    /// # Panics
+    /// Panics under the same conditions as [`ErrorState::new`], or if
+    /// `num_patterns` does not land in the vectors' last word.
+    pub fn with_pattern_count(
+        kind: MetricKind,
+        weights: Vec<f64>,
+        exact: Vec<PackedBits>,
+        approx: &[PackedBits],
+        num_patterns: usize,
+    ) -> ErrorState {
         assert_eq!(exact.len(), approx.len(), "output count mismatch");
         let num_words = exact.first().map_or(0, PackedBits::num_words);
         assert!(exact.iter().chain(approx).all(|v| v.num_words() == num_words));
         if kind.is_weighted() {
             assert!(weights.len() >= exact.len(), "missing output weights");
         }
-        let num_patterns = num_words * 64;
+        assert!(
+            num_patterns <= num_words * 64
+                && (num_words == 0 || num_patterns > (num_words - 1) * 64),
+            "pattern count {num_patterns} does not fit {num_words} words"
+        );
         let mut state = ErrorState {
             kind,
             weights,
             num_words,
+            num_patterns,
+            tail_mask: als_sim::tail_mask(num_patterns),
             diff: vec![PackedBits::zeros(num_words); exact.len()],
             exact,
             wrong_count: vec![0; num_patterns],
@@ -89,6 +122,16 @@ impl ErrorState {
         };
         state.refresh(approx);
         state
+    }
+
+    /// Valid-lane mask of word `wi` (`!0` except possibly the last word).
+    #[inline]
+    fn word_mask(&self, wi: usize) -> u64 {
+        if wi + 1 == self.num_words {
+            self.tail_mask
+        } else {
+            !0
+        }
     }
 
     /// Recomputes all caches from the current output values (after a LAC
@@ -103,8 +146,9 @@ impl ErrorState {
             let exact = &self.exact[o];
             let diff = &mut self.diff[o];
             for wi in 0..self.num_words {
+                let mask = if wi + 1 == self.num_words { self.tail_mask } else { !0 };
                 let ewd = exact.words()[wi];
-                let word = a.words()[wi] ^ ewd;
+                let word = (a.words()[wi] ^ ewd) & mask;
                 diff.words_mut()[wi] = word;
                 let mut rem = word;
                 while rem != 0 {
@@ -134,9 +178,10 @@ impl ErrorState {
         self.kind
     }
 
-    /// Number of simulated patterns.
+    /// Number of simulated patterns (the logical count — all metric
+    /// denominators use this, not the padded word capacity).
     pub fn num_patterns(&self) -> usize {
-        self.num_words * 64
+        self.num_patterns
     }
 
     /// Number of outputs.
@@ -211,7 +256,9 @@ impl ErrorState {
         let mut vals = vec![0.0f64; self.num_patterns()];
         for (o, bitsv) in self.exact.iter().enumerate() {
             let w = self.weights.get(o).copied().unwrap_or(0.0);
-            for p in bitsv.iter_ones() {
+            // golden vectors may carry garbage tail lanes (complemented
+            // output edges); positions past the logical count are skipped
+            for p in bitsv.iter_ones().take_while(|&p| p < self.num_patterns) {
                 vals[p] += w;
             }
         }
@@ -235,6 +282,7 @@ impl ErrorState {
             for f in flips {
                 changed |= f.bits.words()[wi];
             }
+            changed &= self.word_mask(wi);
             while changed != 0 {
                 let b = changed.trailing_zeros() as usize;
                 changed &= changed - 1;
@@ -286,7 +334,23 @@ impl ErrorState {
     ///
     /// `flips` must be sorted consistently with the caller's reference
     /// ordering (CPM rows are sorted by output).
+    ///
+    /// Dispatches between [`ErrorState::eval_flips_sparse_scalar`] and
+    /// [`ErrorState::eval_flips_sparse_chunked`] on the process-wide
+    /// `ALS_SIMD` toggle (see [`als_sim::kernel::simd_enabled`]); the two
+    /// kernels are `to_bits()`-identical by construction and by test.
     pub fn eval_flips_sparse(&self, d: &PackedBits, flips: &[SparseFlip<'_>]) -> f64 {
+        if als_sim::kernel::simd_enabled() {
+            self.eval_flips_sparse_chunked(d, flips)
+        } else {
+            self.eval_flips_sparse_scalar(d, flips)
+        }
+    }
+
+    /// The scalar reference kernel behind [`ErrorState::eval_flips_sparse`]
+    /// — one word at a time, per-flip window checks, no precomputed union.
+    /// Kept compiled in as the A/B baseline for the chunked kernel.
+    pub fn eval_flips_sparse_scalar(&self, d: &PackedBits, flips: &[SparseFlip<'_>]) -> f64 {
         let n = self.num_patterns() as f64;
         if flips.is_empty() {
             return self.sum / n;
@@ -301,7 +365,6 @@ impl ErrorState {
         // zero filtering. Rows wider than the stack buffers fall back to
         // one heap buffer per call (still far below the boxed layout's
         // per-entry allocations).
-        const STACK_FLIPS: usize = 128;
         let mut active_stack = [(0u64, 0u32); STACK_FLIPS];
         let mut active_heap: Vec<(u64, u32)> = Vec::new();
         let active: &mut [(u64, u32)] = if flips.len() <= STACK_FLIPS {
@@ -312,7 +375,7 @@ impl ErrorState {
         };
         let mut delta_sum = 0.0;
         for wi in lo..hi {
-            let dw = d.words()[wi];
+            let dw = d.words()[wi] & self.word_mask(wi);
             if dw == 0 {
                 continue;
             }
@@ -358,6 +421,160 @@ impl ErrorState {
         }
         (self.sum + delta_sum) / n
     }
+
+    /// The chunked kernel behind [`ErrorState::eval_flips_sparse`].
+    ///
+    /// Three restructurings over the scalar reference, none of which
+    /// reorders a floating-point operation:
+    ///
+    /// 1. a vectorized union-OR pre-pass accumulates every flip's nonzero
+    ///    window into one scratch vector, so each word decides "anything
+    ///    flips here?" with a single AND instead of a loop over all flips;
+    /// 2. the compaction loop drops the per-flip window comparisons —
+    ///    words outside a `BitsRef` window are zero by contract, so the
+    ///    mask test subsumes them — and gathers each active flip's diff
+    ///    word, exact word and weight alongside its mask, turning the
+    ///    per-bit loop's three indirect loads per flip into sequential
+    ///    reads of one compact record;
+    /// 3. single-active-flip words (the common case on narrow cones) take
+    ///    a branch-free specialisation of the same update.
+    ///
+    /// The f64 accumulation order is exactly the scalar kernel's —
+    /// ascending words, ascending bits, flips in row order — so results
+    /// are `to_bits()`-identical, which the A/B tests assert.
+    pub fn eval_flips_sparse_chunked(&self, d: &PackedBits, flips: &[SparseFlip<'_>]) -> f64 {
+        let n = self.num_patterns() as f64;
+        if flips.is_empty() {
+            return self.sum / n;
+        }
+        assert_eq!(d.num_words(), self.num_words, "change-vector width mismatch");
+        let lo = flips.iter().map(|f| f.bits.nz_begin()).min().unwrap_or(0);
+        let hi = flips.iter().map(|f| f.bits.nz_end()).max().unwrap_or(0);
+        if lo >= hi {
+            return self.sum / n;
+        }
+        // Union-OR pre-pass over the flip windows (vectorized).
+        const STACK_WORDS: usize = 256;
+        let width = hi - lo;
+        let mut union_stack = [0u64; STACK_WORDS];
+        let mut union_heap: Vec<u64> = Vec::new();
+        let union: &mut [u64] = if width <= STACK_WORDS {
+            &mut union_stack[..width]
+        } else {
+            union_heap.resize(width, 0);
+            &mut union_heap
+        };
+        for f in flips {
+            let (b, e) = (f.bits.nz_begin(), f.bits.nz_end());
+            if b < e {
+                als_sim::kernel::or_assign(&mut union[b - lo..e - lo], &f.bits.words()[b..e]);
+            }
+        }
+        // Same compaction stack size and heap spill as the scalar kernel.
+        let mut active_stack = [ActiveFlip::ZERO; STACK_FLIPS];
+        let mut active_heap: Vec<ActiveFlip> = Vec::new();
+        let active: &mut [ActiveFlip] = if flips.len() <= STACK_FLIPS {
+            &mut active_stack[..flips.len()]
+        } else {
+            active_heap.resize(flips.len(), ActiveFlip::ZERO);
+            &mut active_heap
+        };
+        let weighted = self.kind.is_weighted();
+        let mut delta_sum = 0.0;
+        for wi in lo..hi {
+            let dw = d.words()[wi] & self.word_mask(wi);
+            let changed = dw & union[wi - lo];
+            if changed == 0 {
+                continue;
+            }
+            let mut k = 0usize;
+            for f in flips.iter() {
+                // no window check: out-of-window words are zero by the
+                // BitsRef contract, so their mask is zero anyway
+                let m = dw & f.bits.words()[wi];
+                if m != 0 {
+                    let o = f.output;
+                    active[k] = ActiveFlip {
+                        m,
+                        diff: self.diff[o].words()[wi],
+                        exact: self.exact[o].words()[wi],
+                        weight: self.weights.get(o).copied().unwrap_or(0.0),
+                    };
+                    k += 1;
+                }
+            }
+            if k == 1 {
+                // Single active flip: every changed bit belongs to it.
+                let af = active[0];
+                let mut rem = changed;
+                while rem != 0 {
+                    let b = rem.trailing_zeros() as usize;
+                    rem &= rem - 1;
+                    let p = wi * 64 + b;
+                    let (mut cnt, mut e) = (self.wrong_count[p] as i64, self.err[p]);
+                    let was_diff = af.diff >> b & 1 == 1;
+                    cnt += if was_diff { -1 } else { 1 };
+                    if weighted {
+                        let approx_bit = (af.exact >> b & 1 == 1) ^ was_diff;
+                        e += if approx_bit { -af.weight } else { af.weight };
+                    }
+                    delta_sum += match self.kind {
+                        MetricKind::Er => {
+                            (cnt > 0) as i64 as f64 - (self.wrong_count[p] > 0) as i64 as f64
+                        }
+                        MetricKind::Med => e.abs() - self.err[p].abs(),
+                        MetricKind::Mse => e * e - self.err[p] * self.err[p],
+                    };
+                }
+                continue;
+            }
+            let mut rem = changed;
+            while rem != 0 {
+                let b = rem.trailing_zeros() as usize;
+                rem &= rem - 1;
+                let p = wi * 64 + b;
+                let (mut cnt, mut e) = (self.wrong_count[p] as i64, self.err[p]);
+                for af in active[..k].iter() {
+                    if af.m >> b & 1 == 1 {
+                        let was_diff = af.diff >> b & 1 == 1;
+                        cnt += if was_diff { -1 } else { 1 };
+                        if weighted {
+                            let approx_bit = (af.exact >> b & 1 == 1) ^ was_diff;
+                            e += if approx_bit { -af.weight } else { af.weight };
+                        }
+                    }
+                }
+                delta_sum += match self.kind {
+                    MetricKind::Er => {
+                        (cnt > 0) as i64 as f64 - (self.wrong_count[p] > 0) as i64 as f64
+                    }
+                    MetricKind::Med => e.abs() - self.err[p].abs(),
+                    MetricKind::Mse => e * e - self.err[p] * self.err[p],
+                };
+            }
+        }
+        (self.sum + delta_sum) / n
+    }
+}
+
+/// Size of the per-word compaction stack buffer shared by both
+/// `eval_flips_sparse` kernels; rows with more flips spill to one heap
+/// buffer per call.
+const STACK_FLIPS: usize = 128;
+
+/// One compacted per-word flip record of the chunked kernel: the masked
+/// flip word plus the diff/exact words and weight the per-bit loop needs,
+/// gathered once per word so the inner loop reads sequentially.
+#[derive(Copy, Clone)]
+struct ActiveFlip {
+    m: u64,
+    diff: u64,
+    exact: u64,
+    weight: f64,
+}
+
+impl ActiveFlip {
+    const ZERO: ActiveFlip = ActiveFlip { m: 0, diff: 0, exact: 0, weight: 0.0 };
 }
 
 #[cfg(test)]
@@ -452,6 +669,81 @@ mod tests {
             let a = s.eval_flips(&dense);
             let b = s.eval_flips_sparse(&d, &sparse);
             assert_eq!(a.to_bits(), b.to_bits(), "{kind}: {a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn eval_flips_sparse_chunked_is_bit_identical_to_scalar() {
+        let exact = vec![bits(vec![0b1100, 0, 0b1]), bits(vec![0b1010, 0, 0b10])];
+        let approx = [bits(vec![0b0110, 0, 0b11]), bits(vec![0b1010, 0, 0])];
+        for kind in MetricKind::ALL {
+            let s = ErrorState::new(kind, unsigned_weights(2), exact.clone(), &approx);
+            let d = bits(vec![0b0111, 0, 0b10]);
+            let rows = [(0u32, bits(vec![0b0101, 0, 0b11])), (1u32, bits(vec![0, 0, 0b10]))];
+            let sparse: Vec<SparseFlip<'_>> = rows
+                .iter()
+                .map(|(o, p)| SparseFlip { output: *o as usize, bits: p.as_bits_ref() })
+                .collect();
+            let a = s.eval_flips_sparse_scalar(&d, &sparse);
+            let b = s.eval_flips_sparse_chunked(&d, &sparse);
+            assert_eq!(a.to_bits(), b.to_bits(), "{kind}: {a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn more_than_stack_flips_spill_to_the_heap_and_stay_identical() {
+        // 130 outputs all flipping in the same word exceeds the 128-entry
+        // compaction stack buffer; both kernels must take the heap spill
+        // path and agree with the dense reference bit for bit.
+        const OUTPUTS: usize = 130;
+        let exact: Vec<PackedBits> = (0..OUTPUTS).map(|o| bits(vec![0b1 << (o % 4)])).collect();
+        let approx: Vec<PackedBits> = (0..OUTPUTS).map(|o| bits(vec![0b11 << (o % 3)])).collect();
+        let weights: Vec<f64> = (0..OUTPUTS).map(|o| 1.0 + (o % 7) as f64).collect();
+        let rows: Vec<(usize, PackedBits)> =
+            (0..OUTPUTS).map(|o| (o, bits(vec![0b1111 | 1 << (o % 8)]))).collect();
+        let d = bits(vec![0b1011_0111]);
+        for kind in MetricKind::ALL {
+            let s = ErrorState::new(kind, weights.clone(), exact.clone(), &approx);
+            let sparse: Vec<SparseFlip<'_>> = rows
+                .iter()
+                .map(|(o, p)| SparseFlip { output: *o, bits: p.as_bits_ref() })
+                .collect();
+            assert!(sparse.len() > 128, "test must exercise the spill path");
+            let dense: Vec<FlipVec> = rows
+                .iter()
+                .map(|(o, p)| FlipVec { output: *o, bits: d.and(p) })
+                .filter(|f| !f.bits.is_zero())
+                .collect();
+            let reference = s.eval_flips(&dense);
+            let scalar = s.eval_flips_sparse_scalar(&d, &sparse);
+            let chunked = s.eval_flips_sparse_chunked(&d, &sparse);
+            assert_eq!(reference.to_bits(), scalar.to_bits(), "{kind} scalar spill");
+            assert_eq!(reference.to_bits(), chunked.to_bits(), "{kind} chunked spill");
+        }
+    }
+
+    #[test]
+    fn tail_masked_state_ignores_garbage_lanes() {
+        // 68 logical patterns over 2 words; lanes 4..64 of word 1 carry
+        // garbage that must not reach any metric.
+        let garbage = !0u64 << 4;
+        for kind in MetricKind::ALL {
+            let exact = vec![bits(vec![0b1100, 0b01])];
+            let approx = [bits(vec![0b1100, 0b10 | garbage])];
+            let s = ErrorState::with_pattern_count(kind, unsigned_weights(1), exact, &approx, 68);
+            assert_eq!(s.num_patterns(), 68);
+            // patterns 64 and 65 are wrong (01 vs 10), nothing else
+            let expect = match kind {
+                MetricKind::Er => 2.0 / 68.0,
+                MetricKind::Med | MetricKind::Mse => 2.0 / 68.0,
+            };
+            assert!((s.error() - expect).abs() < 1e-12, "{kind}: {}", s.error());
+            // a change vector full of garbage lanes is masked in eval too
+            let d = bits(vec![0, garbage]);
+            let p = bits(vec![0, !0]);
+            let sparse = vec![SparseFlip { output: 0, bits: p.as_bits_ref() }];
+            assert_eq!(s.eval_flips_sparse_scalar(&d, &sparse).to_bits(), s.error().to_bits());
+            assert_eq!(s.eval_flips_sparse_chunked(&d, &sparse).to_bits(), s.error().to_bits());
         }
     }
 

@@ -83,7 +83,24 @@ pub fn sasimi_lacs(
     // Substitution sources: all live inputs and gates.
     let sources: Vec<NodeId> = aig.iter_live().filter(|&n| !aig.node(n).is_const0()).collect();
     let num_bits = sim.num_patterns();
+    // Garbage tail lanes (pattern counts not a multiple of 64) must not
+    // count as disagreements — unmasked, `num_bits - d` could underflow.
+    let tail = als_sim::tail_mask(num_bits);
     let max_dist = (cfg.max_distance_frac * num_bits as f64) as usize;
+    let masked_distance = |a: &als_sim::PackedBits, b: &als_sim::PackedBits| -> usize {
+        let (aw, bw) = (a.words(), b.words());
+        aw.iter()
+            .zip(bw)
+            .enumerate()
+            .map(|(i, (&x, &y))| {
+                let mut w = x ^ y;
+                if i + 1 == aw.len() {
+                    w &= tail;
+                }
+                w.count_ones() as usize
+            })
+            .sum()
+    };
 
     let mut out = Vec::new();
     for &t in &target_list {
@@ -99,7 +116,7 @@ pub fn sasimi_lacs(
             if s == t || in_tfo[s.index()] {
                 continue;
             }
-            let d = tv.hamming_distance(sim.value(s));
+            let d = masked_distance(tv, sim.value(s));
             let (dist, lit) =
                 if d <= num_bits - d { (d, s.lit()) } else { (num_bits - d, !s.lit()) };
             if dist > max_dist {

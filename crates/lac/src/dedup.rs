@@ -1,0 +1,142 @@
+//! Structural deduplication of LAC candidates.
+//!
+//! Two candidates are *functionally identical for error estimation* when
+//! they produce the same change vector `D` at targets whose CPM rows are
+//! equal: the estimated error after applying either candidate is then the
+//! same number, so only one of them — the **representative** — needs to go
+//! through the (expensive) batch evaluation. The others inherit its result.
+//!
+//! This module is deliberately generic: the engine supplies a hash key per
+//! candidate (built from `D` and the target's CPM row fingerprint via
+//! `als_cuts::strash`) and an *exact* equality check used to confirm that
+//! two candidates with equal keys really coincide. Hash collisions therefore
+//! cost a verification, never a wrong merge.
+
+use std::collections::HashMap;
+
+/// Class index meaning "not deduplicated": the candidate had no key (e.g.
+/// its target carries no CPM row) and must be handled individually.
+pub const NO_CLASS: u32 = u32::MAX;
+
+/// The outcome of partitioning a candidate list into functional classes.
+#[derive(Clone, Debug)]
+pub struct DedupClasses {
+    /// Per candidate: its class index, or [`NO_CLASS`] if unkeyed.
+    class_of: Vec<u32>,
+    /// Per class: the index of the first candidate seen in it — the
+    /// representative that gets evaluated.
+    reps: Vec<usize>,
+    /// Number of keyed candidates (those with `Some` key).
+    keyed: usize,
+}
+
+impl DedupClasses {
+    /// Partitions `n` candidates into functional classes.
+    ///
+    /// `key_of(i)` returns the candidate's structural key, or `None` to
+    /// leave it out of deduplication. `same(rep, i)` must decide *exactly*
+    /// whether candidate `i` is functionally identical to the class
+    /// representative `rep`; it is only called for pairs with equal keys,
+    /// so a hash collision degrades into an extra comparison, not a merge.
+    ///
+    /// Representatives are always the first candidate of their class in
+    /// list order, so evaluating `reps()` in order and broadcasting
+    /// preserves the non-deduplicated result order.
+    pub fn build<K, S>(n: usize, mut key_of: K, mut same: S) -> DedupClasses
+    where
+        K: FnMut(usize) -> Option<(u64, u64)>,
+        S: FnMut(usize, usize) -> bool,
+    {
+        let mut class_of = vec![NO_CLASS; n];
+        let mut reps: Vec<usize> = Vec::new();
+        let mut keyed = 0usize;
+        // Key → classes sharing that key (more than one only on collision).
+        let mut by_key: HashMap<(u64, u64), Vec<u32>> = HashMap::new();
+        for (i, slot) in class_of.iter_mut().enumerate() {
+            let Some(key) = key_of(i) else { continue };
+            keyed += 1;
+            let classes = by_key.entry(key).or_default();
+            match classes.iter().find(|&&c| same(reps[c as usize], i)) {
+                Some(&c) => *slot = c,
+                None => {
+                    let c = reps.len() as u32;
+                    reps.push(i);
+                    classes.push(c);
+                    *slot = c;
+                }
+            }
+        }
+        DedupClasses { class_of, reps, keyed }
+    }
+
+    /// Per-class representative candidate indices, in first-seen order.
+    pub fn reps(&self) -> &[usize] {
+        &self.reps
+    }
+
+    /// The class of candidate `i`, or `None` if it was unkeyed.
+    pub fn class_of(&self, i: usize) -> Option<usize> {
+        match self.class_of[i] {
+            NO_CLASS => None,
+            c => Some(c as usize),
+        }
+    }
+
+    /// Number of functional classes.
+    pub fn num_classes(&self) -> usize {
+        self.reps.len()
+    }
+
+    /// Number of keyed candidates that shared a class with an earlier one —
+    /// i.e. evaluations saved by deduplication.
+    pub fn hits(&self) -> usize {
+        self.keyed - self.reps.len()
+    }
+
+    /// Number of candidates that carried a key at all.
+    pub fn keyed(&self) -> usize {
+        self.keyed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_keys_merge_after_exact_verification() {
+        // Candidates 0,2,4 share key (1,1); 1,3 share (2,2); 5 unkeyed.
+        let keys = [Some((1, 1)), Some((2, 2)), Some((1, 1)), Some((2, 2)), Some((1, 1)), None];
+        let classes = DedupClasses::build(6, |i| keys[i], |_, _| true);
+        assert_eq!(classes.reps(), &[0, 1]);
+        assert_eq!(classes.class_of(0), Some(0));
+        assert_eq!(classes.class_of(2), Some(0));
+        assert_eq!(classes.class_of(4), Some(0));
+        assert_eq!(classes.class_of(1), Some(1));
+        assert_eq!(classes.class_of(3), Some(1));
+        assert_eq!(classes.class_of(5), None);
+        assert_eq!(classes.num_classes(), 2);
+        assert_eq!(classes.hits(), 3);
+        assert_eq!(classes.keyed(), 5);
+    }
+
+    #[test]
+    fn hash_collisions_split_into_distinct_classes() {
+        // All five share one key, but `same` only accepts equal parity, so
+        // the collision is caught and two classes emerge.
+        let classes = DedupClasses::build(5, |_| Some((7, 7)), |rep, i| rep % 2 == i % 2);
+        assert_eq!(classes.reps(), &[0, 1]);
+        assert_eq!(classes.class_of(2), Some(0));
+        assert_eq!(classes.class_of(3), Some(1));
+        assert_eq!(classes.class_of(4), Some(0));
+        assert_eq!(classes.hits(), 3);
+    }
+
+    #[test]
+    fn representative_is_always_first_in_list_order() {
+        let classes = DedupClasses::build(4, |i| Some((i as u64 % 2, 0)), |_, _| true);
+        assert_eq!(classes.reps(), &[0, 1]);
+        assert_eq!(classes.class_of(2), Some(0));
+        assert_eq!(classes.class_of(3), Some(1));
+    }
+}

@@ -86,8 +86,20 @@ impl Lac {
     }
 
     /// Number of patterns on which the LAC changes the target's value.
+    /// Tail lanes beyond the simulator's logical pattern count are masked
+    /// out (word operations leave garbage there by design).
     pub fn change_count(&self, sim: &Simulator) -> usize {
-        self.change_vector(sim).count_ones()
+        let d = self.change_vector(sim);
+        let tail = als_sim::tail_mask(sim.num_patterns());
+        let words = d.words();
+        words
+            .iter()
+            .enumerate()
+            .map(|(i, &w)| {
+                let w = if i + 1 == words.len() { w & tail } else { w };
+                w.count_ones() as usize
+            })
+            .sum()
     }
 
     /// Applies the LAC to the graph.

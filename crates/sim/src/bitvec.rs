@@ -6,8 +6,11 @@ use std::fmt;
 /// per `u64` word.
 ///
 /// All vectors participating in an operation must have the same word count;
-/// this is asserted. Pattern counts are always a multiple of 64 — callers
-/// choose the number of *words*, not bits.
+/// this is asserted. The vector itself always spans whole words; when the
+/// logical pattern count is not a multiple of 64, the unused tail lanes of
+/// the last word are masked at the [`crate::PatternSet`] boundary (inputs)
+/// and in the error state (accumulation) — word-level ops here, notably
+/// [`PackedBits::not_assign`], are free to fill tail lanes with garbage.
 #[derive(Clone, PartialEq, Eq, Hash)]
 pub struct PackedBits {
     words: Vec<u64>,
@@ -83,32 +86,25 @@ impl PackedBits {
     /// `self ^= other`.
     pub fn xor_assign(&mut self, other: &PackedBits) {
         assert_eq!(self.words.len(), other.words.len());
-        for (a, b) in self.words.iter_mut().zip(&other.words) {
-            *a ^= b;
-        }
+        crate::kernel::xor_assign(&mut self.words, &other.words);
     }
 
     /// `self &= other`.
     pub fn and_assign(&mut self, other: &PackedBits) {
         assert_eq!(self.words.len(), other.words.len());
-        for (a, b) in self.words.iter_mut().zip(&other.words) {
-            *a &= b;
-        }
+        crate::kernel::and_assign(&mut self.words, &other.words);
     }
 
     /// `self |= other`.
     pub fn or_assign(&mut self, other: &PackedBits) {
         assert_eq!(self.words.len(), other.words.len());
-        for (a, b) in self.words.iter_mut().zip(&other.words) {
-            *a |= b;
-        }
+        crate::kernel::or_assign(&mut self.words, &other.words);
     }
 
-    /// Flips every bit in place.
+    /// Flips every bit in place (including tail lanes beyond a logical
+    /// pattern count — consumers mask at their accumulation boundary).
     pub fn not_assign(&mut self) {
-        for w in &mut self.words {
-            *w = !*w;
-        }
+        crate::kernel::not_assign(&mut self.words);
     }
 
     /// Returns `self & other` as a new vector.

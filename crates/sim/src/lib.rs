@@ -11,12 +11,17 @@
 //!   the zero-copy currency between the CPM arena and the error kernels,
 //! * [`PatternSet`] — input stimuli (uniform random or exhaustive),
 //! * [`Simulator`] — node values for a whole AIG with full and incremental
-//!   (cone-restricted) resimulation.
+//!   (cone-restricted) resimulation,
+//! * [`kernel`] — the fixed-width chunked word kernels every bitwise hot
+//!   loop funnels through, with an `ALS_SIMD` runtime toggle between the
+//!   scalar reference path and the vectorized path (always bit-identical).
 
 pub mod bitvec;
+pub mod kernel;
 pub mod patterns;
 pub mod simulator;
 
 pub use bitvec::{BitsRef, PackedBits};
+pub use kernel::tail_mask;
 pub use patterns::PatternSet;
 pub use simulator::Simulator;

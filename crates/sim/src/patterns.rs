@@ -41,6 +41,7 @@ fn biased_word(rng: &mut StdRng, threshold: u64) -> u64 {
 pub struct PatternSet {
     inputs: Vec<PackedBits>,
     num_words: usize,
+    num_patterns: usize,
 }
 
 impl PatternSet {
@@ -51,7 +52,7 @@ impl PatternSet {
         let inputs = (0..num_inputs)
             .map(|_| PackedBits::from_words((0..num_words).map(|_| rng.next_u64()).collect()))
             .collect();
-        PatternSet { inputs, num_words }
+        PatternSet { inputs, num_words, num_patterns: num_words * 64 }
     }
 
     /// Independent biased random patterns: every input bit is 1 with
@@ -81,7 +82,7 @@ impl PatternSet {
                 PackedBits::from_words(words)
             })
             .collect();
-        PatternSet { inputs, num_words }
+        PatternSet { inputs, num_words, num_patterns: num_words * 64 }
     }
 
     /// All `2^num_inputs` patterns.
@@ -123,7 +124,7 @@ impl PatternSet {
                 v
             })
             .collect();
-        PatternSet { inputs, num_words }
+        PatternSet { inputs, num_words, num_patterns: num_words * 64 }
     }
 
     /// Builds a pattern set from explicit per-input bit vectors.
@@ -133,7 +134,34 @@ impl PatternSet {
     pub fn from_vectors(inputs: Vec<PackedBits>) -> PatternSet {
         let num_words = inputs.first().map_or(0, PackedBits::num_words);
         assert!(inputs.iter().all(|v| v.num_words() == num_words));
-        PatternSet { inputs, num_words }
+        PatternSet { inputs, num_words, num_patterns: num_words * 64 }
+    }
+
+    /// Restricts the set to a logical pattern count that need not be a
+    /// multiple of 64, zeroing the unused tail lanes of every input's last
+    /// word. This is the masking boundary: downstream word kernels may
+    /// fill tail lanes with garbage (complemented edges set them), but the
+    /// error state re-masks at accumulation, so stimuli starting clean here
+    /// keep every metric exact for the logical count.
+    ///
+    /// # Panics
+    /// Panics unless `num_patterns` lands in the last word, i.e.
+    /// `num_words() * 64 - 63 <= num_patterns <= num_words() * 64`.
+    pub fn with_pattern_count(mut self, num_patterns: usize) -> PatternSet {
+        assert!(
+            num_patterns <= self.num_words * 64
+                && (self.num_words == 0 || num_patterns > (self.num_words - 1) * 64),
+            "pattern count {num_patterns} does not fit {} words",
+            self.num_words
+        );
+        self.num_patterns = num_patterns;
+        let mask = crate::kernel::tail_mask(num_patterns);
+        for v in &mut self.inputs {
+            if let Some(last) = v.words_mut().last_mut() {
+                *last &= mask;
+            }
+        }
+        self
     }
 
     /// Number of primary inputs covered.
@@ -146,9 +174,10 @@ impl PatternSet {
         self.num_words
     }
 
-    /// Number of patterns.
+    /// Number of patterns (the logical count — less than `num_words * 64`
+    /// after [`PatternSet::with_pattern_count`]).
     pub fn num_patterns(&self) -> usize {
-        self.num_words * 64
+        self.num_patterns
     }
 
     /// The stimulus vector for input `i`.
@@ -271,6 +300,24 @@ mod tests {
         assert_eq!(PatternSet::exhaustive(6).num_patterns(), 64);
         // the high edge must match the documented 6..=20 range
         assert_eq!(PatternSet::exhaustive(20).num_patterns(), 1 << 20);
+    }
+
+    #[test]
+    fn with_pattern_count_masks_input_tails() {
+        let p = PatternSet::from_vectors(vec![PackedBits::ones(2)]).with_pattern_count(100);
+        assert_eq!(p.num_patterns(), 100);
+        assert_eq!(p.num_words(), 2);
+        assert_eq!(p.input(0).words()[0], !0);
+        assert_eq!(p.input(0).words()[1], (1u64 << 36) - 1);
+        // multiples of 64 keep every lane
+        let q = PatternSet::from_vectors(vec![PackedBits::ones(2)]).with_pattern_count(128);
+        assert_eq!(q.input(0).count_ones(), 128);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not fit")]
+    fn with_pattern_count_rejects_counts_outside_the_last_word() {
+        let _ = PatternSet::from_vectors(vec![PackedBits::ones(2)]).with_pattern_count(64);
     }
 
     #[test]

@@ -15,6 +15,7 @@ use crate::patterns::PatternSet;
 #[derive(Clone, Debug)]
 pub struct Simulator {
     num_words: usize,
+    num_patterns: usize,
     values: Vec<PackedBits>,
 }
 
@@ -51,7 +52,7 @@ impl Simulator {
         for (i, &pi) in aig.inputs().iter().enumerate() {
             values[pi.index()] = patterns.input(i).clone();
         }
-        let mut sim = Simulator { num_words, values };
+        let mut sim = Simulator { num_words, num_patterns: patterns.num_patterns(), values };
         let order = als_aig::topo::topo_order(aig);
         sim.eval_in_waves(aig, &order, pool);
         sim
@@ -62,9 +63,10 @@ impl Simulator {
         self.num_words
     }
 
-    /// Number of simulated patterns.
+    /// Number of simulated patterns (the pattern set's logical count,
+    /// which may be less than `num_words() * 64`).
     pub fn num_patterns(&self) -> usize {
-        self.num_words * 64
+        self.num_patterns
     }
 
     /// Value vector of node `id` (positive polarity).
@@ -106,15 +108,22 @@ impl Simulator {
         let node = aig.node(id);
         let (f0, f1) = (node.fanin0(), node.fanin1());
         let (i0, i1, ii) = (f0.node().index(), f1.node().index(), id.index());
-        let (c0, c1) = (f0.is_complement(), f1.is_complement());
-        // split_at_mut-free triple access via raw indices
-        for w in 0..self.num_words {
-            let a = self.values[i0].words()[w];
-            let b = self.values[i1].words()[w];
-            let a = if c0 { !a } else { a };
-            let b = if c1 { !b } else { b };
-            self.values[ii].words_mut()[w] = a & b;
-        }
+        let (m0, m1) = (
+            if f0.is_complement() { !0u64 } else { 0 },
+            if f1.is_complement() { !0u64 } else { 0 },
+        );
+        // A node is never its own fanin (acyclicity), so the destination
+        // buffer can be moved out while the fanin values stay borrowed;
+        // the swap is pointer-sized, no words are copied.
+        let mut dst = std::mem::replace(&mut self.values[ii], PackedBits::zeros(0));
+        crate::kernel::and2_masked(
+            dst.words_mut(),
+            self.values[i0].words(),
+            self.values[i1].words(),
+            m0,
+            m1,
+        );
+        self.values[ii] = dst;
     }
 
     /// The value an AND gate takes under the current `values`, computed
@@ -130,9 +139,7 @@ impl Simulator {
             if f1.is_complement() { !0u64 } else { 0 },
         );
         let mut out = PackedBits::zeros(num_words);
-        for (w, slot) in out.words_mut().iter_mut().enumerate() {
-            *slot = (a.words()[w] ^ m0) & (b.words()[w] ^ m1);
-        }
+        crate::kernel::and2_masked(out.words_mut(), a.words(), b.words(), m0, m1);
         out
     }
 

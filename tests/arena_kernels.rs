@@ -8,8 +8,14 @@
 //!   annihilated entries at write time),
 //! * `eval_flips_sparse` over borrowed arena slices vs. materialising the
 //!   flip vectors and calling `eval_flips` — exact `f64` bit equality,
+//! * the chunked (auto-vectorised/AVX2) sparse kernel vs. the scalar one,
+//!   bit-identical for every metric, and the `ALS_SIMD` dispatcher agrees
+//!   with both,
 //! * batch LAC evaluation through the engine vs. a dense re-evaluation of
-//!   every candidate, serial and parallel.
+//!   every candidate, serial and parallel,
+//! * structural dedup inside `evaluate_lacs` is invisible: duplicated
+//!   candidate lists return per-candidate results bit-identical to the
+//!   brute-force evaluation.
 
 use proptest::prelude::*;
 
@@ -189,6 +195,40 @@ proptest! {
     }
 
     #[test]
+    fn chunked_sparse_eval_is_bit_identical_to_scalar(
+        (ni, ops, no) in arb_ops(),
+        perturb in any::<u16>(),
+    ) {
+        let aig = build_circuit(ni, &ops, no);
+        let patterns = PatternSet::random(aig.num_inputs(), 4, 34);
+        let sim = Simulator::new(&aig, &patterns);
+        let cuts = CutState::compute(&aig);
+        let cpm = dualphase_als::cpm::compute_full(&aig, &sim, &cuts).unwrap();
+        for kind in [MetricKind::Er, MetricKind::Med, MetricKind::Mse] {
+            let Some(state) = perturbed_state(&aig, &sim, &patterns, kind, perturb) else {
+                return Ok(());
+            };
+            for lac in constant_lacs(&aig, None) {
+                let Some(row) = cpm.row(lac.target) else { continue };
+                let d = lac.change_vector(&sim);
+                let sparse: Vec<SparseFlip<'_>> = row
+                    .iter()
+                    .map(|(o, bits)| SparseFlip { output: o as usize, bits })
+                    .collect();
+                let scalar = state.eval_flips_sparse_scalar(&d, &sparse);
+                let chunked = state.eval_flips_sparse_chunked(&d, &sparse);
+                prop_assert_eq!(
+                    scalar.to_bits(), chunked.to_bits(),
+                    "{} {:?}: scalar {} vs chunked {}", kind, lac, scalar, chunked
+                );
+                // the env-selected dispatcher must agree with both
+                let dispatched = state.eval_flips_sparse(&d, &sparse);
+                prop_assert_eq!(dispatched.to_bits(), scalar.to_bits());
+            }
+        }
+    }
+
+    #[test]
     fn batch_lac_evaluation_matches_dense_reference((ni, ops, no) in arb_ops()) {
         use dualphase_als::engine::{Ctx, FlowConfig};
         let aig = build_circuit(ni, &ops, no);
@@ -231,6 +271,63 @@ proptest! {
             prop_assert_eq!(x.lac, y.lac);
             prop_assert_eq!(x.error_after.to_bits(), y.error_after.to_bits());
             prop_assert_eq!(x.saving, y.saving);
+        }
+    }
+
+    /// Structural dedup inside `evaluate_lacs` must be invisible: a
+    /// candidate list with literal duplicates (every LAC listed twice)
+    /// yields one result per *input* candidate, each bit-identical to the
+    /// brute-force per-candidate dense evaluation, with duplicate entries
+    /// agreeing exactly.
+    #[test]
+    fn deduplicated_batch_matches_per_candidate_reference((ni, ops, no) in arb_ops()) {
+        use dualphase_als::engine::{Ctx, FlowConfig};
+        let aig = build_circuit(ni, &ops, no);
+        if aig.iter_ands().next().is_none() {
+            return Ok(());
+        }
+        let base = constant_lacs(&aig, None);
+        // Interleave duplicates so representatives and their copies are
+        // not adjacent in class order.
+        let mut lacs: Vec<Lac> = base.clone();
+        lacs.extend(base.iter().copied());
+        for threads in THREAD_COUNTS {
+            let cfg = FlowConfig::new(MetricKind::Med, 1.0)
+                .with_patterns(256)
+                .with_threads(threads);
+            let mut ctx = Ctx::new(&aig, &cfg);
+            let cuts = CutState::compute(&ctx.aig);
+            let cpm = dualphase_als::cpm::compute_full(&ctx.aig, &ctx.sim, &cuts).unwrap();
+            let evals = ctx.evaluate_lacs(&cpm, &lacs).unwrap();
+            // one result per input candidate, in input order
+            prop_assert_eq!(evals.len(), lacs.len());
+            for (e, lac) in evals.iter().zip(&lacs) {
+                prop_assert_eq!(&e.lac, lac);
+            }
+            // each result bit-identical to the brute-force dense eval
+            for e in &evals {
+                let row = cpm.row(e.lac.target).unwrap();
+                let d = e.lac.change_vector(&ctx.sim);
+                let dense: Vec<FlipVec> = row
+                    .iter()
+                    .filter_map(|(o, p)| {
+                        let bits = p.and(&d);
+                        (!bits.is_zero()).then_some(FlipVec { output: o as usize, bits })
+                    })
+                    .collect();
+                let reference = ctx.state.eval_flips(&dense);
+                prop_assert_eq!(
+                    reference.to_bits(), e.error_after.to_bits(),
+                    "{:?} at {} threads", e.lac, threads
+                );
+            }
+            // duplicate entries agree exactly (error AND saving)
+            let half = base.len();
+            for (x, y) in evals[..half].iter().zip(&evals[half..]) {
+                prop_assert_eq!(x.lac, y.lac);
+                prop_assert_eq!(x.error_after.to_bits(), y.error_after.to_bits());
+                prop_assert_eq!(x.saving, y.saving);
+            }
         }
     }
 }

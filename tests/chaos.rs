@@ -87,9 +87,16 @@ fn corruption_surviving_fresh_analysis_is_a_typed_error() {
 fn journal_write_failure_is_a_typed_error_and_the_journal_stays_resumable() {
     let aig = mult(3, 3);
     let path = tmp("appendfail");
+    let clean_path = tmp("appendfail-clean");
 
-    // Fail the 3rd append (0-based index 2): the on-disk journal keeps
-    // the state of the 2nd — a clean record-boundary prefix.
+    // Reference: the same run journaled without faults.
+    let clean = DualPhaseFlow::new(cfg().with_journal(&clean_path)).run(&aig).unwrap();
+    let clean_journal = journal::load(&clean_path).unwrap();
+
+    // Fail the 3rd persist (0-based index 2). Under group commit the
+    // persists are the per-iteration checkpoint appends plus the final
+    // flush, so the on-disk journal keeps the image of the 2nd persist —
+    // a clean record-boundary prefix of the uninterrupted journal.
     let plan = FaultPlan::new().fail_journal_append(2);
     let err = DualPhaseFlow::new(cfg().with_journal(&path).with_faults(plan.clone()))
         .run(&aig)
@@ -99,16 +106,70 @@ fn journal_write_failure_is_a_typed_error_and_the_journal_stays_resumable() {
 
     let loaded = journal::load(&path).unwrap();
     assert!(!loaded.torn_tail, "injected failure must never tear the journal");
-    assert_eq!(loaded.records.len(), 2, "the failed append must not reach the disk");
+    assert!(
+        !loaded.records.is_empty() && loaded.records.len() < clean_journal.records.len(),
+        "expected a proper nonempty prefix, got {} of {} records",
+        loaded.records.len(),
+        clean_journal.records.len()
+    );
+    // Commit records carry wall-clock step times; mask them before
+    // comparing the two runs' records.
+    let untimed = |r: &journal::Record| match r {
+        journal::Record::Commit(c) => {
+            let mut c = c.clone();
+            c.step_nanos = [0; 4];
+            journal::Record::Commit(c)
+        }
+        cp => cp.clone(),
+    };
+    for (i, (got, want)) in loaded.records.iter().zip(&clean_journal.records).enumerate() {
+        assert_eq!(
+            untimed(got),
+            untimed(want),
+            "record {i}: the surviving journal must be a prefix of the uninterrupted one"
+        );
+    }
 
     // Resuming from the aborted journal finishes the run exactly.
+    let resumed = DualPhaseFlow::new(cfg().with_resume(&path)).run(&aig).unwrap();
+    assert_eq!(resumed.final_error.to_bits(), clean.final_error.to_bits());
+    assert_eq!(
+        dualphase_als::aig::io::to_ascii_string(&resumed.circuit),
+        dualphase_als::aig::io::to_ascii_string(&clean.circuit),
+        "resume after an I/O fault diverged"
+    );
+    std::fs::remove_file(&path).ok();
+    std::fs::remove_file(&clean_path).ok();
+}
+
+#[test]
+fn journal_dir_sync_failure_is_a_typed_error_and_the_journal_stays_resumable() {
+    let aig = mult(3, 3);
+    let path = tmp("dirsyncfail");
+
+    // Fail the parent-directory fsync of the 2nd persist (0-based index
+    // 1): the rename already landed, so unlike an append failure the new
+    // image IS on disk — the writer must still surface the error (the
+    // directory entry is not durable) and leave a loadable journal.
+    let plan = FaultPlan::new().fail_journal_dir_sync(1);
+    let err = DualPhaseFlow::new(cfg().with_journal(&path).with_faults(plan.clone()))
+        .run(&aig)
+        .unwrap_err();
+    assert!(matches!(err, EngineError::Io { .. }), "wanted Io, got: {err}");
+    assert_eq!(plan.dir_sync_failures_fired(), 1);
+
+    let loaded = journal::load(&path).unwrap();
+    assert!(!loaded.torn_tail, "a dir-sync failure must never tear the journal");
+    assert!(!loaded.records.is_empty());
+
+    // Resuming from the journal finishes the run exactly.
     let resumed = DualPhaseFlow::new(cfg().with_resume(&path)).run(&aig).unwrap();
     let clean = DualPhaseFlow::new(cfg()).run(&aig).unwrap();
     assert_eq!(resumed.final_error.to_bits(), clean.final_error.to_bits());
     assert_eq!(
         dualphase_als::aig::io::to_ascii_string(&resumed.circuit),
         dualphase_als::aig::io::to_ascii_string(&clean.circuit),
-        "resume after an I/O fault diverged"
+        "resume after a dir-sync fault diverged"
     );
     std::fs::remove_file(&path).ok();
 }

@@ -4,11 +4,13 @@
 //!
 //! Two interruption mechanisms are exercised:
 //!
-//! * **In-process:** every append persists the whole journal image
-//!   atomically, so the set of possible on-disk states of a killed run is
-//!   exactly the set of record-boundary prefixes. The prefix tests
-//!   reconstruct each such state from a completed journal and resume from
-//!   it — covering a kill at *every* iteration, not one lucky point.
+//! * **In-process:** every persist writes the whole journal image
+//!   atomically, so the on-disk state of a killed run is always a
+//!   record-boundary prefix (under group commit, the prefix as of the
+//!   last checkpoint append or flush). The prefix tests reconstruct
+//!   *every* record-boundary prefix from a completed journal and resume
+//!   from it — a superset of the reachable crash states, covering a kill
+//!   at every iteration, not one lucky point.
 //! * **Subprocess:** the `ALS_CRASH_AFTER_COMMITS` hook makes a real
 //!   `als synth --journal` process `abort()` right after persisting the
 //!   N-th commit; the test then resumes with `als synth --resume` and
