@@ -11,6 +11,7 @@ use crate::error::EngineError;
 use crate::flow::Flow;
 use crate::guard::BudgetGuard;
 use crate::report::{FlowResult, IterationRecord, Phase};
+use crate::supervisor::{self, RunGovernor, StopReason};
 
 /// AccALS accelerates the iterative flow by applying *multiple* LACs per
 /// comprehensive analysis. After one full analysis, up to `multi_k`
@@ -60,8 +61,14 @@ impl Flow for AccAlsFlow {
         let mut iterations = Vec::new();
         let mut first_ranking = Vec::new();
         let mut analyses = 0usize;
+        let gov = RunGovernor::new(&cfg.supervise);
+        let mut tripped: Option<StopReason> = None;
 
-        while iterations.len() < cfg.max_lacs {
+        'analysis: while iterations.len() < cfg.max_lacs {
+            if let Some(reason) = gov.check(iterations.len()) {
+                tripped = Some(reason);
+                break 'analysis;
+            }
             let _iter_span = ctx.obs().span("iteration");
             let _phase_span = ctx.obs().span("phase1");
             // Comprehensive analysis.
@@ -77,6 +84,10 @@ impl Flow for AccAlsFlow {
             let span = ctx.obs().span("eval");
             let lacs = als_lac::generate(&ctx.aig, &ctx.sim, &cfg.lac, None);
             ctx.times.eval += span.finish();
+            if let Some(reason) = gov.check(iterations.len()) {
+                tripped = Some(reason);
+                break 'analysis;
+            }
             let mut evals = ctx.evaluate_lacs(&cpm, &lacs)?;
             analyses += 1;
             if first_ranking.is_empty() {
@@ -118,6 +129,10 @@ impl Flow for AccAlsFlow {
             // Apply the batch with exact revalidation.
             let mut applied_any = false;
             for (i, e) in chosen.iter().enumerate() {
+                if let Some(reason) = gov.check(iterations.len()) {
+                    tripped = Some(reason);
+                    break 'analysis;
+                }
                 if !ctx.aig.is_live(e.lac.target) || !ctx.aig.node(e.lac.target).is_and() {
                     continue;
                 }
@@ -157,6 +172,11 @@ impl Flow for AccAlsFlow {
             }
         }
 
+        let stop = match tripped {
+            Some(reason) => reason,
+            None => supervisor::natural_stop(iterations.len(), cfg.max_lacs),
+        };
+        ctx.metrics.note_stop(&stop, gov.elapsed());
         Ok(FlowResult {
             flow: self.name().to_string(),
             final_error: guard.final_error(&ctx),
@@ -170,6 +190,7 @@ impl Flow for AccAlsFlow {
             comprehensive_time: ctx.elapsed(),
             incremental_time: std::time::Duration::ZERO,
             guard: guard.stats(),
+            stop,
             circuit: ctx.aig,
         })
     }

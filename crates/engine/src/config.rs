@@ -60,11 +60,6 @@ pub struct GuardConfig {
     /// Live nodes spot-checked against ground truth after each
     /// incremental phase-two round (0 disables the check).
     pub spot_check: usize,
-    /// Test hook: corrupt the incremental cut state after this many
-    /// phase-two rounds, to exercise the comprehensive fallback. Never set
-    /// outside tests.
-    #[doc(hidden)]
-    pub corrupt_after_round: Option<usize>,
 }
 
 impl Default for GuardConfig {
@@ -76,7 +71,6 @@ impl Default for GuardConfig {
             max_retries: 8,
             max_resamples: 3,
             spot_check: 8,
-            corrupt_after_round: None,
         }
     }
 }
@@ -151,6 +145,12 @@ pub struct FlowConfig {
     /// pool) reports into. Disabled by default; a disabled handle makes
     /// every instrumentation point an inlined no-op.
     pub obs: Obs,
+    /// Supervision limits: wall-clock deadline, iteration budget and the
+    /// external cancellation token. Like `threads`, these never affect
+    /// the result bytes of the work that does run — they only decide when
+    /// it stops — so they are excluded from journal fingerprints and a
+    /// preempted run may be resumed under different (or no) limits.
+    pub supervise: crate::supervisor::SuperviseConfig,
     /// Deterministic fault-injection plan exercised by the chaos test
     /// suite. Compiled in only with the `fault-inject` feature; the
     /// default plan injects nothing.
@@ -196,6 +196,7 @@ impl FlowConfig {
             guard: GuardConfig::default(),
             journal: None,
             obs: Obs::disabled(),
+            supervise: crate::supervisor::SuperviseConfig::default(),
             #[cfg(feature = "fault-inject")]
             faults: crate::faultplan::FaultPlan::default(),
         }
@@ -304,6 +305,29 @@ impl FlowConfig {
         self
     }
 
+    /// Imposes a wall-clock deadline on the run: once it passes, the flow
+    /// stops at the next supervision check and reports the best-so-far
+    /// circuit with [`StopReason::Deadline`](crate::StopReason::Deadline).
+    pub fn with_timeout(mut self, deadline: std::time::Duration) -> FlowConfig {
+        self.supervise.deadline = Some(deadline);
+        self
+    }
+
+    /// Caps the number of applied LACs as a supervision budget (unlike
+    /// `max_lacs`, excluded from journal fingerprints: a budgeted run can
+    /// be resumed without the cap).
+    pub fn with_max_iters(mut self, max_iters: usize) -> FlowConfig {
+        self.supervise.max_iters = Some(max_iters);
+        self
+    }
+
+    /// Installs an external cancellation token; cancelling it stops the
+    /// run gracefully at the next supervision check.
+    pub fn with_cancel_token(mut self, token: crate::supervisor::CancelToken) -> FlowConfig {
+        self.supervise.cancel = token;
+        self
+    }
+
     /// Number of 64-bit pattern words.
     pub fn pattern_words(&self) -> usize {
         self.num_patterns.div_ceil(64)
@@ -329,6 +353,12 @@ impl FlowConfig {
         }
         if !self.error_bound.is_finite() || self.error_bound < 0.0 {
             return Err(ConfigError::BadErrorBound(self.error_bound));
+        }
+        if self.supervise.deadline == Some(std::time::Duration::ZERO) {
+            return Err(ConfigError::ZeroTimeout);
+        }
+        if self.supervise.max_iters == Some(0) {
+            return Err(ConfigError::ZeroIterLimit);
         }
         Ok(())
     }
@@ -358,6 +388,12 @@ pub enum ConfigError {
     BiasOutOfRange(f64),
     /// The error bound is negative, infinite or NaN.
     BadErrorBound(f64),
+    /// A wall-clock deadline of zero — the run could never start. Omit
+    /// the deadline instead to run unlimited.
+    ZeroTimeout,
+    /// A supervision iteration budget of zero — the run could never apply
+    /// a LAC. Omit the budget instead to run unlimited.
+    ZeroIterLimit,
 }
 
 impl fmt::Display for ConfigError {
@@ -377,6 +413,12 @@ impl fmt::Display for ConfigError {
             }
             ConfigError::BadErrorBound(b) => {
                 write!(f, "error bound {b} must be finite and non-negative")
+            }
+            ConfigError::ZeroTimeout => {
+                write!(f, "a --timeout of zero would stop the run before it starts")
+            }
+            ConfigError::ZeroIterLimit => {
+                write!(f, "a --max-iters of zero would stop the run before it starts")
             }
         }
     }
@@ -442,6 +484,46 @@ impl FlowConfigBuilder {
     /// Journals every committed iteration to `path`.
     pub fn journal(mut self, path: impl Into<std::path::PathBuf>) -> FlowConfigBuilder {
         self.cfg.journal = Some(JournalConfig { path: path.into(), resume: false });
+        self
+    }
+
+    /// Resumes a run from the journal at `path` and keeps journaling to
+    /// it.
+    pub fn resume(mut self, path: impl Into<std::path::PathBuf>) -> FlowConfigBuilder {
+        self.cfg.journal = Some(JournalConfig { path: path.into(), resume: true });
+        self
+    }
+
+    /// Enables strict mode: every commit is re-validated on an
+    /// independent, larger pattern set.
+    pub fn strict(mut self) -> FlowConfigBuilder {
+        self.cfg.guard.strict = true;
+        self
+    }
+
+    /// Sets how many rejected candidates a selection may roll back before
+    /// the iteration gives up.
+    pub fn max_retries(mut self, retries: usize) -> FlowConfigBuilder {
+        self.cfg.guard.max_retries = retries;
+        self
+    }
+
+    /// Imposes a wall-clock deadline (`build` rejects a zero deadline).
+    pub fn timeout(mut self, deadline: std::time::Duration) -> FlowConfigBuilder {
+        self.cfg.supervise.deadline = Some(deadline);
+        self
+    }
+
+    /// Caps the number of applied LACs as a supervision budget (`build`
+    /// rejects a zero budget).
+    pub fn max_iters(mut self, max_iters: usize) -> FlowConfigBuilder {
+        self.cfg.supervise.max_iters = Some(max_iters);
+        self
+    }
+
+    /// Installs an external cancellation token.
+    pub fn cancel_token(mut self, token: crate::supervisor::CancelToken) -> FlowConfigBuilder {
+        self.cfg.supervise.cancel = token;
         self
     }
 
@@ -545,6 +627,22 @@ mod tests {
             .input_distribution(PatternSource::Biased(f64::NAN))
             .build()
             .is_err());
+    }
+
+    #[test]
+    fn builder_rejects_degenerate_supervision_limits() {
+        let err =
+            FlowConfig::builder(MetricKind::Er, 0.1).timeout(std::time::Duration::ZERO).build();
+        assert_eq!(err.unwrap_err(), ConfigError::ZeroTimeout);
+        let err = FlowConfig::builder(MetricKind::Er, 0.1).max_iters(0).build();
+        assert_eq!(err.unwrap_err(), ConfigError::ZeroIterLimit);
+        let c = FlowConfig::builder(MetricKind::Er, 0.1)
+            .timeout(std::time::Duration::from_secs(5))
+            .max_iters(3)
+            .build()
+            .unwrap();
+        assert_eq!(c.supervise.deadline, Some(std::time::Duration::from_secs(5)));
+        assert_eq!(c.supervise.max_iters, Some(3));
     }
 
     #[test]

@@ -55,6 +55,23 @@ pub struct EngineMetrics {
     pub dedup_hits: Counter,
     /// Class representatives actually evaluated after deduplication.
     pub dedup_reps: Counter,
+    /// Runs that ended by natural convergence.
+    pub stop_converged: Counter,
+    /// Runs stopped by the `max_lacs` safety cap.
+    pub stop_lac_limit: Counter,
+    /// Runs preempted by the supervision iteration budget.
+    pub stop_iter_limit: Counter,
+    /// Runs preempted by the wall-clock deadline.
+    pub stop_deadline: Counter,
+    /// Runs preempted by external cancellation (API or signal).
+    pub stop_cancelled: Counter,
+    /// Transient journal-persist failures retried through.
+    pub journal_retries: Counter,
+    /// Degradation-ladder steps taken (serial mode, frozen resampling).
+    pub degradations: Counter,
+    /// Wall-clock time from run start to preemption, microseconds
+    /// (observed only for preempted runs).
+    pub time_to_preempt_us: Histogram,
 }
 
 impl EngineMetrics {
@@ -93,6 +110,48 @@ impl EngineMetrics {
                 "als_lac_dedup_reps_total",
                 "class representatives evaluated after structural deduplication",
             ),
+            stop_converged: obs
+                .counter("als_stop_converged_total", "runs ended by natural convergence"),
+            stop_lac_limit: obs
+                .counter("als_stop_lac_limit_total", "runs stopped by the max_lacs safety cap"),
+            stop_iter_limit: obs.counter(
+                "als_stop_iter_limit_total",
+                "runs preempted by the supervision iteration budget",
+            ),
+            stop_deadline: obs
+                .counter("als_stop_deadline_total", "runs preempted by the wall-clock deadline"),
+            stop_cancelled: obs.counter(
+                "als_stop_cancelled_total",
+                "runs preempted by external cancellation (API or signal)",
+            ),
+            journal_retries: obs.counter(
+                "als_journal_retries_total",
+                "transient journal-persist failures retried through",
+            ),
+            degradations: obs.counter(
+                "als_degradations_total",
+                "degradation-ladder steps taken (serial mode, frozen resampling)",
+            ),
+            time_to_preempt_us: obs.histogram(
+                "als_time_to_preempt_us",
+                "wall-clock time from run start to preemption (us)",
+            ),
+        }
+    }
+
+    /// Records how a run ended: one stop-reason counter, plus the
+    /// time-to-preempt histogram when the run was preempted.
+    pub fn note_stop(&self, stop: &crate::StopReason, elapsed: Duration) {
+        use crate::StopReason;
+        match stop {
+            StopReason::Converged => self.stop_converged.inc(),
+            StopReason::LacLimit { .. } => self.stop_lac_limit.inc(),
+            StopReason::IterLimit { .. } => self.stop_iter_limit.inc(),
+            StopReason::Deadline { .. } => self.stop_deadline.inc(),
+            StopReason::Cancelled => self.stop_cancelled.inc(),
+        }
+        if stop.is_preemption() {
+            self.time_to_preempt_us.observe(elapsed.as_micros() as u64);
         }
     }
 }
@@ -208,6 +267,19 @@ impl Ctx {
     /// (disjoint cuts, CPM waves, simulation waves, LAC evaluation).
     pub fn pool(&self) -> &WorkerPool {
         &self.pool
+    }
+
+    /// Degradation ladder: replaces the shared pool with a serial one.
+    /// Returns whether anything changed (already-serial runs have no rung
+    /// left here). Safe at any point of a run — results are byte-identical
+    /// at every thread count — so repeated guard fallbacks can trade speed
+    /// for the simplest possible execution instead of aborting.
+    pub fn degrade_to_serial(&mut self) -> bool {
+        if self.pool.threads() <= 1 {
+            return false;
+        }
+        self.pool = WorkerPool::new(1).with_obs(&self.obs);
+        true
     }
 
     /// The observability handle of this run (disabled unless the

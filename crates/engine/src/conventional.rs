@@ -10,6 +10,7 @@ use crate::error::EngineError;
 use crate::flow::Flow;
 use crate::guard::BudgetGuard;
 use crate::report::{FlowResult, IterationRecord, Phase};
+use crate::supervisor::{self, RunGovernor, StopReason};
 
 /// One comprehensive analysis per applied LAC: full disjoint cuts, full
 /// CPM, all candidate LACs evaluated, the best applied. Exact error
@@ -47,8 +48,14 @@ impl Flow for ConventionalFlow {
         let mut iterations = Vec::new();
         let mut first_ranking = Vec::new();
         let mut analyses = 0usize;
+        let gov = RunGovernor::new(&cfg.supervise);
+        let mut tripped: Option<StopReason> = None;
 
         while iterations.len() < cfg.max_lacs {
+            if let Some(reason) = gov.check(iterations.len()) {
+                tripped = Some(reason);
+                break;
+            }
             let _iter_span = ctx.obs().span("iteration");
             let _phase_span = ctx.obs().span("phase1");
             // Step 1: disjoint cuts (full recomputation — this is the
@@ -70,6 +77,10 @@ impl Flow for ConventionalFlow {
             let span = ctx.obs().span("eval");
             let lacs = als_lac::generate(&ctx.aig, &ctx.sim, &cfg.lac, None);
             ctx.times.eval += span.finish();
+            if let Some(reason) = gov.check(iterations.len()) {
+                tripped = Some(reason);
+                break;
+            }
             let evals = ctx.evaluate_lacs(&cpm, &lacs)?;
             analyses += 1;
             if first_ranking.is_empty() {
@@ -90,6 +101,11 @@ impl Flow for ConventionalFlow {
             });
         }
 
+        let stop = match tripped {
+            Some(reason) => reason,
+            None => supervisor::natural_stop(iterations.len(), cfg.max_lacs),
+        };
+        ctx.metrics.note_stop(&stop, gov.elapsed());
         Ok(FlowResult {
             flow: self.name().to_string(),
             final_error: guard.final_error(&ctx),
@@ -103,6 +119,7 @@ impl Flow for ConventionalFlow {
             comprehensive_time: ctx.elapsed(),
             incremental_time: std::time::Duration::ZERO,
             guard: guard.stats(),
+            stop,
             circuit: ctx.aig,
         })
     }

@@ -14,6 +14,24 @@ use crate::flow::Flow;
 use crate::guard::BudgetGuard;
 use crate::journal::{self, JournalWriter};
 use crate::report::{FlowResult, IterationRecord, Phase};
+use crate::supervisor::{self, RunGovernor, StopReason};
+
+/// Degradation ladder, upper rungs. Repeated incremental-state fallbacks
+/// mean this run keeps catching its own analysis state out of sync —
+/// rather than aborting, trade speed for the simplest execution: after
+/// the 2nd fallback drop to a serial pool (byte-identical results, no
+/// concurrent mutation anywhere near the failure), after the 3rd freeze
+/// strict-mode validation resampling. Driven by the *cumulative* fallback
+/// count, which rides in the journaled guard snapshot, so a resumed run
+/// re-derives exactly the degradations the original run had applied.
+fn apply_degradation(ctx: &mut Ctx, guard: &mut BudgetGuard, fallbacks: usize) {
+    if fallbacks >= 2 && ctx.degrade_to_serial() {
+        ctx.metrics.degradations.inc();
+    }
+    if fallbacks >= 3 && guard.reduce_resampling() {
+        ctx.metrics.degradations.inc();
+    }
+}
 
 /// The dual-phase flow.
 ///
@@ -121,6 +139,18 @@ impl Flow for DualPhaseFlow {
         let mut total_rounds = 0usize;
         let mut fallback_pending: Option<String> = None;
 
+        // ---------------- run supervision --------------------------------
+        // The governor is polled at every iteration, round and eval-batch
+        // boundary; a trip records the reason and unwinds to the graceful
+        // end of the run (flush + Preempt record + best-so-far result).
+        let gov = RunGovernor::new(&cfg.supervise);
+        let mut tripped: Option<StopReason> = None;
+        #[cfg(feature = "fault-inject")]
+        let mut gov = gov;
+        // Test-only hold window (see `HOLD_AT_CHECKPOINT_ENV`).
+        let hold_at = supervisor::hold_at_checkpoint();
+        let mut checkpoints_written = 0usize;
+
         // ---------------- crash-safe run journal -------------------------
         // Fresh runs start a new journal; resumes replay the journaled
         // edit log onto the original circuit (cross-checking every edit
@@ -197,6 +227,10 @@ impl Flow for DualPhaseFlow {
                     fallback_pending = cp.fallback_pending.clone();
                     first_ranking = cp.first_ranking.iter().map(|&n| NodeId(n)).collect();
                     guard.restore(&cp.guard);
+                    // Re-derive the degradation ladder from the journaled
+                    // fallback count so the resumed run executes under the
+                    // same regime the original had degraded into.
+                    apply_degradation(&mut ctx, &mut guard, cp.guard.stats.fallbacks);
                     // Seed the writer with the bytes *before* the last
                     // checkpoint: the loop below immediately re-journals an
                     // identical checkpoint (the restored state is
@@ -210,16 +244,20 @@ impl Flow for DualPhaseFlow {
             } else {
                 JournalWriter::create(&jc.path, &head)?
             };
+            let mut writer = writer;
+            writer.set_retry_counter(ctx.metrics.journal_retries.clone());
             #[cfg(feature = "fault-inject")]
-            let writer = {
-                let mut w = writer;
-                w.set_faults(cfg.faults.clone());
-                w
-            };
+            writer.set_faults(cfg.faults.clone());
             journal = Some(writer);
         }
 
         'dual_phase: while iterations.len() < cfg.max_lacs {
+            // Iteration boundary: the cheapest place to stop — nothing of
+            // this iteration has started yet.
+            if let Some(r) = gov.check(iterations.len()) {
+                tripped = Some(r);
+                break 'dual_phase;
+            }
             let _iter_span = ctx.obs().span("iteration");
             if let Some(w) = journal.as_mut() {
                 let cp = journal::Checkpoint {
@@ -235,6 +273,18 @@ impl Flow for DualPhaseFlow {
                     guard: guard.snapshot(),
                 };
                 timed_append(&ctx.metrics.journal_append_us, || w.append_checkpoint(&cp))?;
+                checkpoints_written += 1;
+                // Test hook: park right after the n-th checkpoint until a
+                // cancellation (normally a delivered signal) arrives, so
+                // the SIGTERM integration test has a wide deterministic
+                // window to land in. Bounded so a lost signal cannot hang
+                // a test run forever.
+                if hold_at == Some(checkpoints_written) {
+                    let parked = Instant::now();
+                    while !gov.cancel_requested() && parked.elapsed() < Duration::from_secs(60) {
+                        std::thread::sleep(Duration::from_millis(5));
+                    }
+                }
             }
             let times_snapshot = ctx.times;
             let e0 = ctx.error();
@@ -274,6 +324,13 @@ impl Flow for DualPhaseFlow {
             let span = ctx.obs().span("eval");
             let lacs = als_lac::generate(&ctx.aig, &ctx.sim, &lac_cfg, None);
             ctx.times.eval += span.finish();
+            // Eval-batch boundary: the comprehensive evaluation is the
+            // single most expensive step — don't start it doomed.
+            if let Some(r) = gov.check(iterations.len()) {
+                comp_time += phase1_span.finish();
+                tripped = Some(r);
+                break 'dual_phase;
+            }
             let evals = ctx.evaluate_lacs(&cpm, &lacs)?;
             analyses += 1;
             if first_ranking.is_empty() {
@@ -325,6 +382,11 @@ impl Flow for DualPhaseFlow {
             let phase2_span = ctx.obs().span("phase2");
             let mut rounds = 0usize;
             while rounds < n_limit && !s_cand.is_empty() && iterations.len() < cfg.max_lacs {
+                // Round boundary.
+                if let Some(r) = gov.check(iterations.len()) {
+                    tripped = Some(r);
+                    break;
+                }
                 let _round_span = ctx.obs().span("round");
                 s_cand.retain(|&n| ctx.aig.is_live(n) && ctx.aig.node(n).is_and());
                 if s_cand.is_empty() {
@@ -346,6 +408,11 @@ impl Flow for DualPhaseFlow {
                 let span = ctx.obs().span("eval");
                 let lacs = als_lac::generate(&ctx.aig, &ctx.sim, &lac_cfg, Some(&s_cand));
                 ctx.times.eval += span.finish();
+                // Eval-batch boundary.
+                if let Some(r) = gov.check(iterations.len()) {
+                    tripped = Some(r);
+                    break;
+                }
                 let evals = ctx.evaluate_lacs(&pcpm, &lacs)?;
 
                 // Guarded selection with the DP-SA adaptive stop woven in:
@@ -423,14 +490,13 @@ impl Flow for DualPhaseFlow {
                 // sample. A failure aborts phase two and falls back to a
                 // fresh comprehensive analysis instead of continuing on
                 // corrupt bookkeeping.
-                if let Some(k) = cfg.guard.corrupt_after_round {
-                    if total_rounds == k {
-                        cuts.debug_corrupt_cuts();
-                    }
-                }
                 #[cfg(feature = "fault-inject")]
                 if cfg.faults.take_corrupt_at_round(total_rounds) {
                     cuts.debug_corrupt_cuts();
+                }
+                #[cfg(feature = "fault-inject")]
+                if cfg.faults.take_trip_deadline(total_rounds) {
+                    gov.force_deadline();
                 }
                 if cfg.guard.enabled && cfg.guard.spot_check > 0 {
                     als_aig::check::check(&ctx.aig).map_err(|e| EngineError::CorruptCircuit {
@@ -444,12 +510,19 @@ impl Flow for DualPhaseFlow {
                     ctx.times.cuts += span.finish();
                     if let Err(detail) = verdict {
                         guard.note_fallback();
+                        let fallbacks = guard.stats().fallbacks;
+                        apply_degradation(&mut ctx, &mut guard, fallbacks);
                         fallback_pending = Some(detail);
                         break;
                     }
                 }
             }
             inc_time += phase2_span.finish();
+            if tripped.is_some() {
+                // A governor trip inside phase two: the timing accumulators
+                // are settled above, now unwind to the graceful end.
+                break 'dual_phase;
+            }
             if fallback_pending.is_some() {
                 // Skip self-adaption this round: its timing signal is
                 // polluted by the aborted phase two.
@@ -488,11 +561,27 @@ impl Flow for DualPhaseFlow {
             }
         }
 
+        let stop = match tripped {
+            Some(r) => r,
+            None => supervisor::natural_stop(iterations.len(), cfg.max_lacs),
+        };
+
         // Final group commit: commits of the last iteration have no
-        // following checkpoint to ride on, so flush them explicitly.
+        // following checkpoint to ride on, so flush them explicitly. A
+        // preempted run then seals the journal with a `Preempt` record —
+        // proof for `--resume` (and the operator) that the file ends at a
+        // graceful stop, not a crash.
         if let Some(w) = journal.as_mut() {
             timed_append(&ctx.metrics.journal_append_us, || w.flush())?;
+            if stop.is_preemption() {
+                let p = journal::Preempt {
+                    reason: stop.clone(),
+                    commit_count: iterations.len() as u64,
+                };
+                timed_append(&ctx.metrics.journal_append_us, || w.append_preempt(&p))?;
+            }
         }
+        ctx.metrics.note_stop(&stop, gov.elapsed());
 
         Ok(FlowResult {
             flow: self.name().to_string(),
@@ -507,6 +596,7 @@ impl Flow for DualPhaseFlow {
             comprehensive_time: comp_time,
             incremental_time: inc_time,
             guard: guard.stats(),
+            stop,
             circuit: ctx.aig,
         })
     }
@@ -538,6 +628,43 @@ mod tests {
         let res = DualPhaseFlow::new(cfg).run(&aig).unwrap();
         assert!(res.final_error <= 3.0 + 1e-9, "error {}", res.final_error);
         assert!(res.final_nodes() < aig.num_ands());
+        assert_eq!(res.stop, StopReason::Converged, "unlimited run ends naturally");
+        als_aig::check::check(&res.circuit).unwrap();
+    }
+
+    #[test]
+    fn iteration_budget_stops_early_with_best_so_far() {
+        let aig = adder(6);
+        let cfg = FlowConfig::new(MetricKind::Med, 8.0).with_patterns(1024).with_max_iters(1);
+        let res = DualPhaseFlow::new(cfg).run(&aig).unwrap();
+        assert_eq!(res.stop, StopReason::IterLimit { limit: 1 });
+        assert_eq!(res.lacs_applied(), 1, "stops right after the budgeted LAC");
+        assert!(res.final_error <= 8.0 + 1e-9);
+        als_aig::check::check(&res.circuit).unwrap();
+    }
+
+    #[test]
+    fn cancelled_token_stops_before_any_work() {
+        let aig = adder(4);
+        let token = crate::CancelToken::new();
+        token.cancel();
+        let cfg = FlowConfig::new(MetricKind::Med, 3.0).with_patterns(256).with_cancel_token(token);
+        let res = DualPhaseFlow::new(cfg).run(&aig).unwrap();
+        assert_eq!(res.stop, StopReason::Cancelled);
+        assert_eq!(res.lacs_applied(), 0);
+        assert_eq!(res.final_nodes(), aig.num_ands(), "circuit untouched");
+        als_aig::check::check(&res.circuit).unwrap();
+    }
+
+    #[test]
+    fn elapsed_deadline_stops_gracefully() {
+        let aig = adder(5);
+        let cfg = FlowConfig::new(MetricKind::Med, 4.0)
+            .with_patterns(1024)
+            .with_timeout(Duration::from_nanos(1));
+        let res = DualPhaseFlow::with_self_adaption(cfg).run(&aig).unwrap();
+        assert!(matches!(res.stop, StopReason::Deadline { .. }), "stop {:?}", res.stop);
+        assert!(res.final_error <= 4.0 + 1e-9);
         als_aig::check::check(&res.circuit).unwrap();
     }
 

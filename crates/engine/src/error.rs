@@ -55,6 +55,24 @@ pub enum EngineError {
     },
 }
 
+impl EngineError {
+    /// Whether retrying the failed operation could plausibly succeed.
+    /// Only environmental I/O hiccups qualify — an interrupted syscall, a
+    /// saturated device, a timeout. Semantic I/O failures (permissions,
+    /// missing directory, disk full) and every non-I/O variant are final:
+    /// retrying them re-runs the same deterministic failure.
+    pub fn is_transient(&self) -> bool {
+        use std::io::ErrorKind;
+        match self {
+            EngineError::Io { source, .. } => matches!(
+                source.kind(),
+                ErrorKind::Interrupted | ErrorKind::WouldBlock | ErrorKind::TimedOut
+            ),
+            _ => false,
+        }
+    }
+}
+
 impl fmt::Display for EngineError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
@@ -146,6 +164,21 @@ mod tests {
     fn cpm_errors_convert_and_chain() {
         let e: EngineError = CpmError::MissingCut { node: NodeId(2) }.into();
         assert!(std::error::Error::source(&e).is_some());
+    }
+
+    #[test]
+    fn transience_is_an_io_kind_property() {
+        let io = |kind| EngineError::Io {
+            path: std::path::PathBuf::from("/tmp/run.alsj"),
+            source: std::io::Error::new(kind, "x"),
+        };
+        assert!(io(std::io::ErrorKind::Interrupted).is_transient());
+        assert!(io(std::io::ErrorKind::WouldBlock).is_transient());
+        assert!(io(std::io::ErrorKind::TimedOut).is_transient());
+        assert!(!io(std::io::ErrorKind::PermissionDenied).is_transient());
+        assert!(!io(std::io::ErrorKind::Other).is_transient());
+        assert!(!EngineError::Journal { detail: "x".into() }.is_transient());
+        assert!(!EngineError::WorkerPanic("x".into()).is_transient());
     }
 
     #[test]

@@ -12,6 +12,8 @@
 //! | incremental cut-state corruption       | spot-check → comprehensive fallback    |
 //! | fresh (post-fallback) state corruption | `EngineError::CorruptAnalysis`         |
 //! | journal append I/O failure             | `EngineError::Io`, journal resumable   |
+//! | transient journal I/O failure          | bounded retry + backoff, then success  |
+//! | forced deadline trip at a round        | graceful stop, best-so-far + `Preempt` |
 //!
 //! The whole module only exists under the `fault-inject` feature; without
 //! it neither the plan nor any injection call site is compiled, so the
@@ -53,12 +55,20 @@ struct PlanState {
     fail_journal_dir_sync: AtomicUsize,
     /// Directory fsyncs attempted so far.
     dir_syncs_seen: AtomicUsize,
+    /// Remaining journal persists to fail *transiently* (ErrorKind the
+    /// retry policy classifies as retryable).
+    transient_journal_failures: AtomicUsize,
+    /// Force the run governor's deadline to trip right after this
+    /// phase-two round.
+    trip_deadline_round: AtomicUsize,
     /// How many injections of each kind actually fired.
     eval_panics_fired: AtomicUsize,
     overshoots_fired: AtomicUsize,
     corruptions_fired: AtomicUsize,
     journal_failures_fired: AtomicUsize,
     dir_sync_failures_fired: AtomicUsize,
+    transient_failures_fired: AtomicUsize,
+    deadline_trips_fired: AtomicUsize,
 }
 
 impl Default for PlanState {
@@ -73,11 +83,15 @@ impl Default for PlanState {
             journal_appends_seen: AtomicUsize::new(0),
             fail_journal_dir_sync: AtomicUsize::new(OFF),
             dir_syncs_seen: AtomicUsize::new(0),
+            transient_journal_failures: AtomicUsize::new(0),
+            trip_deadline_round: AtomicUsize::new(OFF),
             eval_panics_fired: AtomicUsize::new(0),
             overshoots_fired: AtomicUsize::new(0),
             corruptions_fired: AtomicUsize::new(0),
             journal_failures_fired: AtomicUsize::new(0),
             dir_sync_failures_fired: AtomicUsize::new(0),
+            transient_failures_fired: AtomicUsize::new(0),
+            deadline_trips_fired: AtomicUsize::new(0),
         }
     }
 }
@@ -141,6 +155,22 @@ impl FaultPlan {
     /// "rename landed but the directory entry is not durable" case.
     pub fn fail_journal_dir_sync(self, sync: usize) -> FaultPlan {
         self.state.fail_journal_dir_sync.store(sync, Ordering::SeqCst);
+        self
+    }
+
+    /// Fail the next `count` journal persists with a *transient* I/O
+    /// error (`ErrorKind::Interrupted`), which the writer's bounded
+    /// retry policy must absorb without surfacing an error.
+    pub fn fail_journal_append_transient(self, count: usize) -> FaultPlan {
+        self.state.transient_journal_failures.store(count, Ordering::SeqCst);
+        self
+    }
+
+    /// Trip the run governor's wall-clock deadline right after the given
+    /// phase-two round (1-based, counted across the run), exercising the
+    /// graceful mid-iteration preemption path without real waiting.
+    pub fn trip_deadline_at_round(self, round: usize) -> FaultPlan {
+        self.state.trip_deadline_round.store(round, Ordering::SeqCst);
         self
     }
 
@@ -236,6 +266,38 @@ impl FaultPlan {
         None
     }
 
+    /// Called per journal persist attempt; returns the injected transient
+    /// I/O error while the armed countdown lasts.
+    pub(crate) fn take_transient_journal_failure(&self) -> Option<std::io::Error> {
+        let fired = self
+            .state
+            .transient_journal_failures
+            .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |left| left.checked_sub(1))
+            .is_ok();
+        if fired {
+            self.state.transient_failures_fired.fetch_add(1, Ordering::SeqCst);
+            return Some(std::io::Error::new(
+                std::io::ErrorKind::Interrupted,
+                "fault injection: transient journal write failure",
+            ));
+        }
+        None
+    }
+
+    /// Whether the governor's deadline must be tripped after phase-two
+    /// round `round` (fires at most once).
+    pub(crate) fn take_trip_deadline(&self, round: usize) -> bool {
+        let fired = self
+            .state
+            .trip_deadline_round
+            .compare_exchange(round, OFF, Ordering::SeqCst, Ordering::SeqCst)
+            .is_ok();
+        if fired {
+            self.state.deadline_trips_fired.fetch_add(1, Ordering::SeqCst);
+        }
+        fired
+    }
+
     // ---------------- assertions (for the chaos tests) --------------------
 
     /// Evaluation-worker panics fired so far.
@@ -262,6 +324,16 @@ impl FaultPlan {
     pub fn dir_sync_failures_fired(&self) -> usize {
         self.state.dir_sync_failures_fired.load(Ordering::SeqCst)
     }
+
+    /// Transient journal failures fired so far.
+    pub fn transient_failures_fired(&self) -> usize {
+        self.state.transient_failures_fired.load(Ordering::SeqCst)
+    }
+
+    /// Forced deadline trips fired so far.
+    pub fn deadline_trips_fired(&self) -> usize {
+        self.state.deadline_trips_fired.load(Ordering::SeqCst)
+    }
 }
 
 #[cfg(test)]
@@ -278,6 +350,8 @@ mod tests {
             assert!(!plan.take_corrupt_fresh());
             assert!(plan.take_journal_failure().is_none());
             assert!(plan.take_dir_sync_failure().is_none());
+            assert!(plan.take_transient_journal_failure().is_none());
+            assert!(!plan.take_trip_deadline(1));
         }
         assert_eq!(plan.eval_panics_fired(), 0);
         assert_eq!(plan.overshoots_fired(), 0);
@@ -324,6 +398,25 @@ mod tests {
         assert!(err.to_string().contains("journal append 1"));
         assert!(plan.take_journal_failure().is_none(), "fires once");
         assert_eq!(plan.journal_failures_fired(), 1);
+    }
+
+    #[test]
+    fn transient_failures_count_down_and_are_retryable_kinds() {
+        let plan = FaultPlan::new().fail_journal_append_transient(2);
+        let e = plan.take_transient_journal_failure().expect("first fails");
+        assert_eq!(e.kind(), std::io::ErrorKind::Interrupted);
+        assert!(plan.take_transient_journal_failure().is_some());
+        assert!(plan.take_transient_journal_failure().is_none(), "only n failures");
+        assert_eq!(plan.transient_failures_fired(), 2);
+    }
+
+    #[test]
+    fn deadline_trip_fires_once_at_its_round() {
+        let plan = FaultPlan::new().trip_deadline_at_round(2);
+        assert!(!plan.take_trip_deadline(1));
+        assert!(plan.take_trip_deadline(2));
+        assert!(!plan.take_trip_deadline(2), "fires at most once");
+        assert_eq!(plan.deadline_trips_fired(), 1);
     }
 
     #[test]

@@ -169,6 +169,19 @@ impl BudgetGuard {
         self.metrics.fallbacks.inc();
     }
 
+    /// Degradation ladder: freezes the validation sample count at its
+    /// current size by lowering the resample cap to the resamples already
+    /// taken. Returns whether anything changed. Deterministic on resume:
+    /// the cap is re-derived from the journaled fallback count, and the
+    /// frozen `val_words`/`val_seed` live in the checkpoint snapshot.
+    pub fn reduce_resampling(&mut self) -> bool {
+        if self.cfg.max_resamples <= self.resamples {
+            return false;
+        }
+        self.cfg.max_resamples = self.resamples;
+        true
+    }
+
     /// The final error the run should report: the measured error on the
     /// estimation patterns, or — in strict mode — the validation error
     /// recorded at the last commit, which the guard proved to be within
@@ -379,5 +392,18 @@ mod tests {
         guard.resample(); // capped
         assert_eq!(guard.val_words, w0 * 4);
         assert_eq!(guard.stats().resamples, 2);
+    }
+
+    #[test]
+    fn reduce_resampling_freezes_the_validation_set() {
+        let aig = small();
+        let cfg = cfg(0.5);
+        let mut guard = BudgetGuard::new(&aig, &cfg);
+        guard.resample();
+        assert!(guard.reduce_resampling(), "cap lowered to resamples taken");
+        assert!(!guard.reduce_resampling(), "second call is a no-op");
+        let w = guard.val_words;
+        guard.resample();
+        assert_eq!(guard.val_words, w, "further resamples are frozen out");
     }
 }

@@ -72,6 +72,7 @@ use als_lac::{Lac, LacKind};
 use crate::config::FlowConfig;
 use crate::error::EngineError;
 use crate::report::{GuardStats, Phase, StepTimes};
+use crate::supervisor::StopReason;
 
 /// File magic; the trailing NUL reserves room without a version bump.
 const MAGIC: &[u8; 8] = b"ALSJRNL\0";
@@ -80,6 +81,15 @@ const VERSION: u32 = 1;
 /// Record kind tags.
 const KIND_CHECKPOINT: u8 = 1;
 const KIND_COMMIT: u8 = 2;
+const KIND_PREEMPT: u8 = 3;
+
+/// Transient-persist retry policy: how many times one `persist` retries a
+/// transient I/O failure, and the deterministic backoff before attempt
+/// `n` (1-based): 1 ms, 2 ms, 4 ms.
+const PERSIST_RETRIES: u32 = 3;
+fn backoff(attempt: u32) -> std::time::Duration {
+    std::time::Duration::from_millis(1 << (attempt - 1))
+}
 
 /// Environment variable that makes the writer `abort()` the process right
 /// after persisting the N-th commit record (1-based). Exists solely so the
@@ -361,6 +371,58 @@ pub struct Commit {
     pub edits: Vec<EditRecord>,
 }
 
+/// Graceful-preemption marker, always the final record of a preempted
+/// journal: the run was stopped by the supervision layer (deadline,
+/// iteration budget or cancellation) after flushing every buffered
+/// commit, so the journal is a complete record of the work done.
+/// `--resume` drops it naturally — the resume image ends before the last
+/// checkpoint, and the resumed (now unpreempted) run re-executes from
+/// there, converging to a journal byte-identical to an uninterrupted run.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Preempt {
+    /// Why the run was preempted (always a preemption reason — natural
+    /// ends never write this record).
+    pub reason: StopReason,
+    /// Commits journaled before the preemption.
+    pub commit_count: u64,
+}
+
+impl Preempt {
+    fn encode(&self) -> Vec<u8> {
+        let mut e = Enc::new();
+        let (tag, limit) = match &self.reason {
+            StopReason::IterLimit { limit } => (1u8, *limit as u64),
+            StopReason::Deadline { limit } => (2u8, limit.as_nanos() as u64),
+            StopReason::Cancelled => (3u8, 0u64),
+            // Natural ends are never journaled as preemptions; encoding
+            // one is a caller bug worth failing loudly on in tests.
+            StopReason::Converged | StopReason::LacLimit { .. } => {
+                debug_assert!(false, "natural stop journaled as Preempt");
+                (3u8, 0u64)
+            }
+        };
+        e.u8(tag);
+        e.u64(limit);
+        e.u64(self.commit_count);
+        e.buf
+    }
+
+    fn decode(buf: &[u8]) -> Result<Preempt, String> {
+        let mut d = Dec::new(buf);
+        let tag = d.u8()?;
+        let limit = d.u64()?;
+        let reason = match tag {
+            1 => StopReason::IterLimit { limit: limit as usize },
+            2 => StopReason::Deadline { limit: std::time::Duration::from_nanos(limit) },
+            3 => StopReason::Cancelled,
+            t => return Err(format!("invalid preempt reason tag {t}")),
+        };
+        let p = Preempt { reason, commit_count: d.u64()? };
+        d.done()?;
+        Ok(p)
+    }
+}
+
 /// Any journal record.
 #[derive(Clone, Debug, PartialEq)]
 pub enum Record {
@@ -368,6 +430,8 @@ pub enum Record {
     Checkpoint(Checkpoint),
     /// One committed LAC.
     Commit(Commit),
+    /// Graceful-preemption marker (always last when present).
+    Preempt(Preempt),
 }
 
 fn encode_lac(e: &mut Enc, lac: &Lac) {
@@ -629,6 +693,10 @@ pub struct JournalWriter {
     pending_commits: usize,
     /// Crash hook: abort the process after persisting this many commits.
     crash_after: Option<usize>,
+    /// Transient persist failures retried through (obs: the
+    /// `als_journal_retries_total` family when wired via
+    /// [`JournalWriter::set_retry_counter`]).
+    retries: als_obs::Counter,
     #[cfg(feature = "fault-inject")]
     faults: crate::faultplan::FaultPlan,
 }
@@ -646,6 +714,7 @@ impl JournalWriter {
             crash_after: std::env::var(CRASH_AFTER_COMMITS_ENV)
                 .ok()
                 .and_then(|v| v.trim().parse::<usize>().ok()),
+            retries: als_obs::Counter::noop(),
             #[cfg(feature = "fault-inject")]
             faults: crate::faultplan::FaultPlan::default(),
         };
@@ -672,15 +741,26 @@ impl JournalWriter {
         self.faults = faults;
     }
 
+    /// Wires the counter incremented once per transient persist failure
+    /// retried through (the engine registers it as
+    /// `als_journal_retries_total`).
+    pub fn set_retry_counter(&mut self, retries: als_obs::Counter) {
+        self.retries = retries;
+    }
+
     /// Writes the current image to the temp file, fsyncs it, renames it
     /// over the journal path, and fsyncs the parent directory so the
     /// rename itself is durable. Without the directory sync a crash after
     /// the rename could still lose the new directory entry — the file
     /// content was safe but the journal path might resolve to the old
     /// inode (or nothing) after power loss.
-    fn persist(&mut self) -> Result<(), EngineError> {
+    fn persist_once(&mut self) -> Result<(), EngineError> {
         #[cfg(feature = "fault-inject")]
         if let Some(source) = self.faults.take_journal_failure() {
+            return Err(io_err(&self.path, source));
+        }
+        #[cfg(feature = "fault-inject")]
+        if let Some(source) = self.faults.take_transient_journal_failure() {
             return Err(io_err(&self.path, source));
         }
         let write = || -> std::io::Result<()> {
@@ -697,6 +777,28 @@ impl JournalWriter {
             dir.sync_all()
         };
         write().map_err(|e| io_err(&self.path, e))
+    }
+
+    /// [`JournalWriter::persist_once`] with bounded deterministic retry:
+    /// a transient failure (interrupted syscall, saturated device,
+    /// timeout — see [`EngineError::is_transient`]) is retried up to
+    /// [`PERSIST_RETRIES`] times with 1/2/4 ms backoff before surfacing.
+    /// Persisting is idempotent — the whole image is rewritten and the
+    /// rename is atomic — so a retry after a partial temp-file write is
+    /// always safe. Non-transient failures surface immediately.
+    fn persist(&mut self) -> Result<(), EngineError> {
+        let mut attempt = 0;
+        loop {
+            match self.persist_once() {
+                Ok(()) => return Ok(()),
+                Err(e) if attempt < PERSIST_RETRIES && e.is_transient() => {
+                    attempt += 1;
+                    self.retries.inc();
+                    std::thread::sleep(backoff(attempt));
+                }
+                Err(e) => return Err(e),
+            }
+        }
     }
 
     /// Marks every buffered commit durable after a successful persist and
@@ -757,6 +859,17 @@ impl JournalWriter {
     pub fn append_commit(&mut self, c: &Commit) -> Result<(), EngineError> {
         self.append_commit_buffered(c);
         self.flush()
+    }
+
+    /// Appends and persists the graceful-preemption marker. Callers flush
+    /// buffered commits first (the record claims the journal is complete),
+    /// and must append nothing afterwards — `Preempt` is always last.
+    pub fn append_preempt(&mut self, p: &Preempt) -> Result<(), EngineError> {
+        debug_assert_eq!(self.pending_commits, 0, "flush buffered commits before Preempt");
+        self.buf.extend_from_slice(&frame(KIND_PREEMPT, &p.encode()));
+        self.persist()?;
+        self.mark_durable();
+        Ok(())
     }
 }
 
@@ -846,6 +959,9 @@ pub fn load(path: &Path) -> Result<LoadedJournal, EngineError> {
             KIND_COMMIT => Commit::decode(payload)
                 .map(Record::Commit)
                 .map_err(|e| journal_err(format!("record {idx}: {e}")))?,
+            KIND_PREEMPT => Preempt::decode(payload)
+                .map(Record::Preempt)
+                .map_err(|e| journal_err(format!("record {idx}: {e}")))?,
             k => return Err(journal_err(format!("record {idx}: unknown kind {k}"))),
         };
         pos += 5 + len + 8;
@@ -885,7 +1001,7 @@ impl LoadedJournal {
     pub fn last_checkpoint(&self) -> Option<(usize, &Checkpoint)> {
         self.records.iter().enumerate().rev().find_map(|(i, r)| match r {
             Record::Checkpoint(cp) => Some((i, cp)),
-            Record::Commit(_) => None,
+            Record::Commit(_) | Record::Preempt(_) => None,
         })
     }
 
@@ -905,7 +1021,7 @@ impl LoadedJournal {
             .iter()
             .filter_map(|r| match r {
                 Record::Commit(c) => Some(c),
-                Record::Checkpoint(_) => None,
+                Record::Checkpoint(_) | Record::Preempt(_) => None,
             })
             .collect()
     }
@@ -1063,10 +1179,43 @@ mod tests {
     }
 
     #[test]
+    fn preempt_records_roundtrip_and_resume_drops_them() {
+        let path = tmp_path("preempt");
+        let mut w = JournalWriter::create(&path, &header()).unwrap();
+        w.append_checkpoint(&sample_checkpoint(0)).unwrap();
+        w.append_commit(&sample_commit(0)).unwrap();
+        let preempt = Preempt {
+            reason: StopReason::Deadline { limit: std::time::Duration::from_millis(1500) },
+            commit_count: 1,
+        };
+        w.append_preempt(&preempt).unwrap();
+
+        let loaded = load(&path).unwrap();
+        assert!(!loaded.torn_tail);
+        assert_eq!(loaded.records.last(), Some(&Record::Preempt(preempt)));
+        // the resume image (before the last checkpoint) excludes the
+        // preempt marker, so a resumed journal can converge to the bytes
+        // of an uninterrupted run
+        let (idx, _) = loaded.last_checkpoint().unwrap();
+        assert_eq!(idx, 0);
+        assert!(!loaded.image_before(idx).is_empty());
+        std::fs::remove_file(&path).ok();
+
+        for reason in [StopReason::IterLimit { limit: 40 }, StopReason::Cancelled] {
+            let p = Preempt { reason, commit_count: 7 };
+            assert_eq!(Preempt::decode(&p.encode()).unwrap(), p);
+        }
+    }
+
+    #[test]
     fn config_fingerprint_ignores_threads_but_not_semantics() {
         let a = FlowConfig::new(MetricKind::Med, 4.0).with_patterns(1024);
         let b = a.clone().with_threads(8);
         assert_eq!(config_fingerprint(&a, "DP-SA"), config_fingerprint(&b, "DP-SA"));
+        // supervision limits are stop-time knobs, not result semantics: a
+        // preempted run must resume under different (or no) limits
+        let s = a.clone().with_timeout(std::time::Duration::from_secs(1)).with_max_iters(5);
+        assert_eq!(config_fingerprint(&a, "DP-SA"), config_fingerprint(&s, "DP-SA"));
         let c = a.clone().with_seed(99);
         assert_ne!(config_fingerprint(&a, "DP-SA"), config_fingerprint(&c, "DP-SA"));
         assert_ne!(config_fingerprint(&a, "DP-SA"), config_fingerprint(&a, "DP"));

@@ -44,6 +44,7 @@ pub mod guard;
 pub mod journal;
 pub mod model;
 pub mod report;
+pub mod supervisor;
 pub mod vecbee_flow;
 
 pub use accals::AccAlsFlow;
@@ -60,4 +61,7 @@ pub use flows::{by_name, FLOW_NAMES};
 pub use guard::BudgetGuard;
 pub use model::RuntimeModel;
 pub use report::{FlowResult, GuardStats, IterationRecord, Phase, StepTimes};
+pub use supervisor::{
+    install_signal_handlers, CancelToken, RunGovernor, StopReason, SuperviseConfig,
+};
 pub use vecbee_flow::VecbeeDepthOneFlow;

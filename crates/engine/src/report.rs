@@ -141,6 +141,11 @@ pub struct FlowResult {
     /// Guarded-execution activity (rollbacks, evictions, resamples,
     /// incremental-state fallbacks).
     pub guard: GuardStats,
+    /// Why the run ended. Anything but
+    /// [`Converged`](crate::StopReason::Converged) means the run stopped
+    /// early and `circuit` is the best-so-far result — still valid and
+    /// still within `error_bound`.
+    pub stop: crate::StopReason,
 }
 
 impl FlowResult {

@@ -1,0 +1,436 @@
+//! Run supervision: deadlines, iteration budgets and cooperative
+//! cancellation.
+//!
+//! Every flow is an *anytime* optimizer — each committed LAC leaves a
+//! valid approximate circuit — so stopping early must return the
+//! best-so-far result, not an error. The supervision layer makes that a
+//! first-class outcome:
+//!
+//! * a [`CancelToken`] lets an external party (another thread, a signal
+//!   handler, a job queue) request a graceful stop;
+//! * a [`RunGovernor`] combines the token with the wall-clock deadline
+//!   and iteration budget of a [`SuperviseConfig`] and is polled
+//!   cooperatively at iteration, round and eval-batch boundaries;
+//! * a tripped governor makes the flow break out of its loop, flush the
+//!   journal (appending a `Preempt` record so `--resume` can continue
+//!   byte-identically) and return a [`FlowResult`](crate::FlowResult)
+//!   whose [`StopReason`] says why the run ended.
+//!
+//! Polling is cheap — one relaxed atomic load plus, when a deadline is
+//! armed, one monotonic clock read — so the checks sit directly on the
+//! hot loop boundaries without measurable cost.
+//!
+//! Supervision limits are deliberately **excluded** from the journal's
+//! [`config_fingerprint`](crate::journal::config_fingerprint), exactly
+//! like the thread count: a run preempted by a deadline may be resumed
+//! without the deadline (or with a longer one) and converges to the same
+//! bytes as an uninterrupted run.
+//!
+//! [`install_signal_handlers`] wires the token to SIGINT/SIGTERM through
+//! a minimal `sigaction` shim (no external dependencies): the first
+//! signal requests a graceful stop, a second one exits immediately with
+//! the conventional `128 + signo` status.
+
+use std::fmt;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Environment variable holding a 1-based checkpoint index: a dual-phase
+/// run pauses right after appending that checkpoint and busy-waits (with
+/// a 60 s safety cap) until its cancel token fires. Exists solely so the
+/// SIGTERM integration test can deliver a real signal inside a wide,
+/// deterministic window; unset in any normal run.
+pub const HOLD_AT_CHECKPOINT_ENV: &str = "ALS_HOLD_AT_CHECKPOINT";
+
+/// Why a flow run ended. `Converged` is the natural end (no admissible
+/// candidate left); every other reason means the run was cut short and
+/// the reported circuit is the best one found so far — still valid and
+/// still within the error bound.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum StopReason {
+    /// No admissible candidate remained — the natural end of a run.
+    Converged,
+    /// The [`FlowConfig::max_lacs`](crate::FlowConfig::max_lacs) safety
+    /// cap was reached. Part of the run's semantic configuration (it is
+    /// fingerprinted into journals), so not a preemption: a resume hits
+    /// the same cap at the same point.
+    LacLimit {
+        /// The configured cap.
+        limit: usize,
+    },
+    /// The supervision iteration budget
+    /// ([`SuperviseConfig::max_iters`]) was exhausted.
+    IterLimit {
+        /// The configured budget.
+        limit: usize,
+    },
+    /// The wall-clock deadline ([`SuperviseConfig::deadline`]) passed.
+    Deadline {
+        /// The configured deadline.
+        limit: Duration,
+    },
+    /// The run's [`CancelToken`] was cancelled (API call or signal).
+    Cancelled,
+}
+
+impl StopReason {
+    /// Whether the run was preempted by the supervision layer (deadline,
+    /// iteration budget or cancellation) rather than ending on its own.
+    /// Preempted journaled runs get a `Preempt` journal record; preempted
+    /// CLI runs exit with the distinct "stopped early" status.
+    pub fn is_preemption(&self) -> bool {
+        matches!(
+            self,
+            StopReason::IterLimit { .. } | StopReason::Deadline { .. } | StopReason::Cancelled
+        )
+    }
+}
+
+impl fmt::Display for StopReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StopReason::Converged => write!(f, "converged (no admissible candidate left)"),
+            StopReason::LacLimit { limit } => write!(f, "reached the max_lacs cap ({limit})"),
+            StopReason::IterLimit { limit } => {
+                write!(f, "reached the iteration budget ({limit})")
+            }
+            StopReason::Deadline { limit } => {
+                write!(f, "hit the wall-clock deadline ({limit:.2?})")
+            }
+            StopReason::Cancelled => write!(f, "cancelled"),
+        }
+    }
+}
+
+/// Process-wide flag the signal handler sets; see
+/// [`install_signal_handlers`]. Tokens created by that function read this
+/// flag instead of an `Arc`'d one, because an async-signal-safe handler
+/// cannot touch reference-counted state.
+static SIGNAL_CANCEL: AtomicBool = AtomicBool::new(false);
+
+#[derive(Clone, Debug)]
+enum TokenInner {
+    /// Ordinary token: clones share one heap flag.
+    Shared(Arc<AtomicBool>),
+    /// Signal-backed token: reads the process-wide [`SIGNAL_CANCEL`] flag.
+    Signal,
+}
+
+/// A cheap, clonable handle for requesting a graceful stop. Clones share
+/// state: cancelling any clone cancels them all. The token is level-
+/// triggered and one-way — once cancelled it stays cancelled.
+#[derive(Clone, Debug)]
+pub struct CancelToken {
+    inner: TokenInner,
+}
+
+impl Default for CancelToken {
+    fn default() -> CancelToken {
+        CancelToken::new()
+    }
+}
+
+impl CancelToken {
+    /// A fresh, uncancelled token.
+    pub fn new() -> CancelToken {
+        CancelToken { inner: TokenInner::Shared(Arc::new(AtomicBool::new(false))) }
+    }
+
+    /// The token backed by the process-wide signal flag (what
+    /// [`install_signal_handlers`] hands out).
+    fn signal_backed() -> CancelToken {
+        CancelToken { inner: TokenInner::Signal }
+    }
+
+    /// Requests a graceful stop. Safe to call from any thread; the run
+    /// notices at its next supervision check.
+    pub fn cancel(&self) {
+        match &self.inner {
+            TokenInner::Shared(flag) => flag.store(true, Ordering::SeqCst),
+            TokenInner::Signal => SIGNAL_CANCEL.store(true, Ordering::SeqCst),
+        }
+    }
+
+    /// Whether a stop has been requested.
+    pub fn is_cancelled(&self) -> bool {
+        match &self.inner {
+            TokenInner::Shared(flag) => flag.load(Ordering::SeqCst),
+            TokenInner::Signal => SIGNAL_CANCEL.load(Ordering::SeqCst),
+        }
+    }
+}
+
+/// Supervision limits of one run, carried in
+/// [`FlowConfig::supervise`](crate::FlowConfig::supervise). The default
+/// imposes nothing: no deadline, no iteration budget, a token nobody
+/// cancels.
+#[derive(Clone, Debug, Default)]
+pub struct SuperviseConfig {
+    /// Wall-clock budget for the whole run, measured from `Flow::run`
+    /// entry. `None` = unlimited.
+    pub deadline: Option<Duration>,
+    /// Maximum applied LACs before the run stops early (distinct from
+    /// [`FlowConfig::max_lacs`](crate::FlowConfig::max_lacs): this one is
+    /// a supervision limit, excluded from journal fingerprints, so a
+    /// budgeted run can be resumed without it). `None` = unlimited.
+    pub max_iters: Option<usize>,
+    /// External cancellation handle.
+    pub cancel: CancelToken,
+}
+
+/// The per-run supervision state: the configured limits plus the clock
+/// they are measured against. Built once at `Flow::run` entry and polled
+/// at loop boundaries via [`RunGovernor::check`].
+#[derive(Debug)]
+pub struct RunGovernor {
+    deadline: Option<Instant>,
+    deadline_limit: Duration,
+    max_iters: Option<usize>,
+    cancel: CancelToken,
+    started: Instant,
+}
+
+impl RunGovernor {
+    /// Starts governing a run under `cfg`, with the clock starting now.
+    pub fn new(cfg: &SuperviseConfig) -> RunGovernor {
+        let started = Instant::now();
+        RunGovernor {
+            deadline: cfg.deadline.map(|d| started + d),
+            deadline_limit: cfg.deadline.unwrap_or(Duration::ZERO),
+            max_iters: cfg.max_iters,
+            cancel: cfg.cancel.clone(),
+            started,
+        }
+    }
+
+    /// Polls every limit; `iterations` is the number of LACs applied so
+    /// far. Returns the first tripped limit (cancellation wins over the
+    /// deadline, the deadline over the iteration budget), or `None` while
+    /// the run may continue.
+    pub fn check(&self, iterations: usize) -> Option<StopReason> {
+        if self.cancel.is_cancelled() {
+            return Some(StopReason::Cancelled);
+        }
+        if let Some(deadline) = self.deadline {
+            if Instant::now() >= deadline {
+                return Some(StopReason::Deadline { limit: self.deadline_limit });
+            }
+        }
+        if let Some(limit) = self.max_iters {
+            if iterations >= limit {
+                return Some(StopReason::IterLimit { limit });
+            }
+        }
+        None
+    }
+
+    /// Whether a cancellation (only) has been requested — used by the
+    /// test-only checkpoint hold, which must keep waiting under a
+    /// deadline but wake on a signal.
+    pub fn cancel_requested(&self) -> bool {
+        self.cancel.is_cancelled()
+    }
+
+    /// Forces the deadline to trip at the next [`RunGovernor::check`]
+    /// (fault injection: exercises the graceful-deadline path without
+    /// wall-clock dependence).
+    pub fn force_deadline(&mut self) {
+        self.deadline = Some(self.started);
+    }
+
+    /// Time elapsed since the governor (and thus the run) started.
+    pub fn elapsed(&self) -> Duration {
+        self.started.elapsed()
+    }
+}
+
+/// Derives the final [`StopReason`] of a loop that ended without a
+/// governor trip: the `max_lacs` cap if the iteration count reached it,
+/// natural convergence otherwise.
+pub(crate) fn natural_stop(iterations: usize, max_lacs: usize) -> StopReason {
+    if iterations >= max_lacs {
+        StopReason::LacLimit { limit: max_lacs }
+    } else {
+        StopReason::Converged
+    }
+}
+
+/// The 1-based checkpoint index to hold at, from
+/// [`HOLD_AT_CHECKPOINT_ENV`] (tests only; `None` in normal runs).
+pub(crate) fn hold_at_checkpoint() -> Option<usize> {
+    std::env::var(HOLD_AT_CHECKPOINT_ENV).ok().and_then(|v| v.trim().parse::<usize>().ok())
+}
+
+// ---------------------------------------------------------------------------
+// signal wiring (CLI): minimal sigaction shim, no external dependencies
+// ---------------------------------------------------------------------------
+
+/// Installs SIGINT/SIGTERM handlers and returns the cancel token they
+/// trip. The handler is async-signal-safe (one atomic swap): the first
+/// signal requests a graceful stop through the returned token; a second
+/// signal exits the process immediately with status `128 + signo`.
+/// Installation is best-effort — on unsupported platforms (or if the
+/// `sigaction` call fails) the returned token simply never fires from a
+/// signal, and can still be cancelled programmatically.
+pub fn install_signal_handlers() -> CancelToken {
+    platform::install();
+    CancelToken::signal_backed()
+}
+
+/// The handler body shared by every platform shim.
+extern "C" fn on_signal(signo: i32) {
+    if SIGNAL_CANCEL.swap(true, Ordering::SeqCst) {
+        // Second signal: the user insists. `_exit` is async-signal-safe
+        // (no atexit handlers, no unwinding through arbitrary frames).
+        extern "C" {
+            fn _exit(status: i32) -> !;
+        }
+        unsafe { _exit(128 + signo) }
+    }
+}
+
+#[cfg(target_os = "linux")]
+mod platform {
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+    /// Restart interrupted syscalls so a graceful stop does not turn
+    /// in-flight journal writes into spurious EINTR failures.
+    const SA_RESTART: i32 = 0x1000_0000;
+
+    /// glibc's `struct sigaction` on Linux: handler pointer, a 1024-bit
+    /// signal mask, flags, restorer. `repr(C)` reproduces the 4-byte
+    /// padding between `flags` and `restorer`.
+    #[repr(C)]
+    struct SigAction {
+        handler: usize,
+        mask: [u64; 16],
+        flags: i32,
+        restorer: usize,
+    }
+
+    extern "C" {
+        fn sigaction(signum: i32, act: *const SigAction, oldact: *mut SigAction) -> i32;
+    }
+
+    pub(super) fn install() {
+        let act = SigAction {
+            handler: super::on_signal as *const () as usize,
+            mask: [0; 16],
+            flags: SA_RESTART,
+            restorer: 0,
+        };
+        for sig in [SIGINT, SIGTERM] {
+            // Best-effort: a failure leaves the default disposition.
+            unsafe {
+                sigaction(sig, &act, std::ptr::null_mut());
+            }
+        }
+    }
+}
+
+#[cfg(all(unix, not(target_os = "linux")))]
+mod platform {
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+
+    pub(super) fn install() {
+        for sig in [SIGINT, SIGTERM] {
+            unsafe {
+                signal(sig, super::on_signal as *const () as usize);
+            }
+        }
+    }
+}
+
+#[cfg(not(unix))]
+mod platform {
+    pub(super) fn install() {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn token_clones_share_state() {
+        let t = CancelToken::new();
+        let c = t.clone();
+        assert!(!t.is_cancelled());
+        c.cancel();
+        assert!(t.is_cancelled(), "cancelling a clone cancels the original");
+    }
+
+    #[test]
+    fn governor_imposes_nothing_by_default() {
+        let gov = RunGovernor::new(&SuperviseConfig::default());
+        assert_eq!(gov.check(0), None);
+        assert_eq!(gov.check(1_000_000), None);
+    }
+
+    #[test]
+    fn iteration_budget_trips_at_the_limit() {
+        let cfg = SuperviseConfig { max_iters: Some(3), ..SuperviseConfig::default() };
+        let gov = RunGovernor::new(&cfg);
+        assert_eq!(gov.check(2), None);
+        assert_eq!(gov.check(3), Some(StopReason::IterLimit { limit: 3 }));
+        assert_eq!(gov.check(4), Some(StopReason::IterLimit { limit: 3 }));
+    }
+
+    #[test]
+    fn cancellation_wins_over_other_limits() {
+        let cfg = SuperviseConfig { max_iters: Some(0), ..SuperviseConfig::default() };
+        cfg.cancel.cancel();
+        let gov = RunGovernor::new(&cfg);
+        assert_eq!(gov.check(10), Some(StopReason::Cancelled));
+    }
+
+    #[test]
+    fn elapsed_deadline_trips() {
+        let cfg = SuperviseConfig { deadline: Some(Duration::ZERO), ..SuperviseConfig::default() };
+        let gov = RunGovernor::new(&cfg);
+        assert_eq!(gov.check(0), Some(StopReason::Deadline { limit: Duration::ZERO }));
+    }
+
+    #[test]
+    fn forced_deadline_trips_without_waiting() {
+        let cfg = SuperviseConfig {
+            deadline: Some(Duration::from_secs(3600)),
+            ..SuperviseConfig::default()
+        };
+        let mut gov = RunGovernor::new(&cfg);
+        assert_eq!(gov.check(0), None);
+        gov.force_deadline();
+        assert!(matches!(gov.check(0), Some(StopReason::Deadline { .. })));
+    }
+
+    #[test]
+    fn natural_stop_distinguishes_cap_from_convergence() {
+        assert_eq!(natural_stop(5, 100), StopReason::Converged);
+        assert_eq!(natural_stop(100, 100), StopReason::LacLimit { limit: 100 });
+    }
+
+    #[test]
+    fn preemption_classification() {
+        assert!(!StopReason::Converged.is_preemption());
+        assert!(!StopReason::LacLimit { limit: 1 }.is_preemption());
+        assert!(StopReason::IterLimit { limit: 1 }.is_preemption());
+        assert!(StopReason::Deadline { limit: Duration::from_secs(1) }.is_preemption());
+        assert!(StopReason::Cancelled.is_preemption());
+    }
+
+    #[test]
+    fn stop_reasons_display_helpfully() {
+        assert!(StopReason::Converged.to_string().contains("converged"));
+        assert!(StopReason::Deadline { limit: Duration::from_secs(2) }
+            .to_string()
+            .contains("deadline"));
+        assert!(StopReason::IterLimit { limit: 7 }.to_string().contains("7"));
+        assert!(StopReason::LacLimit { limit: 9 }.to_string().contains("9"));
+        assert!(StopReason::Cancelled.to_string().contains("cancelled"));
+    }
+}

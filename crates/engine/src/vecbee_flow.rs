@@ -8,6 +8,7 @@ use crate::error::EngineError;
 use crate::flow::Flow;
 use crate::guard::BudgetGuard;
 use crate::report::{FlowResult, IterationRecord, Phase};
+use crate::supervisor::{self, RunGovernor, StopReason};
 
 /// The fastest, least accurate VECBEE configuration: the CPM is built from
 /// direct fanouts only (no cut computation at all), so step 1 vanishes and
@@ -54,8 +55,14 @@ impl Flow for VecbeeDepthOneFlow {
         let mut iterations = Vec::new();
         let mut first_ranking = Vec::new();
         let mut analyses = 0usize;
+        let gov = RunGovernor::new(&cfg.supervise);
+        let mut tripped: Option<StopReason> = None;
 
         'outer: while iterations.len() < cfg.max_lacs {
+            if let Some(reason) = gov.check(iterations.len()) {
+                tripped = Some(reason);
+                break 'outer;
+            }
             let _iter_span = ctx.obs().span("iteration");
             let _phase_span = ctx.obs().span("phase1");
             // Step 2 (no step 1): depth-one CPM.
@@ -69,6 +76,10 @@ impl Flow for VecbeeDepthOneFlow {
             let span = ctx.obs().span("eval");
             let lacs = als_lac::generate(&ctx.aig, &ctx.sim, &cfg.lac, None);
             ctx.times.eval += span.finish();
+            if let Some(reason) = gov.check(iterations.len()) {
+                tripped = Some(reason);
+                break 'outer;
+            }
             let mut evals = ctx.evaluate_lacs(&cpm, &lacs)?;
             analyses += 1;
             if first_ranking.is_empty() {
@@ -90,6 +101,10 @@ impl Flow for VecbeeDepthOneFlow {
             let mut applied = false;
             let mut rollbacks = 0;
             for cand in evals.iter().take(self.validate_limit) {
+                if let Some(reason) = gov.check(iterations.len()) {
+                    tripped = Some(reason);
+                    break 'outer;
+                }
                 let span = ctx.obs().span("eval");
                 let exact = ctx.exact_error_of(&cand.lac);
                 ctx.times.eval += span.finish();
@@ -116,6 +131,11 @@ impl Flow for VecbeeDepthOneFlow {
             }
         }
 
+        let stop = match tripped {
+            Some(reason) => reason,
+            None => supervisor::natural_stop(iterations.len(), cfg.max_lacs),
+        };
+        ctx.metrics.note_stop(&stop, gov.elapsed());
         Ok(FlowResult {
             flow: self.name().to_string(),
             final_error: guard.final_error(&ctx),
@@ -129,6 +149,7 @@ impl Flow for VecbeeDepthOneFlow {
             comprehensive_time: ctx.elapsed(),
             incremental_time: std::time::Duration::ZERO,
             guard: guard.stats(),
+            stop,
             circuit: ctx.aig,
         })
     }

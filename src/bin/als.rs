@@ -17,12 +17,19 @@
 //! --patterns N   --seed S   --threads T   --full
 //! --strict           re-validate every commit on an independent pattern set
 //! --max-retries N    rollbacks allowed per selection before giving up
+//! --timeout SECS     stop gracefully after a wall-clock deadline
+//! --max-iters N      stop gracefully after N applied LACs
 //! --journal <path>   journal every committed iteration (dp/dpsa only)
 //! --resume <path>    resume a crashed run from its journal (dp/dpsa only)
 //! --trace <path>     write a JSONL span trace of the run
 //! --metrics <path>   write Prometheus text metrics at exit
 //! --tree             print the aggregated span tree to stderr at exit
 //! ```
+//!
+//! A run stopped early — by `--timeout`, `--max-iters`, SIGINT or SIGTERM —
+//! still writes its best-so-far result and exits with code 3 (a second
+//! signal aborts immediately). Exit codes: 0 completed, 3 stopped early
+//! with a valid result, 1 error.
 
 use std::fs::File;
 use std::io::{BufReader, BufWriter};
@@ -86,6 +93,8 @@ struct SynthOpts {
     full: bool,
     strict: bool,
     max_retries: Option<usize>,
+    timeout: Option<std::time::Duration>,
+    max_iters: Option<usize>,
     journal: Option<String>,
     resume: Option<String>,
     output: Option<String>,
@@ -94,7 +103,14 @@ struct SynthOpts {
     tree: bool,
 }
 
-fn run() -> Result<(), String> {
+/// How a `synth` run ended: normally, or preempted with a best-so-far
+/// result that is still valid and already written out.
+enum Outcome {
+    Completed,
+    Stopped(StopReason),
+}
+
+fn run() -> Result<Outcome, String> {
     let mut args = std::env::args().skip(1);
     let cmd = args.next().unwrap_or_else(|| "help".to_string());
     match cmd.as_str() {
@@ -102,7 +118,7 @@ fn run() -> Result<(), String> {
             for name in benchmark_names() {
                 println!("{name}");
             }
-            Ok(())
+            Ok(Outcome::Completed)
         }
         "stats" => {
             let target = args.next().ok_or("usage: als stats <circuit> [--full]")?;
@@ -117,7 +133,7 @@ fn run() -> Result<(), String> {
                 }
             }
             stats(&load(&target, full)?);
-            Ok(())
+            Ok(Outcome::Completed)
         }
         "convert" => {
             let input = args.next().ok_or("usage: als convert <in> -o <out>")?;
@@ -135,7 +151,7 @@ fn run() -> Result<(), String> {
             let aig = load(&input, false)?;
             save(&aig, &output)?;
             println!("wrote {output}");
-            Ok(())
+            Ok(Outcome::Completed)
         }
         "synth" => {
             let target = args.next().ok_or("usage: als synth <circuit> [options]")?;
@@ -152,6 +168,8 @@ fn run() -> Result<(), String> {
                 full: false,
                 strict: false,
                 max_retries: None,
+                timeout: None,
+                max_iters: None,
                 journal: None,
                 resume: None,
                 output: None,
@@ -188,6 +206,16 @@ fn run() -> Result<(), String> {
                         o.max_retries =
                             Some(value("--max-retries")?.parse().map_err(|_| "bad --max-retries")?)
                     }
+                    "--timeout" => {
+                        let secs: f64 = value("--timeout")?.parse().map_err(|_| "bad --timeout")?;
+                        let limit = std::time::Duration::try_from_secs_f64(secs)
+                            .map_err(|_| "bad --timeout (must be a non-negative duration)")?;
+                        o.timeout = Some(limit);
+                    }
+                    "--max-iters" => {
+                        o.max_iters =
+                            Some(value("--max-iters")?.parse().map_err(|_| "bad --max-iters")?)
+                    }
                     "--journal" => o.journal = Some(value("--journal")?.to_string()),
                     "--resume" => o.resume = Some(value("--resume")?.to_string()),
                     "--trace" => o.trace = Some(value("--trace")?.to_string()),
@@ -206,29 +234,10 @@ fn run() -> Result<(), String> {
                     r * r
                 }
             });
-            // --threads beats the ALS_THREADS environment default baked
-            // into FlowConfig::new; unset, the default stands.
-            let mut cfg =
-                FlowConfig::new(o.metric, bound).with_patterns(o.patterns).with_seed(o.seed);
-            if let Some(threads) = o.threads {
-                cfg = cfg.with_threads(threads);
-            }
-            if o.strict {
-                cfg = cfg.with_strict();
-            }
-            if let Some(retries) = o.max_retries {
-                cfg = cfg.with_max_retries(retries);
-            }
             if o.journal.is_some() && o.resume.is_some() {
                 return Err("--journal and --resume are mutually exclusive (resume keeps \
                             journaling to the same file)"
                     .into());
-            }
-            if let Some(path) = &o.journal {
-                cfg = cfg.with_journal(path);
-            }
-            if let Some(path) = &o.resume {
-                cfg = cfg.with_resume(path);
             }
             // One observability handle for the whole run: the flow, guard,
             // journal and worker pool all report through clones of it.
@@ -242,7 +251,35 @@ fn run() -> Result<(), String> {
             } else {
                 Obs::disabled()
             };
-            cfg = cfg.with_obs(obs.clone());
+            // --threads beats the ALS_THREADS environment default baked
+            // into FlowConfig::new; unset, the default stands.
+            let mut builder = FlowConfig::builder(o.metric, bound)
+                .patterns(o.patterns)
+                .seed(o.seed)
+                .cancel_token(dualphase_als::engine::install_signal_handlers())
+                .obs(obs.clone());
+            if let Some(threads) = o.threads {
+                builder = builder.threads(threads);
+            }
+            if o.strict {
+                builder = builder.strict();
+            }
+            if let Some(retries) = o.max_retries {
+                builder = builder.max_retries(retries);
+            }
+            if let Some(limit) = o.timeout {
+                builder = builder.timeout(limit);
+            }
+            if let Some(limit) = o.max_iters {
+                builder = builder.max_iters(limit);
+            }
+            if let Some(path) = &o.journal {
+                builder = builder.journal(path);
+            }
+            if let Some(path) = &o.resume {
+                builder = builder.resume(path);
+            }
+            let cfg = builder.build().map_err(|e| e.to_string())?;
             let flow = flows::by_name(&o.flow, cfg).map_err(|e| e.to_string())?;
             eprintln!(
                 "running {} on {} ({} gates), {} bound {bound:.4}",
@@ -281,7 +318,11 @@ fn run() -> Result<(), String> {
                 save(&res.circuit, &path)?;
                 println!("wrote {path}");
             }
-            Ok(())
+            if res.stop.is_preemption() {
+                Ok(Outcome::Stopped(res.stop))
+            } else {
+                Ok(Outcome::Completed)
+            }
         }
         _ => {
             eprintln!(
@@ -290,18 +331,27 @@ fn run() -> Result<(), String> {
                  als stats <circuit> [--full]\n  \
                  als synth <circuit> [--flow dpsa] [--metric med] [--bound X] \
                  [--patterns N] [--seed S] [--threads T] [--full] [--strict] \
-                 [--max-retries N] [--journal p|--resume p] \
-                 [--trace p.jsonl] [--metrics p.prom] [--tree] [-o out.aag]\n  \
+                 [--max-retries N] [--timeout SECS] [--max-iters N] \
+                 [--journal p|--resume p] \
+                 [--trace p.jsonl] [--metrics p.prom] [--tree] [-o out.aag]\n\
+                 \n  synth stops gracefully on --timeout/--max-iters/SIGINT/SIGTERM and\n  \
+                 exits 3 with a valid best-so-far result (0 completed, 1 error).\n  \
                  als convert <in.aag> -o <out.aag|out.aig|out.v>"
             );
-            Ok(())
+            Ok(Outcome::Completed)
         }
     }
 }
 
 fn main() -> ExitCode {
     match run() {
-        Ok(()) => ExitCode::SUCCESS,
+        Ok(Outcome::Completed) => ExitCode::SUCCESS,
+        // Distinct from both success and failure: the run was preempted but
+        // still produced (and wrote) a valid best-so-far circuit.
+        Ok(Outcome::Stopped(reason)) => {
+            eprintln!("stopped early: {reason} (result is best-so-far, still within the bound)");
+            ExitCode::from(3)
+        }
         Err(e) => {
             eprintln!("error: {e}");
             ExitCode::FAILURE

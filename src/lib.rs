@@ -60,8 +60,8 @@ pub mod prelude {
     pub use crate::aig::Aig;
     pub use crate::engine::flows;
     pub use crate::engine::{
-        by_name, ConfigError, EngineError, Flow, FlowConfig, FlowConfigBuilder, FlowResult,
-        StepTimes, FLOW_NAMES,
+        by_name, CancelToken, ConfigError, EngineError, Flow, FlowConfig, FlowConfigBuilder,
+        FlowResult, StepTimes, StopReason, SuperviseConfig, FLOW_NAMES,
     };
     pub use crate::error::MetricKind;
     pub use crate::obs::{Obs, ObsConfig};

@@ -175,6 +175,79 @@ fn journal_dir_sync_failure_is_a_typed_error_and_the_journal_stays_resumable() {
 }
 
 #[test]
+fn transient_journal_failures_are_retried_through() {
+    let aig = mult(3, 3);
+    let path = tmp("transient");
+    let clean_path = tmp("transient-clean");
+
+    let clean = DualPhaseFlow::new(cfg().with_journal(&clean_path)).run(&aig).unwrap();
+
+    // Two consecutive EINTR-class write failures: both inside the retry
+    // budget, so the run must succeed as if nothing happened.
+    let plan = FaultPlan::new().fail_journal_append_transient(2);
+    let res =
+        DualPhaseFlow::new(cfg().with_journal(&path).with_faults(plan.clone())).run(&aig).unwrap();
+    assert_eq!(plan.transient_failures_fired(), 2, "both transient faults must fire");
+    assert_eq!(res.stop, dualphase_als::engine::StopReason::Converged);
+    assert_eq!(res.final_error.to_bits(), clean.final_error.to_bits());
+    assert_eq!(
+        dualphase_als::aig::io::to_ascii_string(&res.circuit),
+        dualphase_als::aig::io::to_ascii_string(&clean.circuit),
+        "retried writes changed the result"
+    );
+
+    // The journal is complete: it replays to the same final circuit.
+    let loaded = journal::load(&path).unwrap();
+    assert!(!loaded.torn_tail);
+    let clean_journal = journal::load(&clean_path).unwrap();
+    assert_eq!(loaded.records.len(), clean_journal.records.len());
+    std::fs::remove_file(&path).ok();
+    std::fs::remove_file(&clean_path).ok();
+}
+
+#[test]
+fn tripped_deadline_stops_gracefully_mid_iteration() {
+    let aig = mult(3, 3);
+    let path = tmp("deadline");
+
+    // Force the governor's deadline to expire at round 1 of phase two:
+    // the run must stop gracefully with a best-so-far circuit and a
+    // sealed, resumable journal — not an error.
+    let plan = FaultPlan::new().trip_deadline_at_round(1);
+    let res =
+        DualPhaseFlow::new(cfg().with_journal(&path).with_faults(plan.clone())).run(&aig).unwrap();
+    assert_eq!(plan.deadline_trips_fired(), 1, "the deadline trip never fired");
+    assert!(
+        matches!(res.stop, dualphase_als::engine::StopReason::Deadline { .. }),
+        "wanted Deadline, got: {:?}",
+        res.stop
+    );
+    assert!(res.final_error <= 2.0 + 1e-9, "bound violated: {}", res.final_error);
+    dualphase_als::aig::check::check(&res.circuit).unwrap();
+
+    // The journal is sealed with a Preempt record on a clean boundary.
+    let loaded = journal::load(&path).unwrap();
+    assert!(!loaded.torn_tail, "a graceful stop must never tear the journal");
+    assert!(
+        matches!(loaded.records.last(), Some(journal::Record::Preempt(_))),
+        "a preempted journal must end in a Preempt record"
+    );
+
+    // Resuming without the fault finishes the run and converges to the
+    // clean result.
+    let resumed = DualPhaseFlow::new(cfg().with_resume(&path)).run(&aig).unwrap();
+    let clean = DualPhaseFlow::new(cfg()).run(&aig).unwrap();
+    assert_eq!(resumed.stop, dualphase_als::engine::StopReason::Converged);
+    assert_eq!(resumed.final_error.to_bits(), clean.final_error.to_bits());
+    assert_eq!(
+        dualphase_als::aig::io::to_ascii_string(&resumed.circuit),
+        dualphase_als::aig::io::to_ascii_string(&clean.circuit),
+        "resume after a graceful preemption diverged"
+    );
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
 fn unarmed_plan_is_inert() {
     let plan = FaultPlan::new();
     let sab = DualPhaseFlow::new(cfg().with_faults(plan.clone())).run(&mult(3, 3)).unwrap();
@@ -183,6 +256,8 @@ fn unarmed_plan_is_inert() {
     assert_eq!(plan.overshoots_fired(), 0);
     assert_eq!(plan.corruptions_fired(), 0);
     assert_eq!(plan.journal_failures_fired(), 0);
+    assert_eq!(plan.transient_failures_fired(), 0);
+    assert_eq!(plan.deadline_trips_fired(), 0);
     assert_eq!(
         dualphase_als::aig::io::to_ascii_string(&sab.circuit),
         dualphase_als::aig::io::to_ascii_string(&clean.circuit)

@@ -77,19 +77,25 @@ fn strict_guard_holds_the_budget_under_adversarial_sampling() {
     assert!(recorded <= res.guard.rollbacks);
 }
 
+// Corruption is injected through the fault plan, which is compiled in only
+// with the `fault-inject` feature (the chaos build used by CI).
+#[cfg(feature = "fault-inject")]
 #[test]
 fn corrupted_incremental_state_falls_back_to_comprehensive_analysis() {
+    use dualphase_als::engine::faultplan::FaultPlan;
+
     let original = mult(3, 3);
-    let mut cfg = FlowConfig::new(MetricKind::Med, 2.0).with_patterns(256).with_seed(7);
-    cfg.guard.corrupt_after_round = Some(1);
-    let res = DualPhaseFlow::new(cfg.clone()).run(&original).unwrap();
+    let cfg = FlowConfig::new(MetricKind::Med, 2.0).with_patterns(256).with_seed(7);
+    let res =
+        DualPhaseFlow::new(cfg.clone().with_faults(FaultPlan::new().corrupt_cuts_after_round(1)))
+            .run(&original)
+            .unwrap();
     assert!(res.guard.fallbacks >= 1, "the corruption was never detected");
     assert!(res.final_error <= 2.0 + 1e-9);
     dualphase_als::aig::check::check(&res.circuit).unwrap();
 
     // Despite the mid-run corruption, quality stays within tolerance of
     // the conventional (always-comprehensive) flow.
-    cfg.guard.corrupt_after_round = None;
     let conv = ConventionalFlow::new(cfg).run(&original).unwrap();
     let diff = res.final_nodes() as i64 - conv.final_nodes() as i64;
     assert!(

@@ -84,6 +84,9 @@ fn assert_same_journal(a: &journal::LoadedJournal, b: &journal::LoadedJournal, w
                 y.step_nanos = [0; 4];
                 assert_eq!(format!("{x:?}"), format!("{y:?}"), "{what}: commit {i}");
             }
+            (journal::Record::Preempt(x), journal::Record::Preempt(y)) => {
+                assert_eq!(format!("{x:?}"), format!("{y:?}"), "{what}: preempt {i}");
+            }
             _ => panic!("{what}: record {i} kinds differ"),
         }
     }
@@ -264,6 +267,124 @@ fn killed_subprocess_resumes_to_an_identical_circuit() {
     assert_eq!(full, resumed, "resumed circuit differs from the uninterrupted run");
 
     for p in [&journal_path, &full_out, &resumed_out] {
+        std::fs::remove_file(p).ok();
+    }
+}
+
+/// SIGTERM a real `als` process mid-run: it must exit with the
+/// stopped-early code (3), leave a cleanly sealed journal whose last
+/// record is a `Preempt` on a record boundary, and `--resume` must finish
+/// the run byte-identically — at 1 thread and at 4.
+///
+/// The `ALS_HOLD_AT_CHECKPOINT` hook parks the child right after its 2nd
+/// checkpoint is durable, giving the test a deterministic window to
+/// deliver the signal; the hold loop itself watches the cancel token, so
+/// the wakeup and the graceful stop are the same code path as a real
+/// mid-run signal.
+#[test]
+fn sigterm_preempts_gracefully_and_resume_is_byte_identical() {
+    let als = env!("CARGO_BIN_EXE_als");
+    let dir = std::env::temp_dir();
+    let pid = std::process::id();
+    let ref_journal = dir.join(format!("als-term-{pid}-ref.alsj"));
+    let term_journal = dir.join(format!("als-term-{pid}.alsj"));
+    let full_out = dir.join(format!("als-term-{pid}-full.aag"));
+    let synth = [
+        "synth",
+        "adder",
+        "--flow",
+        "dpsa",
+        "--metric",
+        "med",
+        "--bound",
+        "4.0",
+        "--patterns",
+        "1024",
+    ];
+
+    // uninterrupted journaled reference run
+    let st = Command::new(als)
+        .args(synth)
+        .args(["--journal", ref_journal.to_str().unwrap()])
+        .args(["-o", full_out.to_str().unwrap()])
+        .status()
+        .unwrap();
+    assert!(st.success());
+    let reference = journal::load(&ref_journal).unwrap();
+
+    // journaled run that parks itself once its 2nd checkpoint is on disk
+    let mut child = Command::new(als)
+        .args(synth)
+        .args(["--journal", term_journal.to_str().unwrap()])
+        .env("ALS_HOLD_AT_CHECKPOINT", "2")
+        .spawn()
+        .unwrap();
+
+    // wait for the 2nd checkpoint to become durable, then deliver SIGTERM
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(30);
+    loop {
+        assert!(std::time::Instant::now() < deadline, "child never reached its 2nd checkpoint");
+        if let Ok(j) = journal::load(&term_journal) {
+            let checkpoints =
+                j.records.iter().filter(|r| matches!(r, journal::Record::Checkpoint(_))).count();
+            if checkpoints >= 2 {
+                break;
+            }
+        }
+        std::thread::sleep(std::time::Duration::from_millis(20));
+    }
+    let st = Command::new("kill").args(["-TERM", &child.id().to_string()]).status().unwrap();
+    assert!(st.success(), "kill -TERM failed");
+    let st = child.wait().unwrap();
+    assert_eq!(st.code(), Some(3), "a preempted run must exit with the stopped-early code");
+
+    // the journal is sealed on a record boundary with a trailing Preempt,
+    // and everything before it is a prefix of the uninterrupted journal
+    let loaded = journal::load(&term_journal).unwrap();
+    assert!(!loaded.torn_tail, "a graceful stop must never tear the journal");
+    assert!(
+        matches!(loaded.records.last(), Some(journal::Record::Preempt(_))),
+        "a preempted journal must end in a Preempt record"
+    );
+    let prefix = &loaded.records[..loaded.records.len() - 1];
+    assert!(!prefix.is_empty() && prefix.len() <= reference.records.len());
+    for (i, (got, want)) in prefix.iter().zip(&reference.records).enumerate() {
+        match (got, want) {
+            (journal::Record::Checkpoint(x), journal::Record::Checkpoint(y)) => {
+                assert_eq!(format!("{x:?}"), format!("{y:?}"), "checkpoint {i}");
+            }
+            (journal::Record::Commit(x), journal::Record::Commit(y)) => {
+                let (mut x, mut y) = (x.clone(), y.clone());
+                x.step_nanos = [0; 4];
+                y.step_nanos = [0; 4];
+                assert_eq!(format!("{x:?}"), format!("{y:?}"), "commit {i}");
+            }
+            _ => panic!("record {i}: kinds diverge from the reference journal"),
+        }
+    }
+
+    // resuming the preempted journal finishes the run byte-identically,
+    // serially and on 4 threads (threads are outside the fingerprint)
+    for threads in [1usize, 4] {
+        let resume_journal = dir.join(format!("als-term-{pid}-resume{threads}.alsj"));
+        let resumed_out = dir.join(format!("als-term-{pid}-resume{threads}.aag"));
+        std::fs::copy(&term_journal, &resume_journal).unwrap();
+        let st = Command::new(als)
+            .args(synth)
+            .args(["--resume", resume_journal.to_str().unwrap()])
+            .args(["--threads", &threads.to_string()])
+            .args(["-o", resumed_out.to_str().unwrap()])
+            .status()
+            .unwrap();
+        assert!(st.success(), "resume at {threads} threads failed");
+        let full = std::fs::read(&full_out).unwrap();
+        let resumed = std::fs::read(&resumed_out).unwrap();
+        assert_eq!(full, resumed, "resume at {threads} threads diverged from the full run");
+        std::fs::remove_file(&resume_journal).ok();
+        std::fs::remove_file(&resumed_out).ok();
+    }
+
+    for p in [&ref_journal, &term_journal, &full_out] {
         std::fs::remove_file(p).ok();
     }
 }
