@@ -8,6 +8,13 @@
 //! default 4) and the parallel result is asserted bit-identical to the
 //! serial one before any number is reported.
 //!
+//! The N-thread pool runs under the adaptive scheduler with an attached
+//! metrics registry, so the report also records how the cost model decided
+//! each region (parallel / serial / floor), how many chunks were stolen,
+//! and the mean predicted-vs-actual error of the regions that fanned out —
+//! the evidence that a regression (or a host too small to parallelize on)
+//! is a scheduling decision, not silent overhead.
+//!
 //! Like the criterion-shim benches, the binary is inert without the
 //! `--bench` argument `cargo bench` passes, so `cargo test` treats it as a
 //! no-op. The output path defaults to `<repo root>/BENCH_parallel.json` and
@@ -18,20 +25,28 @@ use std::time::Instant;
 use als_circuits::{benchmark, BenchmarkScale};
 use als_cpm::compute_full_with;
 use als_cuts::CutState;
-use als_par::WorkerPool;
+use als_obs::{Obs, ObsConfig};
+use als_par::{SchedConfig, WorkerPool};
 use als_sim::{PatternSet, Simulator};
 
 const PATTERN_WORDS: usize = 32; // 2048 Monte-Carlo patterns
-const RUNS: usize = 3;
+const RUNS: usize = 7;
 
 /// Best-of-`RUNS` wall time of `f` in milliseconds (after one warmup).
+/// Sub-millisecond steps repeat until ~2ms of samples accumulate so a
+/// single clock-granularity blip cannot skew the reported best.
 fn time_ms<R>(mut f: impl FnMut() -> R) -> (R, f64) {
     let result = f(); // warmup; also the value handed back for checking
     let mut best = f64::INFINITY;
-    for _ in 0..RUNS {
+    let mut spent = 0.0;
+    let mut runs = 0;
+    while runs < RUNS || (spent < 2.0 && runs < 64) {
         let t0 = Instant::now();
         std::hint::black_box(f());
-        best = best.min(t0.elapsed().as_secs_f64() * 1e3);
+        let ms = t0.elapsed().as_secs_f64() * 1e3;
+        best = best.min(ms);
+        spent += ms;
+        runs += 1;
     }
     (result, best)
 }
@@ -70,7 +85,10 @@ fn main() {
         .unwrap_or(4);
     let host_threads = std::thread::available_parallelism().map_or(1, |n| n.get());
     let serial = WorkerPool::new(1);
-    let pool = WorkerPool::new(threads);
+    // The parallel pool honours ALS_SCHED (adaptive by default) and feeds
+    // its cutover decisions into a private registry read back at the end.
+    let obs = Obs::new(ObsConfig::default()).expect("in-memory metrics registry");
+    let pool = WorkerPool::with_config(threads, SchedConfig::from_env()).with_obs(&obs);
 
     let mut circuit_rows: Vec<String> = Vec::new();
     let mut step12 = Vec::new();
@@ -128,6 +146,20 @@ fn main() {
     }
 
     let geomean = (step12.iter().map(|s| s.ln()).sum::<f64>() / step12.len() as f64).exp();
+    let cutover_parallel = obs.counter("als_sched_cutover_parallel_total", "").get();
+    let cutover_serial = obs.counter("als_sched_cutover_serial_total", "").get();
+    let cutover_floor = obs.counter("als_sched_cutover_floor_total", "").get();
+    let steals = obs.counter("als_sched_steals_total", "").get();
+    let pred_err = obs.histogram("als_sched_pred_err_pct", "");
+    let mean_pred_err = if pred_err.count() > 0 {
+        format!("{:.1}", pred_err.sum() as f64 / pred_err.count() as f64)
+    } else {
+        "null".to_string()
+    };
+    println!(
+        "bench: sched decisions parallel {cutover_parallel} serial {cutover_serial} \
+         floor {cutover_floor} | steals {steals} | mean pred err {mean_pred_err}%"
+    );
     let note = if host_threads < threads {
         format!(
             "\n  \"note\": \"host exposes only {host_threads} hardware thread(s); \
@@ -140,6 +172,9 @@ fn main() {
     let json = format!(
         "{{\n  \"threads\": {threads},\n  \"host_threads\": {host_threads},{note}\n  \
          \"pattern_words\": {PATTERN_WORDS},\n  \"geomean_speedup_steps_1_2\": {geomean:.3},\n  \
+         \"sched\": {{\n    \"cutover_parallel\": {cutover_parallel},\n    \
+         \"cutover_serial\": {cutover_serial},\n    \"cutover_floor\": {cutover_floor},\n    \
+         \"steals\": {steals},\n    \"mean_pred_err_pct\": {mean_pred_err}\n  }},\n  \
          \"circuits\": [\n{}\n  ]\n}}\n",
         circuit_rows.join(",\n")
     );

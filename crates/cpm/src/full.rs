@@ -2,7 +2,7 @@
 
 use als_aig::{Aig, NodeId};
 use als_cuts::{CutMember, CutState, DisjointCut};
-use als_par::WorkerPool;
+use als_par::{RegionHandle, RegionSpec, WorkerPool, WorkerScratch};
 use als_sim::Simulator;
 
 use crate::error::CpmError;
@@ -87,10 +87,14 @@ pub fn compute_for_set(
 /// Eq. (1) makes a node's row depend only on the rows of its cut's node
 /// members, not on topological adjacency, so the reverse-topological sweep
 /// regroups into level-synchronous waves: `wave(n) = 1 + max(wave(t))` over
-/// node members `t` (0 with none). All rows of a wave read only rows from
-/// strictly earlier waves, so a wave fans out across workers — each with
-/// its own [`FlipSim`] scratch — and the rows are installed after the join.
-/// Chunk-ordered joins and the pure row computation make the result
+/// node members `t` (0 with none). The partition is not re-derived here —
+/// [`CutState`] maintains the per-node wave incrementally across edits and
+/// caches the full-sweep schedule ([`CutState::full_plan`]), so the
+/// per-iteration sweep starts filling rows immediately. Per wave the
+/// pool's scheduler decides serial vs parallel; parallel waves fan out
+/// across workers — each with its own persistent [`FlipSim`]/[`RowData`]
+/// scratch, reused across waves — and the rows are installed after the
+/// join. Chunk-ordered joins and the pure row computation make the result
 /// byte-identical to the serial sweep at any thread count.
 pub fn compute_for_set_with(
     aig: &Aig,
@@ -99,69 +103,118 @@ pub fn compute_for_set_with(
     include: Option<&[bool]>,
     pool: &WorkerPool,
 ) -> Result<Cpm, CpmError> {
+    match include {
+        None => {
+            let plan = cuts.full_plan(aig).map_err(|node| CpmError::MissingCut { node })?;
+            let mut cpm = Cpm::new(aig.num_nodes(), sim.num_words());
+            let mut fill = WaveFill::new(aig, sim, cuts, pool);
+            for wv in plan.waves() {
+                fill.fill(&mut cpm, wv)?;
+            }
+            Ok(cpm)
+        }
+        Some(inc) => {
+            let nodes: Vec<NodeId> =
+                aig.iter_live().filter(|n| inc.get(n.index()).copied().unwrap_or(false)).collect();
+            compute_for_nodes_with(aig, sim, cuts, &nodes, pool)
+        }
+    }
+}
+
+/// Computes exact CPM rows for exactly `nodes` (which must be closed under
+/// disjoint-cut node membership, in any order).
+///
+/// The nodes are bucketed by their [`CutState`]-maintained waves — a
+/// member's full-graph wave is strictly below its dependent's, so the
+/// full-graph waves schedule any member-closed subset correctly — and each
+/// bucket is filled through the pool's scheduler like the full sweep.
+pub fn compute_for_nodes_with(
+    aig: &Aig,
+    sim: &Simulator,
+    cuts: &CutState,
+    nodes: &[NodeId],
+    pool: &WorkerPool,
+) -> Result<Cpm, CpmError> {
+    let ranks = cuts.ranks();
+    let mut scheduled: Vec<(u32, u32, NodeId)> = Vec::with_capacity(nodes.len());
+    for &n in nodes {
+        let wave = cuts.cpm_wave(n).ok_or(CpmError::MissingCut { node: n })?;
+        scheduled.push((wave, u32::MAX - ranks[n.index()], n));
+    }
+    // Wave ascending, rank descending within a wave (reverse topological,
+    // matching the full sweep's within-wave order).
+    scheduled.sort_unstable_by_key(|e| (e.0, e.1));
     let mut cpm = Cpm::new(aig.num_nodes(), sim.num_words());
-    let order = als_aig::topo::topo_order(aig);
-    if pool.is_serial() {
-        let mut flipsim = FlipSim::new(aig.num_nodes(), sim.num_words());
-        let mut row = RowData::new(sim.num_words());
-        for &n in order.iter().rev() {
-            if let Some(inc) = include {
-                if !inc[n.index()] {
-                    continue;
-                }
-            }
-            let cut = cuts.get_cut(n).ok_or(CpmError::MissingCut { node: n })?;
-            row_from_cut(aig, sim, cuts, &mut flipsim, &cpm, n, cut, &mut row)?;
-            cpm.set_row(n, &mut row);
+    let mut fill = WaveFill::new(aig, sim, cuts, pool);
+    let mut wave: Vec<NodeId> = Vec::new();
+    let mut at = 0;
+    while at < scheduled.len() {
+        let w = scheduled[at].0;
+        wave.clear();
+        while at < scheduled.len() && scheduled[at].0 == w {
+            wave.push(scheduled[at].2);
+            at += 1;
         }
-        return Ok(cpm);
+        fill.fill(&mut cpm, &wave)?;
     }
-    // Wave assignment. Node members lie in n's TFO, hence *later* in the
-    // topological order and already assigned when the reverse sweep reaches
-    // n; a member without a wave is the same inconsistency the serial sweep
-    // reports as MissingMemberRow.
-    const UNASSIGNED: u32 = u32::MAX;
-    let mut wave = vec![UNASSIGNED; aig.num_nodes()];
-    let mut waves: Vec<Vec<NodeId>> = Vec::new();
-    for &n in order.iter().rev() {
-        if let Some(inc) = include {
-            if !inc[n.index()] {
-                continue;
-            }
+    Ok(cpm)
+}
+
+/// Per-sweep scratch and scheduling for filling one wave at a time:
+/// serial waves write rows straight from one reused scratch buffer (zero
+/// steady-state allocation), parallel waves fan out with per-worker
+/// scratch persisted across waves.
+struct WaveFill<'a> {
+    aig: &'a Aig,
+    sim: &'a Simulator,
+    cuts: &'a CutState,
+    pool: &'a WorkerPool,
+    region: RegionHandle,
+    serial: Option<(FlipSim, RowData)>,
+    store: WorkerScratch<(FlipSim, RowData)>,
+}
+
+impl<'a> WaveFill<'a> {
+    fn new(aig: &'a Aig, sim: &'a Simulator, cuts: &'a CutState, pool: &'a WorkerPool) -> Self {
+        WaveFill {
+            aig,
+            sim,
+            cuts,
+            pool,
+            region: pool.region(RegionSpec::weighted("cpm_wave", sim.num_words() as u64)),
+            serial: None,
+            store: WorkerScratch::new(),
         }
-        let cut = cuts.get_cut(n).ok_or(CpmError::MissingCut { node: n })?;
-        let mut w = 0u32;
-        for t in cut.node_members() {
-            let tw = wave[t.index()];
-            if tw == UNASSIGNED {
-                return Err(CpmError::MissingMemberRow { member: t, node: n });
-            }
-            w = w.max(tw + 1);
-        }
-        wave[n.index()] = w;
-        let slot = w as usize;
-        if waves.len() <= slot {
-            waves.resize_with(slot + 1, Vec::new);
-        }
-        waves[slot].push(n);
     }
-    let mut serial_scratch = FlipSim::new(aig.num_nodes(), sim.num_words());
-    let mut serial_row = RowData::new(sim.num_words());
-    for wv in &waves {
-        if !pool.would_parallelize(wv.len()) {
-            for &n in wv {
+
+    fn fill(&mut self, cpm: &mut Cpm, wave: &[NodeId]) -> Result<(), CpmError> {
+        let (aig, sim, cuts) = (self.aig, self.sim, self.cuts);
+        if self.pool.is_serial() || !self.pool.decide_region(&self.region, wave.len()) {
+            let learn = self.pool.should_learn_region(&self.region, wave.len());
+            let t0 = learn.then(std::time::Instant::now);
+            let (flipsim, row) = self.serial.get_or_insert_with(|| {
+                (FlipSim::new(aig.num_nodes(), sim.num_words()), RowData::new(sim.num_words()))
+            });
+            for &n in wave {
                 let cut = cuts.get_cut(n).ok_or(CpmError::MissingCut { node: n })?;
-                row_from_cut(aig, sim, cuts, &mut serial_scratch, &cpm, n, cut, &mut serial_row)?;
-                cpm.set_row(n, &mut serial_row);
+                row_from_cut(aig, sim, cuts, flipsim, cpm, n, cut, row)?;
+                cpm.set_row(n, row);
             }
-            continue;
+            if let Some(t0) = t0 {
+                self.pool.observe_serial_region(&self.region, wave.len(), t0.elapsed());
+            }
+            return Ok(());
         }
-        let shared = &cpm;
-        let mut rows = pool
-            .try_map_with(
-                wv,
+        let shared = &*cpm;
+        let mut rows = self
+            .pool
+            .try_map_parallel_hybrid_in(
+                self.region.spec(),
+                wave,
+                &mut self.store,
                 || (FlipSim::new(aig.num_nodes(), sim.num_words()), RowData::new(sim.num_words())),
-                |(flipsim, row), &n| {
+                || (),
+                |(flipsim, row), _, &n| {
                     let cut = cuts.get_cut(n).ok_or(CpmError::MissingCut { node: n })?;
                     row_from_cut(aig, sim, cuts, flipsim, shared, n, cut, row)?;
                     // hand an owned buffer back to the join; the scratch
@@ -170,11 +223,11 @@ pub fn compute_for_set_with(
                 },
             )
             .map_err(|p| CpmError::WorkerPanic(p.0))??;
-        for (&n, row) in wv.iter().zip(rows.iter_mut()) {
+        for (&n, row) in wave.iter().zip(rows.iter_mut()) {
             cpm.set_row(n, row);
         }
+        Ok(())
     }
-    Ok(cpm)
 }
 
 /// The comprehensive (phase-one) CPM: exact rows for every live node.

@@ -69,11 +69,10 @@ pub fn compute_partial_with(
     pool: &als_par::WorkerPool,
 ) -> Result<(Cpm, usize), CpmError> {
     let closure = candidate_closure(aig, cuts, s_cand)?;
-    let mut include = vec![false; aig.num_nodes()];
-    for &n in &closure {
-        include[n.index()] = true;
-    }
-    let cpm = crate::full::compute_for_set_with(aig, sim, cuts, Some(&include), pool)?;
+    // The closure is member-closed by construction, so it schedules
+    // directly on the CutState-maintained waves — no per-round O(V)
+    // include scan or wave re-derivation.
+    let cpm = crate::full::compute_for_nodes_with(aig, sim, cuts, &closure, pool)?;
     Ok((cpm, closure.len()))
 }
 

@@ -15,11 +15,72 @@
 //! reachability masks and disjoint cuts for `S_v` only — the paper's
 //! phase-two step 1.
 
+use std::sync::{Arc, Mutex};
+
 use als_aig::{Aig, EditRecord, NodeId};
 use als_par::{WorkerPanic, WorkerPool};
 
 use crate::disjoint::{closest_disjoint_cut, verify_cut, DisjointCut};
 use crate::reach::ReachMap;
+
+/// Wave value of a node with no CPM wave (dead, or no stored cut).
+const NO_WAVE: u32 = u32::MAX;
+
+/// A persistent full-sweep CPM schedule: the live nodes partitioned into
+/// level-synchronous waves (`wave(n) = 1 + max(wave(t))` over the node
+/// members `t` of `n`'s disjoint cut; 0 with none), each wave ordered by
+/// rank descending (reverse topological). All rows of a wave depend only
+/// on rows from strictly earlier waves, so a CPM sweep can fill the plan
+/// wave by wave — serially or fanned out — without re-deriving the
+/// partition from the cut DAG on every iteration.
+#[derive(Clone, Debug, Default)]
+pub struct CpmPlan {
+    waves: Vec<Vec<NodeId>>,
+    nodes: usize,
+}
+
+impl CpmPlan {
+    /// The waves in dependency order (earlier waves feed later ones).
+    pub fn waves(&self) -> &[Vec<NodeId>] {
+        &self.waves
+    }
+
+    /// Total nodes across all waves.
+    pub fn num_nodes(&self) -> usize {
+        self.nodes
+    }
+}
+
+/// Interior-mutable cache slot for the full-sweep [`CpmPlan`], so a
+/// `&CutState` borrow (the CPM sweep's view) can build and reuse the plan.
+/// The cached plan itself is immutable behind an `Arc`; invalidation just
+/// drops the reference.
+#[derive(Debug, Default)]
+struct PlanCell {
+    inner: Mutex<PlanInner>,
+}
+
+#[derive(Debug, Default)]
+struct PlanInner {
+    plan: Option<Arc<CpmPlan>>,
+    hits: u64,
+    rebuilds: u64,
+}
+
+impl Clone for PlanCell {
+    fn clone(&self) -> PlanCell {
+        // The clone may share the (immutable) plan; hit accounting
+        // restarts so stats stay per-state.
+        let plan = self.inner.lock().unwrap_or_else(|e| e.into_inner()).plan.clone();
+        PlanCell { inner: Mutex::new(PlanInner { plan, hits: 0, rebuilds: 0 }) }
+    }
+}
+
+impl PlanCell {
+    fn invalidate(&self) {
+        self.inner.lock().unwrap_or_else(|e| e.into_inner()).plan = None;
+    }
+}
 
 /// Computes `S_v`: the live nodes whose cut preservation condition may be
 /// violated by `edit`.
@@ -39,11 +100,32 @@ pub struct CutState {
     reach: ReachMap,
     ranks: Vec<u32>,
     cuts: Vec<Option<DisjointCut>>,
+    /// Per-node CPM wave (`NO_WAVE` when none), maintained alongside the
+    /// cuts: fully derived by [`CutState::compute_with`], incrementally
+    /// refreshed for `S_v` by [`CutState::update_after`].
+    cpm_wave: Vec<u32>,
+    /// Cached full-sweep schedule, dropped whenever an update changes any
+    /// wave or invalidates the stored ranks.
+    plan: PlanCell,
     /// Number of cut recomputations performed by the last update.
     last_update_size: usize,
     /// Rank entries refreshed by the last update (see
     /// [`CutState::last_rank_work`]).
     last_rank_work: usize,
+}
+
+/// Wave of one node from its stored cut: `1 + max(wave(t))` over node
+/// members (0 with none). Members without a wave are skipped — the CPM
+/// sweep surfaces that inconsistency as its missing-member-row error.
+fn wave_of(cut: &DisjointCut, waves: &[u32]) -> u32 {
+    let mut w = 0u32;
+    for t in cut.node_members() {
+        let tw = waves[t.index()];
+        if tw != NO_WAVE {
+            w = w.max(tw.saturating_add(1));
+        }
+    }
+    w
 }
 
 impl CutState {
@@ -68,13 +150,33 @@ impl CutState {
         let reach = ReachMap::compute(aig);
         let ranks = als_aig::topo::topo_ranks(aig);
         let live: Vec<NodeId> = aig.iter_live().collect();
-        let computed = pool.map(&live, |&id| closest_disjoint_cut(aig, &reach, &ranks, id))?;
+        let computed =
+            pool.map_in("cuts", &live, |&id| closest_disjoint_cut(aig, &reach, &ranks, id))?;
         let mut cuts = vec![None; aig.num_nodes()];
         for (&id, cut) in live.iter().zip(computed) {
             cuts[id.index()] = Some(cut);
         }
+        // Derive CPM waves in reverse topological order (rank descending):
+        // a cut's node members lie in the node's TFO, hence rank higher
+        // and are assigned first.
+        let mut cpm_wave = vec![NO_WAVE; aig.num_nodes()];
+        let mut ranked: Vec<(u32, NodeId)> = live.iter().map(|&n| (ranks[n.index()], n)).collect();
+        ranked.sort_unstable_by_key(|e| std::cmp::Reverse(e.0));
+        for &(_, n) in &ranked {
+            if let Some(cut) = &cuts[n.index()] {
+                cpm_wave[n.index()] = wave_of(cut, &cpm_wave);
+            }
+        }
         let last_update_size = live.len();
-        Ok(CutState { reach, ranks, cuts, last_update_size, last_rank_work: aig.num_nodes() })
+        Ok(CutState {
+            reach,
+            ranks,
+            cuts,
+            cpm_wave,
+            plan: PlanCell::default(),
+            last_update_size,
+            last_rank_work: aig.num_nodes(),
+        })
     }
 
     /// Incremental refresh after a LAC: recomputes reachability and cuts
@@ -115,7 +217,84 @@ impl CutState {
         for &n in &sv {
             self.cuts[n.index()] = Some(closest_disjoint_cut(aig, &self.reach, &self.ranks, n));
         }
+        // Incremental wave maintenance, confined to S_v. Soundness: if a
+        // node n outside S_v had a cut member t inside S_v, then n lies in
+        // t's TFI; S_v is a union of TFI cones, so n would be in S_v too —
+        // contradiction. Hence waves outside S_v cannot change, and
+        // refreshing S_v in rank-descending order (members first) restores
+        // the full invariant.
+        let mut wave_changed = false;
+        for &dead in &edit.removed {
+            if self.cpm_wave[dead.index()] != NO_WAVE {
+                self.cpm_wave[dead.index()] = NO_WAVE;
+                wave_changed = true;
+            }
+        }
+        let mut sv_ranked: Vec<(u32, NodeId)> =
+            sv.iter().map(|&n| (self.ranks[n.index()], n)).collect();
+        sv_ranked.sort_unstable_by_key(|e| std::cmp::Reverse(e.0));
+        for &(_, n) in &sv_ranked {
+            let new_wave =
+                self.cuts[n.index()].as_ref().map_or(NO_WAVE, |cut| wave_of(cut, &self.cpm_wave));
+            if self.cpm_wave[n.index()] != new_wave {
+                self.cpm_wave[n.index()] = new_wave;
+                wave_changed = true;
+            }
+        }
+        // The cached plan survives an update only when nothing it encodes
+        // moved: no wave changed (covers removals and revived nodes, whose
+        // waves flip to/from NO_WAVE) and the stored ranks — its
+        // within-wave order — were kept.
+        if wave_changed || !still_valid {
+            self.plan.invalidate();
+        }
         self.last_update_size = sv.len();
+    }
+
+    /// The CPM wave of `n`, if it has one.
+    pub fn cpm_wave(&self, n: NodeId) -> Option<u32> {
+        match self.cpm_wave.get(n.index()) {
+            Some(&w) if w != NO_WAVE => Some(w),
+            _ => None,
+        }
+    }
+
+    /// The cached full-sweep CPM schedule, built on first use and reused
+    /// until an update changes a wave or the rank order. `Err` carries a
+    /// live node with no stored cut (the CPM sweep's missing-cut case).
+    pub fn full_plan(&self, aig: &Aig) -> Result<Arc<CpmPlan>, NodeId> {
+        let mut inner = self.plan.inner.lock().unwrap_or_else(|e| e.into_inner());
+        if let Some(plan) = inner.plan.clone() {
+            inner.hits += 1;
+            return Ok(plan);
+        }
+        let mut ranked: Vec<(u32, NodeId)> =
+            aig.iter_live().map(|n| (self.ranks[n.index()], n)).collect();
+        ranked.sort_unstable_by_key(|e| std::cmp::Reverse(e.0));
+        let mut waves: Vec<Vec<NodeId>> = Vec::new();
+        let mut nodes = 0usize;
+        for &(_, n) in &ranked {
+            if self.cuts[n.index()].is_none() || self.cpm_wave[n.index()] == NO_WAVE {
+                return Err(n);
+            }
+            let slot = self.cpm_wave[n.index()] as usize;
+            if waves.len() <= slot {
+                waves.resize_with(slot + 1, Vec::new);
+            }
+            waves[slot].push(n);
+            nodes += 1;
+        }
+        let plan = Arc::new(CpmPlan { waves, nodes });
+        inner.rebuilds += 1;
+        inner.plan = Some(Arc::clone(&plan));
+        Ok(plan)
+    }
+
+    /// `(hits, rebuilds)` of the full-sweep plan cache since this state
+    /// was computed (or cloned).
+    pub fn plan_stats(&self) -> (u64, u64) {
+        let inner = self.plan.inner.lock().unwrap_or_else(|e| e.into_inner());
+        (inner.hits, inner.rebuilds)
     }
 
     /// The reachability map.
@@ -430,6 +609,69 @@ mod tests {
             }
             assert_eq!(serial.ranks(), par.ranks());
         }
+    }
+
+    /// Reference waves derived from scratch, for cross-checking the
+    /// incrementally maintained `cpm_wave` vector.
+    fn fresh_waves(aig: &Aig, state: &CutState) -> Vec<Option<u32>> {
+        let fresh = CutState::compute(aig);
+        let mut waves = vec![None; aig.num_nodes()];
+        for n in aig.iter_live() {
+            waves[n.index()] = fresh.cpm_wave(n);
+            assert_eq!(state.cpm_wave(n), fresh.cpm_wave(n), "wave of {n}");
+        }
+        waves
+    }
+
+    #[test]
+    fn incremental_waves_match_fresh_derivation() {
+        let (mut aig, n) = sample();
+        let mut state = CutState::compute(&aig);
+        // Waves are defined by the cut DAG alone, so the incremental
+        // refresh (S_v only) must land exactly where a fresh derivation
+        // does — after every edit of a chain of edits.
+        let rec1 = replace(&mut aig, n[2].node(), n[3]);
+        state.update_after(&aig, &rec1);
+        fresh_waves(&aig, &state);
+        let rec2 = replace(&mut aig, n[5].node(), Lit::TRUE);
+        state.update_after(&aig, &rec2);
+        fresh_waves(&aig, &state);
+        // Removed nodes carry no wave.
+        assert_eq!(state.cpm_wave(n[2].node()), None);
+    }
+
+    #[test]
+    fn full_plan_is_cached_until_an_update_invalidates_it() {
+        let (mut aig, n) = sample();
+        let mut state = CutState::compute(&aig);
+        let p1 = state.full_plan(&aig).unwrap();
+        let p2 = state.full_plan(&aig).unwrap();
+        assert!(Arc::ptr_eq(&p1, &p2), "second call must hit the cache");
+        assert_eq!(state.plan_stats(), (1, 1));
+        assert_eq!(p1.num_nodes(), aig.iter_live().count());
+        // Every node appears exactly once, in a wave after all its cut's
+        // node members.
+        let mut wave_of_node = vec![None; aig.num_nodes()];
+        for (w, nodes) in p1.waves().iter().enumerate() {
+            for &m in nodes {
+                assert!(wave_of_node[m.index()].is_none(), "{m} scheduled twice");
+                wave_of_node[m.index()] = Some(w);
+            }
+        }
+        for id in aig.iter_live() {
+            let w = wave_of_node[id.index()].expect("live node scheduled");
+            for t in state.cut(id).node_members() {
+                assert!(wave_of_node[t.index()].unwrap() < w, "member {t} not before {id}");
+            }
+        }
+        // An edit that changes waves drops the cached plan...
+        let rec = replace(&mut aig, n[2].node(), n[3]);
+        state.update_after(&aig, &rec);
+        let p3 = state.full_plan(&aig).unwrap();
+        assert!(!Arc::ptr_eq(&p1, &p3), "edit must invalidate the plan");
+        assert_eq!(state.plan_stats(), (1, 2));
+        // ...and the rebuilt plan covers exactly the new live set.
+        assert_eq!(p3.num_nodes(), aig.iter_live().count());
     }
 
     #[test]

@@ -33,6 +33,6 @@ pub mod reach;
 pub mod strash;
 
 pub use disjoint::{closest_disjoint_cut, CutMember, DisjointCut};
-pub use incremental::{violated_set, CutState};
+pub use incremental::{violated_set, CpmPlan, CutState};
 pub use reach::ReachMap;
 pub use strash::{hash_words, WordHasher};

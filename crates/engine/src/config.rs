@@ -129,6 +129,13 @@ pub struct FlowConfig {
     /// waves, simulation waves and batch error estimation all fan out over
     /// it (the paper uses 16 for its Table II runs; 1 = serial).
     pub threads: usize,
+    /// Adaptive-scheduler settings of the shared pool: serial/parallel
+    /// cutover, chunk sizing and work stealing. Defaults to the
+    /// `ALS_SCHED` environment variable (adaptive when unset). Like
+    /// `threads`, scheduling never affects result bytes — only where and
+    /// in what grain the work runs — so it is excluded from journal
+    /// fingerprints and a run may be resumed under a different scheduler.
+    pub sched: als_par::SchedConfig,
     /// Fold trivially-constant gates after each applied LAC (an exact
     /// transformation ABC would perform before mapping; keeps reported
     /// areas honest for constant LACs).
@@ -192,6 +199,7 @@ impl FlowConfig {
             multi_k: 8,
             max_lacs: 100_000,
             threads: default_threads(),
+            sched: als_par::SchedConfig::from_env(),
             fold_constants: true,
             guard: GuardConfig::default(),
             journal: None,
@@ -242,6 +250,13 @@ impl FlowConfig {
     /// overriding the `ALS_THREADS` default.
     pub fn with_threads(mut self, threads: usize) -> FlowConfig {
         self.threads = threads.max(1);
+        self
+    }
+
+    /// Replaces the adaptive-scheduler settings of the shared pool,
+    /// overriding the `ALS_SCHED` default.
+    pub fn with_sched(mut self, sched: als_par::SchedConfig) -> FlowConfig {
+        self.sched = sched;
         self
     }
 
@@ -459,6 +474,12 @@ impl FlowConfigBuilder {
     /// Sets the worker-thread budget.
     pub fn threads(mut self, threads: usize) -> FlowConfigBuilder {
         self.cfg.threads = threads.max(1);
+        self
+    }
+
+    /// Replaces the adaptive-scheduler settings of the shared pool.
+    pub fn sched(mut self, sched: als_par::SchedConfig) -> FlowConfigBuilder {
+        self.cfg.sched = sched;
         self
     }
 

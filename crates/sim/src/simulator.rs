@@ -1,7 +1,7 @@
 //! Full and incremental bit-parallel simulation.
 
 use als_aig::{Aig, Lit, NodeId};
-use als_par::WorkerPool;
+use als_par::{RegionSpec, WorkerPool};
 
 use crate::bitvec::PackedBits;
 use crate::patterns::PatternSet;
@@ -146,12 +146,25 @@ impl Simulator {
     /// Evaluates the AND gates of `order` (a topological order, possibly
     /// restricted to a cone) grouped into level-synchronous waves, fanning
     /// each sufficiently large wave out across `pool`.
+    ///
+    /// Two cutover decisions guard the fan-out. The whole-cone decision
+    /// (`"sim"` region) keeps small resimulation cones — which gate
+    /// evaluation makes sub-millisecond — on the caller's thread without
+    /// even deriving levels; per-wave decisions (`"sim_wave"`) then keep
+    /// narrow waves inline. Both are driven by the pool's measured cost
+    /// model (weighted by the word count), so a simulation region never
+    /// pays spawn overhead its work cannot amortise.
     fn eval_in_waves(&mut self, aig: &Aig, order: &[NodeId], pool: &WorkerPool) {
-        if pool.is_serial() {
+        let cone = RegionSpec::weighted("sim", self.num_words as u64);
+        if pool.is_serial() || !pool.decide(cone, order.len()) {
+            let t0 = pool.should_learn(cone, order.len()).then(std::time::Instant::now);
             for &id in order {
                 if aig.node(id).is_and() {
                     self.eval_and(aig, id);
                 }
+            }
+            if let Some(t0) = t0 {
+                pool.observe_serial(cone, order.len(), t0.elapsed());
             }
             return;
         }
@@ -177,16 +190,24 @@ impl Simulator {
             }
             waves[slot].push(id);
         }
+        let per_wave = pool.region(RegionSpec::weighted("sim_wave", self.num_words as u64));
         for wave in &waves {
-            if !pool.would_parallelize(wave.len()) {
+            if !pool.decide_region(&per_wave, wave.len()) {
+                let t0 =
+                    pool.should_learn_region(&per_wave, wave.len()).then(std::time::Instant::now);
                 for &id in wave {
                     self.eval_and(aig, id);
+                }
+                if let Some(t0) = t0 {
+                    pool.observe_serial_region(&per_wave, wave.len(), t0.elapsed());
                 }
                 continue;
             }
             let (values, num_words) = (&self.values, self.num_words);
             let results = pool
-                .map(wave, |&id| Simulator::and_value(values, num_words, aig, id))
+                .map_parallel_in(per_wave.spec(), wave, |&id| {
+                    Simulator::and_value(values, num_words, aig, id)
+                })
                 .unwrap_or_else(|p| p.resume());
             for (&id, v) in wave.iter().zip(results) {
                 self.values[id.index()] = v;

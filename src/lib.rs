@@ -65,4 +65,5 @@ pub mod prelude {
     };
     pub use crate::error::MetricKind;
     pub use crate::obs::{Obs, ObsConfig};
+    pub use crate::par::{Calibration, SchedConfig, SchedMode};
 }

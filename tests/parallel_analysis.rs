@@ -10,8 +10,15 @@ use proptest::prelude::*;
 
 use dualphase_als::aig::{Aig, Lit};
 use dualphase_als::cuts::CutState;
-use dualphase_als::par::WorkerPool;
+use dualphase_als::par::{SchedConfig, WorkerPool};
 use dualphase_als::sim::{PatternSet, Simulator};
+
+/// A pool that always fans out when it can: the adaptive scheduler would
+/// correctly keep these small test inputs serial (especially on few-core CI
+/// hosts), which would make the byte-identity comparison vacuous.
+fn forced_pool(threads: usize) -> WorkerPool {
+    WorkerPool::with_config(threads, SchedConfig::forced())
+}
 
 /// Operation encoding for random circuit construction (mirrors props.rs).
 #[derive(Clone, Debug)]
@@ -76,7 +83,7 @@ proptest! {
         let aig = build_circuit(ni, &ops, no);
         let serial = CutState::compute(&aig);
         for threads in THREAD_COUNTS {
-            let par = CutState::compute_with(&aig, &WorkerPool::new(threads)).unwrap();
+            let par = CutState::compute_with(&aig, &forced_pool(threads)).unwrap();
             prop_assert_eq!(serial.ranks(), par.ranks(), "ranks at {} threads", threads);
             for n in aig.iter_live() {
                 prop_assert_eq!(
@@ -96,7 +103,7 @@ proptest! {
         let serial = dualphase_als::cpm::compute_full(&aig, &sim, &cuts).unwrap();
         for threads in THREAD_COUNTS {
             let par = dualphase_als::cpm::compute_full_with(
-                &aig, &sim, &cuts, &WorkerPool::new(threads),
+                &aig, &sim, &cuts, &forced_pool(threads),
             ).unwrap();
             for n in aig.iter_live() {
                 prop_assert_eq!(
@@ -124,7 +131,7 @@ proptest! {
             dualphase_als::cpm::compute_partial(&aig, &sim, &cuts, &s_cand).unwrap();
         for threads in THREAD_COUNTS {
             let (par, par_closure) = dualphase_als::cpm::compute_partial_with(
-                &aig, &sim, &cuts, &s_cand, &WorkerPool::new(threads),
+                &aig, &sim, &cuts, &s_cand, &forced_pool(threads),
             ).unwrap();
             prop_assert_eq!(serial_closure, par_closure);
             for n in aig.iter_live() {
@@ -139,7 +146,7 @@ proptest! {
         let patterns = PatternSet::random(aig.num_inputs(), 4, 23);
         let serial = Simulator::new(&aig, &patterns);
         for threads in THREAD_COUNTS {
-            let par = Simulator::new_with(&aig, &patterns, &WorkerPool::new(threads));
+            let par = Simulator::new_with(&aig, &patterns, &forced_pool(threads));
             for n in aig.iter_live() {
                 prop_assert_eq!(
                     serial.value(n), par.value(n), "value of {} at {} threads", n, threads
@@ -160,8 +167,12 @@ fn dual_phase_run_is_identical_at_any_thread_count() {
         "adder",
         dualphase_als::circuits::BenchmarkScale::Reduced,
     );
-    let cfg =
-        |threads| FlowConfig::new(MetricKind::Med, 4.0).with_patterns(1024).with_threads(threads);
+    let cfg = |threads| {
+        FlowConfig::new(MetricKind::Med, 4.0)
+            .with_patterns(1024)
+            .with_threads(threads)
+            .with_sched(SchedConfig::forced())
+    };
     let serial = DualPhaseFlow::with_self_adaption(cfg(1)).run(&aig).unwrap();
     let par = DualPhaseFlow::with_self_adaption(cfg(4)).run(&aig).unwrap();
     assert_eq!(serial.iterations.len(), par.iterations.len());

@@ -1,0 +1,146 @@
+//! Adaptive scheduler invariants, end to end.
+//!
+//! Three properties are pinned here: cutover decisions are a pure function
+//! of the configuration and the observation history (no host dependence
+//! once the calibration is fixed); every flow produces byte-identical
+//! results whether regions run serial, forced-parallel or with stealing
+//! disabled, at every thread count; and cheap simulation regions stay on
+//! the caller's thread under the adaptive floors — the guard against
+//! paying 30× fan-out overhead on sub-millisecond work.
+
+use dualphase_als::engine::{flows, journal, FlowConfig, FLOW_NAMES};
+use dualphase_als::error::MetricKind;
+use dualphase_als::obs::{Obs, ObsConfig};
+use dualphase_als::par::{Calibration, SchedConfig, Scheduler, WorkerPool};
+use dualphase_als::sim::{PatternSet, Simulator};
+
+fn fixed_cal() -> Calibration {
+    Calibration { spawn_ns: 20_000, hw_threads: 8 }
+}
+
+/// Two schedulers built from the same configuration (fixed calibration)
+/// and fed the same observation sequence answer every query identically —
+/// the determinism half of the cost model's contract.
+#[test]
+fn cutover_decisions_are_deterministic_given_identical_observations() {
+    let build = || Scheduler::new(SchedConfig::with_calibration(fixed_cal()));
+    let (a, b) = (build(), build());
+    let observations: &[(usize, u64, u64)] =
+        &[(10_000, 64, 320), (5_000, 16, 900), (100_000, 1, 4_000), (256, 128, 70)];
+    let queries: &[(usize, u64, usize)] = &[
+        (15, 1, 8),
+        (100, 1, 8),
+        (1_000, 16, 2),
+        (6_500, 64, 8),
+        (10_000, 64, 8),
+        (100_000, 1, 4),
+        (1_000_000, 8, 7),
+    ];
+    for region in ["sim_wave", "cpm_wave", "eval", "cuts"] {
+        let (ra, rb) = (a.region(region), b.region(region));
+        for &(len, weight, us) in observations {
+            let span = std::time::Duration::from_micros(us);
+            a.observe(&ra, len, weight, span);
+            b.observe(&rb, len, weight, span);
+            assert_eq!(ra.unit_ns(), rb.unit_ns(), "model state diverged in {region}");
+        }
+        for &(len, weight, threads) in queries {
+            assert_eq!(
+                a.decide(&ra, len, weight, threads),
+                b.decide(&rb, len, weight, threads),
+                "decision diverged: {region} len={len} weight={weight} threads={threads}"
+            );
+            assert_eq!(
+                a.plan(&ra, len.max(1), weight, threads),
+                b.plan(&rb, len.max(1), weight, threads),
+                "plan diverged: {region} len={len} weight={weight} threads={threads}"
+            );
+        }
+    }
+}
+
+/// Every registered flow, at thread counts {1, 2, 4, 7}, forced-parallel
+/// with and without stealing, produces the same serialized circuit and
+/// final error as the 1-thread serial run.
+#[test]
+fn all_flows_byte_identical_to_serial_at_every_thread_count() {
+    let aig = dualphase_als::circuits::benchmark(
+        "adder",
+        dualphase_als::circuits::BenchmarkScale::Reduced,
+    );
+    let cfg = |sched: SchedConfig, threads: usize| {
+        FlowConfig::new(MetricKind::Med, 4.0)
+            .with_patterns(512)
+            .with_threads(threads)
+            .with_sched(sched)
+    };
+    for &name in FLOW_NAMES {
+        let baseline =
+            flows::by_name(name, cfg(SchedConfig::default(), 1)).unwrap().run(&aig).unwrap();
+        let baseline_bytes = dualphase_als::aig::io::to_ascii_string(&baseline.circuit);
+        for threads in [2, 4, 7] {
+            for sched in [
+                SchedConfig::forced(),
+                SchedConfig { steal: false, ..SchedConfig::forced() },
+                SchedConfig::with_calibration(fixed_cal()),
+            ] {
+                let label = format!("{name} at {threads} threads ({:?})", sched.mode);
+                let res =
+                    flows::by_name(name, cfg(sched.clone(), threads)).unwrap().run(&aig).unwrap();
+                assert_eq!(res.final_error, baseline.final_error, "{label}");
+                assert_eq!(res.lacs_applied(), baseline.lacs_applied(), "{label}");
+                assert_eq!(
+                    dualphase_als::aig::io::to_ascii_string(&res.circuit),
+                    baseline_bytes,
+                    "serialized circuit diverged: {label}"
+                );
+            }
+        }
+    }
+}
+
+/// Satellite 1: a sub-millisecond simulation never fans out under the
+/// adaptive scheduler — the whole-cone decision keeps it on the caller's
+/// thread (no spawn, no wave derivation), while the values stay identical
+/// to the serial simulator's.
+#[test]
+fn adaptive_keeps_cheap_simulation_regions_serial() {
+    let aig = dualphase_als::circuits::benchmark(
+        "adder",
+        dualphase_als::circuits::BenchmarkScale::Reduced,
+    );
+    let patterns = PatternSet::random(aig.num_inputs(), 4, 99);
+    let serial = Simulator::new(&aig, &patterns);
+    let obs = Obs::new(ObsConfig::default()).unwrap();
+    let pool =
+        WorkerPool::with_config(4, SchedConfig::with_calibration(fixed_cal())).with_obs(&obs);
+    let par = Simulator::new_with(&aig, &patterns, &pool);
+    for n in aig.iter_live() {
+        assert_eq!(serial.value(n), par.value(n));
+    }
+    assert_eq!(
+        obs.counter("als_pool_regions_total", "").get(),
+        0,
+        "a tiny simulation paid a parallel fan-out"
+    );
+}
+
+/// Scheduling is a pure performance knob: journals written under one
+/// scheduler (or thread count) resume under any other.
+#[test]
+fn journal_fingerprint_ignores_scheduler_and_threads() {
+    let base = FlowConfig::new(MetricKind::Med, 4.0).with_patterns(512);
+    let fp = journal::config_fingerprint(&base, "dpsa");
+    for sched in [
+        SchedConfig::forced(),
+        SchedConfig::legacy(),
+        SchedConfig { steal: false, min_items: 1, ..SchedConfig::default() },
+        SchedConfig::with_calibration(fixed_cal()),
+    ] {
+        let cfg = base.clone().with_sched(sched).with_threads(7);
+        assert_eq!(journal::config_fingerprint(&cfg, "dpsa"), fp);
+    }
+    // ...while result-affecting fields still change it.
+    let other = base.clone().with_seed(1);
+    assert_ne!(journal::config_fingerprint(&other, "dpsa"), fp);
+}
