@@ -49,7 +49,7 @@ fn main() {
         let mut ratios = [0.0f64; 4];
         let mut times = [0.0f64; 4];
         for (i, flow_name) in TABLE2_FLOWS.iter().enumerate() {
-            let flow = flows::by_name(flow_name, cfg.clone()).expect("registered flow");
+            let flow = flows::by_name(*flow_name, cfg.clone()).expect("registered flow");
             let res = flow.run(&aig).expect("flow failed");
             assert!(
                 res.final_error <= bound * (1.0 + 1e-9),

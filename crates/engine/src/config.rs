@@ -409,6 +409,41 @@ pub enum ConfigError {
     /// A supervision iteration budget of zero — the run could never apply
     /// a LAC. Omit the budget instead to run unlimited.
     ZeroIterLimit,
+    /// A resumed run's supervision iteration budget does not exceed the
+    /// number of LACs its journal has already committed: the run would be
+    /// preempted again before making any progress. Raise (or drop) the
+    /// budget — supervision limits are excluded from journal fingerprints
+    /// precisely so a resume may change them.
+    ResumeIterBudget {
+        /// LACs already committed in the journal being resumed.
+        journaled: usize,
+        /// The configured supervision budget.
+        limit: usize,
+    },
+}
+
+impl ConfigError {
+    /// A stable machine-readable code for the wire protocol's error
+    /// bodies (`ErrorBody.code`).
+    pub fn code(&self) -> &'static str {
+        match self {
+            ConfigError::NoPatterns => "no_patterns",
+            ConfigError::EmptyCandidateSet { .. } => "empty_candidate_set",
+            ConfigError::CandidateBudget { .. } => "candidate_budget",
+            ConfigError::BiasOutOfRange(_) => "bias_out_of_range",
+            ConfigError::BadErrorBound(_) => "bad_error_bound",
+            ConfigError::ZeroTimeout => "zero_timeout",
+            ConfigError::ZeroIterLimit => "zero_iter_limit",
+            ConfigError::ResumeIterBudget { .. } => "resume_iter_budget",
+        }
+    }
+
+    /// The wire form: `{"code": …, "message": …}` — the same shape the
+    /// service's `ErrorBody` uses, so configuration rejections cross the
+    /// wire without losing their type.
+    pub fn to_json(&self) -> als_obs::json::Json {
+        als_obs::json::Json::obj().with("code", self.code()).with("message", self.to_string())
+    }
 }
 
 impl fmt::Display for ConfigError {
@@ -434,6 +469,14 @@ impl fmt::Display for ConfigError {
             }
             ConfigError::ZeroIterLimit => {
                 write!(f, "a --max-iters of zero would stop the run before it starts")
+            }
+            ConfigError::ResumeIterBudget { journaled, limit } => {
+                write!(
+                    f,
+                    "the iteration budget ({limit}) does not exceed the {journaled} LACs the \
+                     journal already holds — the resumed run could make no progress (raise or \
+                     drop --max-iters)"
+                )
             }
         }
     }
@@ -575,6 +618,29 @@ impl FlowConfigBuilder {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn config_error_codes_are_stable_and_distinct() {
+        let cases = [
+            (ConfigError::NoPatterns, "no_patterns"),
+            (ConfigError::EmptyCandidateSet { m: 0, n: 0 }, "empty_candidate_set"),
+            (ConfigError::CandidateBudget { m: 10, n: 20 }, "candidate_budget"),
+            (ConfigError::BiasOutOfRange(2.0), "bias_out_of_range"),
+            (ConfigError::BadErrorBound(-1.0), "bad_error_bound"),
+            (ConfigError::ZeroTimeout, "zero_timeout"),
+            (ConfigError::ZeroIterLimit, "zero_iter_limit"),
+            (ConfigError::ResumeIterBudget { journaled: 5, limit: 5 }, "resume_iter_budget"),
+        ];
+        let mut seen = std::collections::BTreeSet::new();
+        for (err, code) in cases {
+            assert_eq!(err.code(), code);
+            assert!(seen.insert(code), "duplicate error code {code}");
+            let j = err.to_json();
+            assert_eq!(j.get("code").and_then(|c| c.as_str()), Some(code));
+            let msg = j.get("message").and_then(|m| m.as_str()).unwrap_or("");
+            assert_eq!(msg, err.to_string(), "wire message mirrors Display");
+        }
+    }
 
     #[test]
     fn defaults_match_paper() {

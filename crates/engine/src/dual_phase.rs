@@ -168,6 +168,27 @@ impl Flow for DualPhaseFlow {
             let writer = if jc.resume {
                 let loaded = journal::load(&jc.path)?;
                 loaded.check_header(&head)?;
+                // Contradictory supervision limits only become visible
+                // once the journal is in hand: an iteration budget at or
+                // below the journaled commit count could never admit a
+                // single new LAC — the resumed run would stop (or
+                // re-preempt) immediately while claiming to have honoured
+                // a limit the original run never had. Reject it as a
+                // typed configuration error instead.
+                if let Some(limit) = cfg.supervise.max_iters {
+                    let journaled = loaded
+                        .records
+                        .iter()
+                        .filter(|r| matches!(r, journal::Record::Commit(_)))
+                        .count();
+                    if journaled > 0 && limit <= journaled {
+                        return Err(crate::config::ConfigError::ResumeIterBudget {
+                            journaled,
+                            limit,
+                        }
+                        .into());
+                    }
+                }
                 if let Some((idx, cp)) = loaded.last_checkpoint() {
                     for c in loaded.commits_before(idx) {
                         if c.index != iterations.len() as u64 {

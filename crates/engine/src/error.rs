@@ -131,6 +131,14 @@ impl From<crate::config::ConfigError> for EngineError {
     }
 }
 
+// Lets infallible conversions (e.g. passing an already-typed `FlowName`
+// to the generic `flows::by_name`) satisfy an `Into<EngineError>` bound.
+impl From<std::convert::Infallible> for EngineError {
+    fn from(e: std::convert::Infallible) -> EngineError {
+        match e {}
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -57,7 +57,7 @@ pub use conventional::ConventionalFlow;
 pub use dual_phase::DualPhaseFlow;
 pub use error::EngineError;
 pub use flow::Flow;
-pub use flows::{by_name, FLOW_NAMES};
+pub use flows::{by_name, FlowName, FLOW_NAMES};
 pub use guard::BudgetGuard;
 pub use model::RuntimeModel;
 pub use report::{FlowResult, GuardStats, IterationRecord, Phase, StepTimes};

@@ -148,10 +148,79 @@ pub struct FlowResult {
     pub stop: crate::StopReason,
 }
 
+/// Version tag of the [`FlowResult::to_json`] document schema. Bumped on
+/// any incompatible change; the service wire protocol embeds the same
+/// documents, so client and server agree by construction.
+pub const RESULT_SCHEMA_VERSION: u64 = 1;
+
+impl GuardStats {
+    /// The wire form of the guard activity counters.
+    pub fn to_json(&self) -> als_obs::json::Json {
+        als_obs::json::Json::obj()
+            .with("validations", self.validations)
+            .with("rollbacks", self.rollbacks)
+            .with("evictions", self.evictions)
+            .with("resamples", self.resamples)
+            .with("fallbacks", self.fallbacks)
+    }
+}
+
+impl StepTimes {
+    /// The wire form of the per-step timing breakdown, in microseconds.
+    pub fn to_json(&self) -> als_obs::json::Json {
+        als_obs::json::Json::obj()
+            .with("cuts_us", self.cuts.as_micros() as u64)
+            .with("cpm_us", self.cpm.as_micros() as u64)
+            .with("eval_us", self.eval.as_micros() as u64)
+            .with("apply_us", self.apply.as_micros() as u64)
+    }
+}
+
 impl FlowResult {
     /// Number of applied LACs.
     pub fn lacs_applied(&self) -> usize {
         self.iterations.len()
+    }
+
+    /// Renders the run summary as one JSON document — the **shared result
+    /// schema**: `als synth --json` prints exactly this object, and the
+    /// job service embeds it verbatim as the `result` field of a completed
+    /// job's status response, so every consumer parses one shape.
+    ///
+    /// The circuit itself is not embedded (it is written to `-o` by the
+    /// CLI and stored per job by the service); everything else a caller
+    /// needs to judge the run — error, bound, stop reason, sizes, timing,
+    /// guard activity and the full statistical error report — is.
+    pub fn to_json(&self) -> als_obs::json::Json {
+        use als_obs::json::Json;
+        let report = Json::obj()
+            .with("er", self.error_report.er)
+            .with("med", self.error_report.med)
+            .with("mse", self.error_report.mse)
+            .with("max_ed", self.error_report.max_ed)
+            .with("nmed", self.error_report.nmed)
+            .with("mred", self.error_report.mred)
+            .with(
+                "ed_histogram",
+                Json::Arr(
+                    self.error_report.histogram.iter().map(|&c| Json::UInt(c as u64)).collect(),
+                ),
+            );
+        Json::obj()
+            .with("schema", RESULT_SCHEMA_VERSION)
+            .with("flow", self.flow.as_str())
+            .with("final_error", self.final_error)
+            .with("error_bound", self.error_bound)
+            .with("stop", self.stop.to_json())
+            .with("lacs_applied", self.lacs_applied())
+            .with("final_nodes", self.final_nodes())
+            .with("comprehensive_analyses", self.comprehensive_analyses)
+            .with("runtime_us", self.runtime.as_micros() as u64)
+            .with("comprehensive_us", self.comprehensive_time.as_micros() as u64)
+            .with("incremental_us", self.incremental_time.as_micros() as u64)
+            .with("step_times", self.step_times.to_json())
+            .with("guard", self.guard.to_json())
+            .with("error_report", report)
     }
 
     /// AND-gate count of the final circuit.

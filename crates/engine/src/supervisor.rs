@@ -85,6 +85,49 @@ impl StopReason {
             StopReason::IterLimit { .. } | StopReason::Deadline { .. } | StopReason::Cancelled
         )
     }
+
+    /// Stable machine-readable tag for the wire schema (the `kind` field
+    /// of [`StopReason::to_json`]).
+    pub fn token(&self) -> &'static str {
+        match self {
+            StopReason::Converged => "converged",
+            StopReason::LacLimit { .. } => "lac_limit",
+            StopReason::IterLimit { .. } => "iter_limit",
+            StopReason::Deadline { .. } => "deadline",
+            StopReason::Cancelled => "cancelled",
+        }
+    }
+
+    /// The wire form shared by `als synth --json` and the job service:
+    /// `{"kind": token}` plus the tripped limit (`limit` for counted
+    /// limits, `limit_us` for the deadline).
+    pub fn to_json(&self) -> als_obs::json::Json {
+        use als_obs::json::Json;
+        let j = Json::obj().with("kind", self.token());
+        match self {
+            StopReason::LacLimit { limit } | StopReason::IterLimit { limit } => {
+                j.with("limit", *limit)
+            }
+            StopReason::Deadline { limit } => j.with("limit_us", limit.as_micros() as u64),
+            StopReason::Converged | StopReason::Cancelled => j,
+        }
+    }
+
+    /// Parses the [`StopReason::to_json`] form back; `None` for anything
+    /// that is not a valid stop-reason document.
+    pub fn from_json(v: &als_obs::json::Json) -> Option<StopReason> {
+        let limit = |key: &str| v.get(key).and_then(als_obs::json::Json::as_u64);
+        match v.get("kind")?.as_str()? {
+            "converged" => Some(StopReason::Converged),
+            "lac_limit" => Some(StopReason::LacLimit { limit: limit("limit")? as usize }),
+            "iter_limit" => Some(StopReason::IterLimit { limit: limit("limit")? as usize }),
+            "deadline" => {
+                Some(StopReason::Deadline { limit: Duration::from_micros(limit("limit_us")?) })
+            }
+            "cancelled" => Some(StopReason::Cancelled),
+            _ => None,
+        }
+    }
 }
 
 impl fmt::Display for StopReason {
@@ -363,6 +406,27 @@ mod tests {
         assert!(!t.is_cancelled());
         c.cancel();
         assert!(t.is_cancelled(), "cancelling a clone cancels the original");
+    }
+
+    #[test]
+    fn stop_reason_json_round_trips() {
+        let reasons = [
+            StopReason::Converged,
+            StopReason::LacLimit { limit: 7 },
+            StopReason::IterLimit { limit: 42 },
+            StopReason::Deadline { limit: Duration::from_millis(1500) },
+            StopReason::Cancelled,
+        ];
+        for r in &reasons {
+            let j = r.to_json();
+            assert_eq!(j.get("kind").and_then(|k| k.as_str()), Some(r.token()));
+            assert_eq!(StopReason::from_json(&j).as_ref(), Some(r), "{r:?} survives the wire");
+        }
+        let junk = als_obs::json::Json::obj().with("kind", "martian");
+        assert_eq!(StopReason::from_json(&junk), None);
+        // A counted limit without its limit field is malformed, not zero.
+        let partial = als_obs::json::Json::obj().with("kind", "lac_limit");
+        assert_eq!(StopReason::from_json(&partial), None);
     }
 
     #[test]

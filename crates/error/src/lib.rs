@@ -18,6 +18,6 @@ pub mod metric;
 pub mod report;
 pub mod state;
 
-pub use metric::{paper_thresholds, reference_error, unsigned_weights, MetricKind};
+pub use metric::{paper_thresholds, reference_error, unsigned_weights, MetricKind, UnknownMetric};
 pub use report::ErrorReport;
 pub use state::{ErrorState, FlipVec, SparseFlip};

@@ -34,6 +34,48 @@ impl fmt::Display for MetricKind {
     }
 }
 
+/// A metric token [`MetricKind::from_str`] did not recognise.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct UnknownMetric {
+    /// The rejected token.
+    pub got: String,
+}
+
+impl fmt::Display for UnknownMetric {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "unknown metric {:?} (expected one of: er, med, mse)", self.got)
+    }
+}
+
+impl std::error::Error for UnknownMetric {}
+
+impl MetricKind {
+    /// The canonical lowercase token (`er`/`med`/`mse`) used by the CLI
+    /// and the service wire protocol; [`MetricKind::from_str`] inverts it.
+    pub fn token(self) -> &'static str {
+        match self {
+            MetricKind::Er => "er",
+            MetricKind::Med => "med",
+            MetricKind::Mse => "mse",
+        }
+    }
+}
+
+impl std::str::FromStr for MetricKind {
+    type Err = UnknownMetric;
+
+    /// Parses a metric token, case-insensitively, so both the CLI form
+    /// (`med`) and the [`Display`](fmt::Display) form (`MED`) round-trip.
+    fn from_str(s: &str) -> Result<MetricKind, UnknownMetric> {
+        match s.to_ascii_lowercase().as_str() {
+            "er" => Ok(MetricKind::Er),
+            "med" => Ok(MetricKind::Med),
+            "mse" => Ok(MetricKind::Mse),
+            _ => Err(UnknownMetric { got: s.to_string() }),
+        }
+    }
+}
+
 /// Default output weights for an unsigned `k`-bit output word: `2^o` for
 /// output `o` (LSB first).
 ///
@@ -78,6 +120,17 @@ mod tests {
         for i in 1..w.len() {
             assert!(w[i] > w[i - 1]);
         }
+    }
+
+    #[test]
+    fn metric_tokens_round_trip_and_reject_junk() {
+        for kind in MetricKind::ALL {
+            assert_eq!(kind.token().parse::<MetricKind>().unwrap(), kind);
+            assert_eq!(kind.to_string().parse::<MetricKind>().unwrap(), kind, "Display form");
+        }
+        let err = "wer".parse::<MetricKind>().unwrap_err();
+        assert_eq!(err, UnknownMetric { got: "wer".into() });
+        assert!(err.to_string().contains("er, med, mse"));
     }
 
     #[test]

@@ -52,6 +52,7 @@
 #![warn(clippy::unwrap_used)]
 #![cfg_attr(test, allow(clippy::unwrap_used))]
 
+pub mod json;
 pub mod metrics;
 pub mod prom;
 pub mod trace;
@@ -76,9 +77,17 @@ pub struct ObsConfig {
     pub tree: bool,
 }
 
+/// A live subscriber to the JSONL span event stream: called with every
+/// rendered event line (exactly the bytes the JSONL sink writes, minus the
+/// newline), on the thread that finished the span. Used by the job daemon
+/// to stream per-iteration progress to watching clients without tailing
+/// the trace file.
+pub type SpanListener = Arc<dyn Fn(&str) + Send + Sync>;
+
 struct Inner {
     registry: metrics::Registry,
     jsonl: Option<trace::JsonlSink>,
+    listener: Option<SpanListener>,
     metrics_path: Option<PathBuf>,
     tree_to_stderr: bool,
     tree: trace::TreeAgg,
@@ -138,6 +147,15 @@ impl Obs {
     /// An enabled handle with the given sinks. Creating the trace file
     /// fails eagerly; the metrics file is only written at [`Obs::finish`].
     pub fn new(cfg: ObsConfig) -> std::io::Result<Obs> {
+        Obs::with_listener(cfg, None)
+    }
+
+    /// Like [`Obs::new`], but additionally installs a live [`SpanListener`]
+    /// that receives every rendered span event line as it is produced —
+    /// the same bytes the JSONL trace sink records. The listener runs on
+    /// the thread that finished the span, so it must be cheap and must not
+    /// block (the daemon's listener pushes onto an unbounded channel).
+    pub fn with_listener(cfg: ObsConfig, listener: Option<SpanListener>) -> std::io::Result<Obs> {
         let jsonl = match &cfg.trace {
             Some(path) => Some(trace::JsonlSink::create(path)?),
             None => None,
@@ -146,6 +164,7 @@ impl Obs {
             inner: Some(Arc::new(Inner {
                 registry: metrics::Registry::new(),
                 jsonl,
+                listener,
                 metrics_path: cfg.metrics,
                 tree_to_stderr: cfg.tree,
                 tree: trace::TreeAgg::default(),
@@ -245,6 +264,14 @@ impl Obs {
     pub fn span_total_ns(&self, path: &str) -> u64 {
         self.inner.as_ref().map_or(0, |i| i.tree.total_ns(path))
     }
+
+    /// Renders the current state of the metrics registry as Prometheus
+    /// text exposition (empty when disabled). Unlike [`Obs::finish`] this
+    /// writes no file — it is the live snapshot a `/metrics` endpoint
+    /// serves while runs are still in flight.
+    pub fn prometheus_text(&self) -> String {
+        self.inner.as_ref().map(|i| prom::render(&i.registry.snapshot())).unwrap_or_default()
+    }
 }
 
 struct SpanRec {
@@ -310,8 +337,14 @@ impl Span {
                 counts: &rec.counts,
             };
             rec.inner.tree.record(&ev);
-            if let Some(sink) = &rec.inner.jsonl {
-                sink.write_line(&ev.to_json());
+            if rec.inner.jsonl.is_some() || rec.inner.listener.is_some() {
+                let line = ev.to_json();
+                if let Some(sink) = &rec.inner.jsonl {
+                    sink.write_line(&line);
+                }
+                if let Some(listener) = &rec.inner.listener {
+                    listener(&line);
+                }
             }
         }
         elapsed
@@ -406,6 +439,39 @@ mod tests {
             let _sp = obs.span("scoped");
         }
         assert!(obs.span_total_ns("scoped") > 0);
+    }
+
+    #[test]
+    fn listener_sees_exactly_the_jsonl_lines() {
+        let trace_path = tmp("listener.jsonl");
+        let seen = Arc::new(std::sync::Mutex::new(Vec::<String>::new()));
+        let sink = Arc::clone(&seen);
+        let obs = Obs::with_listener(
+            ObsConfig { trace: Some(trace_path.clone()), metrics: None, tree: false },
+            Some(Arc::new(move |line: &str| sink.lock().unwrap().push(line.to_string()))),
+        )
+        .unwrap();
+        obs.span("flow").finish();
+        let mut sp = obs.span("iteration");
+        sp.count("lacs", 2);
+        sp.finish();
+        obs.finish().unwrap();
+        let file: Vec<String> =
+            std::fs::read_to_string(&trace_path).unwrap().lines().map(String::from).collect();
+        assert_eq!(*seen.lock().unwrap(), file, "listener and JSONL sink must agree byte-for-byte");
+    }
+
+    #[test]
+    fn prometheus_text_is_a_live_snapshot() {
+        let obs = Obs::new(ObsConfig::default()).unwrap();
+        assert_eq!(Obs::disabled().prometheus_text(), "");
+        let c = obs.counter("als_live_total", "live");
+        c.add(1);
+        assert!(obs.prometheus_text().contains("als_live_total 1"));
+        c.add(2);
+        let text = obs.prometheus_text();
+        assert!(text.contains("als_live_total 3"), "{text}");
+        prom::lint(&text).unwrap();
     }
 
     #[test]

@@ -1,0 +1,136 @@
+//! The client side of the job service: a thin, dependency-free wrapper
+//! over the line protocol of [`crate::api`], used by the `als job`
+//! subcommands and the end-to-end service tests.
+//!
+//! Every call opens a fresh connection — the daemon is cheap to connect
+//! to, and a stateless client cannot be wedged by a half-closed stream.
+//! `watch` keeps its connection open for the lifetime of the stream.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+
+use als_obs::json::Json;
+
+use crate::api::{
+    parse_response, parse_watch_line, ErrorBody, JobSpec, JobState, JobStatus, Request,
+};
+
+/// A client-side failure: transport errors become `"io"` error bodies, so
+/// callers handle one error type.
+pub type ClientResult<T> = Result<T, ErrorBody>;
+
+fn io_err(what: &str, e: std::io::Error) -> ErrorBody {
+    ErrorBody::new("io", format!("{what}: {e}"))
+}
+
+/// Handle to a daemon, addressed by `host:port`.
+#[derive(Clone, Debug)]
+pub struct Client {
+    addr: String,
+}
+
+impl Client {
+    /// A client for the daemon at `addr` (e.g. `"127.0.0.1:7433"`). No
+    /// connection is made until the first call.
+    pub fn new(addr: impl Into<String>) -> Client {
+        Client { addr: addr.into() }
+    }
+
+    fn roundtrip(&self, req: &Request) -> ClientResult<Json> {
+        let mut stream = TcpStream::connect(&self.addr).map_err(|e| io_err("connecting", e))?;
+        writeln!(stream, "{}", req.to_json().render()).map_err(|e| io_err("sending", e))?;
+        let mut reader = BufReader::new(stream);
+        let mut line = String::new();
+        reader.read_line(&mut line).map_err(|e| io_err("reading response", e))?;
+        if line.is_empty() {
+            return Err(ErrorBody::new("io", "the daemon closed the connection"));
+        }
+        parse_response(line.trim_end())
+    }
+
+    /// Submits a job; returns the daemon-assigned id.
+    pub fn submit(&self, spec: &JobSpec) -> ClientResult<String> {
+        let body = self.roundtrip(&Request::Submit(spec.clone()))?;
+        body.get("id")
+            .and_then(Json::as_str)
+            .map(str::to_string)
+            .ok_or_else(|| ErrorBody::new("bad_response", "submit response without an id"))
+    }
+
+    /// One job's status.
+    pub fn status(&self, id: &str) -> ClientResult<JobStatus> {
+        let body = self.roundtrip(&Request::Status(id.to_string()))?;
+        let status = body
+            .get("status")
+            .ok_or_else(|| ErrorBody::new("bad_response", "status response without a body"))?;
+        JobStatus::from_json(status)
+    }
+
+    /// Every job the daemon knows, submission order.
+    pub fn list(&self) -> ClientResult<Vec<JobStatus>> {
+        let body = self.roundtrip(&Request::List)?;
+        let jobs = body
+            .get("jobs")
+            .and_then(Json::as_array)
+            .ok_or_else(|| ErrorBody::new("bad_response", "list response without jobs"))?;
+        jobs.iter().map(JobStatus::from_json).collect()
+    }
+
+    /// Cancels a queued or running job; returns the state right after the
+    /// request (`cancelled` for queued jobs; `running` until a running
+    /// job's engine observes its token).
+    pub fn cancel(&self, id: &str) -> ClientResult<JobState> {
+        let body = self.roundtrip(&Request::Cancel(id.to_string()))?;
+        body.get("state")
+            .and_then(Json::as_str)
+            .and_then(JobState::from_token)
+            .ok_or_else(|| ErrorBody::new("bad_response", "cancel response without a state"))
+    }
+
+    /// Streams a job's span events — first a replay of everything that
+    /// already happened, then live until the job ends. `on_line` receives
+    /// each raw event line (the same bytes the job's `trace.jsonl`
+    /// records); the return value is the job's state when the stream
+    /// ended.
+    pub fn watch(&self, id: &str, mut on_line: impl FnMut(&str)) -> ClientResult<JobState> {
+        let mut stream = TcpStream::connect(&self.addr).map_err(|e| io_err("connecting", e))?;
+        writeln!(stream, "{}", Request::Watch(id.to_string()).to_json().render())
+            .map_err(|e| io_err("sending", e))?;
+        let mut reader = BufReader::new(stream);
+        let mut line = String::new();
+        reader.read_line(&mut line).map_err(|e| io_err("reading response", e))?;
+        parse_response(line.trim_end())?; // the acknowledgement (or a typed error)
+        loop {
+            line.clear();
+            let n = reader.read_line(&mut line).map_err(|e| io_err("reading stream", e))?;
+            if n == 0 {
+                return Err(ErrorBody::new("io", "the stream ended without a watch_end marker"));
+            }
+            let line = line.trim_end();
+            match parse_watch_line(line) {
+                Some(state) => return Ok(state),
+                None => on_line(line),
+            }
+        }
+    }
+
+    /// Issues a plain-HTTP `GET` against the daemon's operational
+    /// endpoints (`/metrics`, `/healthz`); returns the response body.
+    pub fn http_get(&self, path: &str) -> ClientResult<String> {
+        let mut stream = TcpStream::connect(&self.addr).map_err(|e| io_err("connecting", e))?;
+        write!(stream, "GET {path} HTTP/1.1\r\nHost: als\r\nConnection: close\r\n\r\n")
+            .map_err(|e| io_err("sending", e))?;
+        let mut response = String::new();
+        BufReader::new(stream)
+            .read_to_string(&mut response)
+            .map_err(|e| io_err("reading response", e))?;
+        let (head, body) = response
+            .split_once("\r\n\r\n")
+            .ok_or_else(|| ErrorBody::new("bad_response", "malformed HTTP response"))?;
+        let status = head.lines().next().unwrap_or("");
+        if !status.contains("200") {
+            return Err(ErrorBody::new("http", format!("GET {path}: {status}")));
+        }
+        Ok(body.to_string())
+    }
+}

@@ -1,0 +1,323 @@
+//! The daemon's bounded, priority-aware job queue with per-tenant
+//! admission control.
+//!
+//! Admission is enforced at two points:
+//!
+//! * **push** — the queue has a global capacity and every tenant has a
+//!   queued-job ceiling; a submit over either limit is rejected
+//!   immediately with a typed error instead of blocking the socket.
+//! * **pop** — a tenant also has a running-job ceiling. A runner asking
+//!   for work skips jobs whose tenant is saturated, so one tenant
+//!   flooding the queue cannot monopolise the runner fleet: jobs from
+//!   other tenants overtake it the moment their tenant has headroom.
+//!
+//! Within one priority class jobs leave in submission order; a higher
+//! class always leaves first (subject to tenant headroom). The queue is a
+//! plain mutex + condvar — runner threads block in [`JobQueue::pop`] and
+//! are woken by pushes, finished jobs (which free tenant headroom) and
+//! [`JobQueue::close`].
+
+use std::collections::{BTreeMap, VecDeque};
+use std::sync::{Condvar, Mutex};
+use std::time::Duration;
+
+use crate::api::{ErrorBody, JobSpec, Priority};
+
+/// Per-tenant admission limits.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct TenantPolicy {
+    /// Jobs of this tenant that may execute concurrently.
+    pub max_running: usize,
+    /// Jobs of this tenant that may wait in the queue.
+    pub max_queued: usize,
+}
+
+impl Default for TenantPolicy {
+    fn default() -> TenantPolicy {
+        TenantPolicy { max_running: 4, max_queued: 64 }
+    }
+}
+
+/// Queue-wide configuration.
+#[derive(Clone, Debug)]
+pub struct QueueConfig {
+    /// Total jobs (all tenants, all priorities) the queue holds.
+    pub capacity: usize,
+    /// Limits applied to tenants without an explicit entry.
+    pub default_policy: TenantPolicy,
+    /// Per-tenant overrides.
+    pub tenants: BTreeMap<String, TenantPolicy>,
+}
+
+impl Default for QueueConfig {
+    fn default() -> QueueConfig {
+        QueueConfig {
+            capacity: 256,
+            default_policy: TenantPolicy::default(),
+            tenants: BTreeMap::new(),
+        }
+    }
+}
+
+impl QueueConfig {
+    /// The policy that applies to `tenant`.
+    pub fn policy(&self, tenant: &str) -> TenantPolicy {
+        self.tenants.get(tenant).copied().unwrap_or(self.default_policy)
+    }
+}
+
+/// One queued unit of work.
+#[derive(Clone, Debug)]
+pub struct QueuedJob {
+    /// Daemon-assigned job id.
+    pub id: String,
+    /// The validated spec.
+    pub spec: JobSpec,
+    /// Whether the runner should resume from the job's sealed journal
+    /// (recovered preempted jobs) instead of starting fresh.
+    pub resume: bool,
+}
+
+#[derive(Default)]
+struct Inner {
+    /// One FIFO per priority class, indexed by [`Priority::ALL`] order.
+    lanes: [VecDeque<QueuedJob>; 3],
+    /// Jobs currently queued, per tenant.
+    queued: BTreeMap<String, usize>,
+    /// Jobs currently running, per tenant.
+    running: BTreeMap<String, usize>,
+    closed: bool,
+}
+
+impl Inner {
+    fn depth(&self) -> usize {
+        self.lanes.iter().map(VecDeque::len).sum()
+    }
+}
+
+/// The bounded priority queue. See the module docs for the admission
+/// rules.
+pub struct JobQueue {
+    cfg: QueueConfig,
+    inner: Mutex<Inner>,
+    cv: Condvar,
+}
+
+impl JobQueue {
+    /// An empty queue with the given limits.
+    pub fn new(cfg: QueueConfig) -> JobQueue {
+        JobQueue { cfg, inner: Mutex::new(Inner::default()), cv: Condvar::new() }
+    }
+
+    /// Jobs currently waiting (all lanes).
+    pub fn depth(&self) -> usize {
+        self.lock().depth()
+    }
+
+    /// Jobs currently marked running (all tenants).
+    pub fn running(&self) -> usize {
+        self.lock().running.values().sum()
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Inner> {
+        match self.inner.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+
+    /// Admits a job or rejects it with a typed error (`"queue_full"` /
+    /// `"tenant_queue_full"` / `"draining"`).
+    pub fn push(&self, job: QueuedJob) -> Result<(), ErrorBody> {
+        let mut g = self.lock();
+        if g.closed {
+            return Err(ErrorBody::new("draining", "the daemon is shutting down"));
+        }
+        if g.depth() >= self.cfg.capacity {
+            return Err(ErrorBody::new(
+                "queue_full",
+                format!("the queue is at capacity ({})", self.cfg.capacity),
+            ));
+        }
+        let tenant = job.spec.tenant.clone();
+        let policy = self.cfg.policy(&tenant);
+        let queued = g.queued.entry(tenant.clone()).or_insert(0);
+        if *queued >= policy.max_queued {
+            return Err(ErrorBody::new(
+                "tenant_queue_full",
+                format!("tenant {tenant:?} already has {queued} jobs queued"),
+            ));
+        }
+        *queued += 1;
+        let lane = Priority::ALL.iter().position(|p| *p == job.spec.priority).unwrap_or(1);
+        g.lanes[lane].push_back(job);
+        drop(g);
+        self.cv.notify_all();
+        Ok(())
+    }
+
+    /// Blocks until a job whose tenant has running headroom is available,
+    /// marks it running and returns it. `None` once the queue is closed
+    /// and nothing eligible remains, or transiently after `patience` with
+    /// an empty (or fully saturated) queue — callers loop.
+    pub fn pop(&self, patience: Duration) -> Option<QueuedJob> {
+        let mut g = self.lock();
+        loop {
+            // Highest lane first; within a lane, submission order. A job
+            // whose tenant is saturated is skipped, not dequeued — it
+            // keeps its position for when headroom frees up.
+            for lane in 0..g.lanes.len() {
+                let eligible = g.lanes[lane].iter().position(|job| {
+                    let running = g.running.get(&job.spec.tenant).copied().unwrap_or(0);
+                    running < self.cfg.policy(&job.spec.tenant).max_running
+                });
+                if let Some(idx) = eligible {
+                    let job = g.lanes[lane].remove(idx).expect("position came from this lane");
+                    let tenant = job.spec.tenant.clone();
+                    *g.running.entry(tenant.clone()).or_insert(0) += 1;
+                    if let Some(q) = g.queued.get_mut(&tenant) {
+                        *q = q.saturating_sub(1);
+                    }
+                    return Some(job);
+                }
+            }
+            if g.closed {
+                return None;
+            }
+            let (next, timeout) = match self.cv.wait_timeout(g, patience) {
+                Ok(v) => v,
+                Err(poisoned) => {
+                    let v = poisoned.into_inner();
+                    (v.0, v.1)
+                }
+            };
+            g = next;
+            if timeout.timed_out() {
+                return None;
+            }
+        }
+    }
+
+    /// Releases a tenant's running slot after its job finished (in any
+    /// way) and wakes runners that may now have eligible work.
+    pub fn finished(&self, tenant: &str) {
+        let mut g = self.lock();
+        if let Some(r) = g.running.get_mut(tenant) {
+            *r = r.saturating_sub(1);
+        }
+        drop(g);
+        self.cv.notify_all();
+    }
+
+    /// Removes a queued job by id (client cancellation before it ran).
+    /// `false` when the job is not in the queue (already running or done).
+    pub fn remove(&self, id: &str) -> bool {
+        let mut g = self.lock();
+        for lane in 0..g.lanes.len() {
+            if let Some(idx) = g.lanes[lane].iter().position(|j| j.id == id) {
+                let job = g.lanes[lane].remove(idx).expect("position came from this lane");
+                if let Some(q) = g.queued.get_mut(&job.spec.tenant) {
+                    *q = q.saturating_sub(1);
+                }
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Stops admitting work and wakes every blocked runner; queued jobs
+    /// that were not popped stay queued (the daemon persists them as
+    /// queued so the next start re-admits them).
+    pub fn close(&self) {
+        self.lock().closed = true;
+        self.cv.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use als_circuits::BenchmarkScale;
+    use als_engine::FlowName;
+    use als_error::MetricKind;
+
+    use crate::api::CircuitSource;
+
+    fn job(id: &str, tenant: &str, priority: Priority) -> QueuedJob {
+        let mut spec = JobSpec::new(
+            tenant,
+            FlowName::Dp,
+            MetricKind::Er,
+            0.1,
+            CircuitSource::Benchmark { name: "adder".into(), scale: BenchmarkScale::Reduced },
+        );
+        spec.priority = priority;
+        QueuedJob { id: id.into(), spec, resume: false }
+    }
+
+    fn queue(capacity: usize, policy: TenantPolicy) -> JobQueue {
+        JobQueue::new(QueueConfig { capacity, default_policy: policy, tenants: BTreeMap::new() })
+    }
+
+    const NOW: Duration = Duration::from_millis(0);
+
+    #[test]
+    fn priorities_overtake_and_fifo_within_a_class() {
+        let q = queue(16, TenantPolicy::default());
+        q.push(job("a", "t", Priority::Low)).unwrap();
+        q.push(job("b", "t", Priority::Normal)).unwrap();
+        q.push(job("c", "t", Priority::High)).unwrap();
+        q.push(job("d", "t", Priority::High)).unwrap();
+        let order: Vec<String> = std::iter::from_fn(|| q.pop(NOW)).map(|j| j.id).collect();
+        assert_eq!(order, ["c", "d", "b", "a"]);
+    }
+
+    #[test]
+    fn capacity_and_tenant_queue_limits_reject_typed() {
+        let q = queue(2, TenantPolicy { max_running: 8, max_queued: 8 });
+        q.push(job("a", "t1", Priority::Normal)).unwrap();
+        q.push(job("b", "t2", Priority::Normal)).unwrap();
+        assert_eq!(q.push(job("c", "t3", Priority::Normal)).unwrap_err().code, "queue_full");
+
+        let q = queue(16, TenantPolicy { max_running: 8, max_queued: 1 });
+        q.push(job("a", "t", Priority::Normal)).unwrap();
+        assert_eq!(q.push(job("b", "t", Priority::Normal)).unwrap_err().code, "tenant_queue_full");
+        // Another tenant is unaffected.
+        q.push(job("c", "u", Priority::Normal)).unwrap();
+    }
+
+    #[test]
+    fn saturated_tenants_are_overtaken_not_head_of_line_blocking() {
+        let q = queue(16, TenantPolicy { max_running: 1, max_queued: 16 });
+        q.push(job("t1-a", "t1", Priority::Normal)).unwrap();
+        q.push(job("t1-b", "t1", Priority::Normal)).unwrap();
+        q.push(job("t2-a", "t2", Priority::Normal)).unwrap();
+        assert_eq!(q.pop(NOW).unwrap().id, "t1-a");
+        // t1 is now saturated: its next job is skipped in favour of t2's.
+        assert_eq!(q.pop(NOW).unwrap().id, "t2-a");
+        assert_eq!(q.pop(NOW).map(|j| j.id), None, "everything eligible is running");
+        // Finishing t1's job frees its slot; t1-b becomes eligible again.
+        q.finished("t1");
+        assert_eq!(q.pop(NOW).unwrap().id, "t1-b");
+    }
+
+    #[test]
+    fn remove_cancels_only_queued_jobs() {
+        let q = queue(16, TenantPolicy::default());
+        q.push(job("a", "t", Priority::Normal)).unwrap();
+        assert!(q.remove("a"));
+        assert!(!q.remove("a"), "a removed job is gone");
+        assert_eq!(q.depth(), 0);
+    }
+
+    #[test]
+    fn close_rejects_pushes_and_wakes_poppers() {
+        let q = std::sync::Arc::new(queue(16, TenantPolicy::default()));
+        let q2 = q.clone();
+        let popper = std::thread::spawn(move || q2.pop(Duration::from_secs(30)));
+        std::thread::sleep(Duration::from_millis(20));
+        q.close();
+        assert_eq!(popper.join().unwrap().map(|j| j.id), None);
+        assert_eq!(q.push(job("a", "t", Priority::Normal)).unwrap_err().code, "draining");
+    }
+}

@@ -5,6 +5,8 @@
 //! als stats  <circuit>                      # PI/PO/gates/depth/area/delay
 //! als synth  <circuit> [options] -o out.aag # run a flow, write the result
 //! als convert <in.aag> -o out.(aag|aig|v)   # format conversion
+//! als serve  --state <dir> [--addr A]       # run the job daemon
+//! als job    <submit|status|watch|cancel|list> [--addr A] ...
 //! ```
 //!
 //! `<circuit>` is either a benchmark name (see `als list`) or a path to an
@@ -29,10 +31,21 @@
 //! --tree             print the aggregated span tree to stderr at exit
 //! ```
 //!
+//! `--json` makes `synth` print the machine-readable result document
+//! (the same schema the job service returns) on stdout instead of the
+//! human summary.
+//!
 //! A run stopped early — by `--timeout`, `--max-iters`, SIGINT or SIGTERM —
 //! still writes its best-so-far result and exits with code 3 (a second
 //! signal aborts immediately). Exit codes: 0 completed, 3 stopped early
 //! with a valid result, 1 error.
+//!
+//! `als serve` runs the ALS-as-a-service daemon (see `dualphase_als::serve`):
+//! jobs are submitted, watched and cancelled over a line-JSON TCP protocol
+//! (the `als job` subcommands), with Prometheus metrics and a liveness
+//! probe served as plain HTTP on the same port. SIGTERM/SIGINT drain the
+//! daemon gracefully: running jobs seal their journals and resume on the
+//! next start.
 
 use std::fs::File;
 use std::io::{BufReader, BufWriter};
@@ -87,7 +100,7 @@ fn stats(aig: &Aig) {
 }
 
 struct SynthOpts {
-    flow: String,
+    flow: FlowName,
     metric: MetricKind,
     bound: Option<f64>,
     patterns: usize,
@@ -105,6 +118,7 @@ struct SynthOpts {
     trace: Option<String>,
     metrics: Option<String>,
     tree: bool,
+    json: bool,
 }
 
 /// How a `synth` run ended: normally, or preempted with a best-so-far
@@ -163,7 +177,7 @@ fn run() -> Result<Outcome, String> {
                 return Err(format!("unknown option {target} (expected a circuit first)"));
             }
             let mut o = SynthOpts {
-                flow: "dpsa".into(),
+                flow: FlowName::DpSa,
                 metric: MetricKind::Med,
                 bound: None,
                 patterns: 8192,
@@ -181,19 +195,15 @@ fn run() -> Result<Outcome, String> {
                 trace: None,
                 metrics: None,
                 tree: false,
+                json: false,
             };
             while let Some(a) = args.next() {
                 let mut value =
                     |name: &str| args.next().ok_or_else(|| format!("missing value for {name}"));
                 match a.as_str() {
-                    "--flow" => o.flow = value("--flow")?.to_string(),
+                    "--flow" => o.flow = value("--flow")?.parse().map_err(|e| format!("{e}"))?,
                     "--metric" => {
-                        o.metric = match value("--metric")?.as_str() {
-                            "er" => MetricKind::Er,
-                            "mse" => MetricKind::Mse,
-                            "med" => MetricKind::Med,
-                            other => return Err(format!("unknown metric {other}")),
-                        }
+                        o.metric = value("--metric")?.parse().map_err(|e| format!("{e}"))?
                     }
                     "--bound" => {
                         o.bound = Some(value("--bound")?.parse().map_err(|_| "bad --bound")?)
@@ -227,6 +237,7 @@ fn run() -> Result<Outcome, String> {
                     "--trace" => o.trace = Some(value("--trace")?.to_string()),
                     "--metrics" => o.metrics = Some(value("--metrics")?.to_string()),
                     "--tree" => o.tree = true,
+                    "--json" => o.json = true,
                     "-o" => o.output = Some(value("-o")?.to_string()),
                     other => return Err(format!("unknown option {other}")),
                 }
@@ -290,7 +301,7 @@ fn run() -> Result<Outcome, String> {
                 builder = builder.resume(path);
             }
             let cfg = builder.build().map_err(|e| e.to_string())?;
-            let flow = flows::by_name(&o.flow, cfg).map_err(|e| e.to_string())?;
+            let flow = flows::by_name(o.flow, cfg).map_err(|e| e.to_string())?;
             eprintln!(
                 "running {} on {} ({} gates), {} bound {bound:.4}",
                 flow.name(),
@@ -304,16 +315,22 @@ fn run() -> Result<Outcome, String> {
                 eprintln!("wrote metrics to {path}");
             }
             let lib = CellLibrary::new();
-            println!(
-                "gates {} -> {} | {} = {:.4} (bound {bound:.4}) | ADP ratio {:.1}% | {} LACs in {:.2?}",
-                original.num_ands(),
-                res.final_nodes(),
-                o.metric,
-                res.final_error,
-                100.0 * dualphase_als::map::adp_ratio(&res.circuit, &original, &lib),
-                res.lacs_applied(),
-                res.runtime
-            );
+            if o.json {
+                // The shared result schema: the same document a job
+                // service status response embeds for a completed job.
+                println!("{}", res.to_json().render());
+            } else {
+                println!(
+                    "gates {} -> {} | {} = {:.4} (bound {bound:.4}) | ADP ratio {:.1}% | {} LACs in {:.2?}",
+                    original.num_ands(),
+                    res.final_nodes(),
+                    o.metric,
+                    res.final_error,
+                    100.0 * dualphase_als::map::adp_ratio(&res.circuit, &original, &lib),
+                    res.lacs_applied(),
+                    res.runtime
+                );
+            }
             if res.guard.rollbacks > 0 || res.guard.fallbacks > 0 {
                 eprintln!(
                     "guard: {} validations, {} rollbacks, {} evictions, {} resamples, {} fallbacks",
@@ -326,7 +343,11 @@ fn run() -> Result<Outcome, String> {
             }
             if let Some(path) = o.output {
                 save(&res.circuit, &path)?;
-                println!("wrote {path}");
+                if o.json {
+                    eprintln!("wrote {path}");
+                } else {
+                    println!("wrote {path}");
+                }
             }
             if res.stop.is_preemption() {
                 Ok(Outcome::Stopped(res.stop))
@@ -334,9 +355,11 @@ fn run() -> Result<Outcome, String> {
                 Ok(Outcome::Completed)
             }
         }
+        "serve" => serve(args),
+        "job" => job(args),
         _ => {
             eprintln!(
-                "usage: als <list|stats|synth|convert> …\n  \
+                "usage: als <list|stats|synth|convert|serve|job> …\n  \
                  als list\n  \
                  als stats <circuit> [--full]\n  \
                  als synth <circuit> [--flow dpsa] [--metric med] [--bound X] \
@@ -346,11 +369,233 @@ fn run() -> Result<Outcome, String> {
                  [--trace p.jsonl] [--metrics p.prom] [--tree] [-o out.aag]\n\
                  \n  synth stops gracefully on --timeout/--max-iters/SIGINT/SIGTERM and\n  \
                  exits 3 with a valid best-so-far result (0 completed, 1 error).\n  \
-                 als convert <in.aag> -o <out.aag|out.aig|out.v>"
+                 als convert <in.aag> -o <out.aag|out.aig|out.v>\n  \
+                 als serve --state <dir> [--addr 127.0.0.1:7433] [--runners N]\n           \
+                 [--queue-capacity N] [--tenant-running N] [--tenant-queued N]\n  \
+                 als job submit <circuit> [--addr A] [--tenant T] [--flow dpsa] \
+                 [--metric med]\n           \
+                 [--bound X] [--priority high|normal|low] [--patterns N] [--seed S]\n           \
+                 [--threads T] [--max-iters N] [--deadline SECS] [--full] [--watch]\n  \
+                 als job <status|watch|cancel> <job-id> [--addr A] [--json]\n  \
+                 als job list [--addr A] [--json]"
             );
             Ok(Outcome::Completed)
         }
     }
+}
+
+/// `als serve`: run the job daemon until SIGINT/SIGTERM, then drain
+/// gracefully (running jobs seal their journals and resume on the next
+/// start) and exit 0.
+fn serve(mut args: impl Iterator<Item = String>) -> Result<Outcome, String> {
+    use dualphase_als::serve::{Daemon, DaemonConfig, TenantPolicy};
+    let mut state: Option<String> = None;
+    let mut addr = "127.0.0.1:7433".to_string();
+    let mut runners = 8usize;
+    let mut capacity: Option<usize> = None;
+    let mut tenant_running: Option<usize> = None;
+    let mut tenant_queued: Option<usize> = None;
+    while let Some(a) = args.next() {
+        let mut value = |name: &str| args.next().ok_or_else(|| format!("missing value for {name}"));
+        match a.as_str() {
+            "--state" => state = Some(value("--state")?),
+            "--addr" => addr = value("--addr")?,
+            "--runners" => runners = value("--runners")?.parse().map_err(|_| "bad --runners")?,
+            "--queue-capacity" => {
+                capacity =
+                    Some(value("--queue-capacity")?.parse().map_err(|_| "bad --queue-capacity")?)
+            }
+            "--tenant-running" => {
+                tenant_running =
+                    Some(value("--tenant-running")?.parse().map_err(|_| "bad --tenant-running")?)
+            }
+            "--tenant-queued" => {
+                tenant_queued =
+                    Some(value("--tenant-queued")?.parse().map_err(|_| "bad --tenant-queued")?)
+            }
+            other => return Err(format!("unknown option {other}")),
+        }
+    }
+    let state = state.ok_or("usage: als serve --state <dir> [--addr host:port]")?;
+    let mut cfg = DaemonConfig::new(state);
+    cfg.addr = addr;
+    cfg.runners = runners;
+    if let Some(c) = capacity {
+        cfg.queue.capacity = c;
+    }
+    let defaults = TenantPolicy::default();
+    cfg.queue.default_policy = TenantPolicy {
+        max_running: tenant_running.unwrap_or(defaults.max_running),
+        max_queued: tenant_queued.unwrap_or(defaults.max_queued),
+    };
+    let stop = dualphase_als::engine::install_signal_handlers();
+    let daemon = Daemon::start(cfg).map_err(|e| format!("starting daemon: {e}"))?;
+    println!("serving on {} (state {})", daemon.addr(), daemon.state_dir().display());
+    while !stop.is_cancelled() {
+        std::thread::sleep(std::time::Duration::from_millis(100));
+    }
+    eprintln!("draining: sealing running jobs for resume on the next start");
+    daemon.shutdown().map_err(|e| format!("draining daemon: {e}"))?;
+    Ok(Outcome::Completed)
+}
+
+/// `als job`: the client side of the job service.
+fn job(mut args: impl Iterator<Item = String>) -> Result<Outcome, String> {
+    use dualphase_als::serve::{CircuitSource, Client, JobSpec, JobState, Priority};
+    let verb = args.next().ok_or("usage: als job <submit|status|watch|cancel|list> ...")?;
+    let mut positional: Vec<String> = Vec::new();
+    let mut addr = "127.0.0.1:7433".to_string();
+    let mut tenant = "default".to_string();
+    let mut flow = FlowName::DpSa;
+    let mut metric = MetricKind::Med;
+    let mut bound: Option<f64> = None;
+    let mut priority = Priority::Normal;
+    let mut patterns: Option<usize> = None;
+    let mut seed: Option<u64> = None;
+    let mut threads: Option<usize> = None;
+    let mut max_iters: Option<usize> = None;
+    let mut deadline_ms: Option<u64> = None;
+    let mut full = false;
+    let mut json = false;
+    let mut follow = false;
+    while let Some(a) = args.next() {
+        let mut value = |name: &str| args.next().ok_or_else(|| format!("missing value for {name}"));
+        match a.as_str() {
+            "--addr" => addr = value("--addr")?,
+            "--tenant" => tenant = value("--tenant")?,
+            "--flow" => flow = value("--flow")?.parse().map_err(|e| format!("{e}"))?,
+            "--metric" => metric = value("--metric")?.parse().map_err(|e| format!("{e}"))?,
+            "--bound" => bound = Some(value("--bound")?.parse().map_err(|_| "bad --bound")?),
+            "--priority" => {
+                let p = value("--priority")?;
+                priority = Priority::from_token(&p)
+                    .ok_or_else(|| format!("unknown priority {p} (high|normal|low)"))?;
+            }
+            "--patterns" => {
+                patterns = Some(value("--patterns")?.parse().map_err(|_| "bad --patterns")?)
+            }
+            "--seed" => seed = Some(value("--seed")?.parse().map_err(|_| "bad --seed")?),
+            "--threads" => {
+                threads = Some(value("--threads")?.parse().map_err(|_| "bad --threads")?)
+            }
+            "--max-iters" => {
+                max_iters = Some(value("--max-iters")?.parse().map_err(|_| "bad --max-iters")?)
+            }
+            "--deadline" => {
+                let secs: f64 = value("--deadline")?.parse().map_err(|_| "bad --deadline")?;
+                deadline_ms = Some((secs * 1000.0) as u64);
+            }
+            "--full" => full = true,
+            "--json" => json = true,
+            "--watch" => follow = true,
+            other if other.starts_with('-') => return Err(format!("unknown option {other}")),
+            other => positional.push(other.to_string()),
+        }
+    }
+    let client = Client::new(addr);
+    let one_id = |what: &str| -> Result<String, String> {
+        positional.first().cloned().ok_or_else(|| format!("usage: als job {what} <job-id>"))
+    };
+    match verb.as_str() {
+        "submit" => {
+            let target =
+                positional.first().ok_or("usage: als job submit <circuit> [options]")?.clone();
+            let circuit = if benchmark_names().contains(&target.as_str()) {
+                let scale = if full { BenchmarkScale::Paper } else { BenchmarkScale::Reduced };
+                CircuitSource::Benchmark { name: target.clone(), scale }
+            } else {
+                // Anything loadable locally ships as inline ASCII AIGER.
+                let aig = load(&target, full)?;
+                CircuitSource::Aiger { text: dualphase_als::aig::io::to_ascii_string(&aig) }
+            };
+            let original = load(&target, full)?;
+            let bound = bound.unwrap_or_else(|| match metric {
+                MetricKind::Er => 0.01,
+                MetricKind::Med => reference_error(original.num_outputs()),
+                MetricKind::Mse => {
+                    let r = reference_error(original.num_outputs());
+                    r * r
+                }
+            });
+            let mut spec = JobSpec::new(&tenant, flow, metric, bound, circuit);
+            spec.priority = priority;
+            spec.patterns = patterns;
+            spec.seed = seed;
+            spec.threads = threads;
+            spec.max_iters = max_iters;
+            spec.deadline_ms = deadline_ms;
+            let id = client.submit(&spec).map_err(|e| e.to_string())?;
+            println!("{id}");
+            if follow {
+                let state =
+                    client.watch(&id, |line| println!("{line}")).map_err(|e| e.to_string())?;
+                eprintln!("job {id}: {}", state.token());
+            }
+            Ok(Outcome::Completed)
+        }
+        "status" => {
+            let id = one_id("status")?;
+            let status = client.status(&id).map_err(|e| e.to_string())?;
+            if json {
+                println!("{}", status.to_json().render());
+            } else {
+                print_status(&status);
+            }
+            Ok(Outcome::Completed)
+        }
+        "watch" => {
+            let id = one_id("watch")?;
+            let state = client.watch(&id, |line| println!("{line}")).map_err(|e| e.to_string())?;
+            eprintln!("job {id}: {}", state.token());
+            if state == JobState::Completed {
+                Ok(Outcome::Completed)
+            } else {
+                // The stream ended without a completed result (cancelled,
+                // failed, preempted by a drain): mirror synth's
+                // stopped-early exit code.
+                Ok(Outcome::Stopped(StopReason::Cancelled))
+            }
+        }
+        "cancel" => {
+            let id = one_id("cancel")?;
+            let state = client.cancel(&id).map_err(|e| e.to_string())?;
+            println!("{}", state.token());
+            Ok(Outcome::Completed)
+        }
+        "list" => {
+            let jobs = client.list().map_err(|e| e.to_string())?;
+            if json {
+                let arr: Vec<_> = jobs.iter().map(|s| s.to_json()).collect();
+                println!("{}", dualphase_als::obs::json::Json::Arr(arr).render());
+            } else {
+                for status in &jobs {
+                    print_status(status);
+                }
+            }
+            Ok(Outcome::Completed)
+        }
+        other => Err(format!("unknown job subcommand {other}")),
+    }
+}
+
+fn print_status(status: &dualphase_als::serve::JobStatus) {
+    let mut line = format!(
+        "{}  {:<9}  {}  tenant={}",
+        status.id,
+        status.state.token(),
+        status.flow.token(),
+        status.tenant
+    );
+    if let Some(result) = &status.result {
+        let get = |k: &str| result.get(k).and_then(dualphase_als::obs::json::Json::as_f64);
+        if let (Some(err), Some(nodes)) = (get("final_error"), get("final_nodes")) {
+            line.push_str(&format!("  error={err:.4}  gates={nodes}"));
+        }
+    }
+    if let Some(e) = &status.error {
+        line.push_str(&format!("  error: {e}"));
+    }
+    println!("{line}");
 }
 
 fn main() -> ExitCode {

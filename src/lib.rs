@@ -16,7 +16,9 @@
 //! * [`map`] — structural technology mapping (area / delay / ADP),
 //! * [`circuits`] — benchmark circuit generators,
 //! * [`engine`] — the ALS flows: conventional, VECBEE(`l`), AccALS, DP and
-//!   DP-SA.
+//!   DP-SA,
+//! * [`serve`] — ALS-as-a-service: the `als serve` job daemon, its wire
+//!   protocol and the client behind `als job`.
 //!
 //! # Quickstart
 //!
@@ -42,6 +44,7 @@ pub use als_lac as lac;
 pub use als_map as map;
 pub use als_obs as obs;
 pub use als_par as par;
+pub use als_serve as serve;
 pub use als_sim as sim;
 
 /// The names most programs need, importable in one line.
@@ -61,7 +64,7 @@ pub mod prelude {
     pub use crate::engine::flows;
     pub use crate::engine::{
         by_name, CancelToken, ConfigError, EngineError, Flow, FlowConfig, FlowConfigBuilder,
-        FlowResult, StepTimes, StopReason, SuperviseConfig, FLOW_NAMES,
+        FlowName, FlowResult, StepTimes, StopReason, SuperviseConfig, FLOW_NAMES,
     };
     pub use crate::error::MetricKind;
     pub use crate::obs::{Obs, ObsConfig};

@@ -194,6 +194,32 @@ fn resume_rejects_a_journal_from_a_different_run() {
     std::fs::remove_file(&path).ok();
 }
 
+/// A resume whose iteration budget is already exhausted by the journaled
+/// prefix is a contradiction — the run could only stop immediately and
+/// pretend it converged under a limit it never honoured. It must be
+/// rejected up front with the typed config error, not silently truncated.
+#[test]
+fn resume_rejects_an_exhausted_iteration_budget() {
+    let aig = adder();
+    let path = tmp("budget");
+    let full = journaled_run(&aig, 1, &path);
+    let journaled = full.iterations.len();
+    assert!(journaled >= 2, "need a multi-LAC run to exercise the budget check");
+    for limit in [1, journaled] {
+        let c = cfg(1).with_max_iters(limit).with_resume(&path);
+        let err = DualPhaseFlow::with_self_adaption(c).run(&aig).unwrap_err();
+        assert!(
+            matches!(err, EngineError::Config(ref d) if d.contains("iteration budget")),
+            "limit {limit} vs {journaled} journaled: wanted the budget error, got: {err}"
+        );
+    }
+    // A budget with headroom is fine and honours the limit on the re-run.
+    let c = cfg(1).with_max_iters(journaled + 1).with_resume(&path);
+    let res = DualPhaseFlow::with_self_adaption(c).run(&aig).unwrap();
+    assert!(res.iterations.len() <= journaled + 1);
+    std::fs::remove_file(&path).ok();
+}
+
 #[test]
 fn non_dual_phase_flows_reject_journaling() {
     use dualphase_als::engine::{AccAlsFlow, ConventionalFlow, VecbeeDepthOneFlow};
